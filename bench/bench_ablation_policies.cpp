@@ -1,0 +1,70 @@
+// Ablation — total delivered bandwidth vs number of jobs for ALL three
+// buffer policies: the system-level comparison the paper's Figures 5 and 6
+// imply but never plot side by side.
+//
+// Partitioned: per-job credits C0 = Br/(n^2 p) collapse with the matrix
+// depth, so total bandwidth falls off and hits zero where C0 = 0.
+// Switched (full or valid-only): every running job gets the whole buffer,
+// so the total stays flat; the two switched variants differ only by the
+// (small) copy overhead.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace gangcomm {
+namespace {
+
+double totalBw(glue::BufferPolicy policy, int jobs) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 16;
+  cfg.policy = policy;
+  cfg.max_contexts = jobs;
+  cfg.quantum = bench::fullScale() ? sim::kSecond : 120 * sim::kMillisecond;
+  core::Cluster cluster(cfg);
+  const std::uint64_t count = bench::fullScale() ? 6000 : 700;
+  std::vector<net::JobId> ids;
+  // Pinned to one node pair so the jobs actually contend for the same NIC.
+  for (int j = 0; j < jobs; ++j)
+    ids.push_back(
+        cluster.submit(2, bench::bandwidthFactory(16384, count), {0, 1}));
+  cluster.run();
+  double total = 0;
+  for (net::JobId id : ids) {
+    auto* s = dynamic_cast<app::BandwidthSender*>(cluster.processes(id)[0]);
+    total += s->bandwidthMBps();
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace gangcomm
+
+int main() {
+  using namespace gangcomm;
+
+  std::printf(
+      "Ablation: total bandwidth [MB/s] vs jobs, all three policies\n"
+      "(16 nodes, 16 KB messages, gang-scheduled point-to-point pairs)\n\n");
+
+  util::Table table({"jobs", "partitioned", "switched-full",
+                     "switched-valid-only"});
+  for (int jobs = 1; jobs <= 8; ++jobs) {
+    table.addRow(
+        {std::to_string(jobs),
+         util::formatDouble(totalBw(glue::BufferPolicy::kPartitioned, jobs), 1),
+         util::formatDouble(totalBw(glue::BufferPolicy::kSwitchedFull, jobs), 1),
+         util::formatDouble(
+             totalBw(glue::BufferPolicy::kSwitchedValidOnly, jobs), 1)});
+    std::fflush(stdout);
+  }
+  bench::emit(table, "ablation_policies");
+
+  std::printf(
+      "Check: partitioned matches the single-job total while C0 suffices,\n"
+      "then collapses (deadlock at 7-8 jobs).  At this scaled-down quantum\n"
+      "(%d ms vs the paper's seconds) the FULL copy pays its ~79 ms per\n"
+      "switch, which is exactly why the paper calls it tolerable only for\n"
+      "long quanta; the valid-only copy holds the total flat regardless.\n",
+      bench::fullScale() ? 1000 : 120);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Ablation — the paper's flush protocol vs SHARE-style switching (related
+// work §5: Franke/Pattnaik/Rudolph's scheduler for the IBM SP2).
+//
+// SHARE never flushes: nodes switch on their own clocks, a NIC id check
+// discards packets that arrive for the wrong job, and a higher-level
+// retransmission layer (go-back-N here) repairs the damage.  The paper's
+// protocol spends milliseconds on halt/release but never loses a packet.
+// This bench quantifies both sides of that trade on the same all-to-all
+// workload.
+#include <cstdio>
+#include <limits>
+
+#include "bench/common.hpp"
+
+namespace gangcomm {
+namespace {
+
+struct Outcome {
+  double halt_us = 0;
+  double release_us = 0;
+  double discarded_per_switch = 0;
+  double retransmitted_per_switch = 0;
+  double goodput_msgs = 0;  // delivered app messages during the run
+};
+
+Outcome run(glue::FlushProtocol flush, int nodes) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
+  cfg.max_contexts = 2;
+  cfg.quantum = 40 * sim::kMillisecond;
+  cfg.flush_protocol = flush;
+  cfg.fm.enable_retransmit = true;  // same stack in every run: fair fight
+  core::Cluster cluster(cfg);
+  for (int j = 0; j < 2; ++j)
+    cluster.submit(nodes, bench::allToAllFactory(4096));
+  cluster.runUntil(sim::secToNs(bench::fullScale() ? 4.0 : 1.0));
+
+  Outcome o;
+  const auto& recs = cluster.switchRecords();
+  if (recs.empty()) return o;
+  for (const auto& r : recs) {
+    o.halt_us += sim::nsToUs(r.report.halt_ns);
+    o.release_us += sim::nsToUs(r.report.release_ns);
+  }
+  o.halt_us /= static_cast<double>(recs.size());
+  o.release_us /= static_cast<double>(recs.size());
+
+  std::uint64_t discarded = 0;
+  for (int n = 0; n < nodes; ++n)
+    discarded += cluster.nic(n).stats().drops_wrong_job;
+  std::uint64_t rtx = 0, delivered = 0;
+  for (net::JobId j : {1, 2}) {
+    for (auto* p : cluster.processes(j)) {
+      rtx += p->fm().stats().packets_retransmitted;
+      delivered += p->fm().stats().messages_received;
+    }
+  }
+  const double switches =
+      static_cast<double>(recs.size()) / static_cast<double>(nodes);
+  o.discarded_per_switch = static_cast<double>(discarded) / switches;
+  o.retransmitted_per_switch = static_cast<double>(rtx) / switches;
+  o.goodput_msgs = static_cast<double>(delivered);
+  return o;
+}
+
+}  // namespace
+}  // namespace gangcomm
+
+int main() {
+  using namespace gangcomm;
+
+  std::printf(
+      "Ablation: quiesce disciplines around the gang switch\n"
+      "(paper's broadcast flush vs PM ack-quiesce vs SHARE local-only;\n"
+      " two all-to-all jobs, 4 KB messages, identical retransmit stack)\n\n");
+
+  util::Table table({"nodes", "scheme", "halt [us]", "release [us]",
+                     "discards/switch", "rtx/switch", "delivered msgs"});
+  const struct {
+    glue::FlushProtocol flush;
+    const char* name;
+  } kSchemes[] = {
+      {glue::FlushProtocol::kBroadcast, "flush (paper)"},
+      {glue::FlushProtocol::kAckQuiesce, "ack-quiesce (PM)"},
+      {glue::FlushProtocol::kLocalOnly, "SHARE (no flush)"},
+  };
+  for (int nodes : {4, 8, 16}) {
+    for (const auto& scheme : kSchemes) {
+      const Outcome o = run(scheme.flush, nodes);
+      table.addRow({std::to_string(nodes), scheme.name,
+                    util::formatDouble(o.halt_us, 1),
+                    util::formatDouble(o.release_us, 1),
+                    util::formatDouble(o.discarded_per_switch, 1),
+                    util::formatDouble(o.retransmitted_per_switch, 1),
+                    util::formatDouble(o.goodput_msgs, 0)});
+      std::fflush(stdout);
+    }
+  }
+  bench::emit(table, "ablation_share");
+
+  std::printf(
+      "Check: SHARE's switch stages are local (microseconds, flat in the\n"
+      "node count) but every switch sheds live packets that a reliability\n"
+      "layer must resend; the paper's flush pays milliseconds of protocol\n"
+      "and loses nothing (related work §5 trade-off, quantified).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 5 — bandwidth as a function of message size and number of contexts
+// under the ORIGINAL FM buffer division.
+//
+// Paper setup (§4.1): a single point-to-point bandwidth application on the
+// 16-node ParPar, no context switches; the buffers (and therefore credits,
+// C0 = Br/(n^2 p)) are divided for n = 1..8 contexts.  Expected shape:
+// ~75-80 MB/s at one context and large messages, a sharp collapse as n
+// grows, and *zero* bandwidth at 7-8 contexts where C0 rounds to nothing.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace gangcomm {
+namespace {
+
+double measure(int contexts, std::uint32_t msg_bytes, std::uint64_t count) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 16;
+  cfg.policy = glue::BufferPolicy::kPartitioned;
+  cfg.max_contexts = contexts;
+  core::Cluster cluster(cfg);
+  const net::JobId job =
+      cluster.submit(2, bench::bandwidthFactory(msg_bytes, count));
+  cluster.run();
+  auto* sender =
+      dynamic_cast<app::BandwidthSender*>(cluster.processes(job)[0]);
+  return sender->bandwidthMBps();
+}
+
+}  // namespace
+}  // namespace gangcomm
+
+int main() {
+  using namespace gangcomm;
+
+  const std::vector<std::uint32_t> sizes = {64,   256,   1024,
+                                            4096, 16384, 65536};
+  const std::uint64_t target_bytes =
+      bench::fullScale() ? 64ull * 1024 * 1024 : 6ull * 1024 * 1024;
+
+  std::printf(
+      "Figure 5: FM bandwidth [MB/s] vs message size and #contexts\n"
+      "(original buffer division, p=16, C0 = Br/(n^2 p), no switches)\n\n");
+
+  std::vector<std::string> header = {"contexts", "C0"};
+  for (auto s : sizes) header.push_back(std::to_string(s) + "B");
+  util::Table table(header);
+
+  for (int n = 1; n <= 8; ++n) {
+    const int c0 = fm::CreditMath::partitionedCredits(668, n, 16);
+    std::vector<std::string> row = {std::to_string(n), std::to_string(c0)};
+    for (auto s : sizes) {
+      const std::uint64_t count = bench::scaledCount(s, target_bytes);
+      const double bw = measure(n, s, count);
+      row.push_back(util::formatDouble(bw, 2));
+    }
+    table.addRow(row);
+    std::fflush(stdout);
+  }
+  bench::emit(table, "fig5_partitioned_bw");
+
+  std::printf(
+      "Paper check: sharp decrease with contexts; no communication possible\n"
+      "at 7-8 contexts (C0 = 0); ~75-80 MB/s peak at one context.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the hot simulation primitives:
+// event queue throughput, RNG, ring buffer, credit math, and a full
+// end-to-end packet exchange — the costs that bound how much cluster time
+// the figure benches can simulate per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "fm/config.hpp"
+#include "fm/fm_lib.hpp"
+#include "net/nic.hpp"
+#include "net/routing.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace {
+
+using namespace gangcomm;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::Simulator s;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      s.schedule(static_cast<sim::Duration>(i % 7), [&sink] { ++sink; });
+    s.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueDeepBacklog(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < depth; ++i)
+      s.schedule(static_cast<sim::Duration>(depth - i), [&sink] { ++sink; });
+    s.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventQueueDeepBacklog)->Arg(1024)->Arg(16384);
+
+void BM_Xoshiro(benchmark::State& state) {
+  sim::Xoshiro256 rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink ^= rng.next();
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_RingBufferPushPop(benchmark::State& state) {
+  util::RingBuffer<net::Packet> rb(668);
+  net::Packet p;
+  for (auto _ : state) {
+    rb.push(p);
+    benchmark::DoNotOptimize(rb.pop());
+  }
+}
+BENCHMARK(BM_RingBufferPushPop);
+
+void BM_CreditFormulas(benchmark::State& state) {
+  int sink = 0;
+  for (auto _ : state) {
+    for (int n = 1; n <= 8; ++n)
+      sink += fm::CreditMath::partitionedCredits(668, n, 16);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_CreditFormulas);
+
+void BM_EndToEndPacket(benchmark::State& state) {
+  // One simulated data packet host->NIC->wire->NIC->host, including the
+  // FmLib send/extract paths; measures simulator overhead per packet.
+  sim::Simulator s;
+  net::Fabric fabric(s, net::RoutingTable::singleSwitch(2));
+  net::Nic a(s, fabric, 0, net::NicConfig{});
+  net::Nic b(s, fabric, 1, net::NicConfig{});
+  a.allocContext(0, 1, 0, 252, 668, 1 << 20, 2);
+  b.allocContext(0, 1, 1, 252, 668, 1 << 20, 2);
+  host::HostCpu cpu0, cpu1;
+  fm::FmLib::Params pa{0, 1, 0, {0, 1}, 1 << 20, 0};
+  fm::FmLib::Params pb{0, 1, 1, {0, 1}, 1 << 20, 0};
+  fm::FmLib sender(s, cpu0, a, fm::FmConfig{}, pa);
+  fm::FmLib receiver(s, cpu1, b, fm::FmConfig{}, pb);
+  std::uint64_t got = 0;
+  receiver.setHandler(1, [&got](const net::Packet&) { ++got; });
+  for (auto _ : state) {
+    (void)sender.send(1, 1, 1024);
+    s.run();
+    receiver.extract(16);
+  }
+  benchmark::DoNotOptimize(got);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndPacket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

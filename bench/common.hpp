@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary prints the same rows/series its paper figure reports
+// (ASCII table to stdout) and drops a CSV next to the working directory for
+// plotting.  GANGCOMM_FULL=1 switches to the paper's full-scale parameters
+// (3 s quanta, larger message counts); the default scales down so the whole
+// suite runs in seconds while preserving every qualitative shape.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+#include "util/table.hpp"
+
+namespace gangcomm::bench {
+
+inline bool fullScale() {
+  const char* e = std::getenv("GANGCOMM_FULL");
+  return e != nullptr && e[0] == '1';
+}
+
+/// Factory for the FM-distribution point-to-point bandwidth benchmark
+/// (§4.1): rank 0 sends, rank 1 receives and acknowledges with a finish
+/// message.
+inline core::Cluster::ProcessFactory bandwidthFactory(std::uint32_t msg_bytes,
+                                                      std::uint64_t count) {
+  return [msg_bytes,
+          count](app::Process::Env env) -> std::unique_ptr<app::Process> {
+    if (env.rank == 0)
+      return std::make_unique<app::BandwidthSender>(std::move(env), 1,
+                                                    msg_bytes, count);
+    return std::make_unique<app::BandwidthReceiver>(std::move(env), 0, count);
+  };
+}
+
+/// Factory for the all-to-all stress workload of §4.2 (runs until the
+/// simulation clock stops).
+inline core::Cluster::ProcessFactory allToAllFactory(std::uint32_t msg_bytes) {
+  return [msg_bytes](app::Process::Env env) -> std::unique_ptr<app::Process> {
+    return std::make_unique<app::AllToAllWorker>(
+        std::move(env), msg_bytes, std::numeric_limits<std::uint64_t>::max());
+  };
+}
+
+/// Message count giving a sane simulated runtime for a given message size.
+inline std::uint64_t scaledCount(std::uint32_t msg_bytes,
+                                 std::uint64_t target_bytes) {
+  const std::uint64_t c = target_bytes / std::max<std::uint32_t>(msg_bytes, 1);
+  return std::max<std::uint64_t>(64, c);
+}
+
+inline void emit(const util::Table& table, const std::string& name) {
+  table.print();
+  const std::string csv = name + ".csv";
+  if (table.writeCsv(csv))
+    std::printf("(csv written to %s)\n\n", csv.c_str());
+}
+
+}  // namespace gangcomm::bench

@@ -1,0 +1,58 @@
+// Collectives example — MPI-style allreduce/barrier over FM, gang-scheduled.
+//
+// Two 8-process jobs iterate { allreduce; barrier } while time-sharing the
+// cluster with buffer switching.  Every allreduce result is checked against
+// the closed-form sum, proving that the context switches preserve exact
+// communication semantics through the full stack.
+#include <cstdio>
+#include <memory>
+
+#include "app/collective_worker.hpp"
+#include "core/cluster.hpp"
+
+using namespace gangcomm;
+
+int main() {
+  core::ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
+  cfg.max_contexts = 2;
+  cfg.quantum = 25 * sim::kMillisecond;
+  core::Cluster cluster(cfg);
+
+  static constexpr std::uint64_t kIters = 150;
+  auto factory = [](app::Process::Env env) -> std::unique_ptr<app::Process> {
+    return std::make_unique<app::CollectiveWorker>(std::move(env), kIters);
+  };
+  const net::JobId j1 = cluster.submit(cfg.nodes, factory);
+  const net::JobId j2 = cluster.submit(cfg.nodes, factory);
+  cluster.run();
+
+  std::printf("two %d-process jobs, %llu allreduce+barrier iterations each\n",
+              cfg.nodes, static_cast<unsigned long long>(kIters));
+  std::printf("gang switches: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.master().switchesInitiated()));
+
+  for (net::JobId j : {j1, j2}) {
+    std::uint64_t verified = 0;
+    bool mismatch = false;
+    double wall_ms = 0;
+    for (auto* p : cluster.processes(j)) {
+      auto* w = dynamic_cast<app::CollectiveWorker*>(p);
+      verified += w->verifiedSums();
+      mismatch |= w->sawMismatch();
+      wall_ms = sim::nsToMs(w->finishTime() - w->startTime());
+    }
+    std::printf("job %d: %llu/%llu sums verified%s, wall %.1f ms\n", j,
+                static_cast<unsigned long long>(verified),
+                static_cast<unsigned long long>(kIters * cfg.nodes),
+                mismatch ? " (MISMATCH!)" : "", wall_ms);
+  }
+
+  std::printf(
+      "every reduction crossed %llu buffer switches untouched — the paper's\n"
+      "correctness claim, verified arithmetically.\n",
+      static_cast<unsigned long long>(cluster.master().switchesInitiated()));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Flow-control lab — watch FM's credit machinery work.
+//
+// A single sender/receiver pair is run with progressively smaller credit
+// allotments (emulating deeper gang matrices under the partitioned policy).
+// For each configuration we print the achieved bandwidth, how often the
+// sender stalled on credits, how many standalone refills and piggybacked
+// credits flowed back, and the resulting efficiency — the microscopic view
+// of why Figure 5 collapses.
+#include <cstdio>
+#include <memory>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+
+using namespace gangcomm;
+
+int main() {
+  std::printf(
+      "FM credit flow control under shrinking buffers (p=16, 16 KB "
+      "messages)\n\n");
+  std::printf("%-4s %-4s %10s %14s %10s %12s %12s\n", "n", "C0", "bw[MB/s]",
+              "credit_stalls", "refills", "piggyback", "ctl_pkts");
+
+  for (int n : {1, 2, 3, 4, 5, 6, 7, 8}) {
+    core::ClusterConfig cfg;
+    cfg.nodes = 16;
+    cfg.policy = glue::BufferPolicy::kPartitioned;
+    cfg.max_contexts = n;
+    core::Cluster cluster(cfg);
+
+    const net::JobId job = cluster.submit(
+        2, [](app::Process::Env env) -> std::unique_ptr<app::Process> {
+          if (env.rank == 0)
+            return std::make_unique<app::BandwidthSender>(std::move(env), 1,
+                                                          16384, 600);
+          return std::make_unique<app::BandwidthReceiver>(std::move(env), 0,
+                                                          600);
+        });
+    cluster.run();
+
+    auto procs = cluster.processes(job);
+    auto* sender = dynamic_cast<app::BandwidthSender*>(procs[0]);
+    const auto& stx = sender->fm().stats();
+    const auto& srx = procs[1]->fm().stats();
+    std::printf("%-4d %-4d %10.2f %14llu %10llu %12llu %12llu%s\n", n,
+                cluster.creditsC0(), sender->bandwidthMBps(),
+                static_cast<unsigned long long>(stx.send_blocks_on_credit),
+                static_cast<unsigned long long>(srx.refills_sent),
+                static_cast<unsigned long long>(
+                    srx.refill_credits_piggybacked),
+                static_cast<unsigned long long>(
+                    cluster.fabric().stats().control_packets),
+                sender->sawDeadlock() ? "   <- DEADLOCK (C0 = 0)" : "");
+  }
+
+  std::printf(
+      "\nAs the buffer division deepens, the sender spends its life waiting\n"
+      "for refills; at C0 = 0 FM cannot move a single packet (paper, §4.1).\n");
+  return 0;
+}

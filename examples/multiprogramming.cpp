@@ -1,0 +1,93 @@
+// Multiprogramming demo — the paper's headline story in one run.
+//
+// Four point-to-point jobs are pinned onto the same node pair, so they must
+// time-share under gang scheduling.  We run the workload twice:
+//
+//   1. with the ORIGINAL partitioned FM buffers (credits C0 = Br/(n^2 p)),
+//   2. with the paper's buffer-switching scheme (C0 = Br/p).
+//
+// and print per-job bandwidths, the gang switch count, and the totals —
+// showing the n^2 credit collapse and its cure side by side.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+
+using namespace gangcomm;
+
+namespace {
+
+struct RunResult {
+  std::vector<double> per_job_bw;
+  double total = 0;
+  int credits = 0;
+  std::uint64_t switches = 0;
+  bool deadlocked = false;
+};
+
+RunResult runWorkload(glue::BufferPolicy policy, int jobs) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 16;
+  cfg.policy = policy;
+  cfg.max_contexts = jobs;  // the gang-matrix depth buffers are sized for
+  cfg.quantum = 60 * sim::kMillisecond;
+  core::Cluster cluster(cfg);
+
+  RunResult r;
+  r.credits = cluster.creditsC0();
+
+  std::vector<net::JobId> ids;
+  for (int j = 0; j < jobs; ++j) {
+    ids.push_back(cluster.submit(
+        2,
+        [](app::Process::Env env) -> std::unique_ptr<app::Process> {
+          if (env.rank == 0)
+            return std::make_unique<app::BandwidthSender>(std::move(env), 1,
+                                                          16384, 1200);
+          return std::make_unique<app::BandwidthReceiver>(std::move(env), 0,
+                                                          1200);
+        },
+        /*pinned_nodes=*/{0, 1}));
+  }
+  cluster.run();
+
+  for (net::JobId id : ids) {
+    auto* s = dynamic_cast<app::BandwidthSender*>(cluster.processes(id)[0]);
+    r.per_job_bw.push_back(s->bandwidthMBps());
+    r.total += s->bandwidthMBps();
+    r.deadlocked |= s->sawDeadlock();
+  }
+  r.switches = cluster.master().switchesInitiated();
+  return r;
+}
+
+void report(const char* title, const RunResult& r) {
+  std::printf("%s\n", title);
+  std::printf("  credits per peer (C0): %d%s\n", r.credits,
+              r.deadlocked ? "  -> DEADLOCK" : "");
+  for (std::size_t j = 0; j < r.per_job_bw.size(); ++j)
+    std::printf("  job %zu: %6.2f MB/s\n", j + 1, r.per_job_bw[j]);
+  std::printf("  total: %6.2f MB/s   (gang switches: %llu)\n\n", r.total,
+              static_cast<unsigned long long>(r.switches));
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kJobs = 4;
+  std::printf(
+      "Four 16 KB bandwidth jobs pinned to one node pair of a 16-node "
+      "cluster\n(gang-scheduled, one job per time slot)\n\n");
+
+  report("[1] original FM: buffers divided among contexts",
+         runWorkload(glue::BufferPolicy::kPartitioned, kJobs));
+  report("[2] paper's scheme: full buffers + switch on quantum boundary",
+         runWorkload(glue::BufferPolicy::kSwitchedValidOnly, kJobs));
+
+  std::printf(
+      "The partitioned run pays the inverse-square credit collapse; the\n"
+      "switched run delivers the full single-job bandwidth in aggregate.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Timeline example — watch the cluster's delivered bandwidth breathe as
+// gang switches happen, for the paper's scheme and for the full-copy
+// variant.
+//
+// The 'x' marks are buckets in which a switch completed; the dip around
+// them IS the switch overhead.  With the improved (valid-only) copy the
+// dips are a single bucket wide; with the full copy they gape ~80 ms.
+#include <cstdio>
+#include <memory>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+#include "core/timeline.hpp"
+
+using namespace gangcomm;
+
+namespace {
+
+void runOnce(glue::BufferPolicy policy) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.policy = policy;
+  cfg.max_contexts = 2;
+  cfg.quantum = 100 * sim::kMillisecond;
+  core::Cluster cluster(cfg);
+
+  auto factory = [](app::Process::Env env) -> std::unique_ptr<app::Process> {
+    if (env.rank == 0)
+      return std::make_unique<app::BandwidthSender>(std::move(env), 1, 16384,
+                                                    3200);
+    return std::make_unique<app::BandwidthReceiver>(std::move(env), 0, 3200);
+  };
+  cluster.submit(2, factory, {0, 1});
+  cluster.submit(2, factory, {0, 1});
+
+  core::ThroughputTimeline timeline(cluster, 10 * sim::kMillisecond);
+  cluster.run();
+
+  std::printf("%-22s peak %5.1f MB/s, %llu switches\n",
+              glue::policyName(policy), timeline.peakMBps(),
+              static_cast<unsigned long long>(
+                  cluster.master().switchesInitiated()));
+  std::printf("  [%s]\n\n", timeline.sparkline().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "delivered bandwidth, one char per 10 ms; 'x' = a gang switch "
+      "completed\n\n");
+  runOnce(glue::BufferPolicy::kSwitchedValidOnly);
+  runOnce(glue::BufferPolicy::kSwitchedFull);
+  std::printf(
+      "the full copy's wide dead zones around every 'x' are the ~79 ms\n"
+      "whole-arena copies; the valid-only copy barely dents the timeline\n"
+      "(paper §4.2).\n");
+  return 0;
+}

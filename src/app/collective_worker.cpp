@@ -1,0 +1,78 @@
+#include "app/collective_worker.hpp"
+
+#include "util/check.hpp"
+
+namespace gangcomm::app {
+
+CollectiveWorker::CollectiveWorker(Env env, std::uint64_t iterations,
+                                   std::uint32_t msg_bytes)
+    : Process(std::move(env)),
+      comm_(fm()),
+      iterations_(iterations),
+      msg_bytes_(msg_bytes) {}
+
+std::uint64_t CollectiveWorker::expectedSum(std::uint64_t it) const {
+  std::uint64_t sum = 0;
+  for (int r = 0; r < comm_.size(); ++r) sum += contribution(r, it);
+  return sum;
+}
+
+void CollectiveWorker::step() {
+  for (;;) {
+    if (iter_ >= iterations_) {
+      finish();
+      return;
+    }
+    // Tags cycle with the iteration so concurrent stragglers never collide;
+    // allreduce uses tag_base and tag_base+1, barrier tag_base+2..+6.
+    const int tag_base = static_cast<int>((iter_ % 1000) * 8);
+
+    if (!allreduce_) {
+      allreduce_ = std::make_unique<mpi::AllreduceOp>(
+          comm_, tag_base, msg_bytes_, contribution(comm_.rank(), iter_));
+    }
+    if (!allreduce_->done()) {
+      const util::Status st = allreduce_->advance();
+      if (st == util::Status::kWouldBlock) {
+        waitArrival();
+        waitSendable();
+        return;
+      }
+      if (st == util::Status::kDeadlock) {
+        mismatch_ = true;
+        finish();
+        return;
+      }
+      GC_CHECK(util::ok(st));
+      if (allreduce_->value() == expectedSum(iter_))
+        ++verified_;
+      else
+        mismatch_ = true;
+    }
+
+    if (!barrier_)
+      barrier_ = std::make_unique<mpi::BarrierOp>(comm_, tag_base + 2);
+    const util::Status st = barrier_->advance();
+    if (st == util::Status::kWouldBlock) {
+      waitArrival();
+      waitSendable();
+      return;
+    }
+    if (st == util::Status::kDeadlock) {
+      mismatch_ = true;
+      finish();
+      return;
+    }
+    GC_CHECK(util::ok(st));
+
+    allreduce_.reset();
+    barrier_.reset();
+    ++iter_;
+    if (batchExhausted()) {
+      yieldStep();
+      return;
+    }
+  }
+}
+
+}  // namespace gangcomm::app

@@ -1,0 +1,216 @@
+#include "app/extra_workloads.hpp"
+
+#include "util/check.hpp"
+
+namespace gangcomm::app {
+
+namespace {
+constexpr int kExtractBatch = 64;
+
+}  // namespace
+
+// ---- StencilWorker -----------------------------------------------------------
+
+StencilWorker::StencilWorker(Env env, std::uint32_t halo_bytes,
+                             std::uint64_t iterations)
+    : Process(std::move(env)),
+      halo_bytes_(halo_bytes),
+      iterations_(iterations) {
+  GC_CHECK_MSG(fm().jobSize() >= 2, "stencil needs a ring of >= 2");
+  fm().setHandler(kStencilHandler, [this](const net::Packet& p) {
+    if (p.last_frag) ++received_;
+  });
+  received_target_ = 2 * iterations_;
+}
+
+int StencilWorker::left() const {
+  const int p = fm().jobSize();
+  return (fm().rank() + p - 1) % p;
+}
+
+int StencilWorker::right() const { return (fm().rank() + 1) % fm().jobSize(); }
+
+void StencilWorker::step() {
+  for (;;) {
+    fm().extract(kExtractBatch);
+    if (iter_ >= iterations_) {
+      if (received_ < received_target_) {
+        waitArrival();
+        return;
+      }
+      finish();
+      return;
+    }
+    const int dst = send_phase_ == 0 ? left() : right();
+    if (send_phase_ < 2) {
+      const util::Status st = fm().send(dst, kStencilHandler, halo_bytes_);
+      if (st == util::Status::kWouldBlock) {
+        waitSendable();
+        waitArrival();
+        return;
+      }
+      if (st == util::Status::kDeadlock) {
+        finish();
+        return;
+      }
+      GC_CHECK(util::ok(st));
+      ++send_phase_;
+      continue;
+    }
+    // Both halos posted; wait for this iteration's two inbound halos.
+    if (received_ < 2 * (iter_ + 1)) {
+      waitArrival();
+      return;
+    }
+    send_phase_ = 0;
+    ++iter_;
+    if (batchExhausted()) {
+      yieldStep();
+      return;
+    }
+  }
+}
+
+// ---- BroadcastWorker -----------------------------------------------------------
+
+namespace {
+/// Binomial-tree children of `rank` in a tree of `p` nodes rooted at 0.
+int binomialChild(int rank, int p, int index) {
+  int mask = 1;
+  if (rank == 0) {
+    while (mask < p) mask <<= 1;
+  } else {
+    while ((rank & mask) == 0) mask <<= 1;
+  }
+  mask >>= 1;
+  int i = 0;
+  while (mask > 0) {
+    if (rank + mask < p) {
+      if (i == index) return rank + mask;
+      ++i;
+    }
+    mask >>= 1;
+  }
+  return -1;
+}
+}  // namespace
+
+BroadcastWorker::BroadcastWorker(Env env, std::uint32_t msg_bytes,
+                                 std::uint64_t rounds)
+    : Process(std::move(env)), msg_bytes_(msg_bytes), rounds_(rounds) {
+  fm().setHandler(kBcastHandler, [this](const net::Packet& p) {
+    if (!p.last_frag) return;
+    ++received_;
+    last_value_ = p.user_data;
+    if (p.user_data != received_) bad_value_ = true;  // value == round index
+  });
+}
+
+void BroadcastWorker::step() {
+  const int p = fm().jobSize();
+  const bool root = fm().rank() == 0;
+  for (;;) {
+    fm().extract(kExtractBatch);
+    if (round_ >= rounds_) {
+      finish();
+      return;
+    }
+    if (!root && received_ <= round_) {
+      // This round's message has not arrived from the parent yet.
+      waitArrival();
+      return;
+    }
+    // The round's payload value is deterministic (round index + 1), so a
+    // forwarding rank never depends on racing ahead of its own children.
+    (void)root;
+    const std::uint64_t value = round_ + 1;
+    const int child = binomialChild(fm().rank(), p, child_cursor_);
+    if (child >= 0) {
+      const util::Status st =
+          fm().send(child, kBcastHandler, msg_bytes_, 0, value);
+      if (st == util::Status::kWouldBlock) {
+        waitSendable();
+        waitArrival();
+        return;
+      }
+      if (st == util::Status::kDeadlock) {
+        finish();
+        return;
+      }
+      GC_CHECK(util::ok(st));
+      ++child_cursor_;
+      continue;
+    }
+    child_cursor_ = 0;
+    ++round_;
+    if (batchExhausted()) {
+      yieldStep();
+      return;
+    }
+  }
+}
+
+// ---- PermutationWorker -----------------------------------------------------------
+
+PermutationWorker::PermutationWorker(Env env, std::uint32_t msg_bytes,
+                                     std::uint64_t rounds, std::uint64_t seed)
+    : Process(std::move(env)),
+      msg_bytes_(msg_bytes),
+      rounds_(rounds),
+      seed_(seed) {
+  GC_CHECK_MSG(fm().jobSize() >= 2, "permutation needs >= 2 ranks");
+  fm().setHandler(kPermHandler, [this](const net::Packet& p) {
+    if (p.last_frag) ++received_;
+  });
+}
+
+int PermutationWorker::destination(std::uint64_t r) const {
+  const int p = fm().jobSize();
+  // Common per-round shift: a bijection with no fixed points.
+  sim::SplitMix64 sm(seed_ + r);
+  const int shift = 1 + static_cast<int>(sm.next() %
+                                         static_cast<std::uint64_t>(p - 1));
+  return (fm().rank() + shift) % p;
+}
+
+void PermutationWorker::step() {
+  for (;;) {
+    fm().extract(kExtractBatch);
+    if (round_ >= rounds_) {
+      if (received_ < rounds_) {
+        // Every round delivers exactly one inbound message (bijection).
+        waitArrival();
+        return;
+      }
+      finish();
+      return;
+    }
+    if (!sent_this_round_) {
+      const util::Status st =
+          fm().send(destination(round_), kPermHandler, msg_bytes_);
+      if (st == util::Status::kWouldBlock) {
+        waitSendable();
+        waitArrival();
+        return;
+      }
+      if (st == util::Status::kDeadlock) {
+        finish();
+        return;
+      }
+      GC_CHECK(util::ok(st));
+      sent_this_round_ = true;
+    }
+    if (received_ <= round_) {
+      waitArrival();
+      return;
+    }
+    sent_this_round_ = false;
+    ++round_;
+    if (batchExhausted()) {
+      yieldStep();
+      return;
+    }
+  }
+}
+
+}  // namespace gangcomm::app

@@ -1,0 +1,76 @@
+#include "app/process.hpp"
+
+#include "util/check.hpp"
+
+namespace gangcomm::app {
+
+Process::Process(Env env) : env_(std::move(env)) {
+  GC_CHECK(env_.sim != nullptr && env_.cpu != nullptr && env_.fm != nullptr);
+}
+
+void Process::start() {
+  GC_CHECK_MSG(!started_, "process started twice");
+  started_ = true;
+  start_time_ = sim().now();
+  scheduleStep();
+}
+
+void Process::sigstop() {
+  suspended_ = true;
+  env_.fm->setSuspended(true);
+}
+
+void Process::sigcont() {
+  if (!suspended_) return;
+  suspended_ = false;
+  env_.fm->setSuspended(false);
+  // Always offer a step on resume: the state machine re-checks its blocking
+  // condition, so a spurious wake is harmless, while a missed one deadlocks.
+  if (started_ && !finished_) scheduleStep();
+}
+
+void Process::scheduleStep() {
+  if (step_scheduled_ || finished_) return;
+  if (suspended_) {
+    pending_wake_ = true;
+    return;
+  }
+  step_scheduled_ = true;
+  const sim::SimTime at = cpu().availableAt(sim().now());
+  sim().scheduleAt(at, [this] { runStep(); });
+}
+
+void Process::runStep() {
+  step_scheduled_ = false;
+  if (finished_) return;
+  if (suspended_) {
+    pending_wake_ = true;
+    return;
+  }
+  pending_wake_ = false;
+  batch_started_ = sim().now();
+  step();
+}
+
+bool Process::batchExhausted() const {
+  return cpu().availableAt(sim().now()) - batch_started_ >= kBatchBudget;
+}
+
+void Process::yieldStep() { scheduleStep(); }
+
+void Process::waitSendable() {
+  env_.fm->onSendable([this] { scheduleStep(); });
+}
+
+void Process::waitArrival() {
+  env_.fm->onArrival([this] { scheduleStep(); });
+}
+
+void Process::finish() {
+  GC_CHECK(!finished_);
+  finished_ = true;
+  finish_time_ = sim().now();
+  if (on_finish) on_finish();
+}
+
+}  // namespace gangcomm::app

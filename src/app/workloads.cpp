@@ -1,0 +1,246 @@
+#include "app/workloads.hpp"
+
+#include "util/check.hpp"
+
+namespace gangcomm::app {
+
+namespace {
+constexpr int kExtractBatch = 64;
+}
+
+// ---- BandwidthSender ---------------------------------------------------------
+
+BandwidthSender::BandwidthSender(Env env, int peer_rank,
+                                 std::uint32_t msg_bytes,
+                                 std::uint64_t msg_count)
+    : Process(std::move(env)),
+      peer_(peer_rank),
+      msg_bytes_(msg_bytes),
+      msg_count_(msg_count) {
+  fm().setHandler(kFinishHandler,
+                  [this](const net::Packet&) { got_finish_ = true; });
+  // The sender never receives data, but a handler must exist for safety.
+  fm().setHandler(kDataHandler, [](const net::Packet&) {});
+}
+
+void BandwidthSender::step() {
+  while (sent_ < msg_count_) {
+    const util::Status st = fm().send(peer_, kDataHandler, msg_bytes_);
+    if (st == util::Status::kWouldBlock) {
+      waitSendable();
+      return;
+    }
+    if (st == util::Status::kDeadlock) {
+      // C0 == 0: the partitioned configuration cannot move a single packet
+      // ("no communication is even possible", paper §4.1).
+      deadlock_ = true;
+      finish();
+      return;
+    }
+    GC_CHECK(util::ok(st));
+    ++sent_;
+    if (batchExhausted()) {
+      yieldStep();
+      return;
+    }
+  }
+  // All data queued; wait for the receiver's finish message.
+  fm().extract(kExtractBatch);
+  if (!got_finish_) {
+    waitArrival();
+    return;
+  }
+  finish();
+}
+
+double BandwidthSender::bandwidthMBps() const {
+  if (deadlock_ || finishTime() <= startTime()) return 0.0;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(msg_bytes_) * sent_;
+  return sim::bandwidthMBps(bytes, finishTime() - startTime());
+}
+
+// ---- BandwidthReceiver ---------------------------------------------------------
+
+BandwidthReceiver::BandwidthReceiver(Env env, int peer_rank,
+                                     std::uint64_t msg_count)
+    : Process(std::move(env)), peer_(peer_rank), msg_count_(msg_count) {
+  fm().setHandler(kDataHandler, [this](const net::Packet& p) {
+    if (p.last_frag) ++received_;
+  });
+}
+
+void BandwidthReceiver::step() {
+  if (fm().creditsC0() <= 0) {
+    // C0 == 0: the sender can never move a packet, so nothing will ever
+    // arrive; exit instead of hanging (the benchmark-level mirror of the
+    // sender's kDeadlock path).
+    finish();
+    return;
+  }
+  while (received_ < msg_count_) {
+    const int n = fm().extract(kExtractBatch);
+    if (received_ >= msg_count_) break;
+    if (n == 0) {
+      waitArrival();
+      return;
+    }
+    if (batchExhausted()) {
+      yieldStep();
+      return;
+    }
+  }
+  if (!finish_sent_) {
+    const util::Status st = fm().send(peer_, kFinishHandler, 1);
+    if (st == util::Status::kWouldBlock) {
+      waitSendable();
+      return;
+    }
+    if (st == util::Status::kDeadlock) {
+      finish();  // mirror of the sender's deadlock path
+      return;
+    }
+    GC_CHECK(util::ok(st));
+    finish_sent_ = true;
+  }
+  finish();
+}
+
+// ---- AllToAllWorker -------------------------------------------------------------
+
+AllToAllWorker::AllToAllWorker(Env env, std::uint32_t msg_bytes,
+                               std::uint64_t rounds)
+    : Process(std::move(env)), msg_bytes_(msg_bytes), rounds_(rounds) {
+  fm().setHandler(kDataHandler, [this](const net::Packet& p) {
+    if (p.last_frag) ++received_;
+  });
+}
+
+int AllToAllWorker::nextPeer() const {
+  // Map cursor 0..size-2 onto ranks skipping self, rotated by rank so the
+  // traffic pattern is not synchronized across nodes.
+  const int size = fm().jobSize();
+  const int r = (fm().rank() + 1 + (peer_cursor_ % (size - 1))) % size;
+  return r;
+}
+
+void AllToAllWorker::step() {
+  const int size = fm().jobSize();
+  GC_CHECK_MSG(size >= 2, "all-to-all needs at least two processes");
+  const std::uint64_t expected = rounds_ == std::numeric_limits<std::uint64_t>::max()
+                                     ? rounds_
+                                     : rounds_ * static_cast<std::uint64_t>(size - 1);
+  for (;;) {
+    fm().extract(kExtractBatch);
+    if (round_ >= rounds_) {
+      // Finished sending; stay alive until every inbound message arrived.
+      if (received_ >= expected) {
+        finish();
+        return;
+      }
+      waitArrival();
+      return;
+    }
+    const util::Status st = fm().send(nextPeer(), kDataHandler, msg_bytes_);
+    if (st == util::Status::kWouldBlock) {
+      // Blocked toward this peer: wake on credits/queue space, but also on
+      // arrivals so we keep draining (our peers need our refills).
+      waitSendable();
+      waitArrival();
+      return;
+    }
+    if (st == util::Status::kDeadlock) {
+      finish();
+      return;
+    }
+    GC_CHECK(util::ok(st));
+    ++sent_;
+    ++peer_cursor_;
+    if (peer_cursor_ == size - 1) {
+      peer_cursor_ = 0;
+      ++round_;
+    }
+    if (batchExhausted()) {
+      yieldStep();
+      return;
+    }
+  }
+}
+
+// ---- PingPongWorker ---------------------------------------------------------------
+
+PingPongWorker::PingPongWorker(Env env, std::uint32_t msg_bytes,
+                               std::uint64_t reps)
+    : Process(std::move(env)), msg_bytes_(msg_bytes), reps_(reps) {
+  GC_CHECK_MSG(fm().jobSize() == 2, "ping-pong is a two-process job");
+  fm().setHandler(kPingHandler, [this](const net::Packet& p) {
+    if (p.last_frag) reply_due_ = true;
+  });
+  fm().setHandler(kPongHandler, [this](const net::Packet& p) {
+    if (p.last_frag) {
+      ++pongs_;
+      ping_outstanding_ = false;
+      rtt_us_.add(sim::nsToUs(sim().now() - ping_sent_at_));
+    }
+  });
+}
+
+void PingPongWorker::step() {
+  if (fm().creditsC0() <= 0) {
+    // C0 == 0: no packet can ever move in either direction; exit instead of
+    // waiting forever (mirrors the bandwidth benchmark's deadlock path).
+    finish();
+    return;
+  }
+  const int peer = 1 - fm().rank();
+  for (;;) {
+    fm().extract(kExtractBatch);
+
+    if (fm().rank() == 0) {
+      if (pongs_ >= reps_) {
+        finish();
+        return;
+      }
+      if (ping_outstanding_) {
+        waitArrival();
+        return;
+      }
+      ping_sent_at_ = sim().now();
+      const util::Status st = fm().send(peer, kPingHandler, msg_bytes_);
+      if (st == util::Status::kWouldBlock) {
+        waitSendable();
+        return;
+      }
+      if (st == util::Status::kDeadlock) {
+        finish();
+        return;
+      }
+      GC_CHECK(util::ok(st));
+      ++sent_;
+      ping_outstanding_ = true;
+    } else {
+      if (reply_due_) {
+        const util::Status st = fm().send(peer, kPongHandler, msg_bytes_);
+        if (st == util::Status::kWouldBlock) {
+          waitSendable();
+          return;
+        }
+        if (st == util::Status::kDeadlock) {
+          finish();
+          return;
+        }
+        GC_CHECK(util::ok(st));
+        reply_due_ = false;
+        ++pings_seen_;
+        continue;
+      }
+      if (pings_seen_ >= reps_) {
+        finish();
+        return;
+      }
+      waitArrival();
+      return;
+    }
+  }
+}
+
+}  // namespace gangcomm::app

@@ -1,0 +1,151 @@
+#include "core/cluster.hpp"
+
+#include "net/routing.hpp"
+#include "util/check.hpp"
+
+namespace gangcomm::core {
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
+  GC_CHECK_MSG(cfg_.nodes >= 1, "cluster needs nodes");
+  GC_CHECK_MSG(cfg_.max_contexts >= 1, "max_contexts must be positive");
+
+  if (cfg_.share_discard_mode &&
+      cfg_.flush_protocol == glue::FlushProtocol::kBroadcast)
+    cfg_.flush_protocol = glue::FlushProtocol::kLocalOnly;
+  const bool no_flush =
+      cfg_.flush_protocol != glue::FlushProtocol::kBroadcast;
+  if (cfg_.flush_protocol == glue::FlushProtocol::kAckQuiesce) {
+    cfg_.nic.nic_level_acks = true;
+    GC_CHECK_MSG(cfg_.fm.enable_retransmit,
+                 "the ack-quiesce protocol sheds packets; enable the "
+                 "retransmission layer");
+  }
+  // Retransmissions and no-flush discards both break per-route FIFO
+  // delivery, and spurious duplicates can exceed the credit-guaranteed
+  // receive space; relax the corresponding NIC invariants automatically.
+  if (cfg_.fm.enable_retransmit || no_flush) {
+    cfg_.nic.enforce_fifo = false;
+    cfg_.nic.allow_recv_overflow_drop = cfg_.fm.enable_retransmit;
+  }
+
+  fabric_ = std::make_unique<net::Fabric>(
+      sim_, net::RoutingTable::singleSwitch(cfg_.nodes), cfg_.fabric);
+
+  // Control-network address space: nodes 0..p-1, masterd at address p.
+  const int master_addr = cfg_.nodes;
+  ctrl_ = std::make_unique<parpar::ControlNetwork>(sim_, cfg_.nodes + 1,
+                                                   cfg_.ctrl, cfg_.seed);
+
+  nodes_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    nodes_.emplace_back();
+    Node& node = nodes_.back();
+    node.nic = std::make_unique<net::Nic>(sim_, *fabric_, n, cfg_.nic);
+    if (cfg_.flush_protocol != glue::FlushProtocol::kBroadcast)
+      node.nic->setDiscardWrongJob(true);
+
+    glue::CommNodeConfig cc;
+    cc.policy = cfg_.policy;
+    cc.max_contexts = cfg_.max_contexts;
+    cc.processors = cfg_.nodes;
+    cc.total_send_slots = cfg_.total_send_slots;
+    cc.total_recv_slots = cfg_.total_recv_slots;
+    cc.fm = cfg_.fm;
+    cc.switcher = cfg_.switcher;
+    cc.flush = cfg_.flush_protocol;
+    node.comm = std::make_unique<glue::CommNode>(sim_, node.cpu, mem_,
+                                                 *node.nic, cc);
+    GC_CHECK(util::ok(node.comm->COMM_init_node()));
+
+    parpar::NodeDaemonConfig nc;
+    nc.master_addr = master_addr;
+    node.noded = std::make_unique<parpar::NodeDaemon>(
+        sim_, node.cpu, *ctrl_, n, *node.comm, nc);
+    node.noded->setSpawnFn(
+        [this, n](net::JobId job, int rank,
+                  const std::vector<net::NodeId>& rank_to_node)
+            -> std::unique_ptr<parpar::ProcessHandle> {
+          return spawnProcess(n, job, rank, rank_to_node);
+        });
+    ctrl_->attach(n, [noded = node.noded.get()](const parpar::CtrlMsg& m) {
+      noded->onCtrl(m);
+    });
+  }
+
+  parpar::MasterConfig mc;
+  mc.quantum = cfg_.quantum;
+  mc.master_addr = master_addr;
+  master_ = std::make_unique<parpar::MasterDaemon>(sim_, *ctrl_, cfg_.nodes,
+                                                   mc);
+  ctrl_->attach(master_addr, [this](const parpar::CtrlMsg& m) {
+    master_->onCtrl(m);
+  });
+  master_->on_switch_report = [this](net::NodeId node,
+                                     const parpar::SwitchReport& r) {
+    switches_.push_back(SwitchRecord{node, r});
+  };
+  master_->on_job_done = [this](net::JobId) { ++jobs_done_; };
+}
+
+Cluster::~Cluster() = default;
+
+int Cluster::creditsC0() const {
+  return nodes_.front().comm->creditsC0();
+}
+
+std::unique_ptr<app::Process> Cluster::spawnProcess(
+    net::NodeId node_id, net::JobId job, int rank,
+    const std::vector<net::NodeId>& rank_to_node) {
+  auto fit = factories_.find(job);
+  GC_CHECK_MSG(fit != factories_.end(), "spawn for an unknown job");
+  Node& node = nodes_[static_cast<std::size_t>(node_id)];
+
+  // FM_initialize: the process reads its identity from the environment the
+  // noded prepared (Figure 2) and maps the queues.
+  fm::FmLib::Params params;
+  params.ctx = node.comm->contextFor(job);
+  params.job = job;
+  params.rank = rank;
+  params.rank_to_node = rank_to_node;
+  params.credits_c0 = node.comm->creditsC0();
+  auto fmlib = std::make_unique<fm::FmLib>(sim_, node.cpu, *node.nic,
+                                           cfg_.fm, std::move(params));
+
+  app::Process::Env env;
+  env.sim = &sim_;
+  env.cpu = &node.cpu;
+  env.fm = std::move(fmlib);
+  env.job = job;
+  env.rank = rank;
+  env.job_size = static_cast<int>(rank_to_node.size());
+
+  std::unique_ptr<app::Process> proc = fit->second(std::move(env));
+  GC_CHECK_MSG(proc != nullptr, "process factory returned null");
+  proc->on_finish = [noded = node.noded.get(), job] {
+    noded->onProcessExit(job);
+  };
+  job_procs_[job].push_back(proc.get());
+  return proc;
+}
+
+net::JobId Cluster::submit(int nprocs, ProcessFactory factory,
+                           std::vector<net::NodeId> pinned_nodes) {
+  // Register under the id the masterd will assign; submit() only schedules
+  // control messages, so the factory is in place before any spawn runs.
+  const net::JobId job = master_->submit(nprocs, std::move(pinned_nodes));
+  if (job == net::kNoJob) return job;
+  factories_.emplace(job, std::move(factory));
+  return job;
+}
+
+void Cluster::run() { sim_.run(); }
+
+void Cluster::runUntil(sim::SimTime t) { sim_.runUntil(t); }
+
+std::vector<app::Process*> Cluster::processes(net::JobId job) const {
+  auto it = job_procs_.find(job);
+  if (it == job_procs_.end()) return {};
+  return it->second;
+}
+
+}  // namespace gangcomm::core

@@ -1,0 +1,146 @@
+// The public facade: a whole ParPar cluster in one object.
+//
+// Construction wires the simulator, the Myrinet fabric, one NIC + host CPU +
+// glueFM CommNode + noded per node, the control Ethernet, and the masterd
+// with its gang matrix.  submit() plays the jobrep; run()/runUntil() advance
+// simulated time.  Per-switch reports and per-process results are collected
+// for the experiment harnesses.
+//
+// Quickstart:
+//
+//   core::ClusterConfig cfg;
+//   cfg.nodes = 16;
+//   cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
+//   core::Cluster cluster(cfg);
+//   cluster.submit(2, [&](app::Process::Env env) -> std::unique_ptr<app::Process> {
+//     if (env.rank == 0)
+//       return std::make_unique<app::BandwidthSender>(std::move(env), 1, 16384, 1000);
+//     return std::make_unique<app::BandwidthReceiver>(std::move(env), 0, 1000);
+//   });
+//   cluster.run();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "app/process.hpp"
+#include "fm/config.hpp"
+#include "glue/comm_node.hpp"
+#include "glue/policy.hpp"
+#include "host/cpu_model.hpp"
+#include "host/memory_model.hpp"
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "parpar/control_network.hpp"
+#include "parpar/master_daemon.hpp"
+#include "parpar/node_daemon.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::core {
+
+struct ClusterConfig {
+  int nodes = 16;
+  glue::BufferPolicy policy = glue::BufferPolicy::kSwitchedValidOnly;
+  /// Gang-matrix depth n: the number of contexts the partitioned scheme
+  /// sizes its buffer division (and credit formula) for.
+  int max_contexts = 1;
+  sim::Duration quantum = sim::kSecond;
+  int total_send_slots = 252;
+  int total_recv_slots = 668;
+  fm::FmConfig fm;
+  net::NicConfig nic;
+  net::FabricConfig fabric;
+  host::MemoryModelConfig mem;
+  parpar::ControlNetConfig ctrl;
+  glue::SwitcherConfig switcher;
+  std::uint64_t seed = 1;
+  /// Quiesce discipline around gang switches (related-work ablations); the
+  /// non-broadcast protocols imply NIC id-check discards and need
+  /// fm.enable_retransmit to complete jobs.
+  glue::FlushProtocol flush_protocol = glue::FlushProtocol::kBroadcast;
+  /// Back-compat convenience for the SHARE ablation: equivalent to
+  /// flush_protocol = kLocalOnly.
+  bool share_discard_mode = false;
+};
+
+/// One node's switch measurement, tagged with its origin.
+struct SwitchRecord {
+  net::NodeId node = net::kNoNode;
+  parpar::SwitchReport report;
+};
+
+class Cluster {
+ public:
+  using ProcessFactory =
+      std::function<std::unique_ptr<app::Process>(app::Process::Env)>;
+
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Submit an `nprocs`-wide job; `factory` builds the process for each
+  /// rank.  Returns the masterd-assigned job id (kNoJob on rejection).
+  /// `pinned_nodes`, when non-empty, requests specific machines (one per
+  /// rank) instead of DHC placement — e.g. to stack several jobs on the
+  /// same nodes so they gang-share a time slot, as the paper's Figure 6
+  /// experiment does.
+  net::JobId submit(int nprocs, ProcessFactory factory,
+                    std::vector<net::NodeId> pinned_nodes = {});
+
+  /// Run until every submitted job finished (drains the event queue).
+  void run();
+  /// Run until the given simulated time.
+  void runUntil(sim::SimTime t);
+
+  sim::Simulator& sim() { return sim_; }
+  const ClusterConfig& config() const { return cfg_; }
+  int creditsC0() const;
+
+  net::Nic& nic(net::NodeId n) { return *nodes_.at(static_cast<std::size_t>(n)).nic; }
+  host::HostCpu& cpu(net::NodeId n) { return nodes_.at(static_cast<std::size_t>(n)).cpu; }
+  glue::CommNode& comm(net::NodeId n) { return *nodes_.at(static_cast<std::size_t>(n)).comm; }
+  parpar::NodeDaemon& noded(net::NodeId n) { return *nodes_.at(static_cast<std::size_t>(n)).noded; }
+  parpar::MasterDaemon& master() { return *master_; }
+  net::Fabric& fabric() { return *fabric_; }
+
+  /// All per-node switch reports observed so far.
+  const std::vector<SwitchRecord>& switchRecords() const { return switches_; }
+
+  /// Live process pointers for a job (owned by the nodeds; valid while the
+  /// cluster exists).
+  std::vector<app::Process*> processes(net::JobId job) const;
+
+  /// Count of jobs that have fully exited.
+  int jobsDone() const { return jobs_done_; }
+
+ private:
+  struct Node {
+    host::HostCpu cpu;
+    std::unique_ptr<net::Nic> nic;
+    std::unique_ptr<glue::CommNode> comm;
+    std::unique_ptr<parpar::NodeDaemon> noded;
+  };
+
+  std::unique_ptr<app::Process> spawnProcess(
+      net::NodeId node, net::JobId job, int rank,
+      const std::vector<net::NodeId>& rank_to_node);
+
+  ClusterConfig cfg_;
+  sim::Simulator sim_;
+  host::MemoryModel mem_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<parpar::ControlNetwork> ctrl_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<parpar::MasterDaemon> master_;
+
+  std::map<net::JobId, ProcessFactory> factories_;
+  std::map<net::JobId, std::vector<app::Process*>> job_procs_;
+  std::vector<SwitchRecord> switches_;
+  int jobs_done_ = 0;
+};
+
+}  // namespace gangcomm::core

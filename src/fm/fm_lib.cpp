@@ -1,0 +1,360 @@
+#include "fm/fm_lib.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.hpp"
+#include "util/check.hpp"
+
+namespace gangcomm::fm {
+
+using net::Packet;
+using util::Status;
+
+FmLib::FmLib(sim::Simulator& s, host::HostCpu& cpu, net::Nic& nic,
+             const FmConfig& cfg, Params params)
+    : sim_(s),
+      cpu_(cpu),
+      nic_(nic),
+      cfg_(cfg),
+      params_(std::move(params)),
+      refill_threshold_(params_.refill_threshold > 0
+                            ? params_.refill_threshold
+                            : CreditMath::refillThreshold(
+                                  params_.credits_c0, cfg.refill_fraction)),
+      handlers_(64),
+      next_seq_to_(params_.rank_to_node.size(), 0),
+      pending_refill_(params_.rank_to_node.size(), 0),
+      unacked_(params_.rank_to_node.size()),
+      expected_from_(params_.rank_to_node.size(), 1),
+      rtx_timer_(params_.rank_to_node.size()),
+      rtx_last_head_(params_.rank_to_node.size(), 0),
+      rtx_stalled_rounds_(params_.rank_to_node.size(), 0),
+      rtx_backoff_(params_.rank_to_node.size(), 1) {
+  GC_CHECK_MSG(nic_.context(params_.ctx) != nullptr,
+               "FmLib bound to a context that was never allocated");
+  // Prompt per-packet acks keep the go-back-N window honest.
+  if (cfg_.enable_retransmit) refill_threshold_ = 1;
+}
+
+net::ContextSlot& FmLib::slot() {
+  net::ContextSlot* c = nic_.context(params_.ctx);
+  GC_CHECK(c != nullptr);
+  return *c;
+}
+
+const net::ContextSlot& FmLib::slot() const {
+  const net::ContextSlot* c = nic_.context(params_.ctx);
+  GC_CHECK(c != nullptr);
+  return *c;
+}
+
+void FmLib::setHandler(std::uint16_t id, Handler h) {
+  GC_CHECK_MSG(id < handlers_.size(), "handler id out of range");
+  handlers_[id] = std::move(h);
+}
+
+std::uint32_t FmLib::packetsForMessage(std::uint32_t bytes) {
+  if (bytes == 0) return 1;
+  return (bytes + net::kMaxPayloadBytes - 1) / net::kMaxPayloadBytes;
+}
+
+int FmLib::credits(int dst_rank) const {
+  const auto& s = slot();
+  GC_CHECK(dst_rank >= 0 &&
+           static_cast<std::size_t>(dst_rank) < s.send_credits.size());
+  return s.send_credits[static_cast<std::size_t>(dst_rank)];
+}
+
+Status FmLib::send(int dst_rank, std::uint16_t handler,
+                   std::uint32_t msg_bytes, std::uint16_t user_tag,
+                   std::uint64_t user_data) {
+  if (params_.credits_c0 <= 0) return Status::kDeadlock;
+  GC_CHECK_MSG(dst_rank >= 0 && static_cast<std::size_t>(dst_rank) <
+                                    params_.rank_to_node.size(),
+               "send to unknown rank");
+  GC_CHECK_MSG(dst_rank != params_.rank, "FM does not support self-sends");
+
+  if (!pending_.active) {
+    // Start a new message: one fm_send call's worth of host overhead.
+    cpu_.acquire(sim_.now(), cfg_.host_per_message_ns);
+    pending_.active = true;
+    pending_.dst_rank = dst_rank;
+    pending_.handler = handler;
+    pending_.user_tag = user_tag;
+    pending_.user_data = user_data;
+    pending_.msg_bytes = msg_bytes;
+    pending_.msg_id = next_msg_id_++;
+    pending_.next_frag = 0;
+    pending_.total_frags = packetsForMessage(msg_bytes);
+    pending_.bytes_left = msg_bytes;
+  } else {
+    GC_CHECK_MSG(pending_.dst_rank == dst_rank &&
+                     pending_.handler == handler &&
+                     pending_.msg_bytes == msg_bytes,
+                 "resumed send() with different arguments");
+  }
+
+  net::ContextSlot& s = slot();
+  while (pending_.next_frag < pending_.total_frags) {
+    if (s.send_credits[static_cast<std::size_t>(dst_rank)] <= 0) {
+      ++stats_.send_blocks_on_credit;
+      return Status::kWouldBlock;
+    }
+    if (!nic_.reserveSendSlot(params_.ctx)) {
+      ++stats_.send_blocks_on_queue;
+      return Status::kWouldBlock;
+    }
+    const bool last = pending_.next_frag + 1 == pending_.total_frags;
+    const std::uint32_t payload =
+        pending_.bytes_left < net::kMaxPayloadBytes ? pending_.bytes_left
+                                                    : net::kMaxPayloadBytes;
+    --s.send_credits[static_cast<std::size_t>(dst_rank)];
+    queueFragment(dst_rank, handler, payload, last);
+    pending_.bytes_left -= payload;
+    ++pending_.next_frag;
+  }
+
+  pending_.active = false;
+  ++stats_.messages_sent;
+  return Status::kOk;
+}
+
+void FmLib::queueFragment(int dst_rank, std::uint16_t handler,
+                          std::uint32_t payload, bool last) {
+  Packet p;
+  p.type = net::PacketType::kData;
+  p.src_node = nic_.node();
+  p.dst_node = params_.rank_to_node[static_cast<std::size_t>(dst_rank)];
+  p.job = params_.job;
+  p.src_rank = params_.rank;
+  p.dst_rank = dst_rank;
+  p.handler = handler;
+  p.user_tag = pending_.user_tag;
+  p.user_data = pending_.user_data;
+  p.payload_bytes = payload;
+  p.msg_bytes = pending_.msg_bytes;
+  p.msg_id = pending_.msg_id;
+  p.frag_index = pending_.next_frag;
+  p.last_frag = last;
+  p.seq = ++next_seq_to_[static_cast<std::size_t>(dst_rank)];
+  p.tag = Packet::makeTag(p.job, p.src_rank, p.dst_rank, p.msg_id,
+                          p.frag_index);
+
+  // Cumulative ack rides on every packet (harmless without the
+  // retransmission layer: receivers merge it by max).
+  p.ack_seq = expected_from_[static_cast<std::size_t>(dst_rank)] - 1;
+
+  if (cfg_.enable_retransmit) {
+    // A lost packet would lose piggybacked credits with it, and a duplicate
+    // would double-apply them; refills travel only as control packets here.
+    trackUnacked(p);
+  } else {
+    // Piggyback any refill we owe this peer (paper §2.2).
+    auto& owed = pending_refill_[static_cast<std::size_t>(dst_rank)];
+    if (owed > 0) {
+      p.refill_credits = owed;
+      stats_.refill_credits_piggybacked += owed;
+      owed = 0;
+    }
+  }
+
+  pushPacketToNic(p);
+  ++stats_.packets_sent;
+  stats_.payload_bytes_sent += payload;
+}
+
+void FmLib::pushPacketToNic(const net::Packet& p) {
+  // The host CPU performs the write-combining PIO copy into NIC SRAM; the
+  // packet becomes visible to the LANai when the copy completes.
+  const sim::Duration cost =
+      cfg_.host_per_packet_ns +
+      sim::transferNs(net::kPacketHeaderBytes + p.payload_bytes,
+                      cfg_.pio_write_mbps);
+  const sim::SimTime done = cpu_.acquire(sim_.now(), cost);
+  const net::ContextId ctx = params_.ctx;
+  net::Nic* nic = &nic_;
+  sim_.scheduleAt(done, [nic, ctx, p] { nic->hostEnqueueSend(ctx, p); });
+}
+
+int FmLib::extract(int max_packets) {
+  int n = 0;
+  while (n < max_packets && !nic_.recvEmpty(params_.ctx)) {
+    Packet p = nic_.hostDequeueRecv(params_.ctx);
+    GC_CHECK_MSG(p.tagValid(), "corrupt packet reached a handler");
+    GC_CHECK_MSG(p.job == params_.job, "packet for another job in our queue");
+    GC_CHECK_MSG(p.dst_rank == params_.rank, "misrouted packet");
+
+    sim::Duration cost = cfg_.extract_per_packet_ns + cfg_.handler_base_ns;
+    if (cfg_.recv_touch_mbps > 0.0)
+      cost += sim::transferNs(p.payload_bytes, cfg_.recv_touch_mbps);
+    cpu_.acquire(sim_.now(), cost);
+    ++n;
+
+    const auto src = static_cast<std::size_t>(p.src_rank);
+    if (cfg_.enable_retransmit) {
+      // The ack-bearing packet may have moved our window forward.
+      purgeAcked(p.src_rank);
+      auto& expected = expected_from_[src];
+      if (p.seq < expected) {
+        ++stats_.dup_dropped;
+        continue;
+      }
+      if (p.seq > expected) {
+        // Go-back-N: shed and wait for the sender's timeout sweep.
+        ++stats_.ooo_dropped;
+        continue;
+      }
+      ++expected;
+    }
+
+    ++stats_.packets_received;
+    stats_.payload_bytes_received += p.payload_bytes;
+    if (p.last_frag) ++stats_.messages_received;
+
+    // A credit is owed only for delivered packets; shed duplicates above
+    // never spent a fresh credit (retransmissions are free of credits).
+    ++pending_refill_[src];
+    maybeSendRefill(p.src_rank);
+
+    GC_CHECK_MSG(p.handler < handlers_.size() && handlers_[p.handler],
+                 "packet for an unregistered handler");
+    handlers_[p.handler](p);
+  }
+  return n;
+}
+
+void FmLib::maybeSendRefill(int src_rank) {
+  auto& owed = pending_refill_[static_cast<std::size_t>(src_rank)];
+  if (static_cast<int>(owed) < refill_threshold_) return;
+
+  Packet r;
+  r.type = net::PacketType::kRefill;
+  r.src_node = nic_.node();
+  r.dst_node = params_.rank_to_node[static_cast<std::size_t>(src_rank)];
+  r.job = params_.job;
+  r.src_rank = params_.rank;
+  r.dst_rank = src_rank;
+  r.refill_credits = owed;
+  r.ack_seq = expected_from_[static_cast<std::size_t>(src_rank)] - 1;
+  owed = 0;
+
+  const sim::SimTime done = cpu_.acquire(sim_.now(), cfg_.refill_send_ns);
+  net::Nic* nic = &nic_;
+  sim_.scheduleAt(done, [nic, r] { nic->hostEnqueueControl(r); });
+  ++stats_.refills_sent;
+}
+
+void FmLib::onSendable(std::function<void()> cb) {
+  slot().on_sendable = std::move(cb);
+}
+
+// ---- Retransmission layer ---------------------------------------------------
+
+void FmLib::trackUnacked(const net::Packet& p) {
+  unacked_[static_cast<std::size_t>(p.dst_rank)].push_back(p);
+  armRtxTimer(p.dst_rank);
+}
+
+void FmLib::purgeAcked(int peer) {
+  if (!cfg_.enable_retransmit) return;
+  const auto idx = static_cast<std::size_t>(peer);
+  const std::uint64_t acked = slot().acked_seq_from[idx];
+  auto& q = unacked_[idx];
+  bool progressed = false;
+  while (!q.empty() && q.front().seq <= acked) {
+    q.pop_front();
+    progressed = true;
+  }
+  if (!progressed) return;
+  rtx_backoff_[idx] = 1;
+  // Head advanced: restart the timer so it measures the age of the *new*
+  // head, not of the whole (continuously refilled) window.
+  if (rtx_timer_[idx].valid()) {
+    sim_.cancel(rtx_timer_[idx]);
+    rtx_timer_[idx] = {};
+  }
+  if (!q.empty() && !suspended_) armRtxTimer(peer);
+}
+
+void FmLib::armRtxTimer(int peer) {
+  const auto idx = static_cast<std::size_t>(peer);
+  if (rtx_timer_[idx].valid()) return;
+  const sim::Duration delay =
+      cfg_.retransmit_timeout_ns *
+      static_cast<sim::Duration>(rtx_backoff_[idx]);
+  rtx_timer_[idx] =
+      sim_.schedule(delay, [this, peer] { onRtxTimeout(peer); });
+}
+
+void FmLib::onRtxTimeout(int peer) {
+  const auto idx = static_cast<std::size_t>(peer);
+  rtx_timer_[idx] = {};
+  purgeAcked(peer);
+  if (unacked_[idx].empty()) return;
+  if (suspended_) {
+    // Gang-descheduled (our context may be off the card); sweep on resume.
+    rtx_wake_pending_ = true;
+    return;
+  }
+  ++stats_.rtx_timeouts;
+  if (std::getenv("GANGCOMM_RTXDBG") != nullptr) {
+    std::fprintf(stderr,
+                 "[rtx] t=%.3fms job=%d rank=%d peer=%d head=%llu win=%zu "
+                 "acked=%llu backoff=%d\n",
+                 sim::nsToMs(sim_.now()), params_.job, params_.rank, peer,
+                 static_cast<unsigned long long>(unacked_[idx].front().seq),
+                 unacked_[idx].size(),
+                 static_cast<unsigned long long>(slot().acked_seq_from[idx]),
+                 rtx_backoff_[idx]);
+  }
+  // Track progress between timeouts: repeated timeouts with the same head
+  // seq degrade to stop-and-wait, which breaks pathological loss patterns
+  // that keep hitting the same position of a fixed-size sweep.
+  const std::uint64_t head = unacked_[idx].front().seq;
+  if (head == rtx_last_head_[idx])
+    ++rtx_stalled_rounds_[idx];
+  else
+    rtx_stalled_rounds_[idx] = 0;
+  rtx_last_head_[idx] = head;
+  if (rtx_backoff_[idx] < 8) rtx_backoff_[idx] *= 2;
+  retransmitPending(peer);
+}
+
+void FmLib::retransmitPending(int peer) {
+  const auto idx = static_cast<std::size_t>(peer);
+  // Go-back-N sweep: resend unacked packets, oldest first.  No fresh credit
+  // is spent — the receiver-side slot reservation of the original
+  // transmission still stands.  After repeated no-progress timeouts, only
+  // the head is resent (stop-and-wait fallback).
+  const std::size_t limit =
+      rtx_stalled_rounds_[idx] >= 2 ? 1 : unacked_[idx].size();
+  std::size_t sent = 0;
+  for (const net::Packet& p : unacked_[idx]) {
+    if (sent >= limit) break;
+    if (!nic_.reserveSendSlot(params_.ctx)) break;
+    pushPacketToNic(p);
+    ++stats_.packets_retransmitted;
+    ++sent;
+  }
+  armRtxTimer(peer);
+}
+
+void FmLib::setSuspended(bool suspended) {
+  suspended_ = suspended;
+  if (suspended || !rtx_wake_pending_) return;
+  rtx_wake_pending_ = false;
+  for (std::size_t peer = 0; peer < unacked_.size(); ++peer) {
+    purgeAcked(static_cast<int>(peer));
+    // Re-arm a full timeout: the traffic saved across the switch is about
+    // to fly and be acked; an eager fuse here only produces spurious
+    // duplicates of packets that were never lost.
+    if (!unacked_[peer].empty()) armRtxTimer(static_cast<int>(peer));
+  }
+}
+
+void FmLib::onArrival(std::function<void()> cb) {
+  slot().on_arrival = std::move(cb);
+}
+
+}  // namespace gangcomm::fm

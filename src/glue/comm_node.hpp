@@ -1,0 +1,137 @@
+// glueFM — the network management library of paper §3 (Table 1).
+//
+// Linked with the noded, this library provides exactly the abstract
+// interface the paper defines:
+//
+//   initialization:    COMM_init_node, COMM_add_node, COMM_remove_node
+//   process control:   COMM_init_job, COMM_end_job
+//   context switching: COMM_halt_network, COMM_context_switch,
+//                      COMM_release_network
+//
+// It replaces FM's GRM/CM daemons: job ids and ranks arrive from the
+// masterd, contexts are allocated before the fork, and the process learns
+// its identity through environment variables prepared here (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "fm/config.hpp"
+#include "glue/backing_store.hpp"
+#include "glue/buffer_switcher.hpp"
+#include "glue/policy.hpp"
+#include "host/cpu_model.hpp"
+#include "host/memory_model.hpp"
+#include "net/nic.hpp"
+#include "parpar/interfaces.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::glue {
+
+/// Environment variables passed to a freshly forked FM process.
+using Env = std::map<std::string, std::string>;
+
+struct CommNodeConfig {
+  BufferPolicy policy = BufferPolicy::kSwitchedValidOnly;
+  /// Gang-matrix depth the partitioned scheme divides buffers for (n).
+  int max_contexts = 1;
+  /// Cluster size p used in the worst-case credit formulas.
+  int processors = 16;
+  int total_send_slots = 252;  // ~400 KB of NIC SRAM (paper §4.2)
+  int total_recv_slots = 668;  // 1 MB pinned DMA buffer
+  fm::FmConfig fm;
+  SwitcherConfig switcher;
+  /// Host cost to flip the LANai halt/resume flags over PIO.
+  sim::Duration pio_flag_ns = 2 * sim::kMicrosecond;
+  /// Host cost of COMM_init_node: loading the ~100 KB LANai control program
+  /// over the WC-mapped SRAM plus routing-table setup.
+  sim::Duration init_node_cost_ns = 1300 * sim::kMicrosecond;
+  /// Host cost of COMM_init_job / COMM_end_job: context-table writes over
+  /// PIO plus bookkeeping.
+  sim::Duration init_job_cost_ns = 40 * sim::kMicrosecond;
+  sim::Duration end_job_cost_ns = 20 * sim::kMicrosecond;
+  /// Host cost of topology updates (COMM_add_node / COMM_remove_node).
+  sim::Duration topology_cost_ns = 5 * sim::kMicrosecond;
+
+  /// Which quiesce discipline brackets the buffer switch.  The non-default
+  /// protocols shed in-flight packets (NIC id check) and rely on a
+  /// higher-level retransmission layer for repair.
+  FlushProtocol flush = FlushProtocol::kBroadcast;
+};
+
+class CommNode final : public parpar::CommManager {
+ public:
+  CommNode(sim::Simulator& s, host::HostCpu& cpu,
+           const host::MemoryModel& mem, net::Nic& nic, CommNodeConfig cfg);
+
+  // ---- Table 1: initialization and maintenance --------------------------
+  util::Status COMM_init_node();
+  util::Status COMM_add_node(net::NodeId n);
+  util::Status COMM_remove_node(net::NodeId n);
+
+  // ---- Table 1: process control ------------------------------------------
+  util::Status COMM_init_job(net::JobId job, int rank, int job_size,
+                             Env* env);
+  util::Status COMM_end_job(net::JobId job);
+
+  // ---- Table 1: context switch control ------------------------------------
+  void COMM_halt_network(std::function<void()> done);
+  void COMM_context_switch(net::JobId to_job,
+                           std::function<void(const parpar::SwitchReport&)>
+                               done);
+  void COMM_release_network(std::function<void()> done);
+
+  // ---- parpar::CommManager -------------------------------------------------
+  util::Status initJob(net::JobId job, int rank, int job_size) override {
+    return COMM_init_job(job, rank, job_size, nullptr);
+  }
+  util::Status endJob(net::JobId job) override { return COMM_end_job(job); }
+  void haltNetwork(std::function<void()> done) override {
+    COMM_halt_network(std::move(done));
+  }
+  void contextSwitch(net::JobId to_job,
+                     std::function<void(const parpar::SwitchReport&)> done)
+      override {
+    COMM_context_switch(to_job, std::move(done));
+  }
+  void releaseNetwork(std::function<void()> done) override {
+    COMM_release_network(std::move(done));
+  }
+  bool needsBufferSwitch() const override { return isSwitched(cfg_.policy); }
+
+  // ---- Queries used when binding FmLib to a process -----------------------
+  net::ContextId contextFor(net::JobId job) const;
+  int creditsC0() const { return c0_; }
+  int sendSlotsPerContext() const { return send_slots_per_ctx_; }
+  int recvSlotsPerContext() const { return recv_slots_per_ctx_; }
+  net::JobId liveJob() const { return live_job_; }
+  const CommNodeConfig& config() const { return cfg_; }
+  bool initialized() const { return init_done_; }
+  std::size_t savedContexts() const { return saved_.size(); }
+
+ private:
+  sim::Simulator& sim_;
+  host::HostCpu& cpu_;
+  const host::MemoryModel& mem_;
+  net::Nic& nic_;
+  CommNodeConfig cfg_;
+  BufferSwitcher switcher_;
+
+  bool init_done_ = false;
+  int c0_ = 0;
+  int send_slots_per_ctx_ = 0;
+  int recv_slots_per_ctx_ = 0;
+
+  // Switched-mode state.
+  static constexpr net::ContextId kLiveCtx = 0;
+  bool live_allocated_ = false;
+  net::JobId live_job_ = net::kNoJob;
+  std::map<net::JobId, SavedContext> saved_;
+  std::map<net::JobId, int> job_size_;
+
+  std::vector<bool> node_active_;
+};
+
+}  // namespace gangcomm::glue

@@ -1,0 +1,59 @@
+// Buffer-management policies under multiprogramming.
+#pragma once
+
+namespace gangcomm::glue {
+
+enum class BufferPolicy {
+  /// Original FM: divide NIC send queue and pinned receive queue equally
+  /// among the fixed maximum number of contexts (Figure 1).  Credits
+  /// collapse as C0 = Br/(n^2 p) — the Figure 5 behaviour.
+  kPartitioned,
+
+  /// The paper's scheme: one full-size context on the card; at every gang
+  /// context switch the *entire* queue contents are copied to/from pageable
+  /// backing store (Figure 4), C0 = Br/p.
+  kSwitchedFull,
+
+  /// The improved scheme (§4.2, Figure 9): identical protocol, but only the
+  /// valid packets are copied, exploiting that the queues are nearly empty.
+  kSwitchedValidOnly,
+};
+
+constexpr const char* policyName(BufferPolicy p) {
+  switch (p) {
+    case BufferPolicy::kPartitioned: return "partitioned";
+    case BufferPolicy::kSwitchedFull: return "switched-full";
+    case BufferPolicy::kSwitchedValidOnly: return "switched-valid-only";
+  }
+  return "?";
+}
+
+constexpr bool isSwitched(BufferPolicy p) {
+  return p != BufferPolicy::kPartitioned;
+}
+
+/// How the network is quiesced around a gang context switch.
+enum class FlushProtocol {
+  /// The paper's protocol (§3.2, Figure 3): halt-bit, serial halt broadcast
+  /// between the LANais, collect p-1 halts, symmetric release.  Loss-free.
+  kBroadcast,
+  /// PM / SCore-D style (related work §5): each node stops sending and
+  /// waits until the receiving LANais acknowledged all its outstanding
+  /// packets; no agreement between nodes.  Late inbound packets are shed by
+  /// the id check and repaired by the host retransmission layer.
+  kAckQuiesce,
+  /// SHARE style (related work §5): local send-drain only; everything still
+  /// in flight is shed.  Cheapest, loses the most.
+  kLocalOnly,
+};
+
+constexpr const char* flushProtocolName(FlushProtocol f) {
+  switch (f) {
+    case FlushProtocol::kBroadcast: return "broadcast-flush";
+    case FlushProtocol::kAckQuiesce: return "ack-quiesce";
+    case FlushProtocol::kLocalOnly: return "local-only";
+  }
+  return "?";
+}
+
+}  // namespace gangcomm::glue

@@ -1,0 +1,27 @@
+#include "host/memory_model.hpp"
+
+namespace gangcomm::host {
+
+double MemoryModel::copyBandwidth(MemRegion src, MemRegion dst) const {
+  if (src == MemRegion::kHost && dst == MemRegion::kHost)
+    return cfg_.host_to_host_mbps;
+  if (src == MemRegion::kNicSram && dst == MemRegion::kHost)
+    return cfg_.nic_to_host_mbps;
+  if (src == MemRegion::kHost && dst == MemRegion::kNicSram)
+    return cfg_.host_to_nic_mbps;
+  return cfg_.nic_to_nic_mbps;
+}
+
+sim::Duration MemoryModel::copyCost(MemRegion src, MemRegion dst,
+                                    std::uint64_t bytes) const {
+  return sim::transferNs(bytes, copyBandwidth(src, dst));
+}
+
+sim::Duration MemoryModel::readCost(MemRegion region,
+                                    std::uint64_t bytes) const {
+  const double bw = region == MemRegion::kHost ? cfg_.host_read_mbps
+                                               : cfg_.nic_read_mbps;
+  return sim::transferNs(bytes, bw);
+}
+
+}  // namespace gangcomm::host

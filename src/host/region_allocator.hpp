@@ -1,0 +1,58 @@
+// Bump allocator over a fixed physical region.
+//
+// Models the two scarce buffer arenas of the paper: the NIC's 512 KB SRAM
+// (send queues + context table + control program) and the 1 MB pinned host
+// DMA buffer (receive queues).  FM pre-divides these arenas among the fixed
+// maximum number of contexts; allocation failure is how the model surfaces
+// "not enough NIC memory for that many contexts".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gangcomm::host {
+
+class RegionAllocator {
+ public:
+  RegionAllocator(std::string name, std::uint64_t total_bytes)
+      : name_(std::move(name)), total_(total_bytes) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t totalBytes() const { return total_; }
+  std::uint64_t usedBytes() const { return used_; }
+  std::uint64_t freeBytes() const { return total_ - used_; }
+
+  /// Allocate `bytes`; returns the offset of the block, or kNoSpace.
+  static constexpr std::uint64_t kNoSpace = ~std::uint64_t{0};
+  std::uint64_t allocate(std::uint64_t bytes) {
+    if (bytes > freeBytes()) return kNoSpace;
+    const std::uint64_t off = used_;
+    used_ += bytes;
+    blocks_.push_back({off, bytes});
+    return off;
+  }
+
+  /// Release everything (contexts are torn down wholesale at job end or node
+  /// reinit; the real CM never freed individual sub-blocks either).
+  void reset() {
+    used_ = 0;
+    blocks_.clear();
+  }
+
+  std::size_t blockCount() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+  };
+  std::string name_;
+  std::uint64_t total_;
+  std::uint64_t used_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace gangcomm::host

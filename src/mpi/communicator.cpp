@@ -1,0 +1,230 @@
+#include "mpi/communicator.hpp"
+
+#include "util/check.hpp"
+
+namespace gangcomm::mpi {
+
+using util::Status;
+
+// ---- Communicator ------------------------------------------------------------
+
+Communicator::Communicator(fm::FmLib& fmlib) : fm_(fmlib) {
+  fm_.setHandler(kMpiHandler,
+                 [this](const net::Packet& p) { onPacket(p); });
+}
+
+util::Status Communicator::send(int dst, int tag, std::uint32_t bytes,
+                                std::uint64_t data) {
+  GC_CHECK_MSG(tag >= 0 && tag <= 0xffff, "tag out of the 16-bit range");
+  return fm_.send(dst, kMpiHandler, bytes, static_cast<std::uint16_t>(tag),
+                  data);
+}
+
+void Communicator::onPacket(const net::Packet& p) {
+  // Assemble fragments; the message completes when all have arrived.  FM
+  // delivers fragments of one message in order, so counting suffices.
+  const auto key = std::make_pair(p.src_rank, p.msg_id);
+  const std::uint32_t total = fm::FmLib::packetsForMessage(p.msg_bytes);
+  const std::uint32_t seen = ++assembling_[key];
+  if (seen < total) return;
+  assembling_.erase(key);
+
+  Message m;
+  m.src = p.src_rank;
+  m.tag = p.user_tag;
+  m.bytes = p.msg_bytes;
+  m.data = p.user_data;
+  queue_.push_back(m);
+}
+
+int Communicator::progress(int max_packets) {
+  return fm_.extract(max_packets);
+}
+
+bool Communicator::tryRecv(int src, int tag, Message* out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, src, tag)) {
+      if (out != nullptr) *out = *it;
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Communicator::probe(int src, int tag) const {
+  for (const auto& m : queue_)
+    if (matches(m, src, tag)) return true;
+  return false;
+}
+
+// ---- BarrierOp ----------------------------------------------------------------
+
+namespace {
+int ceilLog2(int p) {
+  int r = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++r;
+  }
+  return r;
+}
+}  // namespace
+
+BarrierOp::BarrierOp(Communicator& comm, int tag_base)
+    : CollectiveOp(comm), tag_base_(tag_base), rounds_(ceilLog2(comm.size())) {
+  if (comm.size() == 1) done_ = true;
+}
+
+Status BarrierOp::advance() {
+  if (done_) return Status::kOk;
+  comm_.progress();
+  const int p = comm_.size();
+  const int r = comm_.rank();
+  while (round_ < rounds_) {
+    const int dist = 1 << round_;
+    if (!sent_this_round_) {
+      const int dst = (r + dist) % p;
+      const Status st = comm_.send(dst, tag_base_ + round_, 1, 0);
+      if (st != Status::kOk) return st;
+      sent_this_round_ = true;
+    }
+    const int src = (r - dist % p + p) % p;
+    if (!comm_.tryRecv(src, tag_base_ + round_, nullptr))
+      return Status::kWouldBlock;
+    ++round_;
+    sent_this_round_ = false;
+  }
+  done_ = true;
+  return Status::kOk;
+}
+
+// ---- BcastOp -------------------------------------------------------------------
+
+BcastOp::BcastOp(Communicator& comm, int root, int tag, std::uint32_t bytes,
+                 std::uint64_t data)
+    : CollectiveOp(comm),
+      root_(root),
+      tag_(tag),
+      bytes_(bytes),
+      data_(data),
+      have_value_(comm.rank() == root) {
+  if (comm.size() == 1) done_ = true;
+}
+
+Status BcastOp::advance() {
+  if (done_) return Status::kOk;
+  comm_.progress();
+  const int p = comm_.size();
+  const int relative = (comm_.rank() - root_ + p) % p;
+
+  if (!have_value_) {
+    // Wait for the parent in the binomial tree.
+    int mask = 1;
+    int parent_rel = 0;
+    while (mask < p) {
+      if (relative & mask) {
+        parent_rel = relative - mask;
+        break;
+      }
+      mask <<= 1;
+    }
+    Message m;
+    if (!comm_.tryRecv((parent_rel + root_) % p, tag_, &m))
+      return Status::kWouldBlock;
+    data_ = m.data;
+    have_value_ = true;
+    send_mask_ = mask >> 1;
+  } else if (send_mask_ == 0) {
+    // Root: children span the whole tree.
+    int mask = 1;
+    while (mask < p && (relative & mask) == 0) mask <<= 1;
+    send_mask_ = mask >> 1;
+    if (relative == 0) {
+      mask = 1;
+      while (mask < p) mask <<= 1;
+      send_mask_ = mask >> 1;
+    }
+  }
+
+  while (send_mask_ > 0) {
+    if (relative + send_mask_ < p) {
+      const int dst = (relative + send_mask_ + root_) % p;
+      const Status st = comm_.send(dst, tag_, bytes_, data_);
+      if (st != Status::kOk) return st;
+    }
+    send_mask_ >>= 1;
+  }
+  done_ = true;
+  return Status::kOk;
+}
+
+// ---- ReduceOp -------------------------------------------------------------------
+
+ReduceOp::ReduceOp(Communicator& comm, int root, int tag, std::uint32_t bytes,
+                   std::uint64_t contribution)
+    : CollectiveOp(comm),
+      root_(root),
+      tag_(tag),
+      bytes_(bytes),
+      acc_(contribution) {
+  if (comm.size() == 1) done_ = true;
+}
+
+Status ReduceOp::advance() {
+  if (done_) return Status::kOk;
+  comm_.progress();
+  const int p = comm_.size();
+  const int relative = (comm_.rank() - root_ + p) % p;
+
+  while (mask_ < p) {
+    if ((relative & mask_) == 0) {
+      const int child_rel = relative | mask_;
+      if (child_rel < p) {
+        Message m;
+        if (!comm_.tryRecv((child_rel + root_) % p, tag_, &m))
+          return Status::kWouldBlock;
+        acc_ += m.data;
+      }
+      mask_ <<= 1;
+    } else {
+      if (!sent_) {
+        const int parent_rel = relative & ~mask_;
+        const Status st =
+            comm_.send((parent_rel + root_) % p, tag_, bytes_, acc_);
+        if (st != Status::kOk) return st;
+        sent_ = true;
+      }
+      break;
+    }
+  }
+  done_ = true;
+  return Status::kOk;
+}
+
+// ---- AllreduceOp -----------------------------------------------------------------
+
+AllreduceOp::AllreduceOp(Communicator& comm, int tag_base,
+                         std::uint32_t bytes, std::uint64_t contribution)
+    : CollectiveOp(comm), tag_base_(tag_base), bytes_(bytes) {
+  reduce_ = std::make_unique<ReduceOp>(comm, /*root=*/0, tag_base, bytes,
+                                       contribution);
+}
+
+Status AllreduceOp::advance() {
+  if (done_) return Status::kOk;
+  if (!reduce_->done()) {
+    const Status st = reduce_->advance();
+    if (st != Status::kOk) return st;
+  }
+  if (bcast_ == nullptr)
+    bcast_ = std::make_unique<BcastOp>(comm_, /*root=*/0, tag_base_ + 1,
+                                       bytes_, reduce_->value());
+  const Status st = bcast_->advance();
+  if (st != Status::kOk) return st;
+  done_ = true;
+  return Status::kOk;
+}
+
+}  // namespace gangcomm::mpi

@@ -1,0 +1,82 @@
+#include "net/fabric.hpp"
+
+#include "sim/log.hpp"
+#include "util/check.hpp"
+
+namespace gangcomm::net {
+
+Fabric::Fabric(sim::Simulator& s, RoutingTable routes, FabricConfig cfg)
+    : sim_(s),
+      routes_(std::move(routes)),
+      cfg_(cfg),
+      deliver_(static_cast<std::size_t>(routes_.nodeCount())),
+      out_busy_(static_cast<std::size_t>(routes_.nodeCount()), 0),
+      in_busy_(static_cast<std::size_t>(routes_.nodeCount()), 0) {}
+
+void Fabric::attach(NodeId node, DeliverFn deliver) {
+  GC_CHECK(routes_.valid(node));
+  deliver_[static_cast<std::size_t>(node)] = std::move(deliver);
+}
+
+sim::SimTime Fabric::outLinkFreeAt(NodeId node) const {
+  GC_CHECK(routes_.valid(node));
+  const sim::SimTime busy = out_busy_[static_cast<std::size_t>(node)];
+  return busy > sim_.now() ? busy : sim_.now();
+}
+
+sim::SimTime Fabric::inject(const Packet& pkt) {
+  GC_CHECK(routes_.valid(pkt.src_node) && routes_.valid(pkt.dst_node));
+  GC_CHECK_MSG(pkt.src_node != pkt.dst_node, "no loopback traffic on the SAN");
+  GC_CHECK_MSG(deliver_[static_cast<std::size_t>(pkt.dst_node)] != nullptr,
+               "destination NIC not attached");
+
+  const sim::Duration ser = sim::transferNs(pkt.wireBytes(), cfg_.link_mbps);
+
+  // Source output link.
+  const sim::SimTime inj_start = outLinkFreeAt(pkt.src_node);
+  const sim::SimTime inj_done = inj_start + ser;
+  out_busy_[static_cast<std::size_t>(pkt.src_node)] = inj_done;
+
+  ++stats_.packets;
+  stats_.bytes += pkt.wireBytes();
+  if (pkt.isControl())
+    ++stats_.control_packets;
+  else
+    ++stats_.data_packets;
+
+  // Fault injection (data packets only).
+  if (drop_every_ != 0 && !pkt.isControl()) {
+    if (++data_seen_ % drop_every_ == 0) {
+      ++dropped_;
+      GC_DEBUG(sim_, "fabric", "DROP data pkt %d->%d seq=%llu", pkt.src_node,
+               pkt.dst_node, static_cast<unsigned long long>(pkt.seq));
+      return inj_done;
+    }
+  }
+
+  // Switch traversal, then destination input link.
+  const sim::Duration fabric_lat =
+      cfg_.hop_latency_ns *
+      static_cast<sim::Duration>(routes_.hops(pkt.src_node, pkt.dst_node));
+  const sim::SimTime arrive = inj_done + fabric_lat;
+  sim::SimTime& in_busy = in_busy_[static_cast<std::size_t>(pkt.dst_node)];
+  const sim::SimTime rx_start = arrive > in_busy ? arrive : in_busy;
+  const sim::SimTime rx_done = rx_start + ser;
+  in_busy = rx_done;
+
+  // Wormhole back-pressure: Myrinet has almost no switch buffering, so a
+  // packet occupies its path until the destination drains it.  The source
+  // link therefore stays busy until the tail leaves it — incast congestion
+  // stalls the sending LANai, which is how send queues build up under
+  // all-to-all load (Figure 8).
+  const sim::SimTime tail_leaves_src = rx_done - fabric_lat;
+  if (tail_leaves_src > inj_done)
+    out_busy_[static_cast<std::size_t>(pkt.src_node)] = tail_leaves_src;
+
+  sim_.scheduleAt(rx_done, [this, pkt] {
+    deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt);
+  });
+  return out_busy_[static_cast<std::size_t>(pkt.src_node)];
+}
+
+}  // namespace gangcomm::net

@@ -1,0 +1,83 @@
+// The switched Myrinet fabric.
+//
+// Model: every node owns an injection (output) link and a reception (input)
+// link, each a serial resource at the configured link bandwidth (160 MB/s
+// for the paper's 1.28 Gb/s Myrinet).  A packet
+//
+//   1. serializes onto the source's output link,
+//   2. crosses the switch fabric (per-hop latency from the routing table),
+//   3. serializes off the destination's input link,
+//   4. is delivered to the destination NIC.
+//
+// Because both endpoints' links are FIFO resources and the per-route latency
+// is constant, delivery order per (src, dst) route equals injection order —
+// the Myrinet FIFO property the paper's flush protocol depends on — and
+// incast contention (all-to-all receive pressure, Figure 8) emerges from
+// input-link serialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::net {
+
+struct FabricConfig {
+  double link_mbps = 160.0;       // 1.28 Gb/s Myrinet
+  sim::Duration hop_latency_ns = 500;  // per switch hop (wormhole cut-through)
+};
+
+struct FabricStats {
+  std::uint64_t packets = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t control_packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Fabric {
+ public:
+  using DeliverFn = std::function<void(const Packet&)>;
+
+  Fabric(sim::Simulator& s, RoutingTable routes, FabricConfig cfg = {});
+
+  int nodeCount() const { return routes_.nodeCount(); }
+  const RoutingTable& routes() const { return routes_; }
+  const FabricConfig& config() const { return cfg_; }
+
+  /// Register the receiver for a node (its NIC's wire-side entry point).
+  void attach(NodeId node, DeliverFn deliver);
+
+  /// Inject `pkt` from its src_node.  Returns the time at which the source's
+  /// output link is free again (the NIC may start its next packet then).
+  /// Delivery at the destination is scheduled internally.
+  sim::SimTime inject(const Packet& pkt);
+
+  /// Earliest time the given node's output link is free.
+  sim::SimTime outLinkFreeAt(NodeId node) const;
+
+  const FabricStats& stats() const { return stats_; }
+
+  /// Fault injection for the packet-loss experiments: drop every `1/rate`-th
+  /// data packet (0 disables).  Control packets are never dropped (they are
+  /// hardware-level in the paper's design).
+  void setDropEveryNth(std::uint64_t n) { drop_every_ = n; }
+  std::uint64_t droppedPackets() const { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  RoutingTable routes_;
+  FabricConfig cfg_;
+  std::vector<DeliverFn> deliver_;
+  std::vector<sim::SimTime> out_busy_;
+  std::vector<sim::SimTime> in_busy_;
+  FabricStats stats_;
+  std::uint64_t drop_every_ = 0;
+  std::uint64_t data_seen_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace gangcomm::net

@@ -1,0 +1,578 @@
+#include "net/nic.hpp"
+
+#include <utility>
+
+#include "sim/log.hpp"
+#include "util/check.hpp"
+
+namespace gangcomm::net {
+
+Nic::Nic(sim::Simulator& s, Fabric& fabric, NodeId node, NicConfig cfg)
+    : sim_(s),
+      fabric_(fabric),
+      node_(node),
+      cfg_(cfg),
+      sram_("nic-sram", cfg.sram_bytes),
+      pinned_("pinned-dma", cfg.pinned_bytes),
+      last_seq_from_(static_cast<std::size_t>(fabric.nodeCount()), 0) {
+  GC_CHECK_MSG(cfg_.sram_reserved_bytes < cfg_.sram_bytes,
+               "control program larger than NIC SRAM");
+  // The LANai control program and context table occupy the front of SRAM.
+  GC_CHECK(sram_.allocate(cfg_.sram_reserved_bytes) !=
+           host::RegionAllocator::kNoSpace);
+  fabric_.attach(node_, [this](const Packet& p) { fromWire(p); });
+  last_job_from_.assign(static_cast<std::size_t>(fabric.nodeCount()), kNoJob);
+}
+
+// ---- Context management ----------------------------------------------------
+
+util::Status Nic::allocContext(ContextId id, JobId job, int rank,
+                               std::size_t sendq_slots,
+                               std::size_t recvq_slots, int initial_credits,
+                               int num_peers) {
+  if (context(id) != nullptr) return util::Status::kExists;
+  if (sendq_slots == 0 || recvq_slots == 0) return util::Status::kInvalid;
+  const std::uint64_t sram_need =
+      static_cast<std::uint64_t>(sendq_slots) * kPacketSlotBytes;
+  const std::uint64_t pinned_need =
+      static_cast<std::uint64_t>(recvq_slots) * kPacketSlotBytes;
+  if (sram_need > sram_.freeBytes() || pinned_need > pinned_.freeBytes())
+    return util::Status::kNoResources;
+  GC_CHECK(sram_.allocate(sram_need) != host::RegionAllocator::kNoSpace);
+  GC_CHECK(pinned_.allocate(pinned_need) != host::RegionAllocator::kNoSpace);
+
+  auto slot = std::make_unique<ContextSlot>(id, sendq_slots, recvq_slots);
+  slot->job = job;
+  slot->rank = rank;
+  slot->initial_credits = initial_credits;
+  slot->send_credits.assign(static_cast<std::size_t>(num_peers),
+                            initial_credits);
+  slot->acked_seq_from.assign(static_cast<std::size_t>(num_peers), 0);
+  slot->sent_hwm.assign(static_cast<std::size_t>(num_peers), 0);
+  slot->nic_acked_hwm.assign(static_cast<std::size_t>(num_peers), 0);
+  contexts_.push_back(std::move(slot));
+  GC_DEBUG(sim_, "nic", "node %d: ctx %d job %d rank %d sq=%zu rq=%zu C0=%d",
+           node_, id, job, rank, sendq_slots, recvq_slots, initial_credits);
+  return util::Status::kOk;
+}
+
+util::Status Nic::freeContext(ContextId id) {
+  for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
+    if ((*it)->id == id) {
+      contexts_.erase(it);
+      if (scan_cursor_ >= contexts_.size()) scan_cursor_ = 0;
+      return util::Status::kOk;
+    }
+  }
+  return util::Status::kNotFound;
+}
+
+ContextSlot* Nic::context(ContextId id) {
+  for (auto& c : contexts_)
+    if (c->id == id) return c.get();
+  return nullptr;
+}
+
+const ContextSlot* Nic::context(ContextId id) const {
+  for (const auto& c : contexts_)
+    if (c->id == id) return c.get();
+  return nullptr;
+}
+
+ContextSlot* Nic::contextForJob(JobId job) {
+  for (auto& c : contexts_)
+    if (c->job == job) return c.get();
+  return nullptr;
+}
+
+void Nic::retagContext(ContextId id, JobId job, int rank) {
+  ContextSlot* ctx = context(id);
+  GC_CHECK_MSG(ctx != nullptr, "retag of unknown context");
+  GC_CHECK_MSG(flush_complete_ || quiesce_complete_ ||
+                   (ctx->sendq.empty() && ctx->recvq.empty() &&
+                    dma_in_flight_ == 0),
+               "retag requires a flushed/quiesced card or a virgin context");
+  ctx->job = job;
+  ctx->rank = rank;
+}
+
+// ---- Host-side datapath -----------------------------------------------------
+
+bool Nic::reserveSendSlot(ContextId id) {
+  ContextSlot* ctx = context(id);
+  GC_CHECK(ctx != nullptr);
+  if (ctx->sendFree() == 0) return false;
+  ++ctx->reserved_send_slots;
+  return true;
+}
+
+util::Status Nic::hostEnqueueSend(ContextId id, const Packet& pkt) {
+  ContextSlot* ctx = context(id);
+  if (ctx == nullptr) return util::Status::kNotFound;
+  GC_CHECK_MSG(ctx->reserved_send_slots > 0,
+               "hostEnqueueSend without a prior reservation");
+  --ctx->reserved_send_slots;
+  if (cfg_.nic_level_acks && pkt.type == PacketType::kData &&
+      pkt.dst_rank >= 0 &&
+      static_cast<std::size_t>(pkt.dst_rank) < ctx->sent_hwm.size()) {
+    auto& hwm = ctx->sent_hwm[static_cast<std::size_t>(pkt.dst_rank)];
+    if (pkt.seq > hwm) hwm = pkt.seq;
+  }
+  GC_CHECK_MSG(ctx->sendq.push(pkt), "send ring overflow despite reservation");
+  scheduleSendScan();
+  return util::Status::kOk;
+}
+
+void Nic::hostEnqueueControl(const Packet& pkt) {
+  control_queue_.push_back(pkt);
+  scheduleSendScan();
+}
+
+bool Nic::recvEmpty(ContextId id) const {
+  const ContextSlot* ctx = context(id);
+  GC_CHECK(ctx != nullptr);
+  return ctx->recvq.empty();
+}
+
+Packet Nic::hostDequeueRecv(ContextId id) {
+  ContextSlot* ctx = context(id);
+  GC_CHECK(ctx != nullptr);
+  return ctx->recvq.pop();
+}
+
+// ---- Send context -----------------------------------------------------------
+
+void Nic::scheduleSendScan() {
+  if (send_busy_ || scan_scheduled_) return;
+  scan_scheduled_ = true;
+  sim_.schedule(0, [this] {
+    scan_scheduled_ = false;
+    sendScan();
+  });
+}
+
+void Nic::sendScan() {
+  if (send_busy_) return;
+  // Control traffic first: pending refills must reach the wire before the
+  // halt broadcast so the flush leaves credit state consistent.
+  if (trySendControlPacket()) return;
+  if (halt_broadcast_pending_ && control_queue_.empty()) {
+    maybeBroadcastHalt();
+    if (trySendControlPacket()) return;
+  }
+  if (halt_bit_ && !ack_quiesce_mode_) {
+    // Halted: no new data packets (the LANai checks the bit per packet).
+    maybeCompleteFlush();
+    maybeCompleteQuiesce();
+    return;
+  }
+  // PM ack-quiesce: the host produces nothing new (it is SIGSTOPped), but
+  // the card drains its queued packets so their acks can come home.
+  if (!trySendDataPacket() && halt_bit_) maybeCompleteQuiesce();
+}
+
+bool Nic::trySendControlPacket() {
+  if (control_queue_.empty()) return false;
+  Packet pkt = control_queue_.front();
+  control_queue_.pop_front();
+  send_busy_ = true;
+  sim_.schedule(cfg_.lanai_send_ns, [this, pkt] {
+    const sim::SimTime done = fabric_.inject(pkt);
+    sim_.scheduleAt(done, [this, pkt] {
+      send_busy_ = false;
+      ++stats_.control_sent;
+      if (pkt.type == PacketType::kHalt && pending_halt_sends_ > 0) {
+        if (--pending_halt_sends_ == 0) {
+          halt_broadcast_done_ = true;
+          GC_DEBUG(sim_, "nic", "node %d: halt broadcast complete", node_);
+          maybeCompleteFlush();
+        }
+      } else if (pkt.type == PacketType::kReady && pending_ready_sends_ > 0) {
+        if (--pending_ready_sends_ == 0) {
+          release_broadcast_done_ = true;
+          GC_DEBUG(sim_, "nic", "node %d: ready broadcast complete", node_);
+          maybeCompleteRelease();
+        }
+      }
+      maybeCompleteQuiesce();
+      scheduleSendScan();
+    });
+  });
+  return true;
+}
+
+bool Nic::trySendDataPacket() {
+  if (contexts_.empty()) return false;
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    const std::size_t idx = (scan_cursor_ + i) % contexts_.size();
+    ContextSlot& ctx = *contexts_[idx];
+    if (ctx.sendq.empty()) continue;
+    scan_cursor_ = (idx + 1) % contexts_.size();
+    Packet pkt = ctx.sendq.pop();
+    const ContextId cid = ctx.id;
+    send_busy_ = true;
+    sim_.schedule(cfg_.lanai_send_ns, [this, pkt, cid] {
+      const sim::SimTime done = fabric_.inject(pkt);
+      sim_.scheduleAt(done, [this, cid] {
+        send_busy_ = false;
+        ++stats_.data_sent;
+        if (ContextSlot* c = context(cid)) {
+          ++c->pkts_sent;
+          fireSendable(*c);
+        }
+        maybeCompleteQuiesce();
+        scheduleSendScan();
+      });
+    });
+    return true;
+  }
+  return false;
+}
+
+void Nic::fireSendable(ContextSlot& ctx) {
+  if (!ctx.on_sendable) return;
+  auto cb = std::move(ctx.on_sendable);
+  ctx.on_sendable = nullptr;
+  cb();
+}
+
+// ---- Flush / release (Figure 3) ----------------------------------------------
+
+void Nic::beginFlush(std::function<void()> on_flushed) {
+  GC_CHECK_MSG(!halt_bit_, "flush already in progress");
+  GC_CHECK_MSG(!quiesce_mode_, "flush during a local quiesce");
+  halt_bit_ = true;
+  halt_broadcast_pending_ = true;
+  halt_broadcast_done_ = false;
+  flush_complete_ = false;
+  on_flushed_ = std::move(on_flushed);
+  GC_DEBUG(sim_, "nic", "node %d: local halt ('lh')", node_);
+  scheduleSendScan();
+}
+
+void Nic::maybeBroadcastHalt() {
+  if (!halt_broadcast_pending_) return;
+  halt_broadcast_pending_ = false;
+  const int peers = fabric_.nodeCount() - 1;
+  pending_halt_sends_ = peers;
+  if (peers == 0) {
+    halt_broadcast_done_ = true;
+    maybeCompleteFlush();
+    return;
+  }
+  // The Myrinet hardware has no broadcast; the LANai sends the halt to each
+  // peer in a serial loop (paper §3.2).
+  for (NodeId n = 0; n < fabric_.nodeCount(); ++n) {
+    if (n == node_) continue;
+    Packet halt;
+    halt.type = PacketType::kHalt;
+    halt.src_node = node_;
+    halt.dst_node = n;
+    control_queue_.push_back(halt);
+  }
+}
+
+void Nic::maybeCompleteFlush() {
+  const std::uint64_t peers =
+      static_cast<std::uint64_t>(fabric_.nodeCount() - 1);
+  if (flush_complete_ || !halt_bit_ || !halt_broadcast_done_) return;
+  if (halts_rx_ - halts_consumed_ < peers) return;
+  if (dma_in_flight_ != 0 || send_busy_ || !control_queue_.empty()) return;
+  flush_complete_ = true;
+  halts_consumed_ += peers;
+  ++stats_.flushes;
+  GC_DEBUG(sim_, "nic", "node %d: network flushed (H,p)", node_);
+  if (on_flushed_) {
+    auto cb = std::move(on_flushed_);
+    on_flushed_ = nullptr;
+    cb();
+  }
+}
+
+void Nic::beginRelease(std::function<void()> on_released) {
+  GC_CHECK_MSG(halt_bit_ && flush_complete_,
+               "release is only legal after a completed flush");
+  on_released_ = std::move(on_released);
+  release_pending_ = true;
+  release_broadcast_done_ = false;
+  const int peers = fabric_.nodeCount() - 1;
+  pending_ready_sends_ = peers;
+  if (peers == 0) {
+    release_broadcast_done_ = true;
+    maybeCompleteRelease();
+    return;
+  }
+  for (NodeId n = 0; n < fabric_.nodeCount(); ++n) {
+    if (n == node_) continue;
+    Packet ready;
+    ready.type = PacketType::kReady;
+    ready.src_node = node_;
+    ready.dst_node = n;
+    control_queue_.push_back(ready);
+  }
+  scheduleSendScan();
+}
+
+void Nic::maybeCompleteRelease() {
+  const std::uint64_t peers =
+      static_cast<std::uint64_t>(fabric_.nodeCount() - 1);
+  if (!release_pending_ || !release_broadcast_done_) return;
+  if (readies_rx_ - readies_consumed_ < peers) return;
+  readies_consumed_ += peers;
+  release_pending_ = false;
+  halt_bit_ = false;
+  flush_complete_ = false;
+  halt_broadcast_done_ = false;
+  GC_DEBUG(sim_, "nic", "node %d: network released", node_);
+  if (on_released_) {
+    auto cb = std::move(on_released_);
+    on_released_ = nullptr;
+    cb();
+  }
+  scheduleSendScan();
+}
+
+void Nic::beginLocalQuiesce(std::function<void()> on_quiesced) {
+  GC_CHECK_MSG(!halt_bit_ && !quiesce_mode_, "quiesce during another halt");
+  halt_bit_ = true;
+  quiesce_mode_ = true;
+  quiesce_complete_ = false;
+  on_quiesced_ = std::move(on_quiesced);
+  GC_DEBUG(sim_, "nic", "node %d: local quiesce begin", node_);
+  scheduleSendScan();
+  // The card may already be idle.
+  maybeCompleteQuiesce();
+}
+
+void Nic::maybeCompleteQuiesce() {
+  // Local quiesce drains the SEND side only: in-flight inbound DMAs are
+  // shed on completion while the card is mid-switch (the id-check/NACK
+  // discipline of the SHARE and PM designs) — waiting for an arrival gap
+  // under incast would stall the switch indefinitely.
+  if (!quiesce_mode_ || quiesce_complete_) return;
+  if (send_busy_ || !control_queue_.empty()) return;
+  if (ack_quiesce_mode_ && !allTrafficAcked()) return;
+  quiesce_complete_ = true;
+  GC_DEBUG(sim_, "nic", "node %d: locally quiesced", node_);
+  if (on_quiesced_) {
+    auto cb = std::move(on_quiesced_);
+    on_quiesced_ = nullptr;
+    cb();
+  }
+}
+
+void Nic::beginAckQuiesce(std::function<void()> on_quiesced) {
+  GC_CHECK_MSG(cfg_.nic_level_acks,
+               "ack-quiesce requires NIC-level acks (PM mode)");
+  GC_CHECK_MSG(!halt_bit_ && !quiesce_mode_ && !ack_quiesce_mode_,
+               "ack-quiesce during another halt");
+  halt_bit_ = true;
+  quiesce_mode_ = true;      // shares the local-drain machinery
+  ack_quiesce_mode_ = true;  // ...plus the outstanding-traffic condition
+  quiesce_complete_ = false;
+  on_quiesced_ = std::move(on_quiesced);
+  GC_DEBUG(sim_, "nic", "node %d: ack-quiesce begin", node_);
+  scheduleSendScan();
+  maybeCompleteQuiesce();
+}
+
+void Nic::endAckQuiesce() {
+  GC_CHECK_MSG(ack_quiesce_mode_, "endAckQuiesce outside ack-quiesce");
+  ack_quiesce_mode_ = false;
+  endLocalQuiesce();
+}
+
+bool Nic::allTrafficAcked() const {
+  for (const auto& c : contexts_)
+    for (std::size_t peer = 0; peer < c->sent_hwm.size(); ++peer)
+      if (c->nic_acked_hwm[peer] < c->sent_hwm[peer]) return false;
+  return true;
+}
+
+void Nic::maybeCompleteAckQuiesce() { maybeCompleteQuiesce(); }
+
+void Nic::emitNicAck(const Packet& data_pkt) {
+  Packet ack;
+  ack.type = PacketType::kAck;
+  ack.src_node = node_;
+  ack.dst_node = data_pkt.src_node;
+  ack.job = data_pkt.job;
+  // From the ack sender's perspective: src_rank identifies *us* so the
+  // original sender can index its per-peer high-water marks.
+  ack.src_rank = data_pkt.dst_rank;
+  ack.dst_rank = data_pkt.src_rank;
+  ack.ack_seq = data_pkt.seq;
+  control_queue_.push_back(ack);
+  ++stats_.nic_acks_sent;
+  scheduleSendScan();
+}
+
+void Nic::endLocalQuiesce() {
+  GC_CHECK_MSG(quiesce_mode_ && quiesce_complete_,
+               "endLocalQuiesce before the card drained");
+  quiesce_mode_ = false;
+  quiesce_complete_ = false;
+  halt_bit_ = false;
+  scheduleSendScan();
+}
+
+// ---- Receive context ---------------------------------------------------------
+
+void Nic::fromWire(const Packet& pkt) {
+  switch (pkt.type) {
+    case PacketType::kHalt:
+      ++stats_.control_received;
+      ++halts_rx_;
+      GC_TRACE(sim_, "nic", "node %d: halt from %d ('ah')", node_,
+               pkt.src_node);
+      maybeCompleteFlush();
+      return;
+    case PacketType::kReady:
+      ++stats_.control_received;
+      ++readies_rx_;
+      maybeCompleteRelease();
+      return;
+    case PacketType::kRefill: {
+      ++stats_.control_received;
+      ContextSlot* ctx = contextForJob(pkt.job);
+      if (ctx == nullptr) {
+        ++stats_.drops_no_context;
+        return;
+      }
+      GC_CHECK(pkt.src_rank >= 0 &&
+               static_cast<std::size_t>(pkt.src_rank) <
+                   ctx->send_credits.size());
+      ctx->send_credits[static_cast<std::size_t>(pkt.src_rank)] +=
+          static_cast<int>(pkt.refill_credits);
+      auto& acked =
+          ctx->acked_seq_from[static_cast<std::size_t>(pkt.src_rank)];
+      if (pkt.ack_seq > acked) acked = pkt.ack_seq;
+      stats_.refill_credits_received += pkt.refill_credits;
+      fireSendable(*ctx);
+      return;
+    }
+    case PacketType::kAck: {
+      ++stats_.control_received;
+      ++stats_.nic_acks_received;
+      ContextSlot* ctx = contextForJob(pkt.job);
+      if (ctx == nullptr) {
+        ++stats_.drops_no_context;
+        return;
+      }
+      if (pkt.src_rank >= 0 &&
+          static_cast<std::size_t>(pkt.src_rank) <
+              ctx->nic_acked_hwm.size()) {
+        auto& hwm = ctx->nic_acked_hwm[static_cast<std::size_t>(pkt.src_rank)];
+        if (pkt.ack_seq > hwm) hwm = pkt.ack_seq;
+      }
+      maybeCompleteQuiesce();
+      return;
+    }
+    case PacketType::kData:
+      deliverData(pkt);
+      return;
+  }
+}
+
+void Nic::deliverData(const Packet& pkt) {
+  ContextSlot* ctx = contextForJob(pkt.job);
+  if (ctx == nullptr) {
+    // A packet for a job with no live context: either the init-protocol
+    // invariant was violated, or (no-flush ablations) the sender raced a
+    // context switch.  The LANai can only drop it — the paper's credit-loss
+    // hazard.  In PM mode the drop is NACKed so the sender's outstanding
+    // counter still clears.
+    if (cfg_.nic_level_acks) emitNicAck(pkt);
+    if (discard_wrong_job_)
+      ++stats_.drops_wrong_job;
+    else
+      ++stats_.drops_no_context;
+    GC_DEBUG(sim_, "nic", "node %d: DROP data for job %d from node %d", node_,
+             pkt.job, pkt.src_node);
+    return;
+  }
+  if (cfg_.enforce_fifo) {
+    auto s = static_cast<std::size_t>(pkt.src_node);
+    if (last_job_from_[s] == pkt.job) {
+      GC_CHECK_MSG(pkt.seq > last_seq_from_[s],
+                   "per-route FIFO violated on data path");
+    }
+    last_job_from_[s] = pkt.job;
+    last_seq_from_[s] = pkt.seq;
+  }
+  if (pkt.src_rank >= 0 &&
+      static_cast<std::size_t>(pkt.src_rank) < ctx->acked_seq_from.size()) {
+    auto& acked = ctx->acked_seq_from[static_cast<std::size_t>(pkt.src_rank)];
+    if (pkt.ack_seq > acked) acked = pkt.ack_seq;
+  }
+  // Piggybacked credit refill (paper §2.2).
+  if (pkt.refill_credits > 0) {
+    GC_CHECK(pkt.src_rank >= 0 &&
+             static_cast<std::size_t>(pkt.src_rank) <
+                 ctx->send_credits.size());
+    ctx->send_credits[static_cast<std::size_t>(pkt.src_rank)] +=
+        static_cast<int>(pkt.refill_credits);
+    stats_.refill_credits_received += pkt.refill_credits;
+    fireSendable(*ctx);
+  }
+  ++stats_.data_received;
+  dmaDeliver(pkt, *ctx);
+}
+
+void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
+  // Receive-context processing, then a serialized DMA into the pinned
+  // receive queue.  Flush completion waits for dma_in_flight_ to reach zero
+  // so no packet can land after the buffer switch copied the queue out.
+  const sim::SimTime start_min = sim_.now() + cfg_.lanai_recv_ns;
+  const sim::SimTime start =
+      start_min > dma_busy_until_ ? start_min : dma_busy_until_;
+  const sim::SimTime done =
+      start + cfg_.dma_setup_ns + sim::transferNs(pkt.wireBytes(), cfg_.dma_mbps);
+  dma_busy_until_ = done;
+  ++dma_in_flight_;
+  const ContextId cid = ctx.id;
+  sim_.scheduleAt(done, [this, pkt, cid] {
+    --dma_in_flight_;
+    ContextSlot* c = context(cid);
+    GC_CHECK_MSG(c != nullptr, "context vanished under an in-flight DMA");
+    // PM mode: the LANai acknowledges every data packet at DMA completion,
+    // whether it lands or is shed (a shed packet's ack is the NACK that
+    // clears the sender's outstanding counter; the host layer resends).
+    if (cfg_.nic_level_acks) emitNicAck(pkt);
+    if (quiesce_mode_) {
+      // Mid-switch under the no-flush protocols: shed instead of landing in
+      // a context that is being copied out.
+      GC_CHECK_MSG(discard_wrong_job_, "quiesce without a discard policy");
+      ++stats_.drops_wrong_job;
+      return;
+    }
+    if (c->job != pkt.job) {
+      // Only possible in SHARE mode: the slot was retagged (no flush) while
+      // this DMA was in flight; the id check sheds the stale packet.
+      GC_CHECK_MSG(discard_wrong_job_,
+                   "context retagged under an in-flight DMA");
+      ++stats_.drops_wrong_job;
+      maybeCompleteFlush();
+      maybeCompleteQuiesce();
+      return;
+    }
+    if (!c->recvq.push(pkt)) {
+      GC_CHECK_MSG(cfg_.allow_recv_overflow_drop,
+                   "receive ring overflow — credit accounting broken");
+      ++stats_.drops_recv_overflow;
+      maybeCompleteFlush();
+      maybeCompleteQuiesce();
+      return;
+    }
+    ++c->pkts_received;
+    if (c->on_arrival) {
+      auto cb = std::move(c->on_arrival);
+      c->on_arrival = nullptr;
+      cb();
+    }
+    maybeCompleteFlush();
+    maybeCompleteQuiesce();
+  });
+}
+
+}  // namespace gangcomm::net

@@ -1,0 +1,110 @@
+// Packet representation for the simulated Myrinet SAN.
+//
+// FM's unit of transfer is a fixed 1560-byte queue slot (668 slots fill the
+// 1 MB pinned receive buffer, 252 slots the ~400 KB NIC send buffer — the
+// paper's numbers).  A slot carries a header plus up to kMaxPayload user
+// bytes; a short message still consumes a whole slot and a whole credit,
+// which is why small-message bandwidth collapses first in Figure 5.
+//
+// Control packets (halt / ready / refill) are specially tagged: the LANai
+// consumes them on arrival, they are never stored in receive queues and
+// never consume credits (paper §3.2).
+#pragma once
+
+#include <cstdint>
+
+namespace gangcomm::net {
+
+using NodeId = int;
+using JobId = int;
+using ContextId = int;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr JobId kNoJob = -1;
+inline constexpr ContextId kNoContext = -1;
+
+/// FM packet slot geometry (paper §4.2).
+inline constexpr std::uint32_t kPacketSlotBytes = 1560;
+inline constexpr std::uint32_t kPacketHeaderBytes = 24;
+inline constexpr std::uint32_t kMaxPayloadBytes =
+    kPacketSlotBytes - kPacketHeaderBytes;
+
+/// Wire size of a control packet (halt/ready/standalone refill).
+inline constexpr std::uint32_t kControlWireBytes = 16;
+
+enum class PacketType : std::uint8_t {
+  kData,    // user payload, consumes a credit and a receive-queue slot
+  kRefill,  // standalone credit refill, consumed by the LANai
+  kHalt,    // network-flush: "I will send no more packets this epoch"
+  kReady,   // release: "my buffers for the next context are in place"
+  kAck,     // NIC-level delivery ack (PM-style ack-quiesce mode only)
+};
+
+constexpr const char* packetTypeName(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kRefill: return "REFILL";
+    case PacketType::kHalt: return "HALT";
+    case PacketType::kReady: return "READY";
+    case PacketType::kAck: return "ACK";
+  }
+  return "?";
+}
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  NodeId src_node = kNoNode;
+  NodeId dst_node = kNoNode;
+  JobId job = kNoJob;
+  int src_rank = -1;
+  int dst_rank = -1;
+
+  std::uint16_t handler = 0;        // receiver-side FM handler id
+  std::uint16_t user_tag = 0;       // opaque to FM; MPI-layer message tag
+  std::uint64_t user_data = 0;      // opaque 64-bit user word (verification)
+  std::uint32_t payload_bytes = 0;  // user bytes in this fragment
+  std::uint32_t msg_bytes = 0;      // total bytes of the enclosing message
+  std::uint64_t msg_id = 0;         // per-sender message counter
+  std::uint32_t frag_index = 0;     // fragment position within the message
+  bool last_frag = true;
+
+  std::uint32_t refill_credits = 0;  // piggybacked (kData) or carried (kRefill)
+
+  std::uint64_t seq = 0;   // per (src,dst,job) data sequence — FIFO check
+  /// Cumulative acknowledgement: highest in-order data seq the sender of
+  /// this packet has delivered from its destination.  Only meaningful when
+  /// the optional retransmission layer is enabled (idempotent max-merge).
+  std::uint64_t ack_seq = 0;
+  std::uint64_t tag = 0;   // integrity tag over identifying fields
+
+  bool isControl() const { return type != PacketType::kData; }
+
+  /// Bytes occupying the wire: control packets are tiny; data packets carry
+  /// header + payload (a partially filled slot still uses a whole credit but
+  /// only its real bytes travel).
+  std::uint32_t wireBytes() const {
+    return isControl() ? kControlWireBytes : kPacketHeaderBytes + payload_bytes;
+  }
+
+  /// Deterministic integrity tag; the receive handler re-derives it to prove
+  /// that buffer switching never corrupts, duplicates, or drops a packet.
+  static std::uint64_t makeTag(JobId job, int src_rank, int dst_rank,
+                               std::uint64_t msg_id, std::uint32_t frag) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(job));
+    mix(static_cast<std::uint64_t>(src_rank));
+    mix(static_cast<std::uint64_t>(dst_rank));
+    mix(msg_id);
+    mix(frag);
+    return h;
+  }
+
+  bool tagValid() const {
+    return tag == makeTag(job, src_rank, dst_rank, msg_id, frag_index);
+  }
+};
+
+}  // namespace gangcomm::net

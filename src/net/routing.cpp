@@ -1,0 +1,37 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+
+namespace gangcomm::net {
+
+RoutingTable RoutingTable::singleSwitch(int nodes, int hops) {
+  GC_CHECK_MSG(nodes > 0, "topology needs at least one node");
+  RoutingTable t(nodes);
+  for (NodeId a = 0; a < nodes; ++a)
+    for (NodeId b = 0; b < nodes; ++b)
+      t.hops_[static_cast<std::size_t>(a) * nodes + b] = (a == b) ? 0 : hops;
+  return t;
+}
+
+RoutingTable RoutingTable::tree(int nodes, int radix) {
+  GC_CHECK_MSG(nodes > 0 && radix >= 2, "bad tree parameters");
+  RoutingTable t(nodes);
+  // Hop count = 2 * (levels to the lowest common ancestor switch).
+  auto depth = [&](NodeId a, NodeId b) {
+    int h = 0;
+    int ga = a, gb = b;
+    while (ga != gb) {
+      ga /= radix;
+      gb /= radix;
+      ++h;
+    }
+    return h;
+  };
+  for (NodeId a = 0; a < nodes; ++a)
+    for (NodeId b = 0; b < nodes; ++b)
+      t.hops_[static_cast<std::size_t>(a) * nodes + b] =
+          (a == b) ? 0 : 2 * depth(a, b);
+  return t;
+}
+
+}  // namespace gangcomm::net

@@ -1,0 +1,164 @@
+#include "parpar/gang_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gangcomm::parpar {
+
+namespace {
+int ceilPow2(int v) {
+  int p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+DhcAllocator::DhcAllocator(int nodes)
+    : nodes_(nodes), load_(static_cast<std::size_t>(nodes), 0) {
+  GC_CHECK_MSG(nodes > 0, "DHC needs nodes");
+}
+
+std::optional<std::vector<net::NodeId>> DhcAllocator::allocate(int size) {
+  if (size <= 0 || size > nodes_) return std::nullopt;
+  const int block = std::min(ceilPow2(size), ceilPow2(nodes_));
+
+  // Scan aligned blocks of this width; pick the least total load (ties to
+  // the lowest base — the deterministic DHC sub-controller order).
+  int best_base = -1;
+  long best_load = -1;
+  for (int base = 0; base + size <= nodes_; base += block) {
+    long l = 0;
+    for (int i = base; i < std::min(base + block, nodes_); ++i)
+      l += load_[static_cast<std::size_t>(i)];
+    if (best_base < 0 || l < best_load) {
+      best_base = base;
+      best_load = l;
+    }
+  }
+  if (best_base < 0) {
+    // Block is wider than the machine (size rounded past it); fall back to
+    // base 0 — size <= nodes_ guarantees the job itself fits.
+    best_base = 0;
+  }
+
+  std::vector<net::NodeId> out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    const net::NodeId n = best_base + i;
+    out.push_back(n);
+    ++load_[static_cast<std::size_t>(n)];
+  }
+  return out;
+}
+
+void DhcAllocator::allocateExact(const std::vector<net::NodeId>& nodes) {
+  for (net::NodeId n : nodes) {
+    GC_CHECK(n >= 0 && n < nodes_);
+    ++load_[static_cast<std::size_t>(n)];
+  }
+}
+
+void DhcAllocator::release(const std::vector<net::NodeId>& nodes) {
+  for (net::NodeId n : nodes) {
+    GC_CHECK(n >= 0 && n < nodes_);
+    GC_CHECK_MSG(load_[static_cast<std::size_t>(n)] > 0,
+                 "releasing an unloaded node");
+    --load_[static_cast<std::size_t>(n)];
+  }
+}
+
+GangMatrix::GangMatrix(int nodes) : nodes_(nodes) {
+  GC_CHECK_MSG(nodes > 0, "gang matrix needs nodes");
+}
+
+std::optional<GangMatrix::Placement> GangMatrix::place(
+    net::JobId job, const std::vector<net::NodeId>& nodes) {
+  GC_CHECK_MSG(!nodes.empty(), "job needs at least one node");
+  if (jobSlot(job) >= 0) return std::nullopt;
+  for (net::NodeId n : nodes) GC_CHECK(n >= 0 && n < nodes_);
+
+  auto fits = [&](const std::vector<net::JobId>& row) {
+    return std::all_of(nodes.begin(), nodes.end(), [&](net::NodeId n) {
+      return row[static_cast<std::size_t>(n)] == net::kNoJob;
+    });
+  };
+
+  int slot = -1;
+  for (int s = 0; s < slots(); ++s) {
+    if (fits(rows_[static_cast<std::size_t>(s)])) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    rows_.emplace_back(static_cast<std::size_t>(nodes_), net::kNoJob);
+    slot = slots() - 1;
+  }
+  for (net::NodeId n : nodes)
+    rows_[static_cast<std::size_t>(slot)][static_cast<std::size_t>(n)] = job;
+  return Placement{slot, nodes};
+}
+
+bool GangMatrix::remove(net::JobId job) {
+  bool found = false;
+  for (auto& row : rows_)
+    for (auto& cell : row)
+      if (cell == job) {
+        cell = net::kNoJob;
+        found = true;
+      }
+  while (!rows_.empty() &&
+         std::all_of(rows_.back().begin(), rows_.back().end(),
+                     [](net::JobId j) { return j == net::kNoJob; }))
+    rows_.pop_back();
+  return found;
+}
+
+net::JobId GangMatrix::at(int slot, net::NodeId node) const {
+  GC_CHECK(slot >= 0 && slot < slots());
+  GC_CHECK(node >= 0 && node < nodes_);
+  return rows_[static_cast<std::size_t>(slot)][static_cast<std::size_t>(node)];
+}
+
+bool GangMatrix::slotEmpty(int slot) const {
+  GC_CHECK(slot >= 0 && slot < slots());
+  const auto& row = rows_[static_cast<std::size_t>(slot)];
+  return std::all_of(row.begin(), row.end(),
+                     [](net::JobId j) { return j == net::kNoJob; });
+}
+
+int GangMatrix::nonEmptySlots() const {
+  int n = 0;
+  for (int s = 0; s < slots(); ++s)
+    if (!slotEmpty(s)) ++n;
+  return n;
+}
+
+std::vector<net::JobId> GangMatrix::jobsInSlot(int slot) const {
+  GC_CHECK(slot >= 0 && slot < slots());
+  std::vector<net::JobId> jobs;
+  for (net::JobId j : rows_[static_cast<std::size_t>(slot)]) {
+    if (j == net::kNoJob) continue;
+    if (std::find(jobs.begin(), jobs.end(), j) == jobs.end()) jobs.push_back(j);
+  }
+  return jobs;
+}
+
+int GangMatrix::jobSlot(net::JobId job) const {
+  for (int s = 0; s < slots(); ++s)
+    for (net::JobId j : rows_[static_cast<std::size_t>(s)])
+      if (j == job) return s;
+  return -1;
+}
+
+int GangMatrix::nextNonEmptySlot(int slot) const {
+  if (slots() == 0) return -1;
+  for (int k = 1; k <= slots(); ++k) {
+    const int s = (slot + k) % slots();
+    if (!slotEmpty(s)) return s;
+  }
+  return -1;
+}
+
+}  // namespace gangcomm::parpar

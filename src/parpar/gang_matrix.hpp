@@ -1,0 +1,76 @@
+// The gang-scheduling matrix and the DHC node allocator.
+//
+// ParPar's masterd keeps a matrix of 16 columns (nodes) by n rows (time
+// slots); each cell holds one process of one parallel job (paper §2.1).
+// Several jobs may share a row as long as their node sets are disjoint.
+// Node selection follows the Distributed Hierarchical Control scheme [5]:
+// the machine is viewed as a buddy tree, a job of size s is rounded up to a
+// power-of-two block, and the least-loaded aligned block hosts it — keeping
+// jobs packed in subtrees so rows can be shared.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace gangcomm::parpar {
+
+class DhcAllocator {
+ public:
+  explicit DhcAllocator(int nodes);
+
+  /// Pick `size` nodes inside the least-loaded aligned buddy block and bump
+  /// their load.  Returns nullopt when size exceeds the machine.
+  std::optional<std::vector<net::NodeId>> allocate(int size);
+
+  /// Register an explicitly chosen node set (jobrep-pinned placement); bumps
+  /// the load the same way allocate() would.
+  void allocateExact(const std::vector<net::NodeId>& nodes);
+
+  /// Undo an allocation when the job leaves the system.
+  void release(const std::vector<net::NodeId>& nodes);
+
+  int load(net::NodeId n) const { return load_.at(static_cast<std::size_t>(n)); }
+  int nodeCount() const { return nodes_; }
+
+ private:
+  int nodes_;
+  std::vector<int> load_;
+};
+
+class GangMatrix {
+ public:
+  explicit GangMatrix(int nodes);
+
+  struct Placement {
+    int slot = -1;
+    std::vector<net::NodeId> nodes;
+  };
+
+  /// Place a job on the given nodes: reuse the first row where all of them
+  /// are free, or append a new row.  Fails only on duplicate job ids.
+  std::optional<Placement> place(net::JobId job,
+                                 const std::vector<net::NodeId>& nodes);
+
+  /// Remove a finished job; trailing all-empty rows are dropped.
+  bool remove(net::JobId job);
+
+  int nodes() const { return nodes_; }
+  int slots() const { return static_cast<int>(rows_.size()); }
+  net::JobId at(int slot, net::NodeId node) const;
+  bool slotEmpty(int slot) const;
+  int nonEmptySlots() const;
+  std::vector<net::JobId> jobsInSlot(int slot) const;
+  /// Slot hosting the given job, or -1.
+  int jobSlot(net::JobId job) const;
+  /// Next non-empty slot strictly after `slot`, wrapping; -1 if none exists.
+  int nextNonEmptySlot(int slot) const;
+
+ private:
+  int nodes_;
+  std::vector<std::vector<net::JobId>> rows_;
+};
+
+}  // namespace gangcomm::parpar

@@ -1,0 +1,61 @@
+// Abstraction seams between the cluster-management layer and the pieces it
+// drives.
+//
+// The paper argues (§3.1) for an abstract network-management interface so
+// that cluster managers and communication subsystems can be developed
+// independently.  CommManager is that seam on the noded side: the glueFM
+// library implements it for FM; the daemons never see FM internals.
+// ProcessHandle is the corresponding seam toward application processes
+// (fork / SIGSTOP / SIGCONT in the real system).
+#pragma once
+
+#include <functional>
+
+#include "net/packet.hpp"
+#include "parpar/messages.hpp"
+#include "util/status.hpp"
+
+namespace gangcomm::parpar {
+
+class CommManager {
+ public:
+  virtual ~CommManager() = default;
+
+  /// COMM_init_job: allocate a communication context for (job, rank) before
+  /// the process is forked, so arriving packets have a home (Figure 2).
+  virtual util::Status initJob(net::JobId job, int rank, int job_size) = 0;
+
+  /// COMM_end_job: tear the context down.
+  virtual util::Status endJob(net::JobId job) = 0;
+
+  /// COMM_halt_network: stage 1 of the context switch.
+  virtual void haltNetwork(std::function<void()> done) = 0;
+
+  /// COMM_context_switch: stage 2; swap buffers toward `to_job` (kNoJob when
+  /// this node hosts nothing in the incoming slot).
+  virtual void contextSwitch(net::JobId to_job,
+                             std::function<void(const SwitchReport&)> done) = 0;
+
+  /// COMM_release_network: stage 3.
+  virtual void releaseNetwork(std::function<void()> done) = 0;
+
+  /// True when this policy needs the halt/switch/release pipeline at all.
+  /// (The original partitioned FM keeps every context resident, so a gang
+  /// switch is just SIGSTOP/SIGCONT.)
+  virtual bool needsBufferSwitch() const = 0;
+};
+
+class ProcessHandle {
+ public:
+  virtual ~ProcessHandle() = default;
+
+  /// The global start sync arrived (the byte on the noded pipe);
+  /// FM_initialize returns and the process may run.
+  virtual void start() = 0;
+
+  virtual void sigstop() = 0;
+  virtual void sigcont() = 0;
+  virtual bool finished() const = 0;
+};
+
+}  // namespace gangcomm::parpar

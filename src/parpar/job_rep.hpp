@@ -1,0 +1,25 @@
+// jobrep — the job representative (paper §2.1).
+//
+// The user-facing program that negotiates application loading with the
+// masterd.  In the real ParPar it is a separate binary speaking the control
+// protocol; here it is a thin synchronous front that performs the same
+// negotiation and reports the assigned job id.
+#pragma once
+
+#include "parpar/master_daemon.hpp"
+
+namespace gangcomm::parpar {
+
+class JobRep {
+ public:
+  explicit JobRep(MasterDaemon& master) : master_(master) {}
+
+  /// Request `nprocs` nodes for an application.  Returns the job id the
+  /// masterd assigned, or kNoJob when the machine cannot host the job.
+  net::JobId submit(int nprocs) { return master_.submit(nprocs); }
+
+ private:
+  MasterDaemon& master_;
+};
+
+}  // namespace gangcomm::parpar

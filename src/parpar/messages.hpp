@@ -1,0 +1,49 @@
+// Control-plane message vocabulary between masterd, nodeds, and jobrep.
+//
+// These travel over the dedicated control Ethernet (paper §2.1); the Myrinet
+// data network never carries management traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace gangcomm::parpar {
+
+enum class CtrlType : std::uint8_t {
+  kLoadJob,     // master -> noded: allocate context, fork the process
+  kJobReady,    // noded -> master: process forked, context live (Figure 2)
+  kStartJob,    // master -> noded: global sync point; write the pipe byte
+  kSwitchSlot,  // master -> noded: gang context switch to another slot
+  kSwitchDone,  // noded -> master: three-stage switch finished (+ report)
+  kJobExited,   // noded -> master: a rank finished
+};
+
+/// Per-switch measurement the noded reports upward — one sample per node per
+/// gang context switch; Figures 7-9 aggregate these.
+struct SwitchReport {
+  sim::Duration halt_ns = 0;     // stage 1: network flush
+  sim::Duration switch_ns = 0;   // stage 2: buffer switch
+  sim::Duration release_ns = 0;  // stage 3: release protocol
+  std::uint32_t valid_send_pkts = 0;  // occupancy of the outgoing send queue
+  std::uint32_t valid_recv_pkts = 0;  // occupancy of the outgoing recv queue
+  std::uint64_t bytes_copied_out = 0;
+  std::uint64_t bytes_copied_in = 0;
+};
+
+struct CtrlMsg {
+  CtrlType type = CtrlType::kLoadJob;
+  net::NodeId from = net::kNoNode;  // sending endpoint (node id; master uses
+                                    // its own address)
+  net::JobId job = net::kNoJob;
+  int rank = -1;
+  int slot = -1;
+  int from_slot = -1;
+  int to_slot = -1;
+  std::vector<net::NodeId> rank_to_node;  // kLoadJob: the job's node mapping
+  SwitchReport report;                    // kSwitchDone payload
+};
+
+}  // namespace gangcomm::parpar

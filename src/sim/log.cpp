@@ -1,0 +1,35 @@
+#include "sim/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace gangcomm::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::setLevel(LogLevel l) { g_level = l; }
+
+void Log::initFromEnv() {
+  if (const char* e = std::getenv("GANGCOMM_TRACE")) {
+    int v = std::atoi(e);
+    if (v < 0) v = 0;
+    if (v > 3) v = 3;
+    g_level = static_cast<LogLevel>(v);
+  }
+}
+
+void Log::write(LogLevel l, SimTime t, const char* tag, const char* fmt, ...) {
+  if (!enabled(l)) return;
+  std::fprintf(stderr, "[%12.3fus] %-12s ", nsToUs(t), tag);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace gangcomm::sim

@@ -1,0 +1,53 @@
+// Lightweight simulation trace log.
+//
+// Tracing is off by default; benches and tests can enable a level globally
+// or via the GANGCOMM_TRACE environment variable (0..3).  Messages carry the
+// simulated timestamp so protocol interleavings can be inspected offline.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace gangcomm::sim {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kInfo = 1,
+  kDebug = 2,
+  kTrace = 3,
+};
+
+class Log {
+ public:
+  static LogLevel level();
+  static void setLevel(LogLevel l);
+
+  /// Initialize the level from GANGCOMM_TRACE if set.
+  static void initFromEnv();
+
+  static bool enabled(LogLevel l) {
+    return static_cast<int>(l) <= static_cast<int>(level());
+  }
+
+  /// printf-style trace line: "[  12.345us] tag: message".
+  static void write(LogLevel l, SimTime t, const char* tag, const char* fmt,
+                    ...) __attribute__((format(printf, 4, 5)));
+};
+
+#define GC_LOG(lvl, simref, tag, ...)                                     \
+  do {                                                                    \
+    if (::gangcomm::sim::Log::enabled(lvl)) {                             \
+      ::gangcomm::sim::Log::write(lvl, (simref).now(), tag, __VA_ARGS__); \
+    }                                                                     \
+  } while (0)
+
+#define GC_INFO(simref, tag, ...) \
+  GC_LOG(::gangcomm::sim::LogLevel::kInfo, simref, tag, __VA_ARGS__)
+#define GC_DEBUG(simref, tag, ...) \
+  GC_LOG(::gangcomm::sim::LogLevel::kDebug, simref, tag, __VA_ARGS__)
+#define GC_TRACE(simref, tag, ...) \
+  GC_LOG(::gangcomm::sim::LogLevel::kTrace, simref, tag, __VA_ARGS__)
+
+}  // namespace gangcomm::sim

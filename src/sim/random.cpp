@@ -1,0 +1,13 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+namespace gangcomm::sim {
+
+double Xoshiro256::nextExp(double mean) {
+  // Inverse-CDF sampling; nextDouble() < 1 guarantees the log argument > 0.
+  double u = nextDouble();
+  return -mean * std::log(1.0 - u);
+}
+
+}  // namespace gangcomm::sim

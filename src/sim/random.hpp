@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for the simulation.
+//
+// Every stochastic choice in the model (daemon wakeup jitter, control-network
+// skew, workload think time) draws from a seeded Xoshiro256** stream so that
+// every experiment regenerates bit-identically.  SplitMix64 is used to expand
+// a single user seed into the four Xoshiro words, as recommended by the
+// generator's authors.
+#pragma once
+
+#include <cstdint>
+
+namespace gangcomm::sim {
+
+/// SplitMix64: tiny, high-quality seeding generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the main workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x1905'2001ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) with Lemire's rejection-free reduction
+  /// (bias is negligible for 64-bit state; acceptable for simulation jitter).
+  std::uint64_t nextBelow(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    return next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + nextBelow(hi - lo + 1);
+  }
+
+  /// Exponentially distributed value with the given mean (>0).
+  double nextExp(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace gangcomm::sim

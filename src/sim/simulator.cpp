@@ -1,0 +1,87 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace gangcomm::sim {
+
+EventHandle Simulator::scheduleAt(SimTime t, Action fn) {
+  if (t < now_) {
+    ++past_clamps_;
+    t = now_;
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{t, seq, std::move(fn)});
+  ++live_events_;
+  return EventHandle{seq};
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid() || h.id >= next_seq_) return false;
+  // A cancelled id stays in the set until its queue entry surfaces; double
+  // cancellation or cancelling an already-fired event is a no-op.
+  if (cancelled_.contains(h.id)) return false;
+  // We cannot cheaply tell "already fired" from "pending"; callers hold
+  // handles only for genuinely pending events.  Inserting an already-fired id
+  // is harmless: it can never match a queue entry, and we cap set growth by
+  // erasing on match.
+  cancelled_.insert(h.id);
+  if (live_events_ > 0) --live_events_;
+  return true;
+}
+
+void Simulator::skipCancelled() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+void Simulator::fireNext() {
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  --live_events_;
+  ++fired_;
+  ev.fn();
+}
+
+std::uint64_t Simulator::run() {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  for (;;) {
+    skipCancelled();
+    if (queue_.empty() || stop_requested_) break;
+    fireNext();
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::runUntil(SimTime t) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  for (;;) {
+    skipCancelled();
+    if (queue_.empty() || stop_requested_ || queue_.top().time > t) break;
+    fireNext();
+    ++n;
+  }
+  if (!stop_requested_ && now_ < t) now_ = t;
+  return n;
+}
+
+std::uint64_t Simulator::runSteps(std::uint64_t steps) {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (n < steps) {
+    skipCancelled();
+    if (queue_.empty() || stop_requested_) break;
+    fireNext();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace gangcomm::sim

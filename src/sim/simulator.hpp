@@ -1,0 +1,103 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a time-ordered queue of events.  Events scheduled for the
+// same instant fire in the order they were scheduled (a stable tie-break via
+// a monotonically increasing sequence number), which makes every run fully
+// deterministic.  Events may be cancelled via the EventHandle returned at
+// scheduling time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gangcomm::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t`.  Scheduling into the past is
+  /// a programming error; the event is clamped to now() and counted in
+  /// pastScheduleClamps() so tests can assert none occurred.
+  EventHandle scheduleAt(SimTime t, Action fn);
+
+  /// Schedule `fn` to run `delay` ns from now.
+  EventHandle schedule(Duration delay, Action fn) {
+    return scheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event.  Returns true if the event was still pending.
+  bool cancel(EventHandle h);
+
+  /// Run until the event queue drains.  Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run until simulated time reaches `t` (events at exactly `t` fire) or the
+  /// queue drains, whichever comes first.  now() advances to `t` if the run
+  /// was not stopped early.
+  std::uint64_t runUntil(SimTime t);
+
+  /// Run at most `n` further events.
+  std::uint64_t runSteps(std::uint64_t n);
+
+  /// True if no live events are pending.
+  bool empty() const { return live_events_ == 0; }
+
+  /// Number of pending (non-cancelled) events.
+  std::uint64_t pendingEvents() const { return live_events_; }
+
+  /// Total events fired since construction.
+  std::uint64_t firedEvents() const { return fired_; }
+
+  /// Times scheduleAt() was called with a time in the past.
+  std::uint64_t pastScheduleClamps() const { return past_clamps_; }
+
+  /// Abort a run() in progress from within an event callback; the queue is
+  /// left intact so the caller can inspect or resume.
+  void requestStop() { stop_requested_ = true; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // stable tie-break; doubles as cancellation id
+    Action fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  // Fires the earliest live event.  Precondition: a live event exists.
+  void fireNext();
+  // Pops cancelled events off the head of the queue.
+  void skipCancelled();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t live_events_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t past_clamps_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace gangcomm::sim

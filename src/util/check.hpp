@@ -1,0 +1,33 @@
+// Invariant checking.
+//
+// The simulation relies on protocol invariants (credits never negative, DMA
+// never overruns the pinned buffer, FIFO order per route).  GC_CHECK is
+// always on — an invariant violation is a modeling bug and must abort loudly
+// rather than silently skew a reproduced figure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gangcomm::util {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "GC_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace gangcomm::util
+
+#define GC_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::gangcomm::util::checkFailed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define GC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::gangcomm::util::checkFailed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)

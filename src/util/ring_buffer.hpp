@@ -1,0 +1,85 @@
+// Fixed-capacity ring buffer.
+//
+// Models the FM send queue (NIC SRAM) and receive queue (pinned host DMA
+// region): a bounded circular array of packet slots.  Capacity is fixed at
+// construction; push fails when full, exactly like the hardware queues.  The
+// slot array is stable, so the "valid packet scan" of the improved buffer
+// switch (paper §4.2 / Fig 9) can walk slots in place.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gangcomm::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {
+    GC_CHECK_MSG(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+  std::size_t freeSlots() const { return slots_.size() - size_; }
+
+  /// Append a value; returns false when full.
+  bool push(T value) {
+    if (full()) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Remove and return the oldest element.  Precondition: !empty().
+  T pop() {
+    GC_CHECK_MSG(!empty(), "pop from empty ring buffer");
+    T v = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return v;
+  }
+
+  /// Oldest element without removing it.  Precondition: !empty().
+  const T& front() const {
+    GC_CHECK_MSG(!empty(), "front of empty ring buffer");
+    return slots_[head_];
+  }
+  T& front() {
+    GC_CHECK_MSG(!empty(), "front of empty ring buffer");
+    return slots_[head_];
+  }
+
+  /// i-th element from the front (0 == oldest).  Precondition: i < size().
+  const T& at(std::size_t i) const {
+    GC_CHECK_MSG(i < size_, "ring buffer index out of range");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  /// Drop every element.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Drain into a vector (front first) and clear; used by the buffer switch
+  /// to move queue contents into a job's backing store.
+  std::vector<T> drain() {
+    std::vector<T> out;
+    out.reserve(size_);
+    while (!empty()) out.push_back(pop());
+    return out;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gangcomm::util

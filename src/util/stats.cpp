@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace gangcomm::util {
+
+void Stats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Stats::merge(const Stats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  mean_ += delta * nb / nt;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void Stats::reset() { *this = Stats{}; }
+
+double Stats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Stats::stddev() const { return std::sqrt(variance()); }
+
+std::string Stats::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f sd=%.3f min=%.3f max=%.3f",
+                static_cast<unsigned long long>(n_), mean(), stddev(), min(),
+                max());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  GC_CHECK_MSG(hi > lo && buckets > 0, "bad histogram range");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++under_;
+    ++counts_.front();
+    return;
+  }
+  if (x >= hi_) {
+    ++over_;
+    ++counts_.back();
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+double Histogram::bucketLow(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return lo_;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target)
+      return bucketLow(i) + width_ / 2.0;
+  }
+  return hi_;
+}
+
+}  // namespace gangcomm::util

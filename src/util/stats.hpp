@@ -1,0 +1,59 @@
+// Streaming statistics and histograms for experiment measurement.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gangcomm::util {
+
+/// Welford streaming accumulator: count / mean / variance / min / max.
+class Stats {
+ public:
+  void add(double x);
+  void merge(const Stats& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  std::string summary() const;  // "n=… mean=… sd=… min=… max=…"
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp to
+/// the edge buckets and are counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  double bucketLow(std::size_t i) const;
+  double percentile(double p) const;  // p in [0,100]
+  std::uint64_t underflow() const { return under_; }
+  std::uint64_t overflow() const { return over_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t under_ = 0;
+  std::uint64_t over_ = 0;
+};
+
+}  // namespace gangcomm::util

@@ -1,0 +1,39 @@
+// Result codes used across the library.
+//
+// The communication layers report recoverable conditions (no credits, full
+// queue) through status codes rather than exceptions, mirroring how the FM
+// library's C API behaves and keeping the hot paths allocation-free.
+#pragma once
+
+#include <string_view>
+
+namespace gangcomm::util {
+
+enum class Status {
+  kOk = 0,
+  kWouldBlock,    // retry later: out of credits or queue space
+  kDeadlock,      // configuration makes progress impossible (e.g. C0 == 0)
+  kNotFound,      // unknown job/context/node
+  kExists,        // duplicate registration
+  kInvalid,       // bad argument
+  kNoResources,   // NIC SRAM / context table exhausted
+  kWrongState,    // call not legal in current protocol state
+};
+
+constexpr std::string_view statusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kWouldBlock: return "WOULD_BLOCK";
+    case Status::kDeadlock: return "DEADLOCK";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kExists: return "EXISTS";
+    case Status::kInvalid: return "INVALID";
+    case Status::kNoResources: return "NO_RESOURCES";
+    case Status::kWrongState: return "WRONG_STATE";
+  }
+  return "UNKNOWN";
+}
+
+constexpr bool ok(Status s) { return s == Status::kOk; }
+
+}  // namespace gangcomm::util

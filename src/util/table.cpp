@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gangcomm::util {
+
+std::string formatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string formatU64(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GC_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  GC_CHECK_MSG(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  GC_CHECK_MSG(values.size() + 1 == header_.size(), "row arity mismatch");
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(formatDouble(v, precision));
+  addRow(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += "| ";
+      line += row[c];
+      line.append(width[c] - row[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  auto rule = [&] {
+    std::string line;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      line += '+';
+      line.append(width[c] + 2, '-');
+    }
+    line += "+\n";
+    return line;
+  };
+
+  std::string out = rule() + renderRow(header_) + rule();
+  for (const auto& row : rows_) out += renderRow(row);
+  out += rule();
+  return out;
+}
+
+void Table::print(std::FILE* out) const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+bool Table::writeCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto writeRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) std::fputc(',', f);
+      std::fputs(row[c].c_str(), f);
+    }
+    std::fputc('\n', f);
+  };
+  writeRow(header_);
+  for (const auto& row : rows_) writeRow(row);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace gangcomm::util

@@ -1,0 +1,45 @@
+// ASCII table and CSV writers for bench output.
+//
+// Every bench prints the same rows/series the paper's figure reports; the
+// Table class renders them for the terminal, and writeCsv() drops a
+// machine-readable copy next to the binary for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gangcomm::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row (must match the header arity).
+  void addRow(std::vector<std::string> cells);
+
+  /// Convenience: format a row of doubles with the given precision.
+  void addRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  std::string render() const;
+
+  /// Print render() to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Write as CSV to the given path; returns false on I/O error.
+  bool writeCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string formatDouble(double v, int precision);
+std::string formatU64(unsigned long long v);
+
+}  // namespace gangcomm::util

@@ -1,0 +1,125 @@
+// Stencil / broadcast / permutation workloads, standalone and under gang
+// switching.
+#include "app/extra_workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.hpp"
+
+namespace gangcomm::app {
+namespace {
+
+using core::Cluster;
+using core::ClusterConfig;
+
+template <typename Worker, typename... Args>
+Cluster::ProcessFactory factoryOf(Args... args) {
+  return [args...](Process::Env env) -> std::unique_ptr<Process> {
+    return std::make_unique<Worker>(std::move(env), args...);
+  };
+}
+
+class WorkloadSweep : public testing::TestWithParam<int> {};
+
+TEST_P(WorkloadSweep, StencilCompletesExactly) {
+  const int p = GetParam();
+  ClusterConfig cfg;
+  cfg.nodes = p;
+  Cluster cluster(cfg);
+  const net::JobId job = cluster.submit(
+      p, factoryOf<StencilWorker>(std::uint32_t{4096}, std::uint64_t{40}));
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 1);
+  for (auto* proc : cluster.processes(job)) {
+    auto* w = dynamic_cast<StencilWorker*>(proc);
+    EXPECT_EQ(w->iterationsDone(), 40u);
+    EXPECT_EQ(w->halosReceived(), 80u);  // two neighbours per iteration
+  }
+}
+
+TEST_P(WorkloadSweep, BroadcastDeliversEveryRoundInOrder) {
+  const int p = GetParam();
+  ClusterConfig cfg;
+  cfg.nodes = p;
+  Cluster cluster(cfg);
+  const net::JobId job = cluster.submit(
+      p, factoryOf<BroadcastWorker>(std::uint32_t{2048}, std::uint64_t{60}));
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 1);
+  for (auto* proc : cluster.processes(job)) {
+    auto* w = dynamic_cast<BroadcastWorker*>(proc);
+    EXPECT_EQ(w->roundsDone(), 60u);
+    EXPECT_FALSE(w->sawBadValue());
+    if (proc->rank() != 0) EXPECT_EQ(w->messagesReceived(), 60u);
+  }
+}
+
+TEST_P(WorkloadSweep, PermutationIsABijectionEveryRound) {
+  const int p = GetParam();
+  ClusterConfig cfg;
+  cfg.nodes = p;
+  Cluster cluster(cfg);
+  const net::JobId job = cluster.submit(
+      p, factoryOf<PermutationWorker>(std::uint32_t{1024}, std::uint64_t{50},
+                                      std::uint64_t{7}));
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 1);
+  for (auto* proc : cluster.processes(job)) {
+    auto* w = dynamic_cast<PermutationWorker*>(proc);
+    EXPECT_EQ(w->roundsDone(), 50u);
+    EXPECT_EQ(w->messagesReceived(), 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorkloadSweep, testing::Values(2, 3, 5, 8, 16));
+
+TEST(WorkloadsUnderGang, StencilPairsSurviveSwitching) {
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.max_contexts = 2;
+  cfg.quantum = 15 * sim::kMillisecond;
+  Cluster cluster(cfg);
+  const net::JobId j1 = cluster.submit(
+      8, factoryOf<StencilWorker>(std::uint32_t{8192}, std::uint64_t{150}));
+  const net::JobId j2 = cluster.submit(
+      8, factoryOf<StencilWorker>(std::uint32_t{8192}, std::uint64_t{150}));
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 2);
+  EXPECT_GT(cluster.master().switchesInitiated(), 1u);
+  for (net::JobId j : {j1, j2})
+    for (auto* proc : cluster.processes(j))
+      EXPECT_EQ(dynamic_cast<StencilWorker*>(proc)->halosReceived(), 300u);
+}
+
+TEST(WorkloadsUnderGang, MixedWorkloadsShareTheMachine) {
+  // Three different traffic geometries stacked in three gang slots.
+  ClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.max_contexts = 3;
+  cfg.quantum = 20 * sim::kMillisecond;
+  Cluster cluster(cfg);
+  const net::JobId js = cluster.submit(
+      8, factoryOf<StencilWorker>(std::uint32_t{4096}, std::uint64_t{120}));
+  const net::JobId jb = cluster.submit(
+      8, factoryOf<BroadcastWorker>(std::uint32_t{4096}, std::uint64_t{120}));
+  const net::JobId jp = cluster.submit(
+      8, factoryOf<PermutationWorker>(std::uint32_t{4096}, std::uint64_t{120},
+                                      std::uint64_t{3}));
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 3);
+  EXPECT_EQ(dynamic_cast<StencilWorker*>(cluster.processes(js)[0])
+                ->iterationsDone(),
+            120u);
+  EXPECT_FALSE(
+      dynamic_cast<BroadcastWorker*>(cluster.processes(jb)[1])->sawBadValue());
+  EXPECT_EQ(dynamic_cast<PermutationWorker*>(cluster.processes(jp)[3])
+                ->messagesReceived(),
+            120u);
+  for (int n = 0; n < cfg.nodes; ++n)
+    EXPECT_EQ(cluster.nic(n).stats().drops_no_context, 0u);
+}
+
+}  // namespace
+}  // namespace gangcomm::app

@@ -1,0 +1,82 @@
+// The credit formulas are the paper's analytical core; pin them down.
+#include "fm/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gangcomm::fm {
+namespace {
+
+constexpr int kBr = 668;  // 1 MB receive buffer in 1560 B slots
+constexpr int kP = 16;    // ParPar node count
+
+TEST(CreditMath, SingleContextMatchesSwitched) {
+  // With n = 1 the partitioned formula degenerates to Br/p.
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 1, kP),
+            CreditMath::switchedCredits(kBr, kP));
+  EXPECT_EQ(CreditMath::switchedCredits(kBr, kP), 41);
+}
+
+TEST(CreditMath, InverseSquareCollapse) {
+  // The paper: "an inverse square ratio between the number of contexts and
+  // the number of credits".
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 1, kP), 41);
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 2, kP), 10);
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 3, kP), 4);
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 4, kP), 2);
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 5, kP), 1);
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 6, kP), 1);
+}
+
+TEST(CreditMath, EightContextsMeansZeroCredits) {
+  // "No communication is even possible for as few as 8 contexts" (§4.1).
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 8, kP), 0);
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 7, kP), 0);
+}
+
+TEST(CreditMath, SwitchedCreditsIndependentOfContexts) {
+  // Buffer switching restores the full buffer no matter how many jobs the
+  // gang matrix holds — the n^2 factor of §3.3.
+  const int c = CreditMath::switchedCredits(kBr, kP);
+  EXPECT_EQ(c, 41);
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_GE(c, n * n * CreditMath::partitionedCredits(kBr, n, kP));
+  }
+}
+
+TEST(CreditMath, QueueDivision) {
+  EXPECT_EQ(CreditMath::partitionedRecvSlots(668, 1), 668);
+  EXPECT_EQ(CreditMath::partitionedRecvSlots(668, 4), 167);
+  EXPECT_EQ(CreditMath::partitionedSendSlots(252, 8), 31);
+}
+
+TEST(CreditMath, WorstCaseNeverOverflowsReceiveQueue) {
+  // The whole point of C0: even if every possible sender exhausts its
+  // credits toward one context, the receive queue cannot overflow.
+  for (int n = 1; n <= 8; ++n) {
+    for (int p = 2; p <= 16; ++p) {
+      const int c0 = CreditMath::partitionedCredits(kBr, n, p);
+      const int per_ctx = CreditMath::partitionedRecvSlots(kBr, n);
+      EXPECT_LE(c0 * n * p, per_ctx) << "n=" << n << " p=" << p;
+    }
+  }
+  for (int p = 2; p <= 16; ++p) {
+    const int c0 = CreditMath::switchedCredits(kBr, p);
+    EXPECT_LE(c0 * (p - 1), kBr) << "p=" << p;
+  }
+}
+
+TEST(CreditMath, RefillThreshold) {
+  EXPECT_EQ(CreditMath::refillThreshold(41, 0.5), 20);
+  EXPECT_EQ(CreditMath::refillThreshold(2, 0.5), 1);
+  EXPECT_EQ(CreditMath::refillThreshold(1, 0.5), 1);  // floor at 1
+  EXPECT_EQ(CreditMath::refillThreshold(0, 0.5), 1);
+}
+
+TEST(CreditMath, DegenerateInputsClampSafely) {
+  EXPECT_EQ(CreditMath::partitionedCredits(kBr, 0, 0), kBr);
+  EXPECT_EQ(CreditMath::switchedCredits(kBr, 0), kBr);
+  EXPECT_EQ(CreditMath::partitionedRecvSlots(668, 0), 668);
+}
+
+}  // namespace
+}  // namespace gangcomm::fm

@@ -1,0 +1,243 @@
+// FmLib: fragmentation, flow control, refills, handler dispatch.
+#include "fm/fm_lib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/cpu_model.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::fm {
+namespace {
+
+using net::Packet;
+using util::Status;
+
+class FmLibTest : public testing::Test {
+ protected:
+  static constexpr int kCredits = 5;
+
+  FmLibTest() : fabric_(sim_, net::RoutingTable::singleSwitch(2)) {
+    for (net::NodeId n = 0; n < 2; ++n) {
+      nics_.push_back(std::make_unique<net::Nic>(sim_, fabric_, n,
+                                                 net::NicConfig{}));
+      EXPECT_TRUE(util::ok(nics_.back()->allocContext(
+          0, /*job=*/1, /*rank=*/n, /*sq=*/32, /*rq=*/64, kCredits, 2)));
+    }
+    for (int r = 0; r < 2; ++r) {
+      FmLib::Params p;
+      p.ctx = 0;
+      p.job = 1;
+      p.rank = r;
+      p.rank_to_node = {0, 1};
+      p.credits_c0 = kCredits;
+      libs_.push_back(std::make_unique<FmLib>(sim_, cpus_[r], *nics_[r],
+                                              FmConfig{}, p));
+    }
+  }
+
+  FmLib& lib(int r) { return *libs_[static_cast<std::size_t>(r)]; }
+
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  host::HostCpu cpus_[2];
+  std::vector<std::unique_ptr<net::Nic>> nics_;
+  std::vector<std::unique_ptr<FmLib>> libs_;
+};
+
+TEST_F(FmLibTest, SmallMessageIsOnePacket) {
+  EXPECT_EQ(FmLib::packetsForMessage(0), 1u);
+  EXPECT_EQ(FmLib::packetsForMessage(1), 1u);
+  EXPECT_EQ(FmLib::packetsForMessage(net::kMaxPayloadBytes), 1u);
+  EXPECT_EQ(FmLib::packetsForMessage(net::kMaxPayloadBytes + 1), 2u);
+  EXPECT_EQ(FmLib::packetsForMessage(64 * 1024), 43u);
+}
+
+TEST_F(FmLibTest, SendDeliversToHandler) {
+  int got = 0;
+  lib(1).setHandler(7, [&](const Packet& p) {
+    EXPECT_TRUE(p.last_frag);
+    EXPECT_EQ(p.msg_bytes, 100u);
+    ++got;
+  });
+  ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  sim_.run();
+  EXPECT_EQ(lib(1).extract(16), 1);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(lib(1).stats().messages_received, 1u);
+}
+
+TEST_F(FmLibTest, MultiFragmentMessageReassembles) {
+  std::vector<std::uint32_t> frags;
+  lib(1).setHandler(7, [&](const Packet& p) { frags.push_back(p.frag_index); });
+  const std::uint32_t bytes = 3 * net::kMaxPayloadBytes + 10;
+  ASSERT_EQ(lib(0).send(1, 7, bytes), Status::kOk);
+  sim_.run();
+  EXPECT_EQ(lib(1).extract(16), 4);
+  EXPECT_EQ(frags, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(lib(1).stats().payload_bytes_received, bytes);
+}
+
+TEST_F(FmLibTest, SendConsumesCredits) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  EXPECT_EQ(lib(0).credits(1), kCredits);
+  ASSERT_EQ(lib(0).send(1, 7, 10), Status::kOk);
+  EXPECT_EQ(lib(0).credits(1), kCredits - 1);
+}
+
+TEST_F(FmLibTest, BlocksWhenCreditsExhausted) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  for (int i = 0; i < kCredits; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 10), Status::kOk);
+  EXPECT_EQ(lib(0).send(1, 7, 10), Status::kWouldBlock);
+  EXPECT_TRUE(lib(0).sendPending());
+  EXPECT_EQ(lib(0).stats().send_blocks_on_credit, 1u);
+}
+
+TEST_F(FmLibTest, ExtractGeneratesRefillAndUnblocksSender) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  for (int i = 0; i < kCredits; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 10), Status::kOk);
+  ASSERT_EQ(lib(0).send(1, 7, 10), Status::kWouldBlock);
+
+  bool woke = false;
+  lib(0).onSendable([&] { woke = true; });
+
+  sim_.run();
+  // Receiver consumes everything; threshold = max(1, 5/2) = 2 packets per
+  // refill, so refills flow back.
+  EXPECT_EQ(lib(1).extract(16), kCredits);
+  sim_.run();
+  EXPECT_TRUE(woke);
+  EXPECT_GT(lib(0).credits(1), 0);
+  EXPECT_GT(lib(1).stats().refills_sent, 0u);
+
+  // The blocked message can now complete.
+  EXPECT_EQ(lib(0).send(1, 7, 10), Status::kOk);
+  EXPECT_FALSE(lib(0).sendPending());
+}
+
+TEST_F(FmLibTest, CreditConservationInvariant) {
+  // send credits + packets in flight/queued + receiver pending refill == C0.
+  lib(1).setHandler(7, [](const Packet&) {});
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) (void)lib(0).send(1, 7, 50);
+    sim_.run();
+    lib(1).extract(2);
+    sim_.run();
+  }
+  sim_.run();
+  lib(1).extract(1024);
+  sim_.run();
+  // Everything consumed and all refills returned except those below the
+  // receiver's refill threshold.
+  const int outstanding = kCredits - lib(0).credits(1);
+  EXPECT_GE(outstanding, 0);
+  EXPECT_LT(outstanding, 2);  // threshold is 2
+}
+
+TEST_F(FmLibTest, PiggybackRefillOnReverseTraffic) {
+  lib(0).setHandler(7, [](const Packet&) {});
+  lib(1).setHandler(7, [](const Packet&) {});
+  // 0 -> 1 one packet; 1 consumes it (below threshold, no standalone refill).
+  ASSERT_EQ(lib(0).send(1, 7, 10), Status::kOk);
+  sim_.run();
+  EXPECT_EQ(lib(1).extract(16), 1);
+  EXPECT_EQ(lib(1).stats().refills_sent, 0u);
+  EXPECT_EQ(lib(0).credits(1), kCredits - 1);
+
+  // Reverse data from 1 to 0 piggybacks the owed credit.
+  ASSERT_EQ(lib(1).send(0, 7, 10), Status::kOk);
+  sim_.run();
+  EXPECT_EQ(lib(0).credits(1), kCredits);
+  EXPECT_EQ(lib(1).stats().refill_credits_piggybacked, 1u);
+}
+
+TEST_F(FmLibTest, DeadlockWhenZeroCredits) {
+  FmLib::Params p;
+  p.ctx = 0;
+  p.job = 1;
+  p.rank = 0;
+  p.rank_to_node = {0, 1};
+  p.credits_c0 = 0;
+  FmLib dead(sim_, cpus_[0], *nics_[0], FmConfig{}, p);
+  EXPECT_EQ(dead.send(1, 7, 10), Status::kDeadlock);
+}
+
+TEST_F(FmLibTest, BlocksOnFullSendQueue) {
+  // Tiny send queue, plentiful credits.
+  sim::Simulator s2;
+  net::Fabric f2(s2, net::RoutingTable::singleSwitch(2));
+  net::Nic a(s2, f2, 0, net::NicConfig{});
+  net::Nic b(s2, f2, 1, net::NicConfig{});
+  ASSERT_TRUE(util::ok(a.allocContext(0, 1, 0, /*sq=*/2, /*rq=*/64, 100, 2)));
+  ASSERT_TRUE(util::ok(b.allocContext(0, 1, 1, /*sq=*/2, /*rq=*/64, 100, 2)));
+  host::HostCpu cpu;
+  FmLib::Params p;
+  p.ctx = 0;
+  p.job = 1;
+  p.rank = 0;
+  p.rank_to_node = {0, 1};
+  p.credits_c0 = 100;
+  FmLib lib0(s2, cpu, a, FmConfig{}, p);
+  // A 10-fragment message cannot fit 2 slots at once; partial progress then
+  // kWouldBlock.
+  const Status st = lib0.send(1, 7, 10 * net::kMaxPayloadBytes);
+  EXPECT_EQ(st, Status::kWouldBlock);
+  EXPECT_GT(lib0.stats().send_blocks_on_queue, 0u);
+  EXPECT_TRUE(lib0.sendPending());
+}
+
+TEST_F(FmLibTest, CpuCostChargedPerPacket) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  const sim::SimTime before = cpus_[0].availableAt(sim_.now());
+  ASSERT_EQ(lib(0).send(1, 7, net::kMaxPayloadBytes), Status::kOk);
+  const sim::SimTime after = cpus_[0].availableAt(sim_.now());
+  // per-message 2us + per-packet 1.5us + 1560B at 80 MB/s = ~19.5us.
+  EXPECT_NEAR(sim::nsToUs(after - before), 2.0 + 1.5 + 19.5, 0.5);
+}
+
+TEST_F(FmLibTest, ArrivalCallbackFires) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  bool arrived = false;
+  lib(1).onArrival([&] { arrived = true; });
+  ASSERT_EQ(lib(0).send(1, 7, 10), Status::kOk);
+  sim_.run();
+  EXPECT_TRUE(arrived);
+}
+
+TEST_F(FmLibTest, ResumedSendWithDifferentArgsDies) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  for (int i = 0; i < kCredits; ++i) (void)lib(0).send(1, 7, 10);
+  ASSERT_EQ(lib(0).send(1, 7, 10), Status::kWouldBlock);
+  EXPECT_DEATH((void)lib(0).send(1, 7, 999), "different arguments");
+}
+
+TEST_F(FmLibTest, UserTagAndDataRideEveryFragment) {
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> seen;
+  lib(1).setHandler(7, [&](const Packet& p) {
+    seen.emplace_back(p.user_tag, p.user_data);
+  });
+  ASSERT_EQ(lib(0).send(1, 7, 2 * net::kMaxPayloadBytes, 321, 0xfeedface),
+            Status::kOk);
+  sim_.run();
+  EXPECT_EQ(lib(1).extract(16), 2);
+  ASSERT_EQ(seen.size(), 2u);
+  for (const auto& [tag, data] : seen) {
+    EXPECT_EQ(tag, 321);
+    EXPECT_EQ(data, 0xfeedfaceu);
+  }
+}
+
+TEST_F(FmLibTest, ZeroByteMessageStillCostsACredit) {
+  // "a full credit is used even if only part of each packet is used" (§4.1).
+  lib(1).setHandler(7, [](const Packet&) {});
+  ASSERT_EQ(lib(0).send(1, 7, 0), Status::kOk);
+  EXPECT_EQ(lib(0).credits(1), kCredits - 1);
+}
+
+}  // namespace
+}  // namespace gangcomm::fm

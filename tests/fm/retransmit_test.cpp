@@ -1,0 +1,172 @@
+// The optional go-back-N retransmission layer: loss recovery, duplicate
+// shedding, credit neutrality of retransmissions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fm/fm_lib.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::fm {
+namespace {
+
+using net::Packet;
+using util::Status;
+
+class RetransmitTest : public testing::Test {
+ protected:
+  static constexpr int kCredits = 8;
+
+  RetransmitTest() : fabric_(sim_, net::RoutingTable::singleSwitch(2)) {
+    net::NicConfig nic_cfg;
+    nic_cfg.enforce_fifo = false;
+    nic_cfg.allow_recv_overflow_drop = true;
+    for (net::NodeId n = 0; n < 2; ++n) {
+      nics_.push_back(std::make_unique<net::Nic>(sim_, fabric_, n, nic_cfg));
+      EXPECT_TRUE(util::ok(
+          nics_.back()->allocContext(0, 1, n, 32, 64, kCredits, 2)));
+    }
+    cfg_.enable_retransmit = true;
+    cfg_.retransmit_timeout_ns = 500 * sim::kMicrosecond;
+    for (int r = 0; r < 2; ++r) {
+      FmLib::Params p;
+      p.ctx = 0;
+      p.job = 1;
+      p.rank = r;
+      p.rank_to_node = {0, 1};
+      p.credits_c0 = kCredits;
+      libs_.push_back(std::make_unique<FmLib>(sim_, cpus_[r], *nics_[r],
+                                              cfg_, p));
+    }
+    libs_[1]->setHandler(7, [this](const Packet& p) {
+      delivered_.push_back(p.seq);
+    });
+  }
+
+  /// Receiver keeps draining until `count` packets were delivered or the
+  /// network goes quiet for too long.
+  void pumpUntilDelivered(std::size_t count, double max_sim_s = 2.0) {
+    const sim::SimTime deadline = sim::secToNs(max_sim_s);
+    while (delivered_.size() < count && sim_.now() < deadline) {
+      sim_.runUntil(sim_.now() + 50 * sim::kMicrosecond);
+      libs_[1]->extract(1024);
+    }
+    sim_.runUntil(sim_.now() + sim::kMillisecond);
+    libs_[1]->extract(1024);
+  }
+
+  FmLib& lib(int r) { return *libs_[static_cast<std::size_t>(r)]; }
+
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  host::HostCpu cpus_[2];
+  fm::FmConfig cfg_;
+  std::vector<std::unique_ptr<net::Nic>> nics_;
+  std::vector<std::unique_ptr<FmLib>> libs_;
+  std::vector<std::uint64_t> delivered_;
+};
+
+TEST_F(RetransmitTest, LosslessPathDeliversInOrderWithoutRetransmits) {
+  for (int i = 0; i < 6; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  pumpUntilDelivered(6);
+  ASSERT_EQ(delivered_.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(delivered_[i], i + 1);
+  EXPECT_EQ(lib(0).stats().packets_retransmitted, 0u);
+}
+
+TEST_F(RetransmitTest, SingleLossIsRepairedByTimeout) {
+  fabric_.setDropEveryNth(3);  // drops the 3rd and 6th data packets
+  for (int i = 0; i < 6; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  // Let the originals (and their drops) actually reach the wire before
+  // disabling loss — send() only schedules the host PIO copies.
+  sim_.runUntil(sim::msToNs(1.0));
+  ASSERT_GE(fabric_.droppedPackets(), 1u);
+  fabric_.setDropEveryNth(0);
+  pumpUntilDelivered(6);
+  ASSERT_EQ(delivered_.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(delivered_[i], i + 1);
+  EXPECT_GT(lib(0).stats().packets_retransmitted, 0u);
+  EXPECT_GT(lib(0).stats().rtx_timeouts, 0u);
+  // Out-of-order survivors behind the hole were shed by go-back-N.
+  EXPECT_GT(lib(1).stats().ooo_dropped, 0u);
+}
+
+TEST_F(RetransmitTest, SustainedLossStillCompletes) {
+  fabric_.setDropEveryNth(4);
+  for (int i = 0; i < 40; ++i) {
+    Status st = lib(0).send(1, 7, 100);
+    int guard = 0;
+    while (st == Status::kWouldBlock) {
+      // Let acks return credits, then resume the same message.
+      sim_.runUntil(sim_.now() + 200 * sim::kMicrosecond);
+      libs_[1]->extract(1024);
+      st = lib(0).send(1, 7, 100);
+      ASSERT_LT(++guard, 100000) << "sender wedged at message " << i;
+    }
+    ASSERT_EQ(st, Status::kOk);
+  }
+  pumpUntilDelivered(40, 5.0);
+  ASSERT_EQ(delivered_.size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(delivered_[i], i + 1);
+}
+
+TEST_F(RetransmitTest, RetransmissionsSpendNoFreshCredit) {
+  fabric_.setDropEveryNth(2);  // heavy loss
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  sim_.runUntil(sim::msToNs(1.0));
+  ASSERT_GE(fabric_.droppedPackets(), 1u);
+  fabric_.setDropEveryNth(0);
+  pumpUntilDelivered(4);
+  ASSERT_EQ(delivered_.size(), 4u);
+  // Every original spent one credit; all returned after delivery (threshold
+  // is 1 in retransmit mode), regardless of how many retransmissions flew.
+  EXPECT_EQ(lib(0).credits(1), kCredits);
+  EXPECT_GT(lib(0).stats().packets_retransmitted, 0u);
+}
+
+TEST_F(RetransmitTest, DuplicatesAreShed) {
+  // Force a spurious retransmit by keeping the receiver from extracting
+  // until after the sender's timeout.
+  ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  sim_.runUntil(sim::msToNs(2.0));  // several timeouts elapse, dups pile up
+  libs_[1]->extract(1024);
+  sim_.runUntil(sim_.now() + sim::kMillisecond);
+  libs_[1]->extract(1024);
+  EXPECT_EQ(delivered_.size(), 1u);
+  EXPECT_GT(lib(1).stats().dup_dropped, 0u);
+}
+
+TEST_F(RetransmitTest, SuspendedSenderDefersTimeoutSweep) {
+  fabric_.setDropEveryNth(1);  // drop everything while the original flies
+  ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  sim_.runUntil(200 * sim::kMicrosecond);
+  ASSERT_GE(fabric_.droppedPackets(), 1u);
+  fabric_.setDropEveryNth(0);
+  lib(0).setSuspended(true);
+  sim_.runUntil(sim::msToNs(5.0));
+  libs_[1]->extract(1024);
+  const auto rtx_while_suspended = lib(0).stats().packets_retransmitted;
+  EXPECT_EQ(rtx_while_suspended, 0u);
+  lib(0).setSuspended(false);
+  pumpUntilDelivered(1);
+  EXPECT_EQ(delivered_.size(), 1u);
+  EXPECT_GT(lib(0).stats().packets_retransmitted, 0u);
+}
+
+TEST_F(RetransmitTest, AcksPurgeTheUnackedWindow) {
+  for (int i = 0; i < 5; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  pumpUntilDelivered(5);
+  // After delivery + acks, another timeout period must produce no
+  // retransmissions (window empty).
+  const auto before = lib(0).stats().packets_retransmitted;
+  sim_.runUntil(sim_.now() + sim::msToNs(3.0));
+  EXPECT_EQ(lib(0).stats().packets_retransmitted, before);
+}
+
+}  // namespace
+}  // namespace gangcomm::fm

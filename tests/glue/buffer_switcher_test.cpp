@@ -1,0 +1,200 @@
+// The two buffer-switch algorithms: cost model and loss-free content moves.
+#include "glue/buffer_switcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/nic.hpp"
+#include "sim/time.hpp"
+
+namespace gangcomm::glue {
+namespace {
+
+constexpr std::size_t kSendSlots = 252;
+constexpr std::size_t kRecvSlots = 668;
+
+net::Packet mkPacket(std::uint64_t id) {
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.job = 1;
+  p.src_rank = 0;
+  p.dst_rank = 1;
+  p.msg_id = id;
+  p.seq = id;
+  p.payload_bytes = 1000;
+  p.tag = net::Packet::makeTag(1, 0, 1, id, 0);
+  return p;
+}
+
+class BufferSwitcherTest : public testing::Test {
+ protected:
+  BufferSwitcherTest()
+      : slot_(0, kSendSlots, kRecvSlots), switcher_(mem_) {
+    slot_.job = 1;
+    slot_.rank = 0;
+    slot_.send_credits = {41, 41};
+  }
+
+  host::MemoryModel mem_;
+  net::ContextSlot slot_;
+  BufferSwitcher switcher_;
+  SavedContext saved_;
+};
+
+TEST_F(BufferSwitcherTest, FullCopyCostIsCapacityDetermined) {
+  // Empty queues still pay the full price.
+  const CopyOutcome out =
+      switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedFull);
+  const std::uint64_t send_bytes = kSendSlots * net::kPacketSlotBytes;
+  const std::uint64_t recv_bytes = kRecvSlots * net::kPacketSlotBytes;
+  const sim::Duration expect =
+      sim::transferNs(send_bytes, 14.0) + sim::transferNs(recv_bytes, 45.0);
+  EXPECT_EQ(out.cost_ns, expect);
+  EXPECT_EQ(out.send_pkts, 0u);
+  EXPECT_EQ(out.recv_pkts, 0u);
+  // The out+in pair stays under the paper's 85 ms bound.
+  const CopyOutcome in =
+      switcher_.copyIn(saved_, slot_, BufferPolicy::kSwitchedFull);
+  EXPECT_LT(sim::nsToMs(out.cost_ns + in.cost_ns), 85.0);
+  EXPECT_GT(sim::nsToMs(out.cost_ns + in.cost_ns), 60.0);
+}
+
+TEST_F(BufferSwitcherTest, FullCopyCostIgnoresOccupancy) {
+  const CopyOutcome empty =
+      switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedFull);
+  SavedContext saved2;
+  net::ContextSlot slot2(0, kSendSlots, kRecvSlots);
+  slot2.send_credits = {41, 41};
+  for (int i = 0; i < 100; ++i) slot2.recvq.push(mkPacket(i));
+  const CopyOutcome loaded =
+      switcher_.copyOut(slot2, saved2, BufferPolicy::kSwitchedFull);
+  EXPECT_EQ(empty.cost_ns, loaded.cost_ns);
+}
+
+TEST_F(BufferSwitcherTest, ValidOnlyCostScalesWithOccupancy) {
+  for (int i = 0; i < 10; ++i) slot_.sendq.push(mkPacket(i));
+  for (int i = 0; i < 100; ++i) slot_.recvq.push(mkPacket(100 + i));
+  const CopyOutcome out =
+      switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedValidOnly);
+  EXPECT_EQ(out.send_pkts, 10u);
+  EXPECT_EQ(out.recv_pkts, 100u);
+  const sim::Duration expect =
+      2 * SwitcherConfig{}.valid_scan_base_ns +
+      sim::transferNs(10ull * net::kPacketSlotBytes, 14.0) +
+      sim::transferNs(100ull * net::kPacketSlotBytes, 45.0);
+  EXPECT_EQ(out.cost_ns, expect);
+  // Orders of magnitude below the full copy.
+  net::ContextSlot slot2(0, kSendSlots, kRecvSlots);
+  slot2.send_credits = {41, 41};
+  SavedContext saved2;
+  const CopyOutcome full =
+      switcher_.copyOut(slot2, saved2, BufferPolicy::kSwitchedFull);
+  EXPECT_LT(out.cost_ns * 10, full.cost_ns);
+}
+
+TEST_F(BufferSwitcherTest, ImprovedSwitchMeetsPaperBudget) {
+  // §4.2: ~100 valid receive packets, a handful of send packets -> the
+  // improved round trip stays under 12.5 ms (2.5 Mcycles at 200 MHz).
+  for (int i = 0; i < 15; ++i) slot_.sendq.push(mkPacket(i));
+  for (int i = 0; i < 100; ++i) slot_.recvq.push(mkPacket(100 + i));
+  const CopyOutcome out =
+      switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedValidOnly);
+  const CopyOutcome in =
+      switcher_.copyIn(saved_, slot_, BufferPolicy::kSwitchedValidOnly);
+  EXPECT_LT(sim::nsToCycles(out.cost_ns + in.cost_ns), 2'500'000u);
+}
+
+TEST_F(BufferSwitcherTest, ContentsSurviveRoundTripExactly) {
+  for (int i = 0; i < 20; ++i) slot_.sendq.push(mkPacket(i));
+  for (int i = 0; i < 30; ++i) slot_.recvq.push(mkPacket(1000 + i));
+  slot_.send_credits = {7, 13};
+  bool sendable_fired = false;
+  slot_.on_sendable = [&] { sendable_fired = true; };
+
+  switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedValidOnly);
+  EXPECT_TRUE(slot_.sendq.empty());
+  EXPECT_TRUE(slot_.recvq.empty());
+  EXPECT_EQ(slot_.on_sendable, nullptr);
+  EXPECT_EQ(saved_.sendq.size(), 20u);
+  EXPECT_EQ(saved_.recvq.size(), 30u);
+  EXPECT_EQ(saved_.credits, (std::vector<int>{7, 13}));
+
+  switcher_.copyIn(saved_, slot_, BufferPolicy::kSwitchedValidOnly);
+  EXPECT_EQ(slot_.sendq.size(), 20u);
+  EXPECT_EQ(slot_.recvq.size(), 30u);
+  EXPECT_EQ(slot_.send_credits, (std::vector<int>{7, 13}));
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const net::Packet& p = slot_.sendq.at(i);
+    EXPECT_EQ(p.msg_id, i);
+    EXPECT_TRUE(p.tagValid());
+  }
+  for (std::uint64_t i = 0; i < 30; ++i)
+    EXPECT_EQ(slot_.recvq.at(i).msg_id, 1000 + i);
+  ASSERT_NE(slot_.on_sendable, nullptr);
+  slot_.on_sendable();
+  EXPECT_TRUE(sendable_fired);
+}
+
+TEST_F(BufferSwitcherTest, RetransmitAndPmStateTravelWithTheJob) {
+  slot_.acked_seq_from = {17, 23};
+  slot_.sent_hwm = {40, 50};
+  slot_.nic_acked_hwm = {40, 50};
+  switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedValidOnly);
+  // Another job's state occupies the slot meanwhile.
+  slot_.acked_seq_from = {999, 999};
+  slot_.sent_hwm = {1, 2};
+  slot_.nic_acked_hwm = {0, 0};
+  switcher_.copyIn(saved_, slot_, BufferPolicy::kSwitchedValidOnly);
+  EXPECT_EQ(slot_.acked_seq_from, (std::vector<std::uint64_t>{17, 23}));
+  EXPECT_EQ(slot_.sent_hwm, (std::vector<std::uint64_t>{40, 50}));
+  EXPECT_EQ(slot_.nic_acked_hwm, (std::vector<std::uint64_t>{40, 50}));
+}
+
+TEST_F(BufferSwitcherTest, FreshSavedContextGetsZeroedMarks) {
+  // A job that was never live (init straight to backing store) restores
+  // with correctly sized, zeroed ack state.
+  SavedContext fresh;
+  fresh.rank = 1;
+  fresh.job_size = 2;
+  fresh.credits = {41, 41};
+  switcher_.copyIn(fresh, slot_, BufferPolicy::kSwitchedValidOnly);
+  EXPECT_EQ(slot_.acked_seq_from.size(), 2u);
+  EXPECT_EQ(slot_.sent_hwm.size(), 2u);
+  EXPECT_EQ(slot_.nic_acked_hwm.size(), 2u);
+}
+
+TEST_F(BufferSwitcherTest, SavedStateClearedAfterCopyIn) {
+  slot_.sendq.push(mkPacket(1));
+  switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedValidOnly);
+  switcher_.copyIn(saved_, slot_, BufferPolicy::kSwitchedValidOnly);
+  EXPECT_TRUE(saved_.sendq.empty());
+  EXPECT_TRUE(saved_.recvq.empty());
+  EXPECT_EQ(saved_.on_sendable, nullptr);
+}
+
+TEST_F(BufferSwitcherTest, CopyInIntoDirtyContextDies) {
+  saved_.sendq.push_back(mkPacket(1));
+  slot_.sendq.push(mkPacket(2));
+  EXPECT_DEATH(switcher_.copyIn(saved_, slot_, BufferPolicy::kSwitchedFull),
+               "non-empty");
+}
+
+TEST_F(BufferSwitcherTest, CopyOutWithPendingPioDies) {
+  slot_.reserved_send_slots = 1;
+  EXPECT_DEATH(
+      switcher_.copyOut(slot_, saved_, BufferPolicy::kSwitchedValidOnly),
+      "PIO still in flight");
+}
+
+TEST_F(BufferSwitcherTest, SendQueueDominatesFullCopyDespiteSmallerSize) {
+  // Paper §4.2: the 400 KB send queue costs more than the 1 MB receive
+  // queue because WC reads run at 14 MB/s.
+  const std::uint64_t send_bytes = kSendSlots * net::kPacketSlotBytes;
+  const std::uint64_t recv_bytes = kRecvSlots * net::kPacketSlotBytes;
+  EXPECT_GT(mem_.copyCost(host::MemRegion::kNicSram, host::MemRegion::kHost,
+                          send_bytes),
+            mem_.copyCost(host::MemRegion::kHost, host::MemRegion::kHost,
+                          recv_bytes));
+}
+
+}  // namespace
+}  // namespace gangcomm::glue

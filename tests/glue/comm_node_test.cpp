@@ -1,0 +1,237 @@
+// glueFM CommNode: the Table-1 API against live NICs.
+#include "glue/comm_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::glue {
+namespace {
+
+using util::Status;
+
+class CommNodeTest : public testing::Test {
+ protected:
+  static constexpr int kNodes = 2;
+
+  explicit CommNodeTest(BufferPolicy policy = BufferPolicy::kSwitchedValidOnly)
+      : fabric_(sim_, net::RoutingTable::singleSwitch(kNodes)) {
+    for (int n = 0; n < kNodes; ++n) {
+      nics_.push_back(
+          std::make_unique<net::Nic>(sim_, fabric_, n, net::NicConfig{}));
+      CommNodeConfig cfg;
+      cfg.policy = policy;
+      cfg.processors = kNodes;
+      cfg.max_contexts = 4;
+      comms_.push_back(std::make_unique<CommNode>(sim_, cpus_[n], mem_,
+                                                  *nics_[n], cfg));
+      EXPECT_TRUE(util::ok(comms_.back()->COMM_init_node()));
+    }
+  }
+
+  /// Run a full three-stage switch on both nodes toward `to_job`.
+  std::vector<parpar::SwitchReport> switchBoth(net::JobId to_job) {
+    std::vector<parpar::SwitchReport> reports(kNodes);
+    int released = 0;
+    for (int n = 0; n < kNodes; ++n) {
+      comms_[n]->COMM_halt_network([this, n, to_job, &reports, &released] {
+        comms_[n]->COMM_context_switch(
+            to_job, [this, n, &reports, &released](const parpar::SwitchReport& r) {
+              reports[static_cast<std::size_t>(n)] = r;
+              comms_[n]->COMM_release_network([&released] { ++released; });
+            });
+      });
+    }
+    sim_.run();
+    EXPECT_EQ(released, kNodes);
+    return reports;
+  }
+
+  sim::Simulator sim_;
+  host::MemoryModel mem_;
+  net::Fabric fabric_;
+  host::HostCpu cpus_[kNodes];
+  std::vector<std::unique_ptr<net::Nic>> nics_;
+  std::vector<std::unique_ptr<CommNode>> comms_;
+};
+
+class PartitionedCommNodeTest : public CommNodeTest {
+ protected:
+  PartitionedCommNodeTest() : CommNodeTest(BufferPolicy::kPartitioned) {}
+};
+
+TEST_F(CommNodeTest, InitNodeIsIdempotentlyGuarded) {
+  EXPECT_EQ(comms_[0]->COMM_init_node(), Status::kExists);
+}
+
+TEST_F(CommNodeTest, AddRemoveNodeMaintainTopology) {
+  EXPECT_EQ(comms_[0]->COMM_remove_node(1), Status::kOk);
+  EXPECT_EQ(comms_[0]->COMM_remove_node(1), Status::kNotFound);
+  EXPECT_EQ(comms_[0]->COMM_add_node(1), Status::kOk);
+  EXPECT_EQ(comms_[0]->COMM_add_node(1), Status::kExists);
+  EXPECT_EQ(comms_[0]->COMM_add_node(99), Status::kInvalid);
+}
+
+TEST_F(CommNodeTest, SwitchedGeometryUsesFullBuffers) {
+  EXPECT_EQ(comms_[0]->sendSlotsPerContext(), 252);
+  EXPECT_EQ(comms_[0]->recvSlotsPerContext(), 668);
+  EXPECT_EQ(comms_[0]->creditsC0(), 668 / kNodes);
+}
+
+TEST_F(CommNodeTest, FirstJobInstallsLiveContext) {
+  Env env;
+  ASSERT_EQ(comms_[0]->COMM_init_job(1, 0, 2, &env), Status::kOk);
+  EXPECT_EQ(comms_[0]->liveJob(), 1);
+  EXPECT_EQ(env.at("FM_JOBID"), "1");
+  EXPECT_EQ(env.at("FM_RANK"), "0");
+  EXPECT_EQ(env.at("FM_JOBSIZE"), "2");
+  EXPECT_NE(nics_[0]->context(0), nullptr);
+  EXPECT_EQ(nics_[0]->context(0)->job, 1);
+}
+
+TEST_F(CommNodeTest, SecondJobGoesToBackingStore) {
+  ASSERT_EQ(comms_[0]->COMM_init_job(1, 0, 2, nullptr), Status::kOk);
+  ASSERT_EQ(comms_[0]->COMM_init_job(2, 0, 2, nullptr), Status::kOk);
+  EXPECT_EQ(comms_[0]->liveJob(), 1);
+  EXPECT_EQ(comms_[0]->savedContexts(), 1u);
+  EXPECT_EQ(nics_[0]->contextCount(), 1u);  // one card context only
+  EXPECT_EQ(comms_[0]->COMM_init_job(2, 0, 2, nullptr), Status::kExists);
+}
+
+TEST_F(CommNodeTest, ThreeStageSwitchSwapsJobs) {
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_EQ(comms_[n]->COMM_init_job(1, n, 2, nullptr), Status::kOk);
+    ASSERT_EQ(comms_[n]->COMM_init_job(2, n, 2, nullptr), Status::kOk);
+  }
+  auto reports = switchBoth(2);
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(comms_[n]->liveJob(), 2);
+    EXPECT_EQ(nics_[n]->context(0)->job, 2);
+    EXPECT_FALSE(nics_[n]->halted());
+  }
+  // Empty queues: valid-only switch reports zero occupancy.
+  EXPECT_EQ(reports[0].valid_send_pkts, 0u);
+  EXPECT_EQ(reports[0].valid_recv_pkts, 0u);
+
+  // And back again.
+  switchBoth(1);
+  EXPECT_EQ(comms_[0]->liveJob(), 1);
+}
+
+TEST_F(CommNodeTest, SwitchPreservesQueuedPackets) {
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_EQ(comms_[n]->COMM_init_job(1, n, 2, nullptr), Status::kOk);
+    ASSERT_EQ(comms_[n]->COMM_init_job(2, n, 2, nullptr), Status::kOk);
+  }
+  // Put a packet in job 1's send queue on node 0 (host enqueue path).
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src_node = 0;
+  p.dst_node = 1;
+  p.job = 1;
+  p.src_rank = 0;
+  p.dst_rank = 1;
+  p.msg_id = 5;
+  p.seq = 1;
+  p.tag = net::Packet::makeTag(1, 0, 1, 5, 0);
+  ASSERT_TRUE(nics_[0]->reserveSendSlot(0));
+  // Enqueue while halted so it cannot leave before the switch.
+  int released = 0;
+  for (int n = 0; n < kNodes; ++n)
+    comms_[n]->COMM_halt_network([this, n, &released, p] {
+      if (n == 0) {
+        ASSERT_TRUE(util::ok(nics_[0]->hostEnqueueSend(0, p)));
+      }
+      comms_[n]->COMM_context_switch(2, [this, n, &released](
+                                            const parpar::SwitchReport&) {
+        comms_[n]->COMM_release_network([&released] { ++released; });
+      });
+    });
+  sim_.run();
+  ASSERT_EQ(released, kNodes);
+  EXPECT_TRUE(nics_[0]->context(0)->sendq.empty());  // job 2 live, clean
+
+  // Switch back: job 1's packet must reappear and then fly to node 1.
+  auto reports = switchBoth(1);
+  EXPECT_EQ(reports[0].valid_send_pkts, 0u);  // counted for job 2 (outgoing)
+  sim_.run();
+  ASSERT_FALSE(nics_[1]->recvEmpty(0));
+  const net::Packet got = nics_[1]->hostDequeueRecv(0);
+  EXPECT_EQ(got.msg_id, 5u);
+  EXPECT_TRUE(got.tagValid());
+}
+
+TEST_F(CommNodeTest, SwitchReportsOccupancyOfOutgoingJob) {
+  for (int n = 0; n < kNodes; ++n) {
+    ASSERT_EQ(comms_[n]->COMM_init_job(1, n, 2, nullptr), Status::kOk);
+    ASSERT_EQ(comms_[n]->COMM_init_job(2, n, 2, nullptr), Status::kOk);
+  }
+  int released = 0;
+  parpar::SwitchReport report0;
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src_node = 0;
+  p.dst_node = 1;
+  p.job = 1;
+  p.src_rank = 0;
+  p.dst_rank = 1;
+  p.seq = 1;
+  p.tag = net::Packet::makeTag(1, 0, 1, 0, 0);
+  ASSERT_TRUE(nics_[0]->reserveSendSlot(0));
+  for (int n = 0; n < kNodes; ++n)
+    comms_[n]->COMM_halt_network([this, n, &released, &report0, p] {
+      if (n == 0) ASSERT_TRUE(util::ok(nics_[0]->hostEnqueueSend(0, p)));
+      comms_[n]->COMM_context_switch(
+          2, [this, n, &released, &report0](const parpar::SwitchReport& r) {
+            if (n == 0) report0 = r;
+            comms_[n]->COMM_release_network([&released] { ++released; });
+          });
+    });
+  sim_.run();
+  ASSERT_EQ(released, kNodes);
+  EXPECT_EQ(report0.valid_send_pkts, 1u);
+  EXPECT_GT(report0.bytes_copied_out, 0u);
+}
+
+TEST_F(CommNodeTest, EndJobForSavedAndLiveContexts) {
+  ASSERT_EQ(comms_[0]->COMM_init_job(1, 0, 2, nullptr), Status::kOk);
+  ASSERT_EQ(comms_[0]->COMM_init_job(2, 0, 2, nullptr), Status::kOk);
+  EXPECT_EQ(comms_[0]->COMM_end_job(2), Status::kOk);  // saved
+  EXPECT_EQ(comms_[0]->savedContexts(), 0u);
+  EXPECT_EQ(comms_[0]->COMM_end_job(1), Status::kOk);  // live
+  EXPECT_EQ(comms_[0]->liveJob(), net::kNoJob);
+  EXPECT_EQ(comms_[0]->COMM_end_job(1), Status::kNotFound);
+}
+
+TEST_F(PartitionedCommNodeTest, GeometryDividesBuffers) {
+  EXPECT_EQ(comms_[0]->sendSlotsPerContext(), 252 / 4);
+  EXPECT_EQ(comms_[0]->recvSlotsPerContext(), 668 / 4);
+  EXPECT_EQ(comms_[0]->creditsC0(), (668 / 4) / (4 * kNodes));
+  EXPECT_FALSE(comms_[0]->needsBufferSwitch());
+}
+
+TEST_F(PartitionedCommNodeTest, EachJobGetsItsOwnCardContext) {
+  ASSERT_EQ(comms_[0]->COMM_init_job(1, 0, 2, nullptr), Status::kOk);
+  ASSERT_EQ(comms_[0]->COMM_init_job(2, 0, 2, nullptr), Status::kOk);
+  EXPECT_EQ(nics_[0]->contextCount(), 2u);
+  EXPECT_NE(nics_[0]->contextForJob(1), nullptr);
+  EXPECT_NE(nics_[0]->contextForJob(2), nullptr);
+}
+
+TEST_F(PartitionedCommNodeTest, ContextTableCapacityEnforced) {
+  for (net::JobId j = 1; j <= 4; ++j)
+    ASSERT_EQ(comms_[0]->COMM_init_job(j, 0, 2, nullptr), Status::kOk);
+  EXPECT_EQ(comms_[0]->COMM_init_job(5, 0, 2, nullptr),
+            Status::kNoResources);
+}
+
+TEST_F(PartitionedCommNodeTest, HaltProtocolRejected) {
+  EXPECT_DEATH(comms_[0]->COMM_halt_network([] {}), "unnecessary");
+}
+
+}  // namespace
+}  // namespace gangcomm::glue

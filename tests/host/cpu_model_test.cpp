@@ -1,0 +1,53 @@
+#include "host/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gangcomm::host {
+namespace {
+
+TEST(HostCpu, IdleInitially) {
+  HostCpu cpu;
+  EXPECT_TRUE(cpu.idleAt(0));
+  EXPECT_EQ(cpu.availableAt(100), 100u);
+  EXPECT_EQ(cpu.busyTotal(), 0u);
+}
+
+TEST(HostCpu, AcquireSerializesWork) {
+  HostCpu cpu;
+  EXPECT_EQ(cpu.acquire(0, 10), 10u);
+  EXPECT_EQ(cpu.acquire(0, 10), 20u);  // queued behind the first
+  EXPECT_EQ(cpu.acquire(5, 10), 30u);
+  EXPECT_EQ(cpu.busyTotal(), 30u);
+}
+
+TEST(HostCpu, AcquireAfterIdleGapStartsAtNow) {
+  HostCpu cpu;
+  cpu.acquire(0, 10);
+  // CPU idle from 10 to 100; new work starts at 100.
+  EXPECT_EQ(cpu.acquire(100, 5), 105u);
+  EXPECT_EQ(cpu.busyTotal(), 15u);
+}
+
+TEST(HostCpu, AvailableAtTracksBacklog) {
+  HostCpu cpu;
+  cpu.acquire(0, 50);
+  EXPECT_EQ(cpu.availableAt(10), 50u);
+  EXPECT_FALSE(cpu.idleAt(10));
+  EXPECT_TRUE(cpu.idleAt(50));
+}
+
+TEST(HostCpu, UtilizationFraction) {
+  HostCpu cpu;
+  cpu.acquire(0, 25);
+  EXPECT_DOUBLE_EQ(cpu.utilization(100), 0.25);
+  EXPECT_DOUBLE_EQ(cpu.utilization(0), 0.0);
+}
+
+TEST(HostCpu, ZeroWorkIsFree) {
+  HostCpu cpu;
+  EXPECT_EQ(cpu.acquire(7, 0), 7u);
+  EXPECT_TRUE(cpu.idleAt(7));
+}
+
+}  // namespace
+}  // namespace gangcomm::host

@@ -1,0 +1,91 @@
+// The memory model must encode exactly the paper's §4.2 calibration; the
+// buffer-switch figures depend on these three bandwidths.
+#include "host/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace gangcomm::host {
+namespace {
+
+constexpr std::uint64_t kSendBufBytes = 252ull * 1560;  // ~400 KB on the NIC
+constexpr std::uint64_t kRecvBufBytes = 668ull * 1560;  // ~1 MB pinned
+
+TEST(MemoryModel, PaperBandwidthTable) {
+  MemoryModel m;
+  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kHost, MemRegion::kHost), 45.0);
+  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kNicSram, MemRegion::kHost), 14.0);
+  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kHost, MemRegion::kNicSram), 80.0);
+}
+
+TEST(MemoryModel, WcReadIsTheSlowPath) {
+  // The paper: "even though the receive buffer is more than twice the send
+  // buffer's size, the time consuming part ... was replacing the send
+  // buffer" — pulling it off the card at 14 MB/s.
+  MemoryModel m;
+  const auto send_out =
+      m.copyCost(MemRegion::kNicSram, MemRegion::kHost, kSendBufBytes);
+  const auto recv_out =
+      m.copyCost(MemRegion::kHost, MemRegion::kHost, kRecvBufBytes);
+  EXPECT_GT(send_out, recv_out);
+}
+
+TEST(MemoryModel, FullSwitchUnder85Ms) {
+  // §4.2: "Even when using the full buffer switch the time is less than
+  // 85 msecs (17,000,000 cycles)".
+  MemoryModel m;
+  const sim::Duration total =
+      m.copyCost(MemRegion::kNicSram, MemRegion::kHost, kSendBufBytes) +
+      m.copyCost(MemRegion::kHost, MemRegion::kNicSram, kSendBufBytes) +
+      2 * m.copyCost(MemRegion::kHost, MemRegion::kHost, kRecvBufBytes);
+  EXPECT_LT(sim::nsToMs(total), 85.0);
+  EXPECT_GT(sim::nsToMs(total), 50.0);  // and not trivially small
+  EXPECT_LT(sim::nsToCycles(total), 17'000'000u);
+}
+
+TEST(MemoryModel, CopyCostScalesLinearly) {
+  MemoryModel m;
+  const auto one = m.copyCost(MemRegion::kHost, MemRegion::kHost, 1560);
+  const auto hundred = m.copyCost(MemRegion::kHost, MemRegion::kHost, 156000);
+  EXPECT_NEAR(static_cast<double>(hundred),
+              100.0 * static_cast<double>(one), static_cast<double>(one));
+}
+
+TEST(MemoryModel, ZeroBytesCostsNothing) {
+  MemoryModel m;
+  EXPECT_EQ(m.copyCost(MemRegion::kHost, MemRegion::kNicSram, 0), 0u);
+  EXPECT_EQ(m.readCost(MemRegion::kNicSram, 0), 0u);
+}
+
+TEST(MemoryModel, ReadCostUsesRegionReadBandwidth) {
+  MemoryModel m;
+  // WC read at 14 MB/s, cacheable read stream at 90 MB/s.
+  EXPECT_GT(m.readCost(MemRegion::kNicSram, 4096),
+            m.readCost(MemRegion::kHost, 4096));
+}
+
+TEST(MemoryModel, CustomConfigRespected) {
+  MemoryModelConfig cfg;
+  cfg.host_to_host_mbps = 100.0;
+  MemoryModel m(cfg);
+  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kHost, MemRegion::kHost), 100.0);
+  EXPECT_EQ(m.copyCost(MemRegion::kHost, MemRegion::kHost, 100'000'000),
+            sim::transferNs(100'000'000, 100.0));
+}
+
+TEST(MemoryModel, ImprovedSwitchBudgetHolds) {
+  // §4.2: with ~100 valid receive packets and ~15 valid send packets per
+  // direction, the improved switch is under 12.5 ms (2.5 Mcycles).
+  MemoryModel m;
+  const std::uint64_t recv_bytes = 100ull * 1560;
+  const std::uint64_t send_bytes = 15ull * 1560;
+  const sim::Duration total =
+      m.copyCost(MemRegion::kNicSram, MemRegion::kHost, send_bytes) +
+      m.copyCost(MemRegion::kHost, MemRegion::kNicSram, send_bytes) +
+      2 * m.copyCost(MemRegion::kHost, MemRegion::kHost, recv_bytes);
+  EXPECT_LT(sim::nsToCycles(total), 2'500'000u);
+}
+
+}  // namespace
+}  // namespace gangcomm::host

@@ -1,0 +1,51 @@
+#include "host/region_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gangcomm::host {
+namespace {
+
+TEST(RegionAllocator, TracksUsage) {
+  RegionAllocator a("sram", 1000);
+  EXPECT_EQ(a.totalBytes(), 1000u);
+  EXPECT_EQ(a.allocate(400), 0u);
+  EXPECT_EQ(a.usedBytes(), 400u);
+  EXPECT_EQ(a.freeBytes(), 600u);
+  EXPECT_EQ(a.allocate(600), 400u);
+  EXPECT_EQ(a.freeBytes(), 0u);
+}
+
+TEST(RegionAllocator, FailsWhenExhausted) {
+  RegionAllocator a("sram", 100);
+  EXPECT_NE(a.allocate(100), RegionAllocator::kNoSpace);
+  EXPECT_EQ(a.allocate(1), RegionAllocator::kNoSpace);
+}
+
+TEST(RegionAllocator, ResetReclaimsEverything) {
+  RegionAllocator a("pinned", 50);
+  a.allocate(50);
+  a.reset();
+  EXPECT_EQ(a.freeBytes(), 50u);
+  EXPECT_EQ(a.blockCount(), 0u);
+  EXPECT_NE(a.allocate(50), RegionAllocator::kNoSpace);
+}
+
+TEST(RegionAllocator, NicGeometryFits) {
+  // 512 KB SRAM: 112 KB control program + 252 slots of 1560 B send queue.
+  RegionAllocator sram("sram", 512 * 1024);
+  EXPECT_NE(sram.allocate(112 * 1024), RegionAllocator::kNoSpace);
+  EXPECT_NE(sram.allocate(252ull * 1560), RegionAllocator::kNoSpace);
+  // 1 MB pinned arena holds exactly the 668-slot receive queue.
+  RegionAllocator pinned("pinned", 1024 * 1024);
+  EXPECT_NE(pinned.allocate(668ull * 1560), RegionAllocator::kNoSpace);
+  EXPECT_EQ(pinned.allocate(668ull * 1560), RegionAllocator::kNoSpace);
+}
+
+TEST(RegionAllocator, ZeroByteAllocationSucceeds) {
+  RegionAllocator a("x", 10);
+  EXPECT_EQ(a.allocate(0), 0u);
+  EXPECT_EQ(a.usedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gangcomm::host

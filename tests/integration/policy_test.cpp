@@ -1,0 +1,139 @@
+// The paper's headline comparison at system level: partitioned buffers
+// collapse with the context count; switched buffers do not.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+
+namespace gangcomm::core {
+namespace {
+
+using app::BandwidthReceiver;
+using app::BandwidthSender;
+using app::Process;
+
+Cluster::ProcessFactory bandwidthFactory(std::uint32_t msg_bytes,
+                                         std::uint64_t count) {
+  return [msg_bytes, count](Process::Env env) -> std::unique_ptr<Process> {
+    if (env.rank == 0)
+      return std::make_unique<BandwidthSender>(std::move(env), 1, msg_bytes,
+                                               count);
+    return std::make_unique<BandwidthReceiver>(std::move(env), 0, count);
+  };
+}
+
+/// Figure 5 inner loop: single app, partitioned buffers sized for
+/// `max_contexts`, p = 16 nodes; returns sender bandwidth.
+double partitionedBandwidth(int max_contexts, std::uint32_t msg_bytes,
+                            std::uint64_t count) {
+  ClusterConfig cfg;
+  cfg.nodes = 16;
+  cfg.policy = glue::BufferPolicy::kPartitioned;
+  cfg.max_contexts = max_contexts;
+  Cluster cluster(cfg);
+  const net::JobId job = cluster.submit(2, bandwidthFactory(msg_bytes, count));
+  cluster.run();
+  auto* sender = dynamic_cast<BandwidthSender*>(cluster.processes(job)[0]);
+  return sender->bandwidthMBps();
+}
+
+TEST(PolicyComparison, PartitionedBandwidthCollapsesWithContexts) {
+  // Figure 5 / §4.1: full bandwidth at one context; "about 256KB of memory
+  // on the NIC suffices for adequate performance" (n = 2 is still fine);
+  // the inverse-square credit collapse then bites hard — C0 = 2 at n = 4,
+  // C0 = 1 (stop-and-wait) at n = 5 — and kills communication at n >= 7.
+  const double bw1 = partitionedBandwidth(1, 16384, 400);
+  const double bw2 = partitionedBandwidth(2, 16384, 400);
+  const double bw4 = partitionedBandwidth(4, 16384, 400);
+  const double bw5 = partitionedBandwidth(5, 16384, 200);
+  EXPECT_GT(bw1, 50.0);
+  EXPECT_GT(bw2, 50.0);          // n=2: adequate, per the paper
+  EXPECT_LE(bw2, bw1 * 1.02);    // but never better
+  EXPECT_LT(bw4, bw1 * 0.80);    // C0=2: window-limited
+  EXPECT_LT(bw5, bw1 * 0.45);    // C0=1: stop-and-wait
+  EXPECT_GT(bw5, 0.0);
+}
+
+TEST(PolicyComparison, EightContextsDeadlockOutright) {
+  // "No communication is even possible for as few as 8 contexts" (§4.1).
+  ClusterConfig cfg;
+  cfg.nodes = 16;
+  cfg.policy = glue::BufferPolicy::kPartitioned;
+  cfg.max_contexts = 8;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.creditsC0(), 0);
+  const net::JobId job = cluster.submit(2, bandwidthFactory(16384, 10));
+  cluster.run();
+  auto* sender = dynamic_cast<BandwidthSender*>(cluster.processes(job)[0]);
+  EXPECT_TRUE(sender->sawDeadlock());
+  EXPECT_EQ(sender->bandwidthMBps(), 0.0);
+}
+
+TEST(PolicyComparison, SwitchedCreditsUnaffectedByMatrixDepth) {
+  for (int n : {1, 2, 4, 8}) {
+    ClusterConfig cfg;
+    cfg.nodes = 16;
+    cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
+    cfg.max_contexts = n;
+    Cluster cluster(cfg);
+    EXPECT_EQ(cluster.creditsC0(), 41) << "n=" << n;
+  }
+}
+
+TEST(PolicyComparison, TotalBandwidthStableAcrossJobCounts) {
+  // Lightweight Figure-6 shape check: total (sum of per-app) bandwidth with
+  // 1 vs 3 gang-scheduled jobs stays in the same band.
+  auto totalBw = [](int jobs) {
+    ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
+    cfg.max_contexts = jobs;
+    cfg.quantum = 50 * sim::kMillisecond;
+    Cluster cluster(cfg);
+    std::vector<net::JobId> ids;
+    for (int j = 0; j < jobs; ++j)
+      ids.push_back(cluster.submit(2, bandwidthFactory(16384, 600)));
+    cluster.run();
+    double total = 0;
+    for (net::JobId id : ids) {
+      auto* s = dynamic_cast<BandwidthSender*>(cluster.processes(id)[0]);
+      total += s->bandwidthMBps();
+    }
+    return total;
+  };
+  const double one = totalBw(1);
+  const double three = totalBw(3);
+  EXPECT_GT(one, 50.0);
+  EXPECT_GT(three, one * 0.7);
+  EXPECT_LT(three, one * 1.3);
+}
+
+TEST(PolicyComparison, PartitionedMultiJobNeedsNoSwitchProtocol) {
+  // Under partitioning every job keeps its card context, so gang switches
+  // reduce to SIGSTOP/SIGCONT and no SwitchReport carries copy costs.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.policy = glue::BufferPolicy::kPartitioned;
+  cfg.max_contexts = 2;
+  cfg.quantum = 50 * sim::kMillisecond;
+  Cluster cluster(cfg);
+  const net::JobId j1 = cluster.submit(2, bandwidthFactory(4096, 400));
+  const net::JobId j2 = cluster.submit(2, bandwidthFactory(4096, 400));
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 2);
+  for (const auto& rec : cluster.switchRecords()) {
+    EXPECT_EQ(rec.report.switch_ns, 0u);
+    EXPECT_EQ(rec.report.bytes_copied_out, 0u);
+  }
+  // Both jobs complete despite reduced credits (C0 = 167/4 = 41... for n=2,
+  // p=2: (668/2)/(2*2) = 83 credits — plenty at this scale).
+  for (net::JobId j : {j1, j2}) {
+    auto* recv = dynamic_cast<BandwidthReceiver*>(cluster.processes(j)[1]);
+    EXPECT_EQ(recv->messagesReceived(), 400u);
+  }
+}
+
+}  // namespace
+}  // namespace gangcomm::core

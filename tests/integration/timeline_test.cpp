@@ -1,0 +1,65 @@
+// ThroughputTimeline sampling.
+#include "core/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/workloads.hpp"
+
+namespace gangcomm::core {
+namespace {
+
+using app::BandwidthReceiver;
+using app::BandwidthSender;
+using app::Process;
+
+TEST(Timeline, SamplesBandwidthAndMarksSwitches) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.max_contexts = 2;
+  cfg.quantum = 30 * sim::kMillisecond;
+  Cluster cluster(cfg);
+  auto factory = [](Process::Env env) -> std::unique_ptr<Process> {
+    if (env.rank == 0)
+      return std::make_unique<BandwidthSender>(std::move(env), 1, 16384, 600);
+    return std::make_unique<BandwidthReceiver>(std::move(env), 0, 600);
+  };
+  cluster.submit(2, factory);
+  cluster.submit(2, factory);
+  ThroughputTimeline timeline(cluster, 5 * sim::kMillisecond);
+  cluster.run();  // drains: the timeline self-terminates with the jobs
+
+  ASSERT_GT(timeline.samples().size(), 10u);
+  EXPECT_GT(timeline.peakMBps(), 50.0);
+  EXPECT_LT(timeline.peakMBps(), 90.0);
+  int switch_marks = 0;
+  for (const auto& s : timeline.samples())
+    if (s.switch_seen) ++switch_marks;
+  EXPECT_GT(switch_marks, 0);
+  EXPECT_EQ(timeline.sparkline().size(), timeline.samples().size());
+  EXPECT_NE(timeline.sparkline().find('x'), std::string::npos);
+}
+
+TEST(Timeline, StopEndsSampling) {
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster cluster(cfg);
+  cluster.submit(2, [](Process::Env env) -> std::unique_ptr<Process> {
+    if (env.rank == 0)
+      return std::make_unique<BandwidthSender>(std::move(env), 1, 16384,
+                                               2000);
+    return std::make_unique<BandwidthReceiver>(std::move(env), 0, 2000);
+  });
+  ThroughputTimeline timeline(cluster, 5 * sim::kMillisecond);
+  cluster.runUntil(sim::msToNs(40));
+  timeline.stop();
+  cluster.runUntil(sim::msToNs(200));
+  const std::size_t frozen = timeline.samples().size();
+  EXPECT_LE(frozen, 10u);
+  cluster.run();
+  EXPECT_EQ(timeline.samples().size(), frozen);
+}
+
+}  // namespace
+}  // namespace gangcomm::core

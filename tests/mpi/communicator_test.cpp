@@ -1,0 +1,209 @@
+// MPI layer: tag matching, reassembly, and the collective algorithms over a
+// real simulated FM fabric.
+#include "mpi/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/cpu_model.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::mpi {
+namespace {
+
+using util::Status;
+
+/// N-node rig with one FmLib + Communicator per rank.
+class MpiRig {
+ public:
+  explicit MpiRig(int p, int credits = 64)
+      : fabric_(sim_, net::RoutingTable::singleSwitch(p)), cpus_(p) {
+    std::vector<net::NodeId> mapping;
+    for (int n = 0; n < p; ++n) mapping.push_back(n);
+    for (int n = 0; n < p; ++n) {
+      nics_.push_back(
+          std::make_unique<net::Nic>(sim_, fabric_, n, net::NicConfig{}));
+      EXPECT_TRUE(util::ok(
+          nics_.back()->allocContext(0, 1, n, 64, 256, credits, p)));
+      fm::FmLib::Params params;
+      params.ctx = 0;
+      params.job = 1;
+      params.rank = n;
+      params.rank_to_node = mapping;
+      params.credits_c0 = credits;
+      libs_.push_back(std::make_unique<fm::FmLib>(
+          sim_, cpus_[static_cast<std::size_t>(n)], *nics_.back(),
+          fm::FmConfig{}, params));
+      comms_.push_back(std::make_unique<Communicator>(*libs_.back()));
+    }
+  }
+
+  Communicator& comm(int r) { return *comms_[static_cast<std::size_t>(r)]; }
+  sim::Simulator& sim() { return sim_; }
+
+  /// Drive a set of collective ops to completion (round-robin advancing).
+  void runOps(std::vector<CollectiveOp*> ops, double max_sim_s = 1.0) {
+    const sim::SimTime deadline = sim::secToNs(max_sim_s);
+    bool all_done = false;
+    while (!all_done && sim_.now() < deadline) {
+      all_done = true;
+      for (auto* op : ops) {
+        if (op->done()) continue;
+        const Status st = op->advance();
+        ASSERT_TRUE(st == Status::kOk || st == Status::kWouldBlock);
+        if (!op->done()) all_done = false;
+      }
+      if (!all_done) sim_.runUntil(sim_.now() + 20 * sim::kMicrosecond);
+    }
+    EXPECT_TRUE(all_done) << "collectives did not converge";
+  }
+
+ private:
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  std::vector<host::HostCpu> cpus_;
+  std::vector<std::unique_ptr<net::Nic>> nics_;
+  std::vector<std::unique_ptr<fm::FmLib>> libs_;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+TEST(Communicator, PointToPointTagMatch) {
+  MpiRig rig(2);
+  ASSERT_EQ(rig.comm(0).send(1, 5, 100, 0xdead), Status::kOk);
+  ASSERT_EQ(rig.comm(0).send(1, 6, 100, 0xbeef), Status::kOk);
+  rig.sim().run();
+  rig.comm(1).progress(64);
+
+  Message m;
+  // Match tag 6 first even though tag 5 arrived earlier.
+  ASSERT_TRUE(rig.comm(1).tryRecv(0, 6, &m));
+  EXPECT_EQ(m.data, 0xbeefu);
+  ASSERT_TRUE(rig.comm(1).tryRecv(kAnySource, 5, &m));
+  EXPECT_EQ(m.data, 0xdeadu);
+  EXPECT_FALSE(rig.comm(1).tryRecv(kAnySource, 5, &m));
+}
+
+TEST(Communicator, FifoPerSourceAndTag) {
+  MpiRig rig(2);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ASSERT_EQ(rig.comm(0).send(1, 9, 64, i), Status::kOk);
+  rig.sim().run();
+  rig.comm(1).progress(64);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Message m;
+    ASSERT_TRUE(rig.comm(1).tryRecv(0, 9, &m));
+    EXPECT_EQ(m.data, i);
+  }
+}
+
+TEST(Communicator, MultiFragmentMessageCompletesOnce) {
+  MpiRig rig(2);
+  const std::uint32_t bytes = 5 * net::kMaxPayloadBytes + 7;
+  ASSERT_EQ(rig.comm(0).send(1, 3, bytes, 42), Status::kOk);
+  rig.sim().run();
+  rig.comm(1).progress(64);
+  Message m;
+  ASSERT_TRUE(rig.comm(1).tryRecv(0, 3, &m));
+  EXPECT_EQ(m.bytes, bytes);
+  EXPECT_EQ(m.data, 42u);
+  EXPECT_FALSE(rig.comm(1).probe(0, 3));
+}
+
+TEST(Communicator, ProbeSeesWithoutConsuming) {
+  MpiRig rig(2);
+  ASSERT_EQ(rig.comm(0).send(1, 4, 10, 1), Status::kOk);
+  rig.sim().run();
+  rig.comm(1).progress(64);
+  EXPECT_TRUE(rig.comm(1).probe(0, 4));
+  EXPECT_TRUE(rig.comm(1).probe(kAnySource, 4));
+  EXPECT_FALSE(rig.comm(1).probe(0, 99));
+  EXPECT_EQ(rig.comm(1).pendingMessages(), 1u);
+}
+
+class CollectiveSweep : public testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, BarrierCompletesForAllSizes) {
+  const int p = GetParam();
+  MpiRig rig(p);
+  std::vector<std::unique_ptr<BarrierOp>> ops;
+  std::vector<CollectiveOp*> raw;
+  for (int r = 0; r < p; ++r) {
+    ops.push_back(std::make_unique<BarrierOp>(rig.comm(r), 100));
+    raw.push_back(ops.back().get());
+  }
+  rig.runOps(raw);
+  for (auto& op : ops) EXPECT_TRUE(op->done());
+}
+
+TEST_P(CollectiveSweep, BcastDeliversRootValueEverywhere) {
+  const int p = GetParam();
+  for (int root = 0; root < p; root += (p > 4 ? 3 : 1)) {
+    MpiRig rig(p);
+    std::vector<std::unique_ptr<BcastOp>> ops;
+    std::vector<CollectiveOp*> raw;
+    const std::uint64_t value = 0xc0ffee00u + static_cast<std::uint64_t>(root);
+    for (int r = 0; r < p; ++r) {
+      ops.push_back(std::make_unique<BcastOp>(
+          rig.comm(r), root, 7, 512, r == root ? value : 0));
+      raw.push_back(ops.back().get());
+    }
+    rig.runOps(raw);
+    for (auto& op : ops) EXPECT_EQ(op->value(), value) << "root=" << root;
+  }
+}
+
+TEST_P(CollectiveSweep, ReduceSumsExactly) {
+  const int p = GetParam();
+  MpiRig rig(p);
+  std::vector<std::unique_ptr<ReduceOp>> ops;
+  std::vector<CollectiveOp*> raw;
+  std::uint64_t expect = 0;
+  for (int r = 0; r < p; ++r) {
+    const std::uint64_t c = static_cast<std::uint64_t>(r) * r + 13;
+    expect += c;
+    ops.push_back(std::make_unique<ReduceOp>(rig.comm(r), 0, 11, 256, c));
+    raw.push_back(ops.back().get());
+  }
+  rig.runOps(raw);
+  EXPECT_EQ(ops[0]->value(), expect);
+}
+
+TEST_P(CollectiveSweep, AllreduceAgreesEverywhere) {
+  const int p = GetParam();
+  MpiRig rig(p);
+  std::vector<std::unique_ptr<AllreduceOp>> ops;
+  std::vector<CollectiveOp*> raw;
+  std::uint64_t expect = 0;
+  for (int r = 0; r < p; ++r) {
+    const std::uint64_t c = 1000003ULL * static_cast<std::uint64_t>(r + 1);
+    expect += c;
+    ops.push_back(std::make_unique<AllreduceOp>(rig.comm(r), 20, 256, c));
+    raw.push_back(ops.back().get());
+  }
+  rig.runOps(raw);
+  for (auto& op : ops) EXPECT_EQ(op->value(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSweep,
+                         testing::Values(1, 2, 3, 4, 5, 8, 13, 16));
+
+TEST(Collectives, BackToBackBarriersDoNotCrossTalk) {
+  const int p = 4;
+  MpiRig rig(p);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::unique_ptr<BarrierOp>> ops;
+    std::vector<CollectiveOp*> raw;
+    for (int r = 0; r < p; ++r) {
+      ops.push_back(std::make_unique<BarrierOp>(rig.comm(r), 40));
+      raw.push_back(ops.back().get());
+    }
+    rig.runOps(raw);
+    for (auto& op : ops) ASSERT_TRUE(op->done()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace gangcomm::mpi

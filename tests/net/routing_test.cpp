@@ -1,0 +1,79 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gangcomm::net {
+namespace {
+
+TEST(RoutingTable, SingleSwitchHopCounts) {
+  auto t = RoutingTable::singleSwitch(16);
+  EXPECT_EQ(t.nodeCount(), 16);
+  EXPECT_EQ(t.hops(0, 0), 0);
+  EXPECT_EQ(t.hops(0, 15), 2);
+  EXPECT_EQ(t.hops(7, 3), 2);
+}
+
+TEST(RoutingTable, SingleSwitchCustomHops) {
+  auto t = RoutingTable::singleSwitch(4, 3);
+  EXPECT_EQ(t.hops(1, 2), 3);
+  EXPECT_EQ(t.hops(2, 2), 0);
+}
+
+TEST(RoutingTable, RoutesAreSymmetric) {
+  auto t = RoutingTable::tree(16, 4);
+  for (NodeId a = 0; a < 16; ++a)
+    for (NodeId b = 0; b < 16; ++b)
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+}
+
+TEST(RoutingTable, TreeDepthGrowsAcrossSubtrees) {
+  auto t = RoutingTable::tree(16, 4);
+  // Same leaf switch: 2 hops; across the root: 4.
+  EXPECT_EQ(t.hops(0, 1), 2);
+  EXPECT_EQ(t.hops(0, 5), 4);
+  EXPECT_EQ(t.hops(0, 15), 4);
+}
+
+TEST(RoutingTable, ValidRejectsOutOfRange) {
+  auto t = RoutingTable::singleSwitch(4);
+  EXPECT_TRUE(t.valid(0));
+  EXPECT_TRUE(t.valid(3));
+  EXPECT_FALSE(t.valid(4));
+  EXPECT_FALSE(t.valid(-1));
+}
+
+TEST(Packet, TagRoundTrip) {
+  Packet p;
+  p.job = 3;
+  p.src_rank = 1;
+  p.dst_rank = 0;
+  p.msg_id = 42;
+  p.frag_index = 7;
+  p.tag = Packet::makeTag(3, 1, 0, 42, 7);
+  EXPECT_TRUE(p.tagValid());
+  p.frag_index = 8;
+  EXPECT_FALSE(p.tagValid());
+}
+
+TEST(Packet, WireBytesByType) {
+  Packet d;
+  d.type = PacketType::kData;
+  d.payload_bytes = 100;
+  EXPECT_EQ(d.wireBytes(), kPacketHeaderBytes + 100);
+  Packet h;
+  h.type = PacketType::kHalt;
+  EXPECT_EQ(h.wireBytes(), kControlWireBytes);
+}
+
+TEST(Packet, SlotGeometryMatchesPaper) {
+  // Paper §4.2: 1560 B packets, "the receive buffer is of 668 packets in
+  // size, and the send buffer is of 252 packets" (1 MB / ~400 KB arenas; the
+  // real ring also stores per-slot descriptors, hence 668 rather than 672).
+  EXPECT_EQ(kPacketSlotBytes, 1560u);
+  EXPECT_LE(668u * kPacketSlotBytes, 1024u * 1024u);
+  EXPECT_NEAR(252.0 * kPacketSlotBytes, 400.0 * 1024, 20 * 1024);
+  EXPECT_EQ(kMaxPayloadBytes + kPacketHeaderBytes, kPacketSlotBytes);
+}
+
+}  // namespace
+}  // namespace gangcomm::net

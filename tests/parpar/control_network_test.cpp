@@ -1,0 +1,103 @@
+#include "parpar/control_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace gangcomm::parpar {
+namespace {
+
+TEST(ControlNetwork, DeliversToAttachedEndpoint) {
+  sim::Simulator s;
+  ControlNetwork net(s, 2);
+  CtrlMsg got;
+  int count = 0;
+  net.attach(1, [&](const CtrlMsg& m) {
+    got = m;
+    ++count;
+  });
+  CtrlMsg msg;
+  msg.type = CtrlType::kStartJob;
+  msg.job = 7;
+  net.send(0, 1, msg);
+  s.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(got.job, 7);
+  EXPECT_EQ(got.type, CtrlType::kStartJob);
+  EXPECT_EQ(net.messagesDelivered(), 1u);
+}
+
+TEST(ControlNetwork, DeliveryHasLatency) {
+  sim::Simulator s;
+  ControlNetConfig cfg;
+  ControlNetwork net(s, 2, cfg);
+  net.attach(1, [](const CtrlMsg&) {});
+  net.send(0, 1, CtrlMsg{});
+  s.run();
+  // tx_serialize + base latency at minimum.
+  EXPECT_GE(s.now(), cfg.tx_serialize_ns + cfg.base_latency_ns);
+}
+
+TEST(ControlNetwork, SerialBroadcastSkewsDeliveries) {
+  // The masterd's "broadcast" is a serial unicast loop; the k-th receiver
+  // hears roughly k serialization times later — the source of the halt-stage
+  // growth in Figures 7/9.
+  sim::Simulator s;
+  ControlNetConfig cfg;
+  cfg.jitter_mean_ns = 0;
+  ControlNetwork net(s, 17, cfg);
+  std::vector<sim::SimTime> at(17, 0);
+  for (int n = 0; n < 16; ++n)
+    net.attach(n, [&at, n, &s](const CtrlMsg&) {
+      at[static_cast<std::size_t>(n)] = s.now();
+    });
+  net.attach(16, [](const CtrlMsg&) {});
+  for (int n = 0; n < 16; ++n) net.send(16, n, CtrlMsg{});
+  s.run();
+  for (int n = 1; n < 16; ++n) EXPECT_GT(at[n], at[n - 1]);
+  const sim::Duration spread = at[15] - at[0];
+  EXPECT_NEAR(static_cast<double>(spread),
+              15.0 * static_cast<double>(cfg.tx_serialize_ns),
+              static_cast<double>(cfg.tx_serialize_ns));
+}
+
+TEST(ControlNetwork, IndependentSendersDoNotSerialize) {
+  sim::Simulator s;
+  ControlNetConfig cfg;
+  cfg.jitter_mean_ns = 0;
+  ControlNetwork net(s, 3, cfg);
+  std::vector<sim::SimTime> at(3, 0);
+  for (int n = 0; n < 3; ++n)
+    net.attach(n, [&at, n, &s](const CtrlMsg&) {
+      at[static_cast<std::size_t>(n)] = s.now();
+    });
+  net.send(0, 2, CtrlMsg{});
+  net.send(1, 2, CtrlMsg{});  // different sender: no tx queueing
+  s.run();
+  EXPECT_EQ(at[2], cfg.tx_serialize_ns + cfg.base_latency_ns);
+}
+
+TEST(ControlNetwork, JitterIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    ControlNetwork net(s, 2, ControlNetConfig{}, seed);
+    sim::SimTime at = 0;
+    net.attach(1, [&](const CtrlMsg&) { at = s.now(); });
+    net.send(0, 1, CtrlMsg{});
+    s.run();
+    return at;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(ControlNetworkDeath, UnattachedEndpointDies) {
+  sim::Simulator s;
+  ControlNetwork net(s, 2);
+  EXPECT_DEATH(net.send(0, 1, CtrlMsg{}), "not attached");
+}
+
+}  // namespace
+}  // namespace gangcomm::parpar

@@ -1,0 +1,192 @@
+#include "parpar/gang_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace gangcomm::parpar {
+namespace {
+
+TEST(DhcAllocator, AllocatesRequestedCount) {
+  DhcAllocator dhc(16);
+  auto nodes = dhc.allocate(4);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(nodes->size(), 4u);
+}
+
+TEST(DhcAllocator, PowerOfTwoBlocksAreAligned) {
+  DhcAllocator dhc(16);
+  auto a = dhc.allocate(4);
+  ASSERT_TRUE(a);
+  EXPECT_EQ((*a)[0] % 4, 0);  // aligned buddy block
+  auto b = dhc.allocate(4);
+  ASSERT_TRUE(b);
+  EXPECT_EQ((*b)[0] % 4, 0);
+  // Least-loaded: second allocation avoids the first block.
+  EXPECT_NE((*a)[0], (*b)[0]);
+}
+
+TEST(DhcAllocator, BalancesLoadAcrossSubtrees) {
+  DhcAllocator dhc(16);
+  for (int i = 0; i < 8; ++i) {
+    auto nodes = dhc.allocate(2);
+    ASSERT_TRUE(nodes);
+  }
+  // 8 two-node jobs over 16 nodes: every node loaded exactly once.
+  for (int n = 0; n < 16; ++n) EXPECT_EQ(dhc.load(n), 1) << "node " << n;
+}
+
+TEST(DhcAllocator, ReleaseRestoresLoad) {
+  DhcAllocator dhc(8);
+  auto nodes = dhc.allocate(8);
+  ASSERT_TRUE(nodes);
+  dhc.release(*nodes);
+  for (int n = 0; n < 8; ++n) EXPECT_EQ(dhc.load(n), 0);
+}
+
+TEST(DhcAllocator, RejectsOversizedJob) {
+  DhcAllocator dhc(8);
+  EXPECT_FALSE(dhc.allocate(9).has_value());
+  EXPECT_FALSE(dhc.allocate(0).has_value());
+}
+
+TEST(DhcAllocator, NonPowerOfTwoJobFits) {
+  DhcAllocator dhc(16);
+  auto nodes = dhc.allocate(5);
+  ASSERT_TRUE(nodes);
+  EXPECT_EQ(nodes->size(), 5u);
+  EXPECT_EQ((*nodes)[0] % 8, 0);  // rounded to an 8-wide block
+}
+
+TEST(GangMatrix, PlacesDisjointJobsInOneSlot) {
+  GangMatrix m(16);
+  auto p1 = m.place(1, {0, 1, 2, 3});
+  auto p2 = m.place(2, {4, 5, 6, 7});
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(p1->slot, 0);
+  EXPECT_EQ(p2->slot, 0);  // shares the row: disjoint nodes
+  EXPECT_EQ(m.slots(), 1);
+}
+
+TEST(GangMatrix, OverlappingJobsGetNewSlots) {
+  GangMatrix m(16);
+  auto p1 = m.place(1, {0, 1});
+  auto p2 = m.place(2, {1, 2});
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(p1->slot, 0);
+  EXPECT_EQ(p2->slot, 1);
+  EXPECT_EQ(m.at(0, 1), 1);
+  EXPECT_EQ(m.at(1, 1), 2);
+}
+
+TEST(GangMatrix, DuplicateJobRejected) {
+  GangMatrix m(4);
+  ASSERT_TRUE(m.place(1, {0}));
+  EXPECT_FALSE(m.place(1, {1}).has_value());
+}
+
+TEST(GangMatrix, RemoveDropsTrailingEmptyRows) {
+  GangMatrix m(4);
+  m.place(1, {0, 1});
+  m.place(2, {0, 1});
+  m.place(3, {0, 1});
+  EXPECT_EQ(m.slots(), 3);
+  EXPECT_TRUE(m.remove(3));
+  EXPECT_EQ(m.slots(), 2);
+  EXPECT_TRUE(m.remove(2));
+  EXPECT_EQ(m.slots(), 1);
+  EXPECT_FALSE(m.remove(99));
+}
+
+TEST(GangMatrix, MiddleRowStaysWhenEmpty) {
+  GangMatrix m(4);
+  m.place(1, {0});
+  m.place(2, {0});
+  m.place(3, {0});
+  m.remove(2);
+  EXPECT_EQ(m.slots(), 3);
+  EXPECT_TRUE(m.slotEmpty(1));
+  EXPECT_EQ(m.nonEmptySlots(), 2);
+  // And a new job reuses the hole.
+  auto p = m.place(4, {0, 1});
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->slot, 1);
+}
+
+TEST(GangMatrix, NextNonEmptySlotWraps) {
+  GangMatrix m(4);
+  m.place(1, {0});
+  m.place(2, {0});
+  m.place(3, {0});
+  m.remove(2);
+  EXPECT_EQ(m.nextNonEmptySlot(0), 2);
+  EXPECT_EQ(m.nextNonEmptySlot(2), 0);
+  m.remove(1);
+  m.remove(3);
+  EXPECT_EQ(m.nextNonEmptySlot(0), -1);
+}
+
+TEST(GangMatrix, JobsInSlotListsEachJobOnce) {
+  GangMatrix m(8);
+  m.place(1, {0, 1, 2});
+  m.place(2, {5, 6});
+  auto jobs = m.jobsInSlot(0);
+  EXPECT_EQ(jobs.size(), 2u);
+}
+
+TEST(GangMatrix, JobSlotLookup) {
+  GangMatrix m(8);
+  m.place(1, {0, 1});
+  m.place(2, {0, 1});
+  EXPECT_EQ(m.jobSlot(1), 0);
+  EXPECT_EQ(m.jobSlot(2), 1);
+  EXPECT_EQ(m.jobSlot(42), -1);
+}
+
+// Property sweep: a random stream of placements and removals never violates
+// the core invariants (one job per cell, disjoint node sets per row).
+class GangMatrixProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GangMatrixProperty, RandomChurnKeepsInvariants) {
+  sim::Xoshiro256 rng(GetParam());
+  const int nodes = 16;
+  GangMatrix m(nodes);
+  DhcAllocator dhc(nodes);
+  struct Live {
+    net::JobId job;
+    std::vector<net::NodeId> nodes;
+  };
+  std::vector<Live> live;
+  net::JobId next = 1;
+
+  for (int step = 0; step < 300; ++step) {
+    const bool add = live.empty() || rng.nextDouble() < 0.6;
+    if (add) {
+      const int size = static_cast<int>(rng.nextInRange(1, 16));
+      auto ns = dhc.allocate(size);
+      ASSERT_TRUE(ns.has_value());
+      auto p = m.place(next, *ns);
+      ASSERT_TRUE(p.has_value());
+      live.push_back({next, *ns});
+      ++next;
+    } else {
+      const std::size_t i = rng.nextBelow(live.size());
+      dhc.release(live[i].nodes);
+      ASSERT_TRUE(m.remove(live[i].job));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    // Invariant: every live job occupies exactly its nodes in exactly one
+    // slot, and every cell holds at most one job.
+    for (const auto& lj : live) {
+      const int slot = m.jobSlot(lj.job);
+      ASSERT_GE(slot, 0);
+      for (net::NodeId n : lj.nodes) ASSERT_EQ(m.at(slot, n), lj.job);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GangMatrixProperty,
+                         testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace gangcomm::parpar

@@ -1,0 +1,89 @@
+// Determinism and distribution sanity for the simulation RNG.
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gangcomm::sim {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, ReseedRestartsStream) {
+  Xoshiro256 a(7);
+  std::uint64_t first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.nextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanNearHalf) {
+  Xoshiro256 r(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.nextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BelowRespectsBound) {
+  Xoshiro256 r(17);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(r.nextBelow(10), 10u);
+  EXPECT_EQ(r.nextBelow(0), 0u);
+  EXPECT_EQ(r.nextBelow(1), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 r(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = r.nextInRange(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, ExponentialMeanMatches) {
+  Xoshiro256 r(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.nextExp(40.0);
+  EXPECT_NEAR(sum / n, 40.0, 1.0);
+}
+
+TEST(Xoshiro256, ExponentialAlwaysNonNegative) {
+  Xoshiro256 r(29);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(r.nextExp(5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gangcomm::sim

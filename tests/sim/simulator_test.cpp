@@ -1,0 +1,152 @@
+// Unit tests for the discrete-event core.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gangcomm::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, StableTieBreakAtSameInstant) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingFromCallbacks) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(10, [&] {
+    order.push_back(1);
+    s.schedule(5, [&] { order.push_back(3); });
+    s.schedule(0, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 15u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventHandle h = s.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelTwiceIsNoop) {
+  Simulator s;
+  EventHandle h = s.schedule(10, [] {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));
+  s.run();
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoop) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(EventHandle{}));
+  EXPECT_FALSE(s.cancel(EventHandle{999}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator s;
+  int count = 0;
+  s.schedule(10, [&] { ++count; });
+  s.schedule(20, [&] { ++count; });
+  s.schedule(21, [&] { ++count; });
+  s.runUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20u);
+  s.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Simulator s;
+  s.runUntil(500);
+  EXPECT_EQ(s.now(), 500u);
+}
+
+TEST(Simulator, RunStepsLimitsEventCount) {
+  Simulator s;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) s.schedule(static_cast<Duration>(i), [&] { ++count; });
+  EXPECT_EQ(s.runSteps(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pendingEvents(), 2u);
+}
+
+TEST(Simulator, RequestStopHaltsRun) {
+  Simulator s;
+  int count = 0;
+  s.schedule(1, [&] {
+    ++count;
+    s.requestStop();
+  });
+  s.schedule(2, [&] { ++count; });
+  s.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PastSchedulingClampsAndCounts) {
+  Simulator s;
+  s.schedule(100, [&] { s.scheduleAt(50, [] {}); });
+  s.run();
+  EXPECT_EQ(s.pastScheduleClamps(), 1u);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Simulator, FiredEventCountAccumulates) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(1, [] {});
+  s.run();
+  EXPECT_EQ(s.firedEvents(), 7u);
+}
+
+TEST(SimTime, CycleConversionsMatch200MHz) {
+  EXPECT_EQ(cyclesToNs(1), 5u);
+  EXPECT_EQ(nsToCycles(5), 1u);
+  EXPECT_EQ(nsToCycles(cyclesToNs(2'500'000)), 2'500'000u);  // 12.5 ms
+}
+
+TEST(SimTime, TransferCostMatchesBandwidth) {
+  // 1 MB at 45 MB/s ~ 22.2 ms (the paper's memcpy calibration).
+  const Duration ns = transferNs(1024 * 1024, 45.0);
+  EXPECT_NEAR(nsToMs(ns), 23.3, 0.4);
+  // 400 KB WC read at 14 MB/s ~ 28.6 ms.
+  EXPECT_NEAR(nsToMs(transferNs(400 * 1024, 14.0)), 29.3, 0.4);
+}
+
+TEST(SimTime, BandwidthInverse) {
+  const Duration ns = transferNs(1'000'000, 80.0);
+  EXPECT_NEAR(bandwidthMBps(1'000'000, ns), 80.0, 0.01);
+}
+
+}  // namespace
+}  // namespace gangcomm::sim

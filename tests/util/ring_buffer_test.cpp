@@ -1,0 +1,115 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gangcomm::util {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_EQ(rb.freeSlots(), 4u);
+}
+
+TEST(RingBuffer, PushPopFifo) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, PushFailsWhenFull) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(3));
+  EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, WrapsAroundCorrectly) {
+  RingBuffer<int> rb(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(rb.push(round * 2));
+    EXPECT_TRUE(rb.push(round * 2 + 1));
+    EXPECT_EQ(rb.pop(), round * 2);
+    EXPECT_EQ(rb.pop(), round * 2 + 1);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, FrontPeeksWithoutRemoving) {
+  RingBuffer<std::string> rb(2);
+  rb.push("a");
+  rb.push("b");
+  EXPECT_EQ(rb.front(), "a");
+  EXPECT_EQ(rb.size(), 2u);
+  rb.pop();
+  EXPECT_EQ(rb.front(), "b");
+}
+
+TEST(RingBuffer, AtIndexesFromFront) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(11);
+  rb.pop();
+  rb.push(12);
+  rb.push(13);
+  EXPECT_EQ(rb.at(0), 11);
+  EXPECT_EQ(rb.at(1), 12);
+  EXPECT_EQ(rb.at(2), 13);
+}
+
+TEST(RingBuffer, ClearEmpties) {
+  RingBuffer<int> rb(4);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(9));
+  EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBuffer, DrainPreservesOrderAndClears) {
+  RingBuffer<int> rb(5);
+  for (int i = 0; i < 5; ++i) rb.push(i);
+  rb.pop();
+  rb.push(5);  // wrapped state
+  auto v = rb.drain();
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.freeSlots(), 5u);
+}
+
+TEST(RingBuffer, CapacityOneWorks) {
+  RingBuffer<int> rb(1);
+  EXPECT_TRUE(rb.push(42));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(43));
+  EXPECT_EQ(rb.pop(), 42);
+  EXPECT_TRUE(rb.push(44));
+  EXPECT_EQ(rb.pop(), 44);
+}
+
+TEST(RingBufferDeath, PopFromEmptyAborts) {
+  RingBuffer<int> rb(2);
+  EXPECT_DEATH(rb.pop(), "pop from empty");
+}
+
+TEST(RingBufferDeath, AtOutOfRangeAborts) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_DEATH(rb.at(1), "out of range");
+}
+
+}  // namespace
+}  // namespace gangcomm::util

@@ -1,0 +1,110 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gangcomm::util {
+namespace {
+
+TEST(Stats, EmptyIsZero) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  Stats s;
+  s.add(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 7.0);
+  EXPECT_EQ(s.min(), 7.0);
+  EXPECT_EQ(s.max(), 7.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MeanAndVariance) {
+  Stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, MergeEqualsCombinedStream) {
+  Stats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmptySides) {
+  Stats a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Stats, ResetClears) {
+  Stats s;
+  s.add(5);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(3);
+  EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(Stats, SummaryContainsFields) {
+  Stats s;
+  s.add(1);
+  s.add(2);
+  const std::string sum = s.summary();
+  EXPECT_NE(sum.find("n=2"), std::string::npos);
+  EXPECT_NE(sum.find("mean=1.5"), std::string::npos);
+}
+
+TEST(Histogram, BucketsAndTotal) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucketCount(i), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);
+  h.add(15.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucketCount(0), 1u);
+  EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(Histogram, PercentileMonotone) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(i % 100 + 0.5);
+  EXPECT_LE(h.percentile(50), h.percentile(90));
+  EXPECT_LE(h.percentile(90), h.percentile(99));
+  EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+}
+
+TEST(HistogramDeath, BadRangeAborts) {
+  EXPECT_DEATH(Histogram(5.0, 5.0, 10), "bad histogram range");
+}
+
+}  // namespace
+}  // namespace gangcomm::util

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gangcomm::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"size", "bw"});
+  t.addRow({"64", "12.5"});
+  t.addRow({"1024", "70.1"});
+  const std::string r = t.render();
+  EXPECT_NE(r.find("size"), std::string::npos);
+  EXPECT_NE(r.find("70.1"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "b"});
+  t.addRow({"xxxxxx", "1"});
+  const std::string r = t.render();
+  // Every line has the same length in an aligned table.
+  std::istringstream in(r);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, DoubleRowHelperFormats) {
+  Table t({"label", "x", "y"});
+  t.addRow("row1", {1.234, 5.678}, 1);
+  const std::string r = t.render();
+  EXPECT_NE(r.find("1.2"), std::string::npos);
+  EXPECT_NE(r.find("5.7"), std::string::npos);
+}
+
+TEST(Table, WritesCsv) {
+  Table t({"n", "v"});
+  t.addRow({"1", "2"});
+  const std::string path = testing::TempDir() + "/gc_table_test.csv";
+  ASSERT_TRUE(t.writeCsv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "n,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvToBadPathFails) {
+  Table t({"a"});
+  EXPECT_FALSE(t.writeCsv("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(TableDeath, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatU64(12345), "12345");
+}
+
+}  // namespace
+}  // namespace gangcomm::util
