@@ -9,6 +9,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   GC_CHECK_MSG(cfg_.nodes >= 1, "cluster needs nodes");
   GC_CHECK_MSG(cfg_.max_contexts >= 1, "max_contexts must be positive");
 
+  // A non-empty trace_path implies tracing.  The recorder exists either way;
+  // subsystem hooks check enabled() and are zero-cost when it is off.
+  trace_.setEnabled(cfg_.trace || !cfg_.trace_path.empty());
+
   if (cfg_.share_discard_mode &&
       cfg_.flush_protocol == glue::FlushProtocol::kBroadcast)
     cfg_.flush_protocol = glue::FlushProtocol::kLocalOnly;
@@ -30,6 +34,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
 
   fabric_ = std::make_unique<net::Fabric>(
       sim_, net::RoutingTable::singleSwitch(cfg_.nodes), cfg_.fabric);
+  fabric_->setTrace(&trace_);
 
   // Control-network address space: nodes 0..p-1, masterd at address p.
   const int master_addr = cfg_.nodes;
@@ -41,6 +46,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
     nodes_.emplace_back();
     Node& node = nodes_.back();
     node.nic = std::make_unique<net::Nic>(sim_, *fabric_, n, cfg_.nic);
+    node.nic->setTrace(&trace_);
     if (cfg_.flush_protocol != glue::FlushProtocol::kBroadcast)
       node.nic->setDiscardWrongJob(true);
 
@@ -55,12 +61,14 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
     cc.flush = cfg_.flush_protocol;
     node.comm = std::make_unique<glue::CommNode>(sim_, node.cpu, mem_,
                                                  *node.nic, cc);
+    node.comm->setTrace(&trace_);
     GC_CHECK(util::ok(node.comm->COMM_init_node()));
 
     parpar::NodeDaemonConfig nc;
     nc.master_addr = master_addr;
     node.noded = std::make_unique<parpar::NodeDaemon>(
         sim_, node.cpu, *ctrl_, n, *node.comm, nc);
+    node.noded->setTrace(&trace_);
     node.noded->setSpawnFn(
         [this, n](net::JobId job, int rank,
                   const std::vector<net::NodeId>& rank_to_node)
@@ -87,7 +95,28 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   master_->on_job_done = [this](net::JobId) { ++jobs_done_; };
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  if (!cfg_.trace_path.empty()) trace_.writeChromeTrace(cfg_.trace_path);
+}
+
+void Cluster::collectMetrics(obs::MetricsRegistry& reg) const {
+  reg.setGauge("sim.now_ms", sim::nsToMs(sim_.now()));
+  reg.setCounter("sim.events_fired", sim_.firedEvents());
+  reg.setCounter("sim.events_pending", sim_.pendingEvents());
+  reg.setCounter("sim.past_schedule_clamps", sim_.pastScheduleClamps());
+  reg.setCounter("cluster.switch_records",
+                 static_cast<std::uint64_t>(switches_.size()));
+  reg.setCounter("cluster.jobs_done", static_cast<std::uint64_t>(jobs_done_));
+  reg.setCounter("obs.trace_events",
+                 static_cast<std::uint64_t>(trace_.size()));
+  fabric_->publishMetrics(reg);
+  for (const Node& node : nodes_) {
+    node.nic->publishMetrics(reg);
+    node.comm->publishMetrics(reg);
+    node.noded->publishMetrics(reg);
+  }
+  for (const fm::FmLib* lib : fm_libs_) lib->publishMetrics(reg);
+}
 
 int Cluster::creditsC0() const {
   return nodes_.front().comm->creditsC0();
@@ -110,6 +139,10 @@ std::unique_ptr<app::Process> Cluster::spawnProcess(
   params.credits_c0 = node.comm->creditsC0();
   auto fmlib = std::make_unique<fm::FmLib>(sim_, node.cpu, *node.nic,
                                            cfg_.fm, std::move(params));
+  fmlib->setTrace(&trace_);
+  // The FmLib is owned by the process (alive until cluster teardown); keep a
+  // raw pointer so collectMetrics can reach it.
+  fm_libs_.push_back(fmlib.get());
 
   app::Process::Env env;
   env.sim = &sim_;

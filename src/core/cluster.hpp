@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "app/process.hpp"
@@ -34,6 +35,8 @@
 #include "host/memory_model.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parpar/control_network.hpp"
 #include "parpar/master_daemon.hpp"
 #include "parpar/node_daemon.hpp"
@@ -64,6 +67,13 @@ struct ClusterConfig {
   /// Back-compat convenience for the SHARE ablation: equivalent to
   /// flush_protocol = kLocalOnly.
   bool share_discard_mode = false;
+  /// Observability: record structured trace events in every subsystem.
+  /// Tracing never schedules events or charges simulated time, so enabling
+  /// it cannot change simulation results.
+  bool trace = false;
+  /// When non-empty, implies `trace` and writes a Chrome trace-event JSON
+  /// file (chrome://tracing / Perfetto) here on Cluster destruction.
+  std::string trace_path;
 };
 
 /// One node's switch measurement, tagged with its origin.
@@ -110,6 +120,14 @@ class Cluster {
   /// All per-node switch reports observed so far.
   const std::vector<SwitchRecord>& switchRecords() const { return switches_; }
 
+  /// The cluster-wide trace recorder (enabled iff ClusterConfig::trace or a
+  /// trace_path was given).  Harnesses may query or export it at any time.
+  obs::TraceRecorder& trace() { return trace_; }
+  const obs::TraceRecorder& trace() const { return trace_; }
+
+  /// Pull a snapshot of every subsystem's counters/gauges into `reg`.
+  void collectMetrics(obs::MetricsRegistry& reg) const;
+
   /// Live process pointers for a job (owned by the nodeds; valid while the
   /// cluster exists).
   std::vector<app::Process*> processes(net::JobId job) const;
@@ -131,6 +149,7 @@ class Cluster {
 
   ClusterConfig cfg_;
   sim::Simulator sim_;
+  obs::TraceRecorder trace_;
   host::MemoryModel mem_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<parpar::ControlNetwork> ctrl_;
@@ -139,6 +158,7 @@ class Cluster {
 
   std::map<net::JobId, ProcessFactory> factories_;
   std::map<net::JobId, std::vector<app::Process*>> job_procs_;
+  std::vector<fm::FmLib*> fm_libs_;  // owned by processes; cluster-lifetime
   std::vector<SwitchRecord> switches_;
   int jobs_done_ = 0;
 };

@@ -13,8 +13,10 @@ ThroughputTimeline::ThroughputTimeline(Cluster& cluster, sim::Duration bucket)
 }
 
 void ThroughputTimeline::tick() {
-  // Count only user payload on the wire: data packets' wire bytes.
-  const std::uint64_t bytes = cluster_.fabric().stats().bytes;
+  // Count only user payload on the wire: data packets' wire bytes.  The
+  // aggregate `bytes` also includes halt/ready/refill control traffic, which
+  // would inflate the delivered-bandwidth curve around every gang switch.
+  const std::uint64_t bytes = cluster_.fabric().stats().data_bytes;
   Sample s;
   s.mbps = sim::bandwidthMBps(bytes - last_bytes_, bucket_);
   s.switch_seen = cluster_.switchRecords().size() != last_switch_records_;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "sim/log.hpp"
 #include "util/check.hpp"
@@ -89,9 +90,14 @@ Status FmLib::send(int dst_rank, std::uint16_t handler,
     pending_.total_frags = packetsForMessage(msg_bytes);
     pending_.bytes_left = msg_bytes;
   } else {
+    // A resumed send must repeat the original call exactly — including the
+    // opaque user_tag/user_data words, which ride in every fragment's header
+    // and would otherwise silently change mid-message.
     GC_CHECK_MSG(pending_.dst_rank == dst_rank &&
                      pending_.handler == handler &&
-                     pending_.msg_bytes == msg_bytes,
+                     pending_.msg_bytes == msg_bytes &&
+                     pending_.user_tag == user_tag &&
+                     pending_.user_data == user_data,
                  "resumed send() with different arguments");
   }
 
@@ -99,10 +105,20 @@ Status FmLib::send(int dst_rank, std::uint16_t handler,
   while (pending_.next_frag < pending_.total_frags) {
     if (s.send_credits[static_cast<std::size_t>(dst_rank)] <= 0) {
       ++stats_.send_blocks_on_credit;
+      if (obs::tracing(trace_))
+        trace_->instant(nic_.node(), "fm", "block:credit", sim_.now(),
+                        {{"dst_rank", dst_rank},
+                         {"frag", static_cast<std::int64_t>(
+                                      pending_.next_frag)}});
       return Status::kWouldBlock;
     }
     if (!nic_.reserveSendSlot(params_.ctx)) {
       ++stats_.send_blocks_on_queue;
+      if (obs::tracing(trace_))
+        trace_->instant(nic_.node(), "fm", "block:queue", sim_.now(),
+                        {{"dst_rank", dst_rank},
+                         {"frag", static_cast<std::int64_t>(
+                                      pending_.next_frag)}});
       return Status::kWouldBlock;
     }
     const bool last = pending_.next_frag + 1 == pending_.total_frags;
@@ -110,6 +126,11 @@ Status FmLib::send(int dst_rank, std::uint16_t handler,
         pending_.bytes_left < net::kMaxPayloadBytes ? pending_.bytes_left
                                                     : net::kMaxPayloadBytes;
     --s.send_credits[static_cast<std::size_t>(dst_rank)];
+    if (obs::tracing(trace_))
+      trace_->instant(nic_.node(), "fm", "credit:debit", sim_.now(),
+                      {{"dst_rank", dst_rank},
+                       {"remaining",
+                        s.send_credits[static_cast<std::size_t>(dst_rank)]}});
     queueFragment(dst_rank, handler, payload, last);
     pending_.bytes_left -= payload;
     ++pending_.next_frag;
@@ -243,6 +264,11 @@ void FmLib::maybeSendRefill(int src_rank) {
   net::Nic* nic = &nic_;
   sim_.scheduleAt(done, [nic, r] { nic->hostEnqueueControl(r); });
   ++stats_.refills_sent;
+  if (obs::tracing(trace_))
+    trace_->instant(nic_.node(), "fm", "credit:refill_tx", sim_.now(),
+                    {{"dst_rank", src_rank},
+                     {"credits",
+                      static_cast<std::int64_t>(r.refill_credits)}});
 }
 
 void FmLib::onSendable(std::function<void()> cb) {
@@ -298,6 +324,12 @@ void FmLib::onRtxTimeout(int peer) {
     return;
   }
   ++stats_.rtx_timeouts;
+  if (obs::tracing(trace_))
+    trace_->instant(nic_.node(), "fm", "rtx:timeout", sim_.now(),
+                    {{"peer", peer},
+                     {"window",
+                      static_cast<std::int64_t>(unacked_[idx].size())},
+                     {"backoff", rtx_backoff_[idx]}});
   if (std::getenv("GANGCOMM_RTXDBG") != nullptr) {
     std::fprintf(stderr,
                  "[rtx] t=%.3fms job=%d rank=%d peer=%d head=%llu win=%zu "
@@ -355,6 +387,30 @@ void FmLib::setSuspended(bool suspended) {
 
 void FmLib::onArrival(std::function<void()> cb) {
   slot().on_arrival = std::move(cb);
+}
+
+// ---- Observability ----------------------------------------------------------
+
+void FmLib::publishMetrics(obs::MetricsRegistry& reg) const {
+  const std::string p = "fm.j" + std::to_string(params_.job) + ".r" +
+                        std::to_string(params_.rank) + ".";
+  reg.setCounter(p + "messages_sent", stats_.messages_sent);
+  reg.setCounter(p + "packets_sent", stats_.packets_sent);
+  reg.setCounter(p + "payload_bytes_sent", stats_.payload_bytes_sent);
+  reg.setCounter(p + "messages_received", stats_.messages_received);
+  reg.setCounter(p + "packets_received", stats_.packets_received);
+  reg.setCounter(p + "payload_bytes_received", stats_.payload_bytes_received);
+  reg.setCounter(p + "refills_sent", stats_.refills_sent);
+  reg.setCounter(p + "refill_credits_piggybacked",
+                 stats_.refill_credits_piggybacked);
+  reg.setCounter(p + "send_blocks_on_credit", stats_.send_blocks_on_credit);
+  reg.setCounter(p + "send_blocks_on_queue", stats_.send_blocks_on_queue);
+  if (cfg_.enable_retransmit) {
+    reg.setCounter(p + "packets_retransmitted", stats_.packets_retransmitted);
+    reg.setCounter(p + "rtx_timeouts", stats_.rtx_timeouts);
+    reg.setCounter(p + "ooo_dropped", stats_.ooo_dropped);
+    reg.setCounter(p + "dup_dropped", stats_.dup_dropped);
+  }
 }
 
 }  // namespace gangcomm::fm

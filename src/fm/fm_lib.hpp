@@ -27,6 +27,8 @@
 #include "fm/config.hpp"
 #include "host/cpu_model.hpp"
 #include "net/nic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/status.hpp"
 
@@ -110,6 +112,11 @@ class FmLib {
   /// Number of packets a message of `bytes` fragments into (>= 1).
   static std::uint32_t packetsForMessage(std::uint32_t bytes);
 
+  /// Observability hooks (gc_obs); zero-cost when the recorder is null or
+  /// disabled.  Trace events cover credit debits/refills and send blocks.
+  void setTrace(obs::TraceRecorder* t) { trace_ = t; }
+  void publishMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   net::ContextSlot& slot();
   const net::ContextSlot& slot() const;
@@ -159,6 +166,7 @@ class FmLib {
   std::vector<int> rtx_backoff_;                   // timeout multiplier (1..8)
   bool suspended_ = false;
   bool rtx_wake_pending_ = false;
+  obs::TraceRecorder* trace_ = nullptr;
   FmStats stats_;
 };
 

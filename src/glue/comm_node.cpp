@@ -164,6 +164,9 @@ void CommNode::COMM_context_switch(
 
   parpar::SwitchReport r;
   sim::Duration cost = 0;
+  sim::Duration out_cost = 0;
+  sim::Duration in_cost = 0;
+  const net::JobId from_job = live_job_;
 
   net::ContextSlot* slot =
       live_allocated_ ? nic_.context(kLiveCtx) : nullptr;
@@ -172,6 +175,7 @@ void CommNode::COMM_context_switch(
     auto [it, inserted] = saved_.try_emplace(live_job_);
     const CopyOutcome out = switcher_.copyOut(*slot, it->second, cfg_.policy);
     cost += out.cost_ns;
+    out_cost = out.cost_ns;
     r.valid_send_pkts = out.send_pkts;
     r.valid_recv_pkts = out.recv_pkts;
     r.bytes_copied_out = out.bytes;
@@ -185,13 +189,31 @@ void CommNode::COMM_context_switch(
     GC_CHECK_MSG(slot != nullptr, "live context missing for copy-in");
     const CopyOutcome in = switcher_.copyIn(it->second, *slot, cfg_.policy);
     cost += in.cost_ns;
+    in_cost = in.cost_ns;
     r.bytes_copied_in = in.bytes;
     nic_.retagContext(kLiveCtx, to_job, it->second.rank);
     live_job_ = to_job;
     saved_.erase(it);
   }
 
+  ++switches_;
+  bytes_copied_total_ += r.bytes_copied_out + r.bytes_copied_in;
   const sim::SimTime t = cpu_.acquire(sim_.now(), cost);
+  // The buffer-switch host work occupies the CPU window [t - cost, t]:
+  // copy-out first, copy-in immediately after.
+  if (obs::tracing(trace_)) {
+    const net::NodeId node = nic_.node();
+    if (out_cost > 0)
+      trace_->span(node, "glue", "copy_out", t - cost, t - cost + out_cost,
+                   {{"job", from_job},
+                    {"bytes", static_cast<std::int64_t>(r.bytes_copied_out)},
+                    {"send_pkts", r.valid_send_pkts},
+                    {"recv_pkts", r.valid_recv_pkts}});
+    if (in_cost > 0)
+      trace_->span(node, "glue", "copy_in", t - in_cost, t,
+                   {{"job", to_job},
+                    {"bytes", static_cast<std::int64_t>(r.bytes_copied_in)}});
+  }
   sim_.scheduleAt(t, [r, done = std::move(done)] { done(r); });
 }
 
@@ -215,6 +237,14 @@ void CommNode::COMM_release_network(std::function<void()> done) {
         return;
     }
   });
+}
+
+void CommNode::publishMetrics(obs::MetricsRegistry& reg) const {
+  const std::string p = "glue." + std::to_string(nic_.node()) + ".";
+  reg.setCounter(p + "context_switches", switches_);
+  reg.setCounter(p + "bytes_copied", bytes_copied_total_);
+  reg.setGauge(p + "saved_contexts", static_cast<double>(saved_.size()));
+  reg.setGauge(p + "credits_c0", static_cast<double>(c0_));
 }
 
 }  // namespace gangcomm::glue

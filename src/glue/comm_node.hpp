@@ -25,6 +25,8 @@
 #include "host/cpu_model.hpp"
 #include "host/memory_model.hpp"
 #include "net/nic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parpar/interfaces.hpp"
 #include "sim/simulator.hpp"
 
@@ -111,6 +113,11 @@ class CommNode final : public parpar::CommManager {
   bool initialized() const { return init_done_; }
   std::size_t savedContexts() const { return saved_.size(); }
 
+  /// Observability hooks (gc_obs): copy-out/copy-in DMA spans on the "glue"
+  /// track; zero-cost when the recorder is null or disabled.
+  void setTrace(obs::TraceRecorder* t) { trace_ = t; }
+  void publishMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   sim::Simulator& sim_;
   host::HostCpu& cpu_;
@@ -132,6 +139,9 @@ class CommNode final : public parpar::CommManager {
   std::map<net::JobId, int> job_size_;
 
   std::vector<bool> node_active_;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint64_t switches_ = 0;
+  std::uint64_t bytes_copied_total_ = 0;
 };
 
 }  // namespace gangcomm::glue

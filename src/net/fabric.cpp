@@ -39,10 +39,13 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
 
   ++stats_.packets;
   stats_.bytes += pkt.wireBytes();
-  if (pkt.isControl())
+  if (pkt.isControl()) {
     ++stats_.control_packets;
-  else
+    stats_.control_bytes += pkt.wireBytes();
+  } else {
     ++stats_.data_packets;
+    stats_.data_bytes += pkt.wireBytes();
+  }
 
   // Fault injection (data packets only).
   if (drop_every_ != 0 && !pkt.isControl()) {
@@ -50,6 +53,10 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
       ++dropped_;
       GC_DEBUG(sim_, "fabric", "DROP data pkt %d->%d seq=%llu", pkt.src_node,
                pkt.dst_node, static_cast<unsigned long long>(pkt.seq));
+      if (obs::tracing(trace_))
+        trace_->instant(pkt.src_node, "fabric", "drop:fault", inj_done,
+                        {{"dst", pkt.dst_node},
+                         {"seq", static_cast<std::int64_t>(pkt.seq)}});
       return inj_done;
     }
   }
@@ -73,10 +80,30 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
   if (tail_leaves_src > inj_done)
     out_busy_[static_cast<std::size_t>(pkt.src_node)] = tail_leaves_src;
 
+  // One wire-occupancy span per packet: injection start to last byte off the
+  // destination's input link.
+  if (obs::tracing(trace_))
+    trace_->span(pkt.src_node, "fabric", packetTypeName(pkt.type), inj_start,
+                 rx_done,
+                 {{"dst", pkt.dst_node},
+                  {"bytes", pkt.wireBytes()},
+                  {"seq", static_cast<std::int64_t>(pkt.seq)},
+                  {"job", pkt.job}});
+
   sim_.scheduleAt(rx_done, [this, pkt] {
     deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt);
   });
   return out_busy_[static_cast<std::size_t>(pkt.src_node)];
+}
+
+void Fabric::publishMetrics(obs::MetricsRegistry& reg) const {
+  reg.setCounter("fabric.packets", stats_.packets);
+  reg.setCounter("fabric.data_packets", stats_.data_packets);
+  reg.setCounter("fabric.control_packets", stats_.control_packets);
+  reg.setCounter("fabric.bytes", stats_.bytes);
+  reg.setCounter("fabric.data_bytes", stats_.data_bytes);
+  reg.setCounter("fabric.control_bytes", stats_.control_bytes);
+  reg.setCounter("fabric.dropped_packets", dropped_);
 }
 
 }  // namespace gangcomm::net

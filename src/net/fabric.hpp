@@ -22,6 +22,8 @@
 
 #include "net/packet.hpp"
 #include "net/routing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace gangcomm::net {
@@ -35,7 +37,13 @@ struct FabricStats {
   std::uint64_t packets = 0;
   std::uint64_t data_packets = 0;
   std::uint64_t control_packets = 0;
+  /// Total wire bytes, split by packet class: `bytes` is the sum of both.
+  /// Consumers measuring delivered user bandwidth (ThroughputTimeline) must
+  /// use `data_bytes`; halt/ready/refill control traffic rides in
+  /// `control_bytes` only.
   std::uint64_t bytes = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t control_bytes = 0;
 };
 
 class Fabric {
@@ -67,6 +75,11 @@ class Fabric {
   void setDropEveryNth(std::uint64_t n) { drop_every_ = n; }
   std::uint64_t droppedPackets() const { return dropped_; }
 
+  /// Observability hooks (gc_obs).  The recorder may be null; tracing is
+  /// zero-cost when absent or disabled and never perturbs simulation state.
+  void setTrace(obs::TraceRecorder* t) { trace_ = t; }
+  void publishMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   sim::Simulator& sim_;
   RoutingTable routes_;
@@ -75,6 +88,7 @@ class Fabric {
   std::vector<sim::SimTime> out_busy_;
   std::vector<sim::SimTime> in_busy_;
   FabricStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::uint64_t drop_every_ = 0;
   std::uint64_t data_seen_ = 0;
   std::uint64_t dropped_ = 0;

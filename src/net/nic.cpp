@@ -1,5 +1,6 @@
 #include "net/nic.hpp"
 
+#include <string>
 #include <utility>
 
 #include "sim/log.hpp"
@@ -247,6 +248,8 @@ void Nic::beginFlush(std::function<void()> on_flushed) {
   flush_complete_ = false;
   on_flushed_ = std::move(on_flushed);
   GC_DEBUG(sim_, "nic", "node %d: local halt ('lh')", node_);
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "flush:halt_bit", sim_.now());
   scheduleSendScan();
 }
 
@@ -255,6 +258,9 @@ void Nic::maybeBroadcastHalt() {
   halt_broadcast_pending_ = false;
   const int peers = fabric_.nodeCount() - 1;
   pending_halt_sends_ = peers;
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "flush:halt_broadcast", sim_.now(),
+                    {{"peers", peers}});
   if (peers == 0) {
     halt_broadcast_done_ = true;
     maybeCompleteFlush();
@@ -282,6 +288,8 @@ void Nic::maybeCompleteFlush() {
   halts_consumed_ += peers;
   ++stats_.flushes;
   GC_DEBUG(sim_, "nic", "node %d: network flushed (H,p)", node_);
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "flush:complete", sim_.now());
   if (on_flushed_) {
     auto cb = std::move(on_flushed_);
     on_flushed_ = nullptr;
@@ -295,6 +303,8 @@ void Nic::beginRelease(std::function<void()> on_released) {
   on_released_ = std::move(on_released);
   release_pending_ = true;
   release_broadcast_done_ = false;
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "release:begin", sim_.now());
   const int peers = fabric_.nodeCount() - 1;
   pending_ready_sends_ = peers;
   if (peers == 0) {
@@ -324,6 +334,8 @@ void Nic::maybeCompleteRelease() {
   flush_complete_ = false;
   halt_broadcast_done_ = false;
   GC_DEBUG(sim_, "nic", "node %d: network released", node_);
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "release:complete", sim_.now());
   if (on_released_) {
     auto cb = std::move(on_released_);
     on_released_ = nullptr;
@@ -339,6 +351,8 @@ void Nic::beginLocalQuiesce(std::function<void()> on_quiesced) {
   quiesce_complete_ = false;
   on_quiesced_ = std::move(on_quiesced);
   GC_DEBUG(sim_, "nic", "node %d: local quiesce begin", node_);
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "quiesce:begin", sim_.now());
   scheduleSendScan();
   // The card may already be idle.
   maybeCompleteQuiesce();
@@ -354,6 +368,8 @@ void Nic::maybeCompleteQuiesce() {
   if (ack_quiesce_mode_ && !allTrafficAcked()) return;
   quiesce_complete_ = true;
   GC_DEBUG(sim_, "nic", "node %d: locally quiesced", node_);
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "quiesce:complete", sim_.now());
   if (on_quiesced_) {
     auto cb = std::move(on_quiesced_);
     on_quiesced_ = nullptr;
@@ -372,6 +388,8 @@ void Nic::beginAckQuiesce(std::function<void()> on_quiesced) {
   quiesce_complete_ = false;
   on_quiesced_ = std::move(on_quiesced);
   GC_DEBUG(sim_, "nic", "node %d: ack-quiesce begin", node_);
+  if (obs::tracing(trace_))
+    trace_->instant(node_, "nic", "quiesce:ack_begin", sim_.now());
   scheduleSendScan();
   maybeCompleteQuiesce();
 }
@@ -425,11 +443,17 @@ void Nic::fromWire(const Packet& pkt) {
       ++halts_rx_;
       GC_TRACE(sim_, "nic", "node %d: halt from %d ('ah')", node_,
                pkt.src_node);
+      if (obs::tracing(trace_))
+        trace_->instant(node_, "nic", "rx:halt", sim_.now(),
+                        {{"src", pkt.src_node}});
       maybeCompleteFlush();
       return;
     case PacketType::kReady:
       ++stats_.control_received;
       ++readies_rx_;
+      if (obs::tracing(trace_))
+        trace_->instant(node_, "nic", "rx:ready", sim_.now(),
+                        {{"src", pkt.src_node}});
       maybeCompleteRelease();
       return;
     case PacketType::kRefill: {
@@ -437,8 +461,16 @@ void Nic::fromWire(const Packet& pkt) {
       ContextSlot* ctx = contextForJob(pkt.job);
       if (ctx == nullptr) {
         ++stats_.drops_no_context;
+        if (obs::tracing(trace_))
+          trace_->instant(node_, "nic", "drop:no_ctx", sim_.now(),
+                          {{"src", pkt.src_node}, {"job", pkt.job}});
         return;
       }
+      if (obs::tracing(trace_))
+        trace_->instant(node_, "nic", "credit:refill", sim_.now(),
+                        {{"src_rank", pkt.src_rank},
+                         {"credits", static_cast<std::int64_t>(
+                                         pkt.refill_credits)}});
       GC_CHECK(pkt.src_rank >= 0 &&
                static_cast<std::size_t>(pkt.src_rank) <
                    ctx->send_credits.size());
@@ -489,6 +521,13 @@ void Nic::deliverData(const Packet& pkt) {
       ++stats_.drops_no_context;
     GC_DEBUG(sim_, "nic", "node %d: DROP data for job %d from node %d", node_,
              pkt.job, pkt.src_node);
+    if (obs::tracing(trace_))
+      trace_->instant(node_, "nic",
+                      discard_wrong_job_ ? "drop:wrong_job" : "drop:no_ctx",
+                      sim_.now(),
+                      {{"src", pkt.src_node},
+                       {"job", pkt.job},
+                       {"seq", static_cast<std::int64_t>(pkt.seq)}});
     return;
   }
   if (cfg_.enforce_fifo) {
@@ -530,6 +569,11 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
       start + cfg_.dma_setup_ns + sim::transferNs(pkt.wireBytes(), cfg_.dma_mbps);
   dma_busy_until_ = done;
   ++dma_in_flight_;
+  if (obs::tracing(trace_))
+    trace_->span(node_, "nic", "dma", start, done,
+                 {{"src", pkt.src_node},
+                  {"bytes", pkt.wireBytes()},
+                  {"seq", static_cast<std::int64_t>(pkt.seq)}});
   const ContextId cid = ctx.id;
   sim_.scheduleAt(done, [this, pkt, cid] {
     --dma_in_flight_;
@@ -544,6 +588,10 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
       // a context that is being copied out.
       GC_CHECK_MSG(discard_wrong_job_, "quiesce without a discard policy");
       ++stats_.drops_wrong_job;
+      if (obs::tracing(trace_))
+        trace_->instant(node_, "nic", "drop:quiesce_shed", sim_.now(),
+                        {{"src", pkt.src_node},
+                         {"seq", static_cast<std::int64_t>(pkt.seq)}});
       return;
     }
     if (c->job != pkt.job) {
@@ -552,6 +600,10 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
       GC_CHECK_MSG(discard_wrong_job_,
                    "context retagged under an in-flight DMA");
       ++stats_.drops_wrong_job;
+      if (obs::tracing(trace_))
+        trace_->instant(node_, "nic", "drop:wrong_job", sim_.now(),
+                        {{"src", pkt.src_node},
+                         {"seq", static_cast<std::int64_t>(pkt.seq)}});
       maybeCompleteFlush();
       maybeCompleteQuiesce();
       return;
@@ -560,6 +612,10 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
       GC_CHECK_MSG(cfg_.allow_recv_overflow_drop,
                    "receive ring overflow — credit accounting broken");
       ++stats_.drops_recv_overflow;
+      if (obs::tracing(trace_))
+        trace_->instant(node_, "nic", "drop:recv_overflow", sim_.now(),
+                        {{"src", pkt.src_node},
+                         {"seq", static_cast<std::int64_t>(pkt.seq)}});
       maybeCompleteFlush();
       maybeCompleteQuiesce();
       return;
@@ -573,6 +629,23 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
     maybeCompleteFlush();
     maybeCompleteQuiesce();
   });
+}
+
+// ---- Observability ----------------------------------------------------------
+
+void Nic::publishMetrics(obs::MetricsRegistry& reg) const {
+  const std::string p = "nic." + std::to_string(node_) + ".";
+  reg.setCounter(p + "data_sent", stats_.data_sent);
+  reg.setCounter(p + "data_received", stats_.data_received);
+  reg.setCounter(p + "control_sent", stats_.control_sent);
+  reg.setCounter(p + "control_received", stats_.control_received);
+  reg.setCounter(p + "refill_credits_received", stats_.refill_credits_received);
+  reg.setCounter(p + "drops_no_context", stats_.drops_no_context);
+  reg.setCounter(p + "drops_wrong_job", stats_.drops_wrong_job);
+  reg.setCounter(p + "drops_recv_overflow", stats_.drops_recv_overflow);
+  reg.setCounter(p + "flushes", stats_.flushes);
+  reg.setGauge(p + "contexts", static_cast<double>(contexts_.size()));
+  reg.setGauge(p + "sram_free_bytes", static_cast<double>(sram_.freeBytes()));
 }
 
 }  // namespace gangcomm::net

@@ -30,6 +30,8 @@
 #include "host/region_allocator.hpp"
 #include "net/fabric.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/status.hpp"
@@ -207,6 +209,14 @@ class Nic {
   /// of being treated as a protocol violation.
   void setDiscardWrongJob(bool v) { discard_wrong_job_ = v; }
 
+  // ---- Observability (gc_obs) --------------------------------------------
+
+  /// Attach a trace recorder (may be null).  Hooks emit flush-FSM
+  /// transitions, DMA copy spans, credit refills, and every drop; they are
+  /// zero-cost when the recorder is absent or disabled.
+  void setTrace(obs::TraceRecorder* t) { trace_ = t; }
+  void publishMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   void scheduleSendScan();
   void sendScan();
@@ -266,6 +276,7 @@ class Nic {
   int dma_in_flight_ = 0;
 
   bool discard_wrong_job_ = false;
+  obs::TraceRecorder* trace_ = nullptr;
 
   // FIFO assertion state: last data (job, seq) seen per source node.
   std::vector<std::uint64_t> last_seq_from_;

@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+#include "util/check.hpp"
+
+namespace gangcomm::obs {
+
+MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
+                                               Kind kind) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) it->second.kind = kind;
+  GC_CHECK_MSG(it->second.kind == kind,
+               "metric re-registered under a different kind");
+  return it->second;
+}
+
+void MetricsRegistry::addCounter(const std::string& name, std::uint64_t d) {
+  entry(name, Kind::kCounter).count += d;
+}
+
+void MetricsRegistry::setCounter(const std::string& name,
+                                 std::uint64_t value) {
+  entry(name, Kind::kCounter).count = value;
+}
+
+void MetricsRegistry::setGauge(const std::string& name, double value) {
+  entry(name, Kind::kGauge).gauge = value;
+}
+
+void MetricsRegistry::addSample(const std::string& name, double value) {
+  entry(name, Kind::kDistribution).dist.add(value);
+}
+
+void MetricsRegistry::mergeSamples(const std::string& name,
+                                   const util::Stats& stats) {
+  entry(name, Kind::kDistribution).dist.merge(stats);
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name,
+                                       std::uint64_t fallback) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter)
+    return fallback;
+  return it->second.count;
+}
+
+double MetricsRegistry::gauge(const std::string& name, double fallback) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kGauge) return fallback;
+  return it->second.gauge;
+}
+
+const util::Stats* MetricsRegistry::distribution(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kDistribution)
+    return nullptr;
+  return &it->second.dist;
+}
+
+util::Table MetricsRegistry::table() const {
+  util::Table t({"metric", "kind", "value", "count", "mean", "min", "max"});
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        t.addRow({name, "counter", util::formatU64(e.count), "", "", "", ""});
+        break;
+      case Kind::kGauge:
+        t.addRow({name, "gauge", util::formatDouble(e.gauge, 3), "", "", "",
+                  ""});
+        break;
+      case Kind::kDistribution:
+        t.addRow({name, "dist", "", util::formatU64(e.dist.count()),
+                  util::formatDouble(e.dist.mean(), 3),
+                  util::formatDouble(e.dist.min(), 3),
+                  util::formatDouble(e.dist.max(), 3)});
+        break;
+    }
+  }
+  return t;
+}
+
+void MetricsRegistry::print(std::FILE* out) const { table().print(out); }
+
+bool MetricsRegistry::writeCsv(const std::string& path) const {
+  return table().writeCsv(path);
+}
+
+}  // namespace gangcomm::obs

@@ -1,0 +1,71 @@
+// Named metrics registry (gc_obs).
+//
+// Each subsystem publishes its counters, gauges, and sample distributions
+// into one MetricsRegistry under a hierarchical dotted name
+// ("nic.3.data_sent", "fm.job1.rank0.packets_retransmitted"), and the whole
+// cluster's state dumps as a single ASCII table or CSV at end of run — the
+// replacement for every bench's hand-rolled stat scraping.
+//
+// Counters are monotonic integers, gauges are point-in-time doubles, and
+// distributions wrap util::Stats (count/mean/min/max).  Lookup is by name
+// with find-or-create semantics, so instrumentation sites never need
+// registration boilerplate; names are ordered lexicographically in the dump,
+// which keeps output deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gangcomm::obs {
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kDistribution };
+
+  /// Find-or-create a counter and add `delta` to it.
+  void addCounter(const std::string& name, std::uint64_t delta = 1);
+  /// Find-or-create a counter and overwrite it (publishing a subsystem's
+  /// already-accumulated total).
+  void setCounter(const std::string& name, std::uint64_t value);
+  /// Find-or-create a gauge and set it.
+  void setGauge(const std::string& name, double value);
+  /// Find-or-create a distribution and record one sample.
+  void addSample(const std::string& name, double value);
+  /// Find-or-create a distribution and merge a whole Stats accumulator.
+  void mergeSamples(const std::string& name, const util::Stats& stats);
+
+  bool has(const std::string& name) const { return entries_.contains(name); }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Value accessors; return the fallback when the name is absent or of a
+  /// different kind.
+  std::uint64_t counter(const std::string& name,
+                        std::uint64_t fallback = 0) const;
+  double gauge(const std::string& name, double fallback = 0.0) const;
+  const util::Stats* distribution(const std::string& name) const;
+
+  /// One row per metric: name | kind | value | count | mean | min | max.
+  util::Table table() const;
+  void print(std::FILE* out = stdout) const;
+  bool writeCsv(const std::string& path) const;
+
+ private:
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::uint64_t count = 0;  // counter value
+    double gauge = 0.0;
+    util::Stats dist;
+  };
+
+  Entry& entry(const std::string& name, Kind kind);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace gangcomm::obs

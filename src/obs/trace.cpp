@@ -1,0 +1,201 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gangcomm::obs {
+
+std::int64_t TraceEvent::arg(const char* key, std::int64_t fallback) const {
+  for (const TraceArg& a : args) {
+    if (a.key == nullptr) break;
+    if (std::strcmp(a.key, key) == 0) return a.value;
+  }
+  return fallback;
+}
+
+namespace {
+
+void fillArgs(TraceEvent& ev, std::initializer_list<TraceArg> args) {
+  std::size_t i = 0;
+  for (const TraceArg& a : args) {
+    if (i >= ev.args.size()) break;
+    ev.args[i++] = a;
+  }
+}
+
+/// JSON string escaping for the small, ASCII-ish names we emit.
+void appendJsonString(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Simulated ns -> Chrome microseconds, keeping the ns digits as a fraction.
+void appendMicros(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void TraceRecorder::instant(int node, const char* track, const char* name,
+                            sim::SimTime ts,
+                            std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.track = track;
+  ev.phase = TracePhase::kInstant;
+  ev.node = node;
+  ev.ts = ts;
+  fillArgs(ev, args);
+  events_.push_back(ev);
+}
+
+void TraceRecorder::span(int node, const char* track, const char* name,
+                         sim::SimTime start, sim::SimTime end,
+                         std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.track = track;
+  ev.phase = TracePhase::kSpan;
+  ev.node = node;
+  ev.ts = start;
+  ev.dur = end >= start ? end - start : 0;
+  fillArgs(ev, args);
+  events_.push_back(ev);
+}
+
+std::vector<const TraceEvent*> TraceRecorder::select(const char* track,
+                                                     const char* name) const {
+  std::vector<const TraceEvent*> out;
+  for (const TraceEvent& ev : events_) {
+    if (track != nullptr && std::strcmp(ev.track, track) != 0) continue;
+    if (name != nullptr && std::strcmp(ev.name, name) != 0) continue;
+    out.push_back(&ev);
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::count(const char* track, const char* name) const {
+  std::size_t n = 0;
+  for (const TraceEvent& ev : events_) {
+    if (track != nullptr && std::strcmp(ev.track, track) != 0) continue;
+    if (name != nullptr && std::strcmp(ev.name, name) != 0) continue;
+    ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::chromeTraceJson() const {
+  // Name the per-node "processes" and per-subsystem "threads" up front, then
+  // stream the events.  tid must be numeric, so tracks are interned.
+  std::vector<const char*> tracks;
+  auto trackId = [&tracks](const char* t) -> std::size_t {
+    for (std::size_t i = 0; i < tracks.size(); ++i)
+      if (std::strcmp(tracks[i], t) == 0) return i;
+    tracks.push_back(t);
+    return tracks.size() - 1;
+  };
+  for (const TraceEvent& ev : events_) trackId(ev.track);
+
+  std::vector<int> nodes;
+  for (const TraceEvent& ev : events_) {
+    bool seen = false;
+    for (int n : nodes) seen = seen || n == ev.node;
+    if (!seen) nodes.push_back(ev.node);
+  }
+
+  std::string out;
+  out.reserve(events_.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  char buf[64];
+  for (const int node : nodes) {
+    comma();
+    std::snprintf(buf, sizeof(buf), "%d", node);
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += buf;
+    out += ",\"args\":{\"name\":\"node ";
+    out += buf;
+    out += "\"}}";
+    for (std::size_t t = 0; t < tracks.size(); ++t) {
+      comma();
+      std::snprintf(buf, sizeof(buf), "%d,\"tid\":%zu", node, t);
+      out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+      out += buf;
+      out += ",\"args\":{\"name\":";
+      appendJsonString(out, tracks[t]);
+      out += "}}";
+    }
+  }
+
+  for (const TraceEvent& ev : events_) {
+    comma();
+    out += "{\"name\":";
+    appendJsonString(out, ev.name);
+    out += ",\"cat\":";
+    appendJsonString(out, ev.track);
+    std::snprintf(buf, sizeof(buf), ",\"ph\":\"%c\",\"pid\":%d,\"tid\":%zu",
+                  static_cast<char>(ev.phase), ev.node, trackId(ev.track));
+    out += buf;
+    out += ",\"ts\":";
+    appendMicros(out, ev.ts);
+    if (ev.phase == TracePhase::kSpan) {
+      out += ",\"dur\":";
+      appendMicros(out, ev.dur);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    if (ev.args[0].key != nullptr) {
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (ev.args[i].key == nullptr) break;
+        if (i > 0) out += ',';
+        appendJsonString(out, ev.args[i].key);
+        std::snprintf(buf, sizeof(buf), ":%lld",
+                      static_cast<long long>(ev.args[i].value));
+        out += buf;
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceRecorder::writeChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chromeTraceJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gangcomm::obs

@@ -1,0 +1,105 @@
+// Structured simulation tracing (gc_obs).
+//
+// A TraceRecorder collects typed trace events — packet injections and
+// receipts, credit movements, flush-FSM transitions, DMA copies, and the
+// three gang context-switch stages — with simulated-nanosecond timestamps.
+// The whole layer is zero-cost when disabled: instrumented subsystems hold a
+// plain `TraceRecorder*` (possibly null) and guard every hook with
+// `obs::tracing(rec_)`, a pointer test plus a bool load; no event is built,
+// no allocation happens, and simulation behaviour is identical either way
+// (recording never schedules events or charges simulated time).
+//
+// The recorded stream can be
+//  * exported as Chrome `chrome://tracing` / Perfetto JSON — one "process"
+//    per cluster node, one "thread" per subsystem track, so a whole gang
+//    switch reads as stacked spans across the node rows; or
+//  * queried in-process (`select()`), which is how the figure benches read
+//    the halt / buffer-switch / release stage costs instead of scraping
+//    private state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gangcomm::obs {
+
+/// One key/value annotation on an event.  Keys are static strings (string
+/// literals owned by the instrumentation site); values are integral.
+struct TraceArg {
+  const char* key = nullptr;
+  std::int64_t value = 0;
+};
+
+/// Event phases, mirroring the Chrome trace-event vocabulary.
+enum class TracePhase : char {
+  kSpan = 'X',     // complete event: [ts, ts+dur)
+  kInstant = 'i',  // point event at ts
+};
+
+struct TraceEvent {
+  const char* name = "";   // e.g. "halt", "tx:DATA", "credit:refill"
+  const char* track = "";  // subsystem lane: "fabric", "nic", "fm", ...
+  TracePhase phase = TracePhase::kInstant;
+  int node = 0;            // cluster node id -> Chrome "process"
+  sim::SimTime ts = 0;     // simulated ns
+  sim::Duration dur = 0;   // span length (kSpan only)
+  std::array<TraceArg, 4> args{};  // terminated by the first null key
+
+  std::size_t argCount() const {
+    std::size_t n = 0;
+    while (n < args.size() && args[n].key != nullptr) ++n;
+    return n;
+  }
+  /// Value of the named arg, or `fallback` when absent.
+  std::int64_t arg(const char* key, std::int64_t fallback = 0) const;
+};
+
+class TraceRecorder {
+ public:
+  /// Recording gate.  Hooks must check enabled() (via obs::tracing) before
+  /// building an event; record() on a disabled recorder is also a no-op so
+  /// a race between the check and the call cannot corrupt anything.
+  bool enabled() const { return enabled_; }
+  void setEnabled(bool on) { enabled_ = on; }
+
+  void record(const TraceEvent& ev) {
+    if (enabled_) events_.push_back(ev);
+  }
+
+  /// Convenience builders (still call-site-guarded for zero cost).
+  void instant(int node, const char* track, const char* name, sim::SimTime ts,
+               std::initializer_list<TraceArg> args = {});
+  void span(int node, const char* track, const char* name, sim::SimTime start,
+            sim::SimTime end, std::initializer_list<TraceArg> args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// All events matching (track, name), in record order.  Pass nullptr to
+  /// match any value of that field.
+  std::vector<const TraceEvent*> select(const char* track,
+                                        const char* name) const;
+  std::size_t count(const char* track, const char* name) const;
+
+  /// Chrome trace JSON ("traceEvents" array form).  Timestamps are emitted
+  /// in microseconds (the format's unit) with nanosecond fractions kept, and
+  /// displayTimeUnit is ns.  pid = node, tid = subsystem track.
+  std::string chromeTraceJson() const;
+  bool writeChromeTrace(const std::string& path) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+/// The canonical hook guard: `if (obs::tracing(rec_)) rec_->span(...);`
+inline bool tracing(const TraceRecorder* r) {
+  return r != nullptr && r->enabled();
+}
+
+}  // namespace gangcomm::obs

@@ -1,5 +1,7 @@
 #include "parpar/node_daemon.hpp"
 
+#include <string>
+
 #include "sim/log.hpp"
 #include "util/check.hpp"
 
@@ -134,6 +136,24 @@ void NodeDaemon::handleSwitchSlot(const CtrlMsg& msg) {
         done.report.halt_ns = t1 - t0;
         done.report.switch_ns = t2 - t1;
         done.report.release_ns = t3 - t2;
+        if (obs::tracing(trace_)) {
+          trace_->span(node_, "gang", "halt", t0, t1,
+                       {{"from_slot", msg.from_slot}});
+          trace_->span(node_, "gang", "buffer_switch", t1, t2,
+                       {{"send_pkts", r.valid_send_pkts},
+                        {"recv_pkts", r.valid_recv_pkts},
+                        {"bytes_out",
+                         static_cast<std::int64_t>(r.bytes_copied_out)},
+                        {"bytes_in",
+                         static_cast<std::int64_t>(r.bytes_copied_in)}});
+          trace_->span(node_, "gang", "release", t2, t3,
+                       {{"to_slot", msg.to_slot}});
+          trace_->span(node_, "gang", "switch", t0, t3,
+                       {{"from_slot", msg.from_slot},
+                        {"to_slot", msg.to_slot},
+                        {"send_pkts", r.valid_send_pkts},
+                        {"recv_pkts", r.valid_recv_pkts}});
+        }
         GC_INFO(sim_, "noded",
                 "node %d: switch %d->%d halt=%.0fus copy=%.0fus rel=%.0fus "
                 "(sq=%u rq=%u)",
@@ -146,6 +166,13 @@ void NodeDaemon::handleSwitchSlot(const CtrlMsg& msg) {
       });
     });
   });
+}
+
+void NodeDaemon::publishMetrics(obs::MetricsRegistry& reg) const {
+  const std::string p = "noded." + std::to_string(node_) + ".";
+  reg.setCounter(p + "switches_done", switches_done_);
+  reg.setGauge(p + "current_slot", static_cast<double>(current_slot_));
+  reg.setGauge(p + "jobs", static_cast<double>(jobs_.size()));
 }
 
 void NodeDaemon::onProcessExit(net::JobId job) {

@@ -11,6 +11,8 @@
 #include <memory>
 
 #include "host/cpu_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parpar/control_network.hpp"
 #include "parpar/interfaces.hpp"
 #include "sim/simulator.hpp"
@@ -46,6 +48,13 @@ class NodeDaemon {
   int currentSlot() const { return current_slot_; }
   std::uint64_t switchesDone() const { return switches_done_; }
 
+  /// Observability hooks (gc_obs).  Each completed gang switch emits one
+  /// "switch" span on the "gang" track plus child spans "halt",
+  /// "buffer_switch", and "release" covering the three protocol stages —
+  /// the spans the fig7/fig9 benches read their per-stage costs from.
+  void setTrace(obs::TraceRecorder* t) { trace_ = t; }
+  void publishMetrics(obs::MetricsRegistry& reg) const;
+
  private:
   struct LocalJob {
     int rank = -1;
@@ -73,6 +82,7 @@ class NodeDaemon {
   int current_slot_ = 0;
   bool switch_in_progress_ = false;
   std::uint64_t switches_done_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace gangcomm::parpar

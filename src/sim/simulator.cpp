@@ -11,21 +11,21 @@ EventHandle Simulator::scheduleAt(SimTime t, Action fn) {
   }
   const std::uint64_t seq = next_seq_++;
   queue_.push(Event{t, seq, std::move(fn)});
-  ++live_events_;
+  pending_.insert(seq);
   return EventHandle{seq};
 }
 
 bool Simulator::cancel(EventHandle h) {
-  if (!h.valid() || h.id >= next_seq_) return false;
-  // A cancelled id stays in the set until its queue entry surfaces; double
-  // cancellation or cancelling an already-fired event is a no-op.
-  if (cancelled_.contains(h.id)) return false;
-  // We cannot cheaply tell "already fired" from "pending"; callers hold
-  // handles only for genuinely pending events.  Inserting an already-fired id
-  // is harmless: it can never match a queue entry, and we cap set growth by
-  // erasing on match.
+  if (!h.valid()) return false;
+  // Only a genuinely pending event can be cancelled: an already-fired or
+  // already-cancelled id is absent from pending_, so the call is a no-op and
+  // neither the live count nor cancelled_ is disturbed.
+  const auto it = pending_.find(h.id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  // The id stays in cancelled_ until its queue entry surfaces (lazy
+  // deletion); erased on match, so the set stays bounded.
   cancelled_.insert(h.id);
-  if (live_events_ > 0) --live_events_;
   return true;
 }
 
@@ -42,7 +42,7 @@ void Simulator::fireNext() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
-  --live_events_;
+  pending_.erase(ev.seq);
   ++fired_;
   ev.fn();
 }

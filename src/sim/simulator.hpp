@@ -44,7 +44,9 @@ class Simulator {
     return scheduleAt(now_ + delay, std::move(fn));
   }
 
-  /// Cancel a pending event.  Returns true if the event was still pending.
+  /// Cancel a pending event.  Returns true if the event was still pending;
+  /// cancelling an already-fired or already-cancelled handle is a no-op that
+  /// returns false.
   bool cancel(EventHandle h);
 
   /// Run until the event queue drains.  Returns the number of events fired.
@@ -59,10 +61,10 @@ class Simulator {
   std::uint64_t runSteps(std::uint64_t n);
 
   /// True if no live events are pending.
-  bool empty() const { return live_events_ == 0; }
+  bool empty() const { return pending_.empty(); }
 
   /// Number of pending (non-cancelled) events.
-  std::uint64_t pendingEvents() const { return live_events_; }
+  std::uint64_t pendingEvents() const { return pending_.size(); }
 
   /// Total events fired since construction.
   std::uint64_t firedEvents() const { return fired_; }
@@ -91,10 +93,16 @@ class Simulator {
   void skipCancelled();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Ids of scheduled-but-not-yet-fired, not-cancelled events.  The precise
+  // set (rather than a counter) makes cancel() exact: a handle whose event
+  // already fired is simply absent, so it can neither corrupt the live count
+  // nor leak into cancelled_ forever.
+  std::unordered_set<std::uint64_t> pending_;
+  // Cancelled ids whose queue entries have not yet surfaced; every member is
+  // backed by a queue entry, so the set is bounded (erased on match).
   std::unordered_set<std::uint64_t> cancelled_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t live_events_ = 0;
   std::uint64_t fired_ = 0;
   std::uint64_t past_clamps_ = 0;
   bool stop_requested_ = false;

@@ -81,7 +81,10 @@ double Histogram::bucketLow(std::size_t i) const {
 
 double Histogram::percentile(double p) const {
   if (total_ == 0) return lo_;
-  const double target = p / 100.0 * static_cast<double>(total_);
+  // Clamp the rank to at least one sample so p=0 reports the first
+  // *occupied* bucket rather than unconditionally the first bucket.
+  const double target =
+      std::max(1.0, p / 100.0 * static_cast<double>(total_));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];

@@ -216,6 +216,46 @@ TEST_F(FmLibTest, ResumedSendWithDifferentArgsDies) {
   EXPECT_DEATH((void)lib(0).send(1, 7, 999), "different arguments");
 }
 
+// Regression: a resumed kWouldBlock send used to check only dst/handler/
+// bytes, silently accepting changed user words that ride in every fragment
+// header.
+TEST_F(FmLibTest, ResumedSendWithDifferentUserTagDies) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  for (int i = 0; i < kCredits; ++i) (void)lib(0).send(1, 7, 10, 42, 0x1);
+  ASSERT_EQ(lib(0).send(1, 7, 10, 42, 0x1), Status::kWouldBlock);
+  EXPECT_DEATH((void)lib(0).send(1, 7, 10, 43, 0x1), "different arguments");
+}
+
+TEST_F(FmLibTest, ResumedSendWithDifferentUserDataDies) {
+  lib(1).setHandler(7, [](const Packet&) {});
+  for (int i = 0; i < kCredits; ++i) (void)lib(0).send(1, 7, 10, 42, 0x1);
+  ASSERT_EQ(lib(0).send(1, 7, 10, 42, 0x1), Status::kWouldBlock);
+  EXPECT_DEATH((void)lib(0).send(1, 7, 10, 42, 0x2), "different arguments");
+}
+
+TEST_F(FmLibTest, ResumedSendWithSameArgsCompletes) {
+  // Block on credits with explicit user words, drain the receiver so refills
+  // flow back, then repeat the identical call: it must complete and the
+  // delivered fragment must carry the original tag/data.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> seen;
+  lib(1).setHandler(7, [&](const Packet& p) {
+    seen.emplace_back(p.user_tag, p.user_data);
+  });
+  for (int i = 0; i < kCredits; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 10, 9, 0xabc), Status::kOk);
+  ASSERT_EQ(lib(0).send(1, 7, 10, 9, 0xabc), Status::kWouldBlock);
+  sim_.run();
+  EXPECT_EQ(lib(1).extract(16), kCredits);
+  sim_.run();  // refills arrive
+  ASSERT_EQ(lib(0).send(1, 7, 10, 9, 0xabc), Status::kOk);
+  EXPECT_FALSE(lib(0).sendPending());
+  sim_.run();
+  EXPECT_EQ(lib(1).extract(16), 1);
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kCredits) + 1);
+  EXPECT_EQ(seen.back().first, 9);
+  EXPECT_EQ(seen.back().second, 0xabcu);
+}
+
 TEST_F(FmLibTest, UserTagAndDataRideEveryFragment) {
   std::vector<std::pair<std::uint16_t, std::uint64_t>> seen;
   lib(1).setHandler(7, [&](const Packet& p) {

@@ -1,0 +1,145 @@
+// End-to-end observability: a traced cluster run yields gang-stage spans and
+// packet events from several subsystems, the metrics registry sees every
+// layer, and tracing stays behaviourally invisible — the identical run with
+// tracing off produces bit-identical simulation state.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gangcomm::core {
+namespace {
+
+ClusterConfig switchedConfig(bool trace) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
+  cfg.max_contexts = 2;
+  cfg.quantum = 20 * sim::kMillisecond;
+  cfg.trace = trace;
+  return cfg;
+}
+
+Cluster::ProcessFactory allToAll() {
+  return [](app::Process::Env env) -> std::unique_ptr<app::Process> {
+    return std::make_unique<app::AllToAllWorker>(
+        std::move(env), 2048, std::numeric_limits<std::uint64_t>::max());
+  };
+}
+
+struct RunDigest {
+  sim::SimTime end = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t control_bytes = 0;
+  std::size_t switches = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+RunDigest runSwitched(bool trace) {
+  Cluster cluster(switchedConfig(trace));
+  cluster.submit(4, allToAll());
+  cluster.submit(4, allToAll());
+  cluster.runUntil(sim::msToNs(100.0));
+  return {cluster.sim().now(), cluster.sim().firedEvents(),
+          cluster.fabric().stats().data_bytes,
+          cluster.fabric().stats().control_bytes,
+          cluster.switchRecords().size()};
+}
+
+TEST(Observability, TracedRunEmitsGangStagesAndPacketEvents) {
+  Cluster cluster(switchedConfig(/*trace=*/true));
+  cluster.submit(4, allToAll());
+  cluster.submit(4, allToAll());
+  cluster.runUntil(sim::msToNs(100.0));
+
+  const obs::TraceRecorder& tr = cluster.trace();
+  ASSERT_GT(tr.size(), 0u);
+
+  // All three switch stages plus the enclosing span, one set per reported
+  // switch per node.
+  const std::size_t switches = cluster.switchRecords().size();
+  ASSERT_GT(switches, 0u);
+  EXPECT_GE(tr.count("gang", "halt"), switches);
+  EXPECT_GE(tr.count("gang", "buffer_switch"), switches);
+  EXPECT_GE(tr.count("gang", "release"), switches);
+  EXPECT_GE(tr.count("gang", "switch"), switches);
+
+  // Stage spans nest inside the enclosing switch span.
+  const auto outer = tr.select("gang", "switch");
+  const auto halts = tr.select("gang", "halt");
+  ASSERT_EQ(outer.size(), halts.size());
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    EXPECT_EQ(outer[i]->ts, halts[i]->ts);
+    EXPECT_LE(halts[i]->dur, outer[i]->dur);
+  }
+
+  // Packet-level events from at least three distinct subsystems.
+  std::set<std::string> tracks;
+  for (const obs::TraceEvent& ev : tr.events()) tracks.insert(ev.track);
+  EXPECT_TRUE(tracks.contains("fabric"));
+  EXPECT_TRUE(tracks.contains("nic"));
+  EXPECT_TRUE(tracks.contains("gang"));
+  EXPECT_GE(tracks.size(), 3u);
+  EXPECT_GT(tr.count("fabric", "DATA"), 0u);     // wire spans
+  EXPECT_GT(tr.count("nic", "dma"), 0u);         // DMA delivery spans
+  EXPECT_GT(tr.count("glue", "copy_out"), 0u);   // buffer-switch host copies
+
+  // The export is non-trivial and structurally a Chrome trace.
+  const std::string json = tr.chromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(Observability, TracingIsBehaviourallyInvisible) {
+  const RunDigest off = runSwitched(false);
+  const RunDigest on = runSwitched(true);
+  EXPECT_EQ(off, on);
+  EXPECT_GT(off.switches, 0u);  // the comparison exercised real switching
+}
+
+TEST(Observability, CollectMetricsCoversEveryLayer) {
+  Cluster cluster(switchedConfig(/*trace=*/true));
+  cluster.submit(4, allToAll());
+  cluster.submit(4, allToAll());
+  cluster.runUntil(sim::msToNs(100.0));
+
+  obs::MetricsRegistry reg;
+  cluster.collectMetrics(reg);
+
+  EXPECT_EQ(reg.counter("sim.events_fired"), cluster.sim().firedEvents());
+  EXPECT_EQ(reg.counter("cluster.switch_records"),
+            cluster.switchRecords().size());
+  EXPECT_EQ(reg.counter("obs.trace_events"), cluster.trace().size());
+  EXPECT_EQ(reg.counter("fabric.data_bytes"),
+            cluster.fabric().stats().data_bytes);
+  EXPECT_GT(reg.counter("fabric.control_packets"), 0u);
+  for (int n = 0; n < 4; ++n) {
+    const std::string nic = "nic." + std::to_string(n) + ".";
+    const std::string glue = "glue." + std::to_string(n) + ".";
+    const std::string noded = "noded." + std::to_string(n) + ".";
+    EXPECT_TRUE(reg.has(nic + "data_sent")) << nic;
+    EXPECT_GT(reg.counter(glue + "context_switches"), 0u) << glue;
+    EXPECT_GT(reg.counter(noded + "switches_done"), 0u) << noded;
+  }
+  // Both jobs' FM endpoints published under their job/rank prefix.
+  EXPECT_TRUE(reg.has("fm.j1.r0.messages_sent"));
+  EXPECT_TRUE(reg.has("fm.j2.r0.messages_sent"));
+
+  // A second collection into a fresh registry is idempotent.
+  obs::MetricsRegistry reg2;
+  cluster.collectMetrics(reg2);
+  EXPECT_EQ(reg2.size(), reg.size());
+  EXPECT_EQ(reg2.counter("fabric.packets"), reg.counter("fabric.packets"));
+}
+
+}  // namespace
+}  // namespace gangcomm::core

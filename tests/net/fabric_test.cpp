@@ -100,6 +100,29 @@ TEST_F(FabricTest, StatsCountPacketsAndBytes) {
   EXPECT_EQ(fabric_.stats().bytes, 1000u + kPacketHeaderBytes + kControlWireBytes);
 }
 
+// Regression: the throughput timeline reads data_bytes only; control
+// traffic (halts, readys, credit refills) must never count as user payload.
+TEST_F(FabricTest, ByteCountersSplitDataFromControl) {
+  fabric_.inject(dataPacket(0, 1, 1, 1000));
+  fabric_.inject(dataPacket(0, 1, 2, 500));
+  Packet halt;
+  halt.type = PacketType::kHalt;
+  halt.src_node = 2;
+  halt.dst_node = 3;
+  fabric_.inject(halt);
+  Packet refill;
+  refill.type = PacketType::kRefill;
+  refill.src_node = 1;
+  refill.dst_node = 0;
+  refill.refill_credits = 3;
+  fabric_.inject(refill);
+  sim_.run();
+  EXPECT_EQ(fabric_.stats().data_bytes, 1500u + 2 * kPacketHeaderBytes);
+  EXPECT_EQ(fabric_.stats().control_bytes, 2u * kControlWireBytes);
+  EXPECT_EQ(fabric_.stats().bytes,
+            fabric_.stats().data_bytes + fabric_.stats().control_bytes);
+}
+
 TEST_F(FabricTest, DropInjectionDropsOnlyData) {
   fabric_.setDropEveryNth(2);
   for (std::uint64_t i = 1; i <= 4; ++i) fabric_.inject(dataPacket(0, 1, i));

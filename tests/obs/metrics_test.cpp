@@ -1,0 +1,103 @@
+// MetricsRegistry: kinds, find-or-create semantics, table/CSV dumps.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gangcomm::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndOverwrite) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.counter("nic.0.flushes"), 0u);  // absent -> fallback
+  reg.addCounter("nic.0.flushes");
+  reg.addCounter("nic.0.flushes", 4);
+  EXPECT_EQ(reg.counter("nic.0.flushes"), 5u);
+  reg.setCounter("nic.0.flushes", 100);
+  EXPECT_EQ(reg.counter("nic.0.flushes"), 100u);
+  EXPECT_TRUE(reg.has("nic.0.flushes"));
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugesHoldLatestValue) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.gauge("sim.now_ms", -1.0), -1.0);
+  reg.setGauge("sim.now_ms", 12.5);
+  reg.setGauge("sim.now_ms", 80.0);
+  EXPECT_EQ(reg.gauge("sim.now_ms"), 80.0);
+}
+
+TEST(MetricsRegistry, DistributionsAccumulateSamples) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.distribution("lat"), nullptr);
+  reg.addSample("lat", 1.0);
+  reg.addSample("lat", 3.0);
+  const util::Stats* d = reg.distribution("lat");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->count(), 2u);
+  EXPECT_DOUBLE_EQ(d->mean(), 2.0);
+
+  util::Stats extra;
+  extra.add(5.0);
+  reg.mergeSamples("lat", extra);
+  EXPECT_EQ(reg.distribution("lat")->count(), 3u);
+  EXPECT_DOUBLE_EQ(reg.distribution("lat")->mean(), 3.0);
+}
+
+TEST(MetricsRegistry, AccessorsIgnoreWrongKind) {
+  MetricsRegistry reg;
+  reg.setGauge("g", 7.0);
+  reg.setCounter("c", 7);
+  EXPECT_EQ(reg.counter("g", 42), 42u);
+  EXPECT_EQ(reg.gauge("c", -1.0), -1.0);
+  EXPECT_EQ(reg.distribution("c"), nullptr);
+}
+
+TEST(MetricsRegistry, TableHasOneRowPerMetric) {
+  MetricsRegistry reg;
+  reg.setCounter("b.counter", 3);
+  reg.setGauge("a.gauge", 1.5);
+  reg.addSample("c.dist", 2.0);
+  const util::Table t = reg.table();
+  EXPECT_EQ(t.rows(), 3u);
+  const std::string rendered = t.render();
+  // Lexicographic order keeps the dump deterministic.
+  EXPECT_LT(rendered.find("a.gauge"), rendered.find("b.counter"));
+  EXPECT_LT(rendered.find("b.counter"), rendered.find("c.dist"));
+  EXPECT_NE(rendered.find("counter"), std::string::npos);
+  EXPECT_NE(rendered.find("gauge"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteCsvRoundTrips) {
+  MetricsRegistry reg;
+  reg.setCounter("fabric.packets", 9);
+  const std::string path = testing::TempDir() + "gc_metrics_test.csv";
+  ASSERT_TRUE(reg.writeCsv(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("metric"), std::string::npos);
+  EXPECT_NE(ss.str().find("fabric.packets"), std::string::npos);
+  EXPECT_NE(ss.str().find("9"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, ClearEmpties) {
+  MetricsRegistry reg;
+  reg.addCounter("x");
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.has("x"));
+}
+
+TEST(MetricsRegistryDeath, KindConflictAborts) {
+  MetricsRegistry reg;
+  reg.setCounter("m", 1);
+  EXPECT_DEATH(reg.setGauge("m", 2.0), "different kind");
+}
+
+}  // namespace
+}  // namespace gangcomm::obs

@@ -71,6 +71,57 @@ TEST(Simulator, CancelInvalidHandleIsNoop) {
   EXPECT_FALSE(s.cancel(EventHandle{999}));
 }
 
+// Regression: cancelling a handle whose event already fired used to return
+// true and decrement the live-event count, making empty()/pendingEvents()
+// lie about a genuinely pending event.
+TEST(Simulator, CancelAfterFireIsNoopAndKeepsLiveCountExact) {
+  Simulator s;
+  bool b_fired = false;
+  EventHandle a = s.schedule(1, [] {});
+  s.schedule(2, [&] { b_fired = true; });
+  ASSERT_EQ(s.runSteps(1), 1u);  // fires only A
+  EXPECT_FALSE(s.cancel(a));
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  EXPECT_FALSE(s.empty());
+  s.run();
+  EXPECT_TRUE(b_fired);
+  EXPECT_TRUE(s.empty());
+}
+
+// Regression: a fired handle's id also used to be parked in the cancelled
+// set forever.  Repeated stale cancels must stay no-ops and never affect
+// later events.
+TEST(Simulator, RepeatedStaleCancelsLeaveSchedulingIntact) {
+  Simulator s;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(s.schedule(1, [] {}));
+  s.run();
+  for (const EventHandle& h : handles) EXPECT_FALSE(s.cancel(h));
+  int late = 0;
+  s.schedule(1, [&] { ++late; });
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_EQ(late, 1);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+TEST(Simulator, CancelInterleavedWithFiresStaysConsistent) {
+  Simulator s;
+  int fired = 0;
+  EventHandle a = s.schedule(1, [&] { ++fired; });
+  EventHandle b = s.schedule(2, [&] { ++fired; });
+  EventHandle c = s.schedule(3, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(b));
+  ASSERT_EQ(s.runSteps(1), 1u);   // fires A (B is skipped lazily)
+  EXPECT_FALSE(s.cancel(a));      // already fired
+  EXPECT_FALSE(s.cancel(b));      // already cancelled
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  EXPECT_TRUE(s.cancel(c));
+  EXPECT_TRUE(s.empty());
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
   Simulator s;
   int count = 0;
@@ -112,6 +163,19 @@ TEST(Simulator, RequestStopHaltsRun) {
   EXPECT_EQ(s.pendingEvents(), 1u);
   s.run();
   EXPECT_EQ(count, 2);
+}
+
+// runUntil() only advances the clock to the target when the run was not
+// stopped early; a requestStop() mid-run must leave now() at the stopping
+// event so the caller can resume from the real point of interruption.
+TEST(Simulator, RunUntilDoesNotAdvanceClockPastRequestStop) {
+  Simulator s;
+  s.schedule(10, [&] { s.requestStop(); });
+  s.runUntil(100);
+  EXPECT_EQ(s.now(), 10u);
+  EXPECT_TRUE(s.empty());
+  s.runUntil(100);  // resumed run with nothing left: clock advances
+  EXPECT_EQ(s.now(), 100u);
 }
 
 TEST(Simulator, PastSchedulingClampsAndCounts) {

@@ -102,6 +102,50 @@ TEST(Histogram, PercentileMonotone) {
   EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
 }
 
+TEST(Histogram, PercentileOfEmptyReturnsRangeLow) {
+  Histogram h(2.0, 10.0, 8);
+  EXPECT_EQ(h.percentile(0), 2.0);
+  EXPECT_EQ(h.percentile(50), 2.0);
+  EXPECT_EQ(h.percentile(100), 2.0);
+}
+
+// p=0 must report the first *occupied* bucket, not unconditionally the
+// first bucket of the range.
+TEST(Histogram, PercentileZeroFindsFirstOccupiedBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(7.2);
+  h.add(8.9);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 8.5);
+}
+
+TEST(Histogram, PercentileAllUnderflowClampsToFirstBucket) {
+  Histogram h(10.0, 20.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(-3.0);
+  EXPECT_EQ(h.underflow(), 5u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 10.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 10.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.5);
+}
+
+TEST(Histogram, PercentileAllOverflowClampsToLastBucket) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.add(99.0);
+  EXPECT_EQ(h.overflow(), 5u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 9.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 9.5);
+}
+
+TEST(Histogram, PercentileBoundsBracketTheData) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 20; i < 80; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 20.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 79.5);
+  EXPECT_LE(h.percentile(0), h.percentile(25));
+  EXPECT_LE(h.percentile(25), h.percentile(75));
+  EXPECT_LE(h.percentile(75), h.percentile(100));
+}
+
 TEST(HistogramDeath, BadRangeAborts) {
   EXPECT_DEATH(Histogram(5.0, 5.0, 10), "bad histogram range");
 }
