@@ -32,6 +32,7 @@ Point run(int max_contexts, double fraction) {
   auto procs = cluster.processes(job);
   p.bw = dynamic_cast<app::BandwidthSender*>(procs[0])->bandwidthMBps();
   p.refills = procs[1]->fm().stats().refills_sent;
+  bench::perf().addEvents(cluster.sim().firedEvents());
   return p;
 }
 
@@ -47,16 +48,24 @@ int main() {
 
   util::Table table({"fraction", "bw C0=41 [MB/s]", "refills C0=41",
                      "bw C0=2 [MB/s]", "refills C0=2"});
-  for (double f : {0.1, 0.25, 0.5, 0.75, 0.9}) {
-    const Point rich = run(1, f);
-    const Point poor = run(4, f);
-    table.addRow({util::formatDouble(f, 2), util::formatDouble(rich.bw, 2),
+  const std::vector<double> fractions = {0.1, 0.25, 0.5, 0.75, 0.9};
+  // Rich (C0=41) and starved (C0=2) runs per fraction, flattened.
+  const auto points = bench::parallelMap<Point>(
+      fractions.size() * 2, [&](std::size_t i) {
+        return run(i % 2 == 0 ? 1 : 4, fractions[i / 2]);
+      });
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const Point& rich = points[i * 2];
+    const Point& poor = points[i * 2 + 1];
+    table.addRow({util::formatDouble(fractions[i], 2),
+                  util::formatDouble(rich.bw, 2),
                   util::formatU64(rich.refills),
                   util::formatDouble(poor.bw, 2),
                   util::formatU64(poor.refills)});
     std::fflush(stdout);
   }
   bench::emit(table, "ablation_lowwater");
+  bench::writeBenchJson("ablation_lowwater");
 
   std::printf(
       "Check: with plentiful credits the fraction barely matters (refill\n"

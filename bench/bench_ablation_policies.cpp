@@ -33,6 +33,7 @@ double totalBw(glue::BufferPolicy policy, int jobs) {
     auto* s = dynamic_cast<app::BandwidthSender*>(cluster.processes(id)[0]);
     total += s->bandwidthMBps();
   }
+  bench::perf().addEvents(cluster.sim().firedEvents());
   return total;
 }
 
@@ -48,16 +49,21 @@ int main() {
 
   util::Table table({"jobs", "partitioned", "switched-full",
                      "switched-valid-only"});
+  const glue::BufferPolicy kPolicies[] = {
+      glue::BufferPolicy::kPartitioned, glue::BufferPolicy::kSwitchedFull,
+      glue::BufferPolicy::kSwitchedValidOnly};
+  const auto points = bench::parallelMap<double>(8 * 3, [&](std::size_t i) {
+    return totalBw(kPolicies[i % 3], static_cast<int>(i / 3) + 1);
+  });
   for (int jobs = 1; jobs <= 8; ++jobs) {
-    table.addRow(
-        {std::to_string(jobs),
-         util::formatDouble(totalBw(glue::BufferPolicy::kPartitioned, jobs), 1),
-         util::formatDouble(totalBw(glue::BufferPolicy::kSwitchedFull, jobs), 1),
-         util::formatDouble(
-             totalBw(glue::BufferPolicy::kSwitchedValidOnly, jobs), 1)});
+    const std::size_t base = static_cast<std::size_t>(jobs - 1) * 3;
+    table.addRow({std::to_string(jobs), util::formatDouble(points[base], 1),
+                  util::formatDouble(points[base + 1], 1),
+                  util::formatDouble(points[base + 2], 1)});
     std::fflush(stdout);
   }
   bench::emit(table, "ablation_policies");
+  bench::writeBenchJson("ablation_policies");
 
   std::printf(
       "Check: partitioned matches the single-job total while C0 suffices,\n"

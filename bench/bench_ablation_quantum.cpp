@@ -51,6 +51,7 @@ Point run(glue::BufferPolicy policy, sim::Duration quantum) {
     auto* s = dynamic_cast<app::BandwidthSender*>(cluster.processes(id)[0]);
     p.total_bw += s->bandwidthMBps();
   }
+  bench::perf().addEvents(cluster.sim().firedEvents());
   return p;
 }
 
@@ -66,17 +67,27 @@ int main() {
   util::Table table({"quantum [ms]", "full ovh [%]", "full bw [MB/s]",
                      "valid ovh [%]", "valid bw [MB/s]"});
   const std::vector<double> quanta_ms = {100, 200, 400, 800, 1600, 3000};
-  for (double q : quanta_ms) {
-    const auto quantum = sim::msToNs(q);
-    const Point f = run(glue::BufferPolicy::kSwitchedFull, quantum);
-    const Point v = run(glue::BufferPolicy::kSwitchedValidOnly, quantum);
-    table.addRow({util::formatDouble(q, 0), util::formatDouble(f.overhead_pct, 2),
+  // Two sweep points (full / valid-only) per quantum, flattened for the
+  // parallel runner.
+  const auto points = bench::parallelMap<Point>(
+      quanta_ms.size() * 2, [&](std::size_t i) {
+        const auto quantum = sim::msToNs(quanta_ms[i / 2]);
+        return run(i % 2 == 0 ? glue::BufferPolicy::kSwitchedFull
+                              : glue::BufferPolicy::kSwitchedValidOnly,
+                   quantum);
+      });
+  for (std::size_t i = 0; i < quanta_ms.size(); ++i) {
+    const Point& f = points[i * 2];
+    const Point& v = points[i * 2 + 1];
+    table.addRow({util::formatDouble(quanta_ms[i], 0),
+                  util::formatDouble(f.overhead_pct, 2),
                   util::formatDouble(f.total_bw, 1),
                   util::formatDouble(v.overhead_pct, 2),
                   util::formatDouble(v.total_bw, 1)});
     std::fflush(stdout);
   }
   bench::emit(table, "ablation_quantum");
+  bench::writeBenchJson("ablation_quantum");
 
   std::printf(
       "Paper check: at second-scale quanta both algorithms cost ~0-1%%;\n"

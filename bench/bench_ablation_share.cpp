@@ -37,6 +37,7 @@ Outcome run(glue::FlushProtocol flush, int nodes) {
   cluster.runUntil(sim::secToNs(bench::fullScale() ? 4.0 : 1.0));
 
   Outcome o;
+  bench::perf().addEvents(cluster.sim().firedEvents());
   const auto& recs = cluster.switchRecords();
   if (recs.empty()) return o;
   for (const auto& r : recs) {
@@ -85,19 +86,23 @@ int main() {
       {glue::FlushProtocol::kAckQuiesce, "ack-quiesce (PM)"},
       {glue::FlushProtocol::kLocalOnly, "SHARE (no flush)"},
   };
-  for (int nodes : {4, 8, 16}) {
-    for (const auto& scheme : kSchemes) {
-      const Outcome o = run(scheme.flush, nodes);
-      table.addRow({std::to_string(nodes), scheme.name,
-                    util::formatDouble(o.halt_us, 1),
-                    util::formatDouble(o.release_us, 1),
-                    util::formatDouble(o.discarded_per_switch, 1),
-                    util::formatDouble(o.retransmitted_per_switch, 1),
-                    util::formatDouble(o.goodput_msgs, 0)});
-      std::fflush(stdout);
-    }
+  const int kNodes[] = {4, 8, 16};
+  const auto points = bench::parallelMap<Outcome>(
+      3 * 3, [&](std::size_t i) {
+        return run(kSchemes[i % 3].flush, kNodes[i / 3]);
+      });
+  for (std::size_t i = 0; i < 3 * 3; ++i) {
+    const Outcome& o = points[i];
+    table.addRow({std::to_string(kNodes[i / 3]), kSchemes[i % 3].name,
+                  util::formatDouble(o.halt_us, 1),
+                  util::formatDouble(o.release_us, 1),
+                  util::formatDouble(o.discarded_per_switch, 1),
+                  util::formatDouble(o.retransmitted_per_switch, 1),
+                  util::formatDouble(o.goodput_msgs, 0)});
+    std::fflush(stdout);
   }
   bench::emit(table, "ablation_share");
+  bench::writeBenchJson("ablation_share");
 
   std::printf(
       "Check: SHARE's switch stages are local (microseconds, flat in the\n"

@@ -38,6 +38,7 @@ double totalBandwidth(int jobs, std::uint32_t msg_bytes,
     auto* s = dynamic_cast<app::BandwidthSender*>(cluster.processes(id)[0]);
     total += s->bandwidthMBps();
   }
+  bench::perf().addEvents(cluster.sim().firedEvents());
   return total;
 }
 
@@ -74,17 +75,31 @@ int main() {
   for (auto s : sizes) header.push_back(std::to_string(s) + "B");
   util::Table table(header);
 
+  struct Point {
+    int jobs;
+    std::uint32_t size;
+  };
+  std::vector<Point> points;
+  for (int jobs = 1; jobs <= 8; ++jobs)
+    for (auto s : sizes) points.push_back({jobs, s});
+  const std::vector<double> bw = bench::parallelMap<double>(
+      points.size(), [&](std::size_t i) {
+        const Point& p = points[i];
+        const std::uint64_t count =
+            bench::scaledCount(p.size, targetBytes(p.size));
+        return totalBandwidth(p.jobs, p.size, count, quantum);
+      });
+
+  std::size_t at = 0;
   for (int jobs = 1; jobs <= 8; ++jobs) {
     std::vector<std::string> row = {std::to_string(jobs)};
-    for (auto s : sizes) {
-      const std::uint64_t count = bench::scaledCount(s, targetBytes(s));
-      row.push_back(
-          util::formatDouble(totalBandwidth(jobs, s, count, quantum), 2));
-    }
+    for (std::size_t c = 0; c < sizes.size(); ++c)
+      row.push_back(util::formatDouble(bw[at++], 2));
     table.addRow(row);
     std::fflush(stdout);
   }
   bench::emit(table, "fig6_switched_bw");
+  bench::writeBenchJson("fig6_switched_bw");
 
   std::printf(
       "Paper check: total bandwidth is independent of the number of jobs —\n"

@@ -20,10 +20,14 @@ int main() {
                      "total_ms"});
   const int switches = bench::fullScale() ? 10 : 4;
 
+  const auto points = bench::parallelMap<bench::SweepPoint>(
+      15, [&](std::size_t i) {
+        return bench::runSwitchSweep(static_cast<int>(i) + 2,
+                                     glue::BufferPolicy::kSwitchedFull,
+                                     switches);
+      });
   for (int nodes = 2; nodes <= 16; ++nodes) {
-    auto pt = bench::runSwitchSweep(nodes,
-                                    glue::BufferPolicy::kSwitchedFull,
-                                    switches);
+    const auto& pt = points[static_cast<std::size_t>(nodes - 2)];
     const double total_cycles = pt.halt_cycles.mean() +
                                 pt.switch_cycles.mean() +
                                 pt.release_cycles.mean();
@@ -38,6 +42,7 @@ int main() {
     std::fflush(stdout);
   }
   bench::emit(table, "fig7_switch_overhead");
+  bench::writeBenchJson("fig7_switch_overhead");
 
   std::printf(
       "Paper check: buffer switch ~14-16 Mcycles, independent of nodes;\n"

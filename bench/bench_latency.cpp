@@ -33,6 +33,7 @@ LatencyPoint measure(int contexts, std::uint32_t msg_bytes,
       });
   cluster.run();
   auto* p0 = dynamic_cast<app::PingPongWorker*>(cluster.processes(job)[0]);
+  bench::perf().addEvents(cluster.sim().firedEvents());
   LatencyPoint pt;
   if (p0->rttStats().count() == 0) return pt;  // deadlocked
   pt.mean_us = p0->rttStats().mean() / 2.0;    // one-way
@@ -58,11 +59,18 @@ int main() {
   for (auto s : sizes) header.push_back(std::to_string(s) + "B");
   util::Table table(header);
 
-  for (int n : {1, 2, 4, 6, 8}) {
+  const std::vector<int> contexts = {1, 2, 4, 6, 8};
+  const auto points = bench::parallelMap<LatencyPoint>(
+      contexts.size() * sizes.size(), [&](std::size_t i) {
+        return measure(contexts[i / sizes.size()], sizes[i % sizes.size()],
+                       reps);
+      });
+  std::size_t at = 0;
+  for (int n : contexts) {
     const int c0 = fm::CreditMath::partitionedCredits(668, n, 16);
     std::vector<std::string> row = {std::to_string(n), std::to_string(c0)};
-    for (auto s : sizes) {
-      const LatencyPoint pt = measure(n, s, reps);
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      const LatencyPoint& pt = points[at++];
       row.push_back(pt.mean_us < 0 ? "deadlock"
                                    : util::formatDouble(pt.mean_us, 1));
     }
@@ -70,6 +78,7 @@ int main() {
     std::fflush(stdout);
   }
   bench::emit(table, "latency_companion");
+  bench::writeBenchJson("latency_companion");
 
   std::printf(
       "Check: latency is division-insensitive while C0 covers a whole\n"

@@ -2,17 +2,26 @@
 // event queue throughput, RNG, ring buffer, credit math, and a full
 // end-to-end packet exchange — the costs that bound how much cluster time
 // the figure benches can simulate per wall-clock second.
+//
+// The BM_EventQueue* and BM_*Function groups are the engine's own perf
+// trajectory: schedule/fire, deep backlogs, in-place cancellation, and the
+// callable small-buffer optimization (a packet-forwarding closure is ~100
+// bytes, far beyond std::function's inline buffer).
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <memory>
 
+#include "bench/common.hpp"
 #include "fm/config.hpp"
 #include "fm/fm_lib.hpp"
 #include "net/nic.hpp"
+#include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "util/ring_buffer.hpp"
+#include "util/sbo_function.hpp"
 
 namespace {
 
@@ -28,6 +37,7 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations() * 64);
+  bench::perf().addEvents(s.firedEvents());
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
@@ -44,6 +54,75 @@ void BM_EventQueueDeepBacklog(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * depth);
 }
 BENCHMARK(BM_EventQueueDeepBacklog)->Arg(1024)->Arg(16384);
+
+// The hot-path shape of the figure benches: every scheduled event carries a
+// packet-sized closure (this + a net::Packet by value).  The old engine paid
+// one heap allocation per schedule for these; the SBO action keeps them
+// inline in the event node.
+void BM_EventQueuePacketClosure(benchmark::State& state) {
+  sim::Simulator s;
+  net::Packet p{};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i)
+      s.schedule(static_cast<sim::Duration>(i % 7),
+                 [&sink, p] { sink += p.payload_bytes; });
+    s.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+  bench::perf().addEvents(s.firedEvents());
+}
+BENCHMARK(BM_EventQueuePacketClosure);
+
+// In-place cancellation from a deep backlog — the timeout pattern: almost
+// every scheduled timeout is cancelled before it fires.  The old engine's
+// lazy tombstones still paid a heap pop + two hash lookups per cancelled
+// event; the indexed heap removes the entry at cancel time.
+void BM_EventQueueScheduleCancel(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  sim::Simulator s;
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(static_cast<std::size_t>(depth));
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < depth; ++i)
+      handles.push_back(s.schedule(static_cast<sim::Duration>(i % 97 + 1),
+                                   [&sink] { ++sink; }));
+    for (const auto& h : handles) s.cancel(h);
+    benchmark::DoNotOptimize(s.pendingEvents());
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(1024)->Arg(16384);
+
+// Direct cost of the callable itself, packet-sized capture: std::function
+// heap-allocates, SboFunction stores inline.
+void BM_StdFunctionPacketCapture(benchmark::State& state) {
+  net::Packet p{};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    std::function<void()> f([&sink, p] { sink += p.payload_bytes; });
+    f();
+    benchmark::DoNotOptimize(f);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_StdFunctionPacketCapture);
+
+void BM_SboFunctionPacketCapture(benchmark::State& state) {
+  net::Packet p{};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator::Action f([&sink, p] { sink += p.payload_bytes; });
+    f();
+    benchmark::DoNotOptimize(f);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SboFunctionPacketCapture);
 
 void BM_Xoshiro(benchmark::State& state) {
   sim::Xoshiro256 rng(1);
@@ -96,9 +175,18 @@ void BM_EndToEndPacket(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(got);
   state.SetItemsProcessed(state.iterations());
+  bench::perf().addEvents(s.firedEvents());
 }
 BENCHMARK(BM_EndToEndPacket);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  (void)gangcomm::bench::perf();  // start the wall clock before any benchmark
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  gangcomm::bench::writeBenchJson("micro", /*jobs=*/1);
+  return 0;
+}

@@ -32,10 +32,18 @@ int main() {
   cal.print();
   std::printf("\n");
 
-  // End-to-end stage costs on the largest configuration.
-  auto full = bench::runSwitchSweep(16, glue::BufferPolicy::kSwitchedFull, 3);
-  auto valid =
-      bench::runSwitchSweep(16, glue::BufferPolicy::kSwitchedValidOnly, 3);
+  // End-to-end stage costs on the largest configuration; the two policies
+  // are independent runs, so they go through the sweep runner.
+  const auto points = bench::parallelMap<bench::SweepPoint>(
+      2, [](std::size_t i) {
+        return bench::runSwitchSweep(
+            16,
+            i == 0 ? glue::BufferPolicy::kSwitchedFull
+                   : glue::BufferPolicy::kSwitchedValidOnly,
+            3);
+      });
+  const auto& full = points[0];
+  const auto& valid = points[1];
 
   const double full_ms = full.switch_cycles.mean() * 5e-6;
   const double valid_ms = valid.switch_cycles.mean() * 5e-6;
@@ -64,7 +72,8 @@ int main() {
                  util::formatDouble(full_pct_1s, 3), "tolerable (< 10)",
                  full_pct_1s < 10 ? "yes" : "NO"});
   budget.print();
-  budget.writeCsv("overhead_budget.csv");
+  budget.writeCsv(bench::outPath("overhead_budget.csv"));
+  bench::writeBenchJson("overhead_budget");
 
   std::printf(
       "\nThe WC-read path (send queue off the card) dominates the full\n"

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "glue/comm_node.hpp"
 #include "net/routing.hpp"
 #include "sim/simulator.hpp"
@@ -135,7 +136,9 @@ int main() {
   }
 
   table.print();
-  table.writeCsv("table1_api.csv");
+  table.writeCsv(bench::outPath("table1_api.csv"));
+  bench::perf().addEvents(sim.firedEvents());
+  bench::writeBenchJson("table1_api", /*jobs=*/1);
   std::printf(
       "\nAll eight Table-1 entry points exercised on a live system; the\n"
       "switch stages are the measured protocol costs on idle queues.\n");

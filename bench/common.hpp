@@ -1,19 +1,37 @@
 // Shared helpers for the figure-reproduction benches.
 //
 // Every bench binary prints the same rows/series its paper figure reports
-// (ASCII table to stdout) and drops a CSV next to the working directory for
-// plotting.  GANGCOMM_FULL=1 switches to the paper's full-scale parameters
-// (3 s quanta, larger message counts); the default scales down so the whole
-// suite runs in seconds while preserving every qualitative shape.
+// (ASCII table to stdout) and drops a CSV for plotting.  GANGCOMM_FULL=1
+// switches to the paper's full-scale parameters (3 s quanta, larger message
+// counts); the default scales down so the whole suite runs in seconds while
+// preserving every qualitative shape.
+//
+// Environment knobs honored by every bench:
+//   GANGCOMM_FULL=1     full-scale paper parameters
+//   GANGCOMM_JOBS=N     sweep-runner worker threads (see sweep_runner.hpp)
+//   GANGCOMM_OUT_DIR=d  directory for CSV and BENCH_*.json outputs
+//                       (created if missing; default: current directory)
+//
+// Alongside its table/CSV, every bench writes BENCH_<name>.json with
+// wall-clock seconds, simulation events fired, events/sec, and the job
+// count — the perf trajectory of the simulator itself.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "app/workloads.hpp"
+#include "bench/sweep_runner.hpp"
 #include "core/cluster.hpp"
 #include "util/table.hpp"
 
@@ -22,6 +40,74 @@ namespace gangcomm::bench {
 inline bool fullScale() {
   const char* e = std::getenv("GANGCOMM_FULL");
   return e != nullptr && e[0] == '1';
+}
+
+/// Prefix `file` with GANGCOMM_OUT_DIR (creating the directory on first
+/// use) or return it unchanged when the variable is unset.
+inline std::string outPath(const std::string& file) {
+  const char* d = std::getenv("GANGCOMM_OUT_DIR");
+  if (d == nullptr || d[0] == '\0') return file;
+  std::error_code ec;
+  std::filesystem::create_directories(d, ec);  // best effort; open reports
+  std::string path(d);
+  if (path.back() != '/') path += '/';
+  return path + file;
+}
+
+/// Wall-clock + event-throughput accounting for a bench run.  Sweep points
+/// running on the parallel runner add their simulators' fired-event counts
+/// from worker threads, hence the atomic.
+class PerfTracker {
+ public:
+  PerfTracker() : start_(std::chrono::steady_clock::now()) {}
+
+  void addEvents(std::uint64_t n) {
+    events_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+  double wallSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> events_{0};
+};
+
+/// Process-wide tracker; touch it first thing in main() so the wall clock
+/// covers the whole run.
+inline PerfTracker& perf() {
+  static PerfTracker tracker;
+  return tracker;
+}
+
+/// Write BENCH_<name>.json next to the CSVs.  `jobs` defaults to the sweep
+/// runner's worker count; benches that run serially pass 1.
+inline bool writeBenchJson(const std::string& name, int jobs = jobCount()) {
+  const double wall = perf().wallSeconds();
+  const std::uint64_t events = perf().events();
+  const std::string path = outPath("BENCH_" + name + ".json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"name\": \"%s\",\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"events_fired\": %llu,\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"jobs\": %d\n"
+               "}\n",
+               name.c_str(), wall,
+               static_cast<unsigned long long>(events),
+               wall > 0 ? static_cast<double>(events) / wall : 0.0, jobs);
+  std::fclose(f);
+  return true;
 }
 
 /// Factory for the FM-distribution point-to-point bandwidth benchmark
@@ -56,7 +142,7 @@ inline std::uint64_t scaledCount(std::uint32_t msg_bytes,
 
 inline void emit(const util::Table& table, const std::string& name) {
   table.print();
-  const std::string csv = name + ".csv";
+  const std::string csv = outPath(name + ".csv");
   if (table.writeCsv(csv))
     std::printf("(csv written to %s)\n\n", csv.c_str());
 }

@@ -1,0 +1,42 @@
+#include "bench/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace gangcomm::bench {
+
+int jobCount() {
+  if (const char* e = std::getenv("GANGCOMM_JOBS")) {
+    const int v = std::atoi(e);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<int>(hw) : 1;
+}
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min(n, static_cast<std::size_t>(jobCount()));
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();  // the calling thread works too
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace gangcomm::bench

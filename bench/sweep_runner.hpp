@@ -1,0 +1,38 @@
+// Parallel sweep runner for the figure benches.
+//
+// Every figure/ablation bench is a sweep over independent cluster
+// configurations: each point constructs its own Simulator and Cluster, runs
+// it, and reduces to a handful of numbers.  Points share no mutable state,
+// so they can run concurrently on a thread pool; results are collected by
+// point index and consumed in order, which keeps every table and CSV
+// byte-identical regardless of the job count.
+//
+// GANGCOMM_JOBS sets the worker count (default: hardware concurrency).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace gangcomm::bench {
+
+/// Worker threads used for sweeps: GANGCOMM_JOBS if set to a positive
+/// integer, otherwise std::thread::hardware_concurrency().
+int jobCount();
+
+/// Run fn(0), ..., fn(n-1) on up to jobCount() threads and block until all
+/// complete.  Points are claimed from an atomic counter, so the assignment
+/// of points to threads is nondeterministic — callers must make each point
+/// self-contained and index its results.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Sweep map: computes fn(i) for i in [0, n) concurrently and returns the
+/// results in index order, independent of the job count.
+template <typename T, typename Fn>
+std::vector<T> parallelMap(std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace gangcomm::bench

@@ -16,6 +16,7 @@
 // the set of reported switches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -73,6 +74,7 @@ inline SweepPoint runSwitchSweep(int nodes, glue::BufferPolicy policy,
   const auto halt = byNode("halt");
   const auto copy = byNode("buffer_switch");
   const auto release = byNode("release");
+  perf().addEvents(cluster.sim().firedEvents());
 
   SweepPoint pt;
   pt.nodes = nodes;

@@ -1,5 +1,7 @@
 #include "app/workloads.hpp"
 
+#include <limits>
+
 #include "util/check.hpp"
 
 namespace gangcomm::app {

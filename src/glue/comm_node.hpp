@@ -17,6 +17,8 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "fm/config.hpp"
 #include "glue/backing_store.hpp"

@@ -6,9 +6,12 @@
 // and report the per-stage timings to the masterd.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "host/cpu_model.hpp"
 #include "obs/metrics.hpp"

@@ -10,49 +10,108 @@ EventHandle Simulator::scheduleAt(SimTime t, Action fn) {
     t = now_;
   }
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{t, seq, std::move(fn)});
-  pending_.insert(seq);
-  return EventHandle{seq};
+  std::uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Node& n = slab_[slot];
+  n.time = t;
+  n.seq = seq;
+  n.fn = std::move(fn);
+  n.next_free = kNil;
+  heap_.push_back(slot);
+  siftUp(heap_.size() - 1);
+  return EventHandle{seq, slot};
 }
 
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  // Only a genuinely pending event can be cancelled: an already-fired or
-  // already-cancelled id is absent from pending_, so the call is a no-op and
-  // neither the live count nor cancelled_ is disturbed.
-  const auto it = pending_.find(h.id);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
-  // The id stays in cancelled_ until its queue entry surfaces (lazy
-  // deletion); erased on match, so the set stays bounded.
-  cancelled_.insert(h.id);
+  // A handle is live exactly when the slab node it points at still carries
+  // its sequence number: a fired or cancelled event's slot has seq 0 (or a
+  // later event's seq once recycled), so stale cancels are exact no-ops.
+  if (h.slot >= slab_.size()) return false;
+  Node& n = slab_[h.slot];
+  if (n.seq != h.id) return false;
+  removeAt(n.heap_pos);
+  freeSlot(h.slot);
   return true;
 }
 
-void Simulator::skipCancelled() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    queue_.pop();
+void Simulator::siftUp(std::size_t i) {
+  const std::uint32_t slot = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(slot, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    slab_[heap_[i]].heap_pos = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = slot;
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void Simulator::siftDown(std::size_t i) {
+  const std::uint32_t slot = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], slot)) break;
+    heap_[i] = heap_[best];
+    slab_[heap_[i]].heap_pos = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = slot;
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(i);
+}
+
+void Simulator::removeAt(std::size_t pos) {
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    heap_[pos] = last;
+    slab_[last].heap_pos = static_cast<std::uint32_t>(pos);
+    // The displaced tail entry may belong above or below `pos`.
+    siftDown(pos);
+    if (heap_[pos] == last) siftUp(pos);
   }
 }
 
+void Simulator::freeSlot(std::uint32_t slot) {
+  Node& n = slab_[slot];
+  n.seq = 0;
+  n.fn.reset();
+  n.heap_pos = kNil;
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
 void Simulator::fireNext() {
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
-  pending_.erase(ev.seq);
+  const std::uint32_t slot = heap_[0];
+  Node& n = slab_[slot];
+  now_ = n.time;
+  // Move the action out and recycle the node before invoking: the callback
+  // may schedule (growing the slab) or cancel, and must observe its own
+  // event as already fired.
+  Action fn = std::move(n.fn);
+  removeAt(0);
+  freeSlot(slot);
   ++fired_;
-  ev.fn();
+  fn();
 }
 
 std::uint64_t Simulator::run() {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  for (;;) {
-    skipCancelled();
-    if (queue_.empty() || stop_requested_) break;
+  while (!heap_.empty() && !stop_requested_) {
     fireNext();
     ++n;
   }
@@ -62,9 +121,7 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::runUntil(SimTime t) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  for (;;) {
-    skipCancelled();
-    if (queue_.empty() || stop_requested_ || queue_.top().time > t) break;
+  while (!heap_.empty() && !stop_requested_ && slab_[heap_[0]].time <= t) {
     fireNext();
     ++n;
   }
@@ -75,9 +132,7 @@ std::uint64_t Simulator::runUntil(SimTime t) {
 std::uint64_t Simulator::runSteps(std::uint64_t steps) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (n < steps) {
-    skipCancelled();
-    if (queue_.empty() || stop_requested_) break;
+  while (n < steps && !heap_.empty() && !stop_requested_) {
     fireNext();
     ++n;
   }

@@ -5,27 +5,41 @@
 // a monotonically increasing sequence number), which makes every run fully
 // deterministic.  Events may be cancelled via the EventHandle returned at
 // scheduling time.
+//
+// Engine layout: event nodes live in a slab (recycled through a free list,
+// so steady-state scheduling performs no allocation) and an indexed 4-ary
+// min-heap of slab slots orders them by (time, seq).  Each node remembers
+// its heap position, so cancel() removes its entry in place in O(log n) —
+// no tombstones and no hash lookups on the firing path — and a handle is
+// live exactly when the slab node it points at still carries its sequence
+// number, an O(1) check.  Actions are stored in a small-buffer-optimized
+// callable (util::SboFunction), keeping packet-forwarding closures inline
+// in the node instead of behind a per-event heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/sbo_function.hpp"
 
 namespace gangcomm::sim {
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
+/// `id` is the event's unique sequence number; `slot` is an internal slab
+/// hint that lets the simulator find the event without a lookup table.
 struct EventHandle {
   std::uint64_t id = 0;
+  std::uint32_t slot = 0;
   bool valid() const { return id != 0; }
 };
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  // Sized so the dominant hot-path closure — `this` plus a net::Packet by
+  // value — stays inline in the event node.
+  using Action = util::SboFunction<void(), 112>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -61,10 +75,10 @@ class Simulator {
   std::uint64_t runSteps(std::uint64_t n);
 
   /// True if no live events are pending.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return heap_.empty(); }
 
   /// Number of pending (non-cancelled) events.
-  std::uint64_t pendingEvents() const { return pending_.size(); }
+  std::uint64_t pendingEvents() const { return heap_.size(); }
 
   /// Total events fired since construction.
   std::uint64_t firedEvents() const { return fired_; }
@@ -77,30 +91,37 @@ class Simulator {
   void requestStop() { stop_requested_ = true; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // stable tie-break; doubles as cancellation id
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // 0 marks a free slot; doubles as the handle id
     Action fn;
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+    std::uint32_t heap_pos = kNil;
+    std::uint32_t next_free = kNil;
   };
 
-  // Fires the earliest live event.  Precondition: a live event exists.
-  void fireNext();
-  // Pops cancelled events off the head of the queue.
-  void skipCancelled();
+  // (time, seq) strict weak order between slab slots; seq is unique, so
+  // this is a total order and the firing sequence is fully deterministic.
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Node& na = slab_[a];
+    const Node& nb = slab_[b];
+    if (na.time != nb.time) return na.time < nb.time;
+    return na.seq < nb.seq;
+  }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  // Ids of scheduled-but-not-yet-fired, not-cancelled events.  The precise
-  // set (rather than a counter) makes cancel() exact: a handle whose event
-  // already fired is simply absent, so it can neither corrupt the live count
-  // nor leak into cancelled_ forever.
-  std::unordered_set<std::uint64_t> pending_;
-  // Cancelled ids whose queue entries have not yet surfaced; every member is
-  // backed by a queue entry, so the set is bounded (erased on match).
-  std::unordered_set<std::uint64_t> cancelled_;
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  // Remove the heap entry at position `pos`, restoring the heap property.
+  void removeAt(std::size_t pos);
+  // Return a slot to the free list and release its action.
+  void freeSlot(std::uint32_t slot);
+  // Fires the earliest live event.  Precondition: !empty().
+  void fireNext();
+
+  std::vector<Node> slab_;
+  std::vector<std::uint32_t> heap_;  // slab slots, 4-ary min-heap by before()
+  std::uint32_t free_head_ = kNil;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
@@ -17,10 +18,7 @@ namespace gangcomm::util {
 template <typename T>
 class RingBuffer {
  public:
-  explicit RingBuffer(std::size_t capacity)
-      : slots_(capacity == 0 ? 1 : capacity) {
-    GC_CHECK_MSG(capacity > 0, "ring buffer capacity must be positive");
-  }
+  explicit RingBuffer(std::size_t capacity) : slots_(checked(capacity)) {}
 
   std::size_t capacity() const { return slots_.size(); }
   std::size_t size() const { return size_; }
@@ -31,7 +29,7 @@ class RingBuffer {
   /// Append a value; returns false when full.
   bool push(T value) {
     if (full()) return false;
-    slots_[(head_ + size_) % slots_.size()] = std::move(value);
+    slots_[wrap(head_ + size_)] = std::move(value);
     ++size_;
     return true;
   }
@@ -40,7 +38,7 @@ class RingBuffer {
   T pop() {
     GC_CHECK_MSG(!empty(), "pop from empty ring buffer");
     T v = std::move(slots_[head_]);
-    head_ = (head_ + 1) % slots_.size();
+    head_ = wrap(head_ + 1);
     --size_;
     return v;
   }
@@ -58,7 +56,7 @@ class RingBuffer {
   /// i-th element from the front (0 == oldest).  Precondition: i < size().
   const T& at(std::size_t i) const {
     GC_CHECK_MSG(i < size_, "ring buffer index out of range");
-    return slots_[(head_ + i) % slots_.size()];
+    return slots_[wrap(head_ + i)];
   }
 
   /// Drop every element.
@@ -77,6 +75,19 @@ class RingBuffer {
   }
 
  private:
+  // Validated before std::vector ever sees the value, so a zero capacity
+  // aborts instead of silently becoming capacity 1.
+  static std::size_t checked(std::size_t capacity) {
+    GC_CHECK_MSG(capacity > 0, "ring buffer capacity must be positive");
+    return capacity;
+  }
+
+  // Indices passed in are < 2 * capacity, so one compare-and-subtract
+  // replaces the modulo on the push/pop/at hot path.
+  std::size_t wrap(std::size_t i) const {
+    return i >= slots_.size() ? i - slots_.size() : i;
+  }
+
   std::vector<T> slots_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;

@@ -3,6 +3,7 @@
 // lost, duplicated, or corrupted across switches.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "app/workloads.hpp"

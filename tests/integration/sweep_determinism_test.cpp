@@ -1,0 +1,85 @@
+// The parallel sweep runner must not change any bench output: every sweep
+// point owns its Simulator/Cluster, results are collected by index, and the
+// rendered table/CSV must be byte-identical whatever GANGCOMM_JOBS says.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/workloads.hpp"
+#include "bench/sweep_runner.hpp"
+#include "core/cluster.hpp"
+#include "util/table.hpp"
+
+namespace gangcomm {
+namespace {
+
+double bandwidthPoint(int contexts, std::uint32_t msg_bytes) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.policy = glue::BufferPolicy::kPartitioned;
+  cfg.max_contexts = contexts;
+  core::Cluster cluster(cfg);
+  const net::JobId job = cluster.submit(
+      2, [msg_bytes](app::Process::Env env) -> std::unique_ptr<app::Process> {
+        if (env.rank == 0)
+          return std::make_unique<app::BandwidthSender>(std::move(env), 1,
+                                                        msg_bytes, 200);
+        return std::make_unique<app::BandwidthReceiver>(std::move(env), 0,
+                                                        200);
+      });
+  cluster.run();
+  auto* sender = dynamic_cast<app::BandwidthSender*>(cluster.processes(job)[0]);
+  return sender->bandwidthMBps();
+}
+
+// A miniature figure sweep rendered exactly like the benches render theirs.
+std::string renderedSweep() {
+  const std::vector<int> contexts = {1, 2, 3};
+  const std::vector<std::uint32_t> sizes = {1024, 4096};
+  const auto bw = bench::parallelMap<double>(
+      contexts.size() * sizes.size(), [&](std::size_t i) {
+        return bandwidthPoint(contexts[i / sizes.size()],
+                              sizes[i % sizes.size()]);
+      });
+  util::Table table({"contexts", "1024B", "4096B"});
+  std::size_t at = 0;
+  for (int n : contexts) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (std::size_t c = 0; c < sizes.size(); ++c)
+      row.push_back(util::formatDouble(bw[at++], 2));
+    table.addRow(row);
+  }
+  return table.render();
+}
+
+TEST(SweepRunner, JobCountReadsEnvironment) {
+  ASSERT_EQ(setenv("GANGCOMM_JOBS", "3", 1), 0);
+  EXPECT_EQ(bench::jobCount(), 3);
+  ASSERT_EQ(setenv("GANGCOMM_JOBS", "0", 1), 0);  // invalid: falls back to hw
+  EXPECT_GE(bench::jobCount(), 1);
+  unsetenv("GANGCOMM_JOBS");
+}
+
+TEST(SweepRunner, ParallelMapPreservesIndexOrder) {
+  ASSERT_EQ(setenv("GANGCOMM_JOBS", "8", 1), 0);
+  const auto v = bench::parallelMap<std::size_t>(
+      100, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v[i], i * i);
+  unsetenv("GANGCOMM_JOBS");
+}
+
+TEST(SweepRunner, SweepOutputIsByteIdenticalAcrossJobCounts) {
+  ASSERT_EQ(setenv("GANGCOMM_JOBS", "1", 1), 0);
+  const std::string serial = renderedSweep();
+  ASSERT_EQ(setenv("GANGCOMM_JOBS", "8", 1), 0);
+  const std::string parallel = renderedSweep();
+  unsetenv("GANGCOMM_JOBS");
+  EXPECT_EQ(serial, parallel);
+  EXPECT_FALSE(serial.empty());
+}
+
+}  // namespace
+}  // namespace gangcomm

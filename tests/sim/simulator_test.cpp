@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
 #include <vector>
 
 namespace gangcomm::sim {
@@ -191,6 +195,155 @@ TEST(Simulator, FiredEventCountAccumulates) {
   for (int i = 0; i < 7; ++i) s.schedule(1, [] {});
   s.run();
   EXPECT_EQ(s.firedEvents(), 7u);
+}
+
+// Randomized stress of the indexed-heap engine against a trivially correct
+// reference model (a flat pending list fired in (time, seq) order — the old
+// engine's semantics).  Interleaves schedule / past-clamped scheduleAt /
+// cancel (live, fired, and stale handles) / runSteps / runUntil / run and
+// asserts the firing order, clock, live count, and every cancel() verdict
+// match exactly.
+TEST(Simulator, RandomizedStressMatchesReferenceModel) {
+  struct RefEvent {
+    SimTime time;
+    std::uint64_t seq;
+  };
+  std::mt19937_64 rng(0xC0FFEE);
+  Simulator s;
+  std::vector<RefEvent> ref;  // reference pending set
+  SimTime ref_now = 0;
+  std::uint64_t ref_seq = 1, ref_clamps = 0;
+  std::vector<std::uint64_t> fired_real, fired_ref;
+  std::vector<std::pair<EventHandle, std::uint64_t>> handles;  // all ever made
+
+  const auto refFireNext = [&] {
+    auto it = std::min_element(ref.begin(), ref.end(),
+                               [](const RefEvent& a, const RefEvent& b) {
+                                 return a.time != b.time ? a.time < b.time
+                                                         : a.seq < b.seq;
+                               });
+    ref_now = it->time;
+    fired_ref.push_back(it->seq);
+    ref.erase(it);
+  };
+
+  const auto scheduleBoth = [&](SimTime at) {
+    SimTime t = at;
+    if (t < ref_now) {
+      ++ref_clamps;
+      t = ref_now;
+    }
+    // The callback must record its own seq, which is only known once
+    // scheduleAt returns; route it through a shared cell.
+    auto cell = std::make_shared<std::uint64_t>(0);
+    EventHandle h = s.scheduleAt(
+        at, [cell, &fired_real] { fired_real.push_back(*cell); });
+    *cell = h.id;
+    EXPECT_EQ(h.id, ref_seq);
+    ref.push_back({t, ref_seq});
+    handles.emplace_back(h, ref_seq);
+    ++ref_seq;
+  };
+
+  for (int round = 0; round < 2000; ++round) {
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2:  // schedule at a future instant (ties are common: % 50)
+        scheduleBoth(ref_now + rng() % 50);
+        break;
+      case 3:  // schedule into the past: clamped and counted
+        scheduleBoth(ref_now > 10 ? ref_now - 1 - rng() % 9 : 0);
+        break;
+      case 4: {  // cancel a random handle: may be live, fired, or cancelled
+        if (handles.empty()) break;
+        const auto& [h, seq] = handles[rng() % handles.size()];
+        const auto it =
+            std::find_if(ref.begin(), ref.end(),
+                         [seq = seq](const RefEvent& e) { return e.seq == seq; });
+        const bool ref_live = it != ref.end();
+        if (ref_live) ref.erase(it);
+        EXPECT_EQ(s.cancel(h), ref_live);
+        break;
+      }
+      case 5: {  // fire a few events
+        const std::uint64_t want = rng() % 4;
+        const std::uint64_t n = s.runSteps(want);
+        EXPECT_EQ(n, std::min<std::uint64_t>(want, ref.size()));
+        for (std::uint64_t i = 0; i < n; ++i) refFireNext();
+        break;
+      }
+      case 6: {  // run up to a horizon
+        const SimTime t = ref_now + rng() % 40;
+        const std::uint64_t n = s.runUntil(t);
+        std::uint64_t ref_n = 0;
+        while (!ref.empty()) {
+          const auto it = std::min_element(
+              ref.begin(), ref.end(),
+              [](const RefEvent& a, const RefEvent& b) {
+                return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+              });
+          if (it->time > t) break;
+          refFireNext();
+          ++ref_n;
+        }
+        if (ref_now < t) ref_now = t;
+        EXPECT_EQ(n, ref_n);
+        break;
+      }
+      default:  // occasionally drain completely
+        if (rng() % 10 == 0) {
+          s.run();
+          while (!ref.empty()) refFireNext();
+        }
+        break;
+    }
+    ASSERT_EQ(s.now(), ref_now);
+    ASSERT_EQ(s.pendingEvents(), ref.size());
+    ASSERT_EQ(s.empty(), ref.empty());
+  }
+  s.run();
+  while (!ref.empty()) refFireNext();
+  EXPECT_EQ(fired_real, fired_ref);
+  EXPECT_EQ(s.firedEvents(), fired_real.size());
+  EXPECT_EQ(s.pastScheduleClamps(), ref_clamps);
+}
+
+// Slab recycling: cancelling and firing must return nodes to the free list,
+// so a schedule/fire steady state never grows the slab (no leak of slots),
+// and a handle to a recycled slot is stale, not live.
+TEST(Simulator, RecycledSlotInvalidatesOldHandles) {
+  Simulator s;
+  EventHandle a = s.schedule(1, [] {});
+  ASSERT_TRUE(s.cancel(a));
+  // The next event reuses A's slab slot (free list is LIFO); A's handle
+  // must still read as dead.
+  int fired = 0;
+  EventHandle b = s.schedule(2, [&] { ++fired; });
+  EXPECT_FALSE(s.cancel(a));
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.cancel(b));
+}
+
+// Callbacks that schedule (growing the slab mid-fire) and cancel other
+// pending events exercise the in-place removal paths from inside fireNext.
+TEST(Simulator, CancelAndScheduleFromCallback) {
+  Simulator s;
+  std::vector<int> order;
+  EventHandle doomed = s.schedule(10, [&] { order.push_back(99); });
+  s.schedule(5, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(s.cancel(doomed));
+    for (int i = 0; i < 64; ++i)  // force slab growth during a fire
+      s.schedule(static_cast<Duration>(6 + i), [&order, i] {
+        if (i == 0) order.push_back(2);
+      });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.firedEvents(), 65u);  // the t=5 event + 64 nested; doomed died
 }
 
 TEST(SimTime, CycleConversionsMatch200MHz) {

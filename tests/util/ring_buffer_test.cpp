@@ -100,6 +100,13 @@ TEST(RingBuffer, CapacityOneWorks) {
   EXPECT_EQ(rb.pop(), 44);
 }
 
+// Regression: the ctor used to size the slot array (clamping 0 to 1) before
+// validating, so a zero-capacity buffer silently became capacity 1 whenever
+// the check did not fire first.  Validation now happens before any sizing.
+TEST(RingBufferDeath, ZeroCapacityAborts) {
+  EXPECT_DEATH(RingBuffer<int>(0), "capacity must be positive");
+}
+
 TEST(RingBufferDeath, PopFromEmptyAborts) {
   RingBuffer<int> rb(2);
   EXPECT_DEATH(rb.pop(), "pop from empty");

@@ -1,0 +1,95 @@
+// Unit tests for the small-buffer-optimized callable that carries simulator
+// actions: inline storage for hot-path closures, heap fallback for oversized
+// ones, move-only ownership, and destruction exactly once.
+#include "util/sbo_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace gangcomm::util {
+namespace {
+
+using Fn = SboFunction<int(int), 48>;
+
+TEST(SboFunction, EmptyByDefault) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Fn g(nullptr);
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(SboFunction, InvokesInlineCallable) {
+  int base = 10;
+  Fn f([&base](int x) { return base + x; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(5), 15);
+}
+
+TEST(SboFunction, InvokesHeapCallable) {
+  std::array<int, 64> big{};  // 256 bytes: beyond the 48-byte inline buffer
+  big[63] = 7;
+  Fn f([big](int x) { return big[63] + x; });
+  EXPECT_EQ(f(1), 8);
+}
+
+TEST(SboFunction, MoveTransfersOwnershipInline) {
+  int calls = 0;
+  Fn f([&calls](int x) {
+    ++calls;
+    return x;
+  });
+  Fn g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT: post-move state is defined
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(3), 3);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SboFunction, MoveTransfersOwnershipHeap) {
+  std::array<int, 64> big{};
+  big[0] = 42;
+  Fn f([big](int) { return big[0]; });
+  Fn g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT: post-move state is defined
+  EXPECT_EQ(g(0), 42);
+}
+
+TEST(SboFunction, MoveAssignReleasesPrevious) {
+  auto counter = std::make_shared<int>(0);
+  Fn f([counter](int) { return *counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  f = Fn([](int x) { return x; });
+  EXPECT_EQ(counter.use_count(), 1);  // old callable destroyed
+  EXPECT_EQ(f(9), 9);
+}
+
+TEST(SboFunction, ResetDestroysCapture) {
+  auto counter = std::make_shared<int>(0);
+  SboFunction<void()> f([counter] {});
+  EXPECT_EQ(counter.use_count(), 2);
+  f.reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SboFunction, DestructorReleasesHeapCallable) {
+  auto counter = std::make_shared<int>(0);
+  {
+    std::array<std::shared_ptr<int>, 16> pad;
+    pad[0] = counter;
+    Fn f([pad](int) { return 0; });  // oversized: heap-held
+    EXPECT_GE(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SboFunctionDeath, CallingEmptyAborts) {
+  SboFunction<void()> f;
+  EXPECT_DEATH(f(), "empty SboFunction");
+}
+
+}  // namespace
+}  // namespace gangcomm::util
