@@ -5,7 +5,10 @@
 // sender stalls); a high fraction batches refills (less traffic, deeper
 // stalls when C0 is small).  This design knob is implicit in §2.2/§3.3;
 // the bench quantifies it at a comfortable C0 (41) and a starved one (2).
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
 

@@ -7,7 +7,11 @@
 // Switched (full or valid-only): every running job gets the whole buffer,
 // so the total stays flat; the two switched variants differ only by the
 // (small) copy overhead.
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 

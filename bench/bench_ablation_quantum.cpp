@@ -6,7 +6,10 @@
 // bandwidth for both switch algorithms, exposing where the full copy stops
 // being tolerable (short quanta) while the valid-only copy still is.
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "bench/common.hpp"
 

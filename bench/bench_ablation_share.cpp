@@ -7,8 +7,11 @@
 // protocol spends milliseconds on halt/release but never loses a packet.
 // This bench quantifies both sides of that trade on the same all-to-all
 // workload.
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <string>
 
 #include "bench/common.hpp"
 

@@ -6,7 +6,11 @@
 // C0 = Br/(n^2 p)) are divided for n = 1..8 contexts.  Expected shape:
 // ~75-80 MB/s at one context and large messages, a sharp collapse as n
 // grows, and *zero* bandwidth at 7-8 contexts where C0 rounds to nothing.
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 

@@ -10,7 +10,11 @@
 // total stays flat as jobs are added, because every running job enjoys the
 // full buffers (C0 = Br/p) and the switch overhead is negligible.
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 

@@ -5,7 +5,9 @@
 // flat in the node count (it is a purely local copy of fixed-size arenas);
 // the halt and release stages grow with nodes (global protocols between
 // unsynchronized machines).  Total stays under the paper's 85 ms bound.
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 #include "bench/switch_sweep.hpp"
 

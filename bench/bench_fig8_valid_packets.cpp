@@ -5,7 +5,9 @@
 // count (the host cannot keep up with all-to-all incast bursts during the
 // switch skew window, ~100 packets at 16 nodes), while the send queue stays
 // small and flat (the LANai's only job is to drain it).
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 #include "bench/switch_sweep.hpp"
 

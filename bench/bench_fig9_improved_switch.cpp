@@ -5,7 +5,9 @@
 // under 2.5 Mcycles (12.5 ms at 200 MHz) and now tracks the number of valid
 // packets (Figure 8) instead of the arena capacity; halt/release are
 // unchanged and still grow with nodes.
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 #include "bench/switch_sweep.hpp"
 

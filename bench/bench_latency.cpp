@@ -6,8 +6,13 @@
 // buffer division leaves small-message latency untouched until the credit
 // window is too small to cover even a single message, at which point
 // latency explodes with stalls (and diverges entirely at C0 = 0).
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/common.hpp"
 

@@ -9,8 +9,11 @@
 // bytes, far beyond std::function's inline buffer).
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "fm/config.hpp"

@@ -5,6 +5,7 @@
 //   * full buffer switch under 85 ms (17 Mcycles at 200 MHz),
 //   * improved buffer switch under 12.5 ms (2.5 Mcycles),
 //   * switch overhead below 1.25% of a 1 s gang quantum.
+#include <cstddef>
 #include <cstdio>
 
 #include "bench/switch_sweep.hpp"
@@ -23,11 +24,13 @@ int main() {
               "~45"});
   cal.addRow({"NIC -> host (WC read)",
               util::formatDouble(mem.copyBandwidth(host::MemRegion::kNicSram,
-                                                   host::MemRegion::kHost), 1),
+                                                   host::MemRegion::kHost),
+                                 1),
               "~14"});
   cal.addRow({"host -> NIC (WC write)",
               util::formatDouble(mem.copyBandwidth(host::MemRegion::kHost,
-                                                   host::MemRegion::kNicSram), 1),
+                                                   host::MemRegion::kNicSram),
+                                 1),
               "~80"});
   cal.print();
   std::printf("\n");

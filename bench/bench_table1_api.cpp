@@ -6,6 +6,7 @@
 // reading: what each call costs in the integrated ParPar/FM system.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/common.hpp"

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
+#include <functional>
 #include <thread>
+#include <vector>
 
 namespace gangcomm::bench {
 

@@ -16,6 +16,7 @@
 // the set of reported switches.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>

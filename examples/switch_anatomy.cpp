@@ -58,7 +58,8 @@ int main() {
   const auto rels = cluster.trace().select("gang", "release");
   double halt = 0, copy = 0, rel = 0, recvq = 0;
   for (std::size_t i = 0; i < copies.size(); ++i) {
-    const int sw = static_cast<int>(i / static_cast<std::size_t>(cfg.nodes)) + 1;
+    const int sw =
+        static_cast<int>(i / static_cast<std::size_t>(cfg.nodes)) + 1;
     const double h = sim::nsToUs(halts[i]->dur);
     const double c = sim::nsToUs(copies[i]->dur);
     const double r = sim::nsToUs(rels[i]->dur);

@@ -1,5 +1,9 @@
 #include "app/collective_worker.hpp"
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace gangcomm::app {

@@ -1,5 +1,8 @@
 #include "app/extra_workloads.hpp"
 
+#include <cstdint>
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace gangcomm::app {
@@ -9,7 +12,7 @@ constexpr int kExtractBatch = 64;
 
 }  // namespace
 
-// ---- StencilWorker -----------------------------------------------------------
+// ---- StencilWorker ----------------------------------------------------------
 
 StencilWorker::StencilWorker(Env env, std::uint32_t halo_bytes,
                              std::uint64_t iterations)
@@ -71,7 +74,7 @@ void StencilWorker::step() {
   }
 }
 
-// ---- BroadcastWorker -----------------------------------------------------------
+// ---- BroadcastWorker --------------------------------------------------------
 
 namespace {
 /// Binomial-tree children of `rank` in a tree of `p` nodes rooted at 0.
@@ -150,7 +153,7 @@ void BroadcastWorker::step() {
   }
 }
 
-// ---- PermutationWorker -----------------------------------------------------------
+// ---- PermutationWorker ------------------------------------------------------
 
 PermutationWorker::PermutationWorker(Env env, std::uint32_t msg_bytes,
                                      std::uint64_t rounds, std::uint64_t seed)

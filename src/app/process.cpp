@@ -1,5 +1,7 @@
 #include "app/process.hpp"
 
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace gangcomm::app {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -44,7 +45,7 @@ class Process : public parpar::ProcessHandle {
   /// Hook the noded installs to learn about process exit.
   std::function<void()> on_finish;
 
-  // ---- Measurement -----------------------------------------------------------
+  // ---- Measurement ----------------------------------------------------------
   /// Wall-clock interval from first step to finish() — includes descheduled
   /// time, exactly how the paper's benchmark measures per-application
   /// bandwidth under gang scheduling (§4.1).

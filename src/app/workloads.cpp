@@ -1,6 +1,8 @@
 #include "app/workloads.hpp"
 
+#include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -10,7 +12,7 @@ namespace {
 constexpr int kExtractBatch = 64;
 }
 
-// ---- BandwidthSender ---------------------------------------------------------
+// ---- BandwidthSender --------------------------------------------------------
 
 BandwidthSender::BandwidthSender(Env env, int peer_rank,
                                  std::uint32_t msg_bytes,
@@ -61,7 +63,7 @@ double BandwidthSender::bandwidthMBps() const {
   return sim::bandwidthMBps(bytes, finishTime() - startTime());
 }
 
-// ---- BandwidthReceiver ---------------------------------------------------------
+// ---- BandwidthReceiver ------------------------------------------------------
 
 BandwidthReceiver::BandwidthReceiver(Env env, int peer_rank,
                                      std::uint64_t msg_count)
@@ -107,7 +109,7 @@ void BandwidthReceiver::step() {
   finish();
 }
 
-// ---- AllToAllWorker -------------------------------------------------------------
+// ---- AllToAllWorker ---------------------------------------------------------
 
 AllToAllWorker::AllToAllWorker(Env env, std::uint32_t msg_bytes,
                                std::uint64_t rounds)
@@ -128,9 +130,10 @@ int AllToAllWorker::nextPeer() const {
 void AllToAllWorker::step() {
   const int size = fm().jobSize();
   GC_CHECK_MSG(size >= 2, "all-to-all needs at least two processes");
-  const std::uint64_t expected = rounds_ == std::numeric_limits<std::uint64_t>::max()
-                                     ? rounds_
-                                     : rounds_ * static_cast<std::uint64_t>(size - 1);
+  const std::uint64_t expected =
+      rounds_ == std::numeric_limits<std::uint64_t>::max()
+          ? rounds_
+          : rounds_ * static_cast<std::uint64_t>(size - 1);
   for (;;) {
     fm().extract(kExtractBatch);
     if (round_ >= rounds_) {
@@ -168,7 +171,7 @@ void AllToAllWorker::step() {
   }
 }
 
-// ---- PingPongWorker ---------------------------------------------------------------
+// ---- PingPongWorker ---------------------------------------------------------
 
 PingPongWorker::PingPongWorker(Env env, std::uint32_t msg_bytes,
                                std::uint64_t reps)

@@ -1,5 +1,11 @@
 #include "core/cluster.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "net/routing.hpp"
 #include "util/check.hpp"
 

@@ -12,14 +12,17 @@
 //   cfg.nodes = 16;
 //   cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
 //   core::Cluster cluster(cfg);
-//   cluster.submit(2, [&](app::Process::Env env) -> std::unique_ptr<app::Process> {
+//   cluster.submit(2, [&](app::Process::Env env)
+//                         -> std::unique_ptr<app::Process> {
 //     if (env.rank == 0)
-//       return std::make_unique<app::BandwidthSender>(std::move(env), 1, 16384, 1000);
+//       return std::make_unique<app::BandwidthSender>(std::move(env), 1,
+//                                                     16384, 1000);
 //     return std::make_unique<app::BandwidthReceiver>(std::move(env), 0, 1000);
 //   });
 //   cluster.run();
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -111,10 +114,18 @@ class Cluster {
   const ClusterConfig& config() const { return cfg_; }
   int creditsC0() const;
 
-  net::Nic& nic(net::NodeId n) { return *nodes_.at(static_cast<std::size_t>(n)).nic; }
-  host::HostCpu& cpu(net::NodeId n) { return nodes_.at(static_cast<std::size_t>(n)).cpu; }
-  glue::CommNode& comm(net::NodeId n) { return *nodes_.at(static_cast<std::size_t>(n)).comm; }
-  parpar::NodeDaemon& noded(net::NodeId n) { return *nodes_.at(static_cast<std::size_t>(n)).noded; }
+  net::Nic& nic(net::NodeId n) {
+    return *nodes_.at(static_cast<std::size_t>(n)).nic;
+  }
+  host::HostCpu& cpu(net::NodeId n) {
+    return nodes_.at(static_cast<std::size_t>(n)).cpu;
+  }
+  glue::CommNode& comm(net::NodeId n) {
+    return *nodes_.at(static_cast<std::size_t>(n)).comm;
+  }
+  parpar::NodeDaemon& noded(net::NodeId n) {
+    return *nodes_.at(static_cast<std::size_t>(n)).noded;
+  }
   parpar::MasterDaemon& master() { return *master_; }
   net::Fabric& fabric() { return *fabric_; }
 

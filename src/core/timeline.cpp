@@ -1,6 +1,8 @@
 #include "core/timeline.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 
 #include "util/check.hpp"
 

@@ -7,6 +7,7 @@
 // overhead story of §4.2 in one picture).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,8 +1,11 @@
 #include "fm/fm_lib.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "sim/log.hpp"
 #include "util/check.hpp"
@@ -271,7 +274,7 @@ void FmLib::maybeSendRefill(int src_rank) {
                       static_cast<std::int64_t>(r.refill_credits)}});
 }
 
-void FmLib::onSendable(std::function<void()> cb) {
+void FmLib::onSendable(util::SboFunction<void()> cb) {
   slot().on_sendable = std::move(cb);
 }
 
@@ -385,7 +388,7 @@ void FmLib::setSuspended(bool suspended) {
   }
 }
 
-void FmLib::onArrival(std::function<void()> cb) {
+void FmLib::onArrival(util::SboFunction<void()> cb) {
   slot().on_arrival = std::move(cb);
 }
 

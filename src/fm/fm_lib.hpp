@@ -21,7 +21,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "fm/config.hpp"
@@ -30,6 +29,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/sbo_function.hpp"
 #include "util/status.hpp"
 
 namespace gangcomm::fm {
@@ -66,7 +66,7 @@ class FmLib {
   FmLib(sim::Simulator& s, host::HostCpu& cpu, net::Nic& nic,
         const FmConfig& cfg, Params params);
 
-  using Handler = std::function<void(const net::Packet&)>;
+  using Handler = util::SboFunction<void(const net::Packet&)>;
 
   /// Register the receive handler for a handler id (FM's handler table).
   void setHandler(std::uint16_t id, Handler h);
@@ -90,8 +90,8 @@ class FmLib {
   int extract(int max_packets);
 
   /// One-shot wakeups.
-  void onSendable(std::function<void()> cb);
-  void onArrival(std::function<void()> cb);
+  void onSendable(util::SboFunction<void()> cb);
+  void onArrival(util::SboFunction<void()> cb);
 
   /// SIGSTOP/SIGCONT mirror for the retransmission layer: a suspended
   /// process must not fire retransmit timers (its context may be switched

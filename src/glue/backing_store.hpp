@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "util/sbo_function.hpp"
 
 namespace gangcomm::glue {
 
@@ -23,8 +23,8 @@ struct SavedContext {
   std::vector<std::uint64_t> acked_seq_from;  // retransmit-layer ack marks
   std::vector<std::uint64_t> sent_hwm;        // PM ack-quiesce counters
   std::vector<std::uint64_t> nic_acked_hwm;
-  std::function<void()> on_sendable;  // blocked process's saved waiters
-  std::function<void()> on_arrival;
+  util::SboFunction<void()> on_sendable;  // blocked process's saved waiters
+  util::SboFunction<void()> on_arrival;
 
   std::uint64_t queuedBytes() const {
     return (sendq.size() + recvq.size()) *

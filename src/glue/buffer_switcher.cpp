@@ -1,5 +1,9 @@
 #include "glue/buffer_switcher.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace gangcomm::glue {

@@ -36,7 +36,7 @@ struct CopyOutcome {
 
 class BufferSwitcher {
  public:
-  BufferSwitcher(const host::MemoryModel& mem, SwitcherConfig cfg = {})
+  explicit BufferSwitcher(const host::MemoryModel& mem, SwitcherConfig cfg = {})
       : mem_(mem), cfg_(cfg) {}
 
   /// Move the live context's queue contents + credit state + host bindings

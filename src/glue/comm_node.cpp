@@ -1,4 +1,12 @@
+// The context-switch sequence here runs once per scheduling quantum;
+// opt into the hot-path allocation rules:
+// gclint: hot
 #include "glue/comm_node.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
 
 #include "sim/log.hpp"
 #include "util/check.hpp"
@@ -134,7 +142,7 @@ Status CommNode::COMM_end_job(net::JobId job) {
   return nic_.freeContext(static_cast<net::ContextId>(job));
 }
 
-void CommNode::COMM_halt_network(std::function<void()> done) {
+void CommNode::COMM_halt_network(util::SboFunction<void()> done) {
   GC_CHECK_MSG(isSwitched(cfg_.policy),
                "halt protocol is unnecessary under partitioning");
   // Setting the halt bit is a PIO flag write by the noded; the flush then
@@ -157,7 +165,7 @@ void CommNode::COMM_halt_network(std::function<void()> done) {
 
 void CommNode::COMM_context_switch(
     net::JobId to_job,
-    std::function<void(const parpar::SwitchReport&)> done) {
+    util::SboFunction<void(const parpar::SwitchReport&)> done) {
   GC_CHECK_MSG(isSwitched(cfg_.policy), "no buffer switch when partitioned");
   GC_CHECK_MSG(nic_.flushed() || nic_.locallyQuiesced(),
                "context switch before the network flushed/quiesced");
@@ -214,10 +222,10 @@ void CommNode::COMM_context_switch(
                    {{"job", to_job},
                     {"bytes", static_cast<std::int64_t>(r.bytes_copied_in)}});
   }
-  sim_.scheduleAt(t, [r, done = std::move(done)] { done(r); });
+  sim_.scheduleAt(t, [r, done = std::move(done)]() mutable { done(r); });
 }
 
-void CommNode::COMM_release_network(std::function<void()> done) {
+void CommNode::COMM_release_network(util::SboFunction<void()> done) {
   GC_CHECK_MSG(isSwitched(cfg_.policy),
                "release protocol is unnecessary under partitioning");
   const sim::SimTime t = cpu_.acquire(sim_.now(), cfg_.pio_flag_ns);

@@ -1,5 +1,7 @@
 #include "host/memory_model.hpp"
 
+#include <cstdint>
+
 namespace gangcomm::host {
 
 double MemoryModel::copyBandwidth(MemRegion src, MemRegion dst) const {

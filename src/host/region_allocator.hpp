@@ -7,6 +7,7 @@
 // "not enough NIC memory for that many contexts".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>

@@ -1,12 +1,15 @@
 #include "mpi/communicator.hpp"
 
+#include <cstdint>
+#include <memory>
+
 #include "util/check.hpp"
 
 namespace gangcomm::mpi {
 
 using util::Status;
 
-// ---- Communicator ------------------------------------------------------------
+// ---- Communicator -----------------------------------------------------------
 
 Communicator::Communicator(fm::FmLib& fmlib) : fm_(fmlib) {
   fm_.setHandler(kMpiHandler,
@@ -58,7 +61,7 @@ bool Communicator::probe(int src, int tag) const {
   return false;
 }
 
-// ---- BarrierOp ----------------------------------------------------------------
+// ---- BarrierOp --------------------------------------------------------------
 
 namespace {
 int ceilLog2(int p) {
@@ -100,7 +103,7 @@ Status BarrierOp::advance() {
   return Status::kOk;
 }
 
-// ---- BcastOp -------------------------------------------------------------------
+// ---- BcastOp ----------------------------------------------------------------
 
 BcastOp::BcastOp(Communicator& comm, int root, int tag, std::uint32_t bytes,
                  std::uint64_t data)
@@ -160,7 +163,7 @@ Status BcastOp::advance() {
   return Status::kOk;
 }
 
-// ---- ReduceOp -------------------------------------------------------------------
+// ---- ReduceOp ---------------------------------------------------------------
 
 ReduceOp::ReduceOp(Communicator& comm, int root, int tag, std::uint32_t bytes,
                    std::uint64_t contribution)
@@ -203,7 +206,7 @@ Status ReduceOp::advance() {
   return Status::kOk;
 }
 
-// ---- AllreduceOp -----------------------------------------------------------------
+// ---- AllreduceOp ------------------------------------------------------------
 
 AllreduceOp::AllreduceOp(Communicator& comm, int tag_base,
                          std::uint32_t bytes, std::uint64_t contribution)

@@ -17,10 +17,12 @@
 // credits, buffer switches and all.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "fm/fm_lib.hpp"

@@ -1,5 +1,9 @@
 #include "net/fabric.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
 #include "sim/log.hpp"
 #include "util/check.hpp"
 

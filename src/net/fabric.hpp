@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -25,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/sbo_function.hpp"
 
 namespace gangcomm::net {
 
@@ -48,7 +48,7 @@ struct FabricStats {
 
 class Fabric {
  public:
-  using DeliverFn = std::function<void(const Packet&)>;
+  using DeliverFn = util::SboFunction<void(const Packet&)>;
 
   Fabric(sim::Simulator& s, RoutingTable routes, FabricConfig cfg = {});
 

@@ -1,5 +1,8 @@
 #include "net/nic.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -42,6 +45,8 @@ util::Status Nic::allocContext(ContextId id, JobId job, int rank,
   GC_CHECK(sram_.allocate(sram_need) != host::RegionAllocator::kNoSpace);
   GC_CHECK(pinned_.allocate(pinned_need) != host::RegionAllocator::kNoSpace);
 
+  // gclint: allow(hot-make-shared): context allocation happens at job load
+  // time (CM control path), never per packet.
   auto slot = std::make_unique<ContextSlot>(id, sendq_slots, recvq_slots);
   slot->job = job;
   slot->rank = rank;
@@ -237,9 +242,9 @@ void Nic::fireSendable(ContextSlot& ctx) {
   cb();
 }
 
-// ---- Flush / release (Figure 3) ----------------------------------------------
+// ---- Flush / release (Figure 3) ---------------------------------------------
 
-void Nic::beginFlush(std::function<void()> on_flushed) {
+void Nic::beginFlush(util::SboFunction<void()> on_flushed) {
   GC_CHECK_MSG(!halt_bit_, "flush already in progress");
   GC_CHECK_MSG(!quiesce_mode_, "flush during a local quiesce");
   halt_bit_ = true;
@@ -297,7 +302,7 @@ void Nic::maybeCompleteFlush() {
   }
 }
 
-void Nic::beginRelease(std::function<void()> on_released) {
+void Nic::beginRelease(util::SboFunction<void()> on_released) {
   GC_CHECK_MSG(halt_bit_ && flush_complete_,
                "release is only legal after a completed flush");
   on_released_ = std::move(on_released);
@@ -344,7 +349,7 @@ void Nic::maybeCompleteRelease() {
   scheduleSendScan();
 }
 
-void Nic::beginLocalQuiesce(std::function<void()> on_quiesced) {
+void Nic::beginLocalQuiesce(util::SboFunction<void()> on_quiesced) {
   GC_CHECK_MSG(!halt_bit_ && !quiesce_mode_, "quiesce during another halt");
   halt_bit_ = true;
   quiesce_mode_ = true;
@@ -377,7 +382,7 @@ void Nic::maybeCompleteQuiesce() {
   }
 }
 
-void Nic::beginAckQuiesce(std::function<void()> on_quiesced) {
+void Nic::beginAckQuiesce(util::SboFunction<void()> on_quiesced) {
   GC_CHECK_MSG(cfg_.nic_level_acks,
                "ack-quiesce requires NIC-level acks (PM mode)");
   GC_CHECK_MSG(!halt_bit_ && !quiesce_mode_ && !ack_quiesce_mode_,
@@ -434,7 +439,7 @@ void Nic::endLocalQuiesce() {
   scheduleSendScan();
 }
 
-// ---- Receive context ---------------------------------------------------------
+// ---- Receive context --------------------------------------------------------
 
 void Nic::fromWire(const Packet& pkt) {
   switch (pkt.type) {
@@ -565,8 +570,8 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
   const sim::SimTime start_min = sim_.now() + cfg_.lanai_recv_ns;
   const sim::SimTime start =
       start_min > dma_busy_until_ ? start_min : dma_busy_until_;
-  const sim::SimTime done =
-      start + cfg_.dma_setup_ns + sim::transferNs(pkt.wireBytes(), cfg_.dma_mbps);
+  const sim::SimTime done = start + cfg_.dma_setup_ns +
+                            sim::transferNs(pkt.wireBytes(), cfg_.dma_mbps);
   dma_busy_until_ = done;
   ++dma_in_flight_;
   if (obs::tracing(trace_))

@@ -21,9 +21,9 @@
 // exact packet-leak the flush exists to prevent.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -34,6 +34,7 @@
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/ring_buffer.hpp"
+#include "util/sbo_function.hpp"
 #include "util/status.hpp"
 
 namespace gangcomm::net {
@@ -84,8 +85,8 @@ struct ContextSlot {
   /// Host-side wakeups.  One-shot: consumed when fired.  They are part of
   /// the context's saved state across a buffer switch (the blocked process
   /// is SIGSTOPped with its waiter registered).
-  std::function<void()> on_sendable;  // a send slot freed or credits arrived
-  std::function<void()> on_arrival;   // a packet landed in recvq
+  util::SboFunction<void()> on_sendable;  // send slot freed / credits arrived
+  util::SboFunction<void()> on_arrival;   // a packet landed in recvq
 
   /// Send-queue slots reserved by the host library for copies in flight.
   int reserved_send_slots = 0;
@@ -171,18 +172,18 @@ class Nic {
   /// clear, broadcast a halt packet to every other node (serial loop).
   /// `on_flushed` fires when the local halt is done AND a halt has been
   /// collected from every peer AND the receive path (DMA) has drained.
-  void beginFlush(std::function<void()> on_flushed);
+  void beginFlush(util::SboFunction<void()> on_flushed);
 
   /// Stage 3: broadcast readiness and fire `on_released` when every peer's
   /// ready has been collected; sending resumes automatically.
-  void beginRelease(std::function<void()> on_released);
+  void beginRelease(util::SboFunction<void()> on_released);
 
   /// SHARE-style local quiesce (related work §5): stop sending and wait for
   /// the local pipeline (send context, control queue, DMA) to drain — no
   /// global protocol, no agreement with peers.  `on_quiesced` fires when the
   /// card is locally idle; packets from not-yet-switched peers keep arriving
   /// and are discarded by the job-id check.
-  void beginLocalQuiesce(std::function<void()> on_quiesced);
+  void beginLocalQuiesce(util::SboFunction<void()> on_quiesced);
 
   /// Leave the local-quiesce state and resume sending immediately.
   void endLocalQuiesce();
@@ -191,7 +192,7 @@ class Nic {
   /// then wait until every data packet this node ever put on the wire has
   /// been acknowledged by the receiving LANai (requires nic_level_acks).
   /// No control broadcast, no agreement — each node drains independently.
-  void beginAckQuiesce(std::function<void()> on_quiesced);
+  void beginAckQuiesce(util::SboFunction<void()> on_quiesced);
   void endAckQuiesce();
 
   bool halted() const { return halt_bit_; }
@@ -267,9 +268,9 @@ class Nic {
   bool quiesce_mode_ = false;
   bool quiesce_complete_ = false;
   bool ack_quiesce_mode_ = false;
-  std::function<void()> on_flushed_;
-  std::function<void()> on_released_;
-  std::function<void()> on_quiesced_;
+  util::SboFunction<void()> on_flushed_;
+  util::SboFunction<void()> on_released_;
+  util::SboFunction<void()> on_quiesced_;
 
   // Receive-context / DMA state.
   sim::SimTime dma_busy_until_ = 0;

@@ -1,6 +1,7 @@
 #include "net/routing.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace gangcomm::net {
 

@@ -8,6 +8,7 @@
 // topologies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -38,7 +39,8 @@ class RoutingTable {
   bool valid(NodeId n) const { return n >= 0 && n < nodes_; }
 
  private:
-  RoutingTable(int nodes) : nodes_(nodes), hops_(static_cast<std::size_t>(nodes) * nodes, 0) {}
+  explicit RoutingTable(int nodes)
+      : nodes_(nodes), hops_(static_cast<std::size_t>(nodes) * nodes, 0) {}
 
   int nodes_;
   std::vector<int> hops_;

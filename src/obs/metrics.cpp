@@ -1,5 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <cstdint>
+#include <string>
+
 #include "util/check.hpp"
 
 namespace gangcomm::obs {

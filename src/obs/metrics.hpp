@@ -13,6 +13,7 @@
 // which keeps output deterministic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <map>

@@ -1,7 +1,11 @@
 #include "obs/trace.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 namespace gangcomm::obs {
 

@@ -1,5 +1,9 @@
 #include "parpar/control_network.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
 #include "util/check.hpp"
 
 namespace gangcomm::parpar {

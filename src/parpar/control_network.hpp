@@ -9,6 +9,7 @@
 // waiting to collect halt packets from nodes that have not yet heard.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

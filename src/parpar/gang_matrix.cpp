@@ -1,6 +1,9 @@
 #include "parpar/gang_matrix.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <vector>
 
 #include "util/check.hpp"
 

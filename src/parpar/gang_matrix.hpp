@@ -9,6 +9,7 @@
 // jobs packed in subtrees so rows can be shared.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -32,7 +33,9 @@ class DhcAllocator {
   /// Undo an allocation when the job leaves the system.
   void release(const std::vector<net::NodeId>& nodes);
 
-  int load(net::NodeId n) const { return load_.at(static_cast<std::size_t>(n)); }
+  int load(net::NodeId n) const {
+    return load_.at(static_cast<std::size_t>(n));
+  }
   int nodeCount() const { return nodes_; }
 
  private:

@@ -1,5 +1,10 @@
 #include "parpar/master_daemon.hpp"
 
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
 #include "sim/log.hpp"
 #include "util/check.hpp"
 
@@ -136,8 +141,8 @@ void MasterDaemon::quantumExpired() {
   const bool multi =
       matrix_.nonEmptySlots() > 1 || !current_valid ||
       (matrix_.slots() > 0 && matrix_.slotEmpty(current_slot_));
-  const bool can_switch =
-      (!cfg_.skip_switch_when_single_slot || multi) && switch_acks_pending_ == 0;
+  const bool can_switch = (!cfg_.skip_switch_when_single_slot || multi) &&
+                          switch_acks_pending_ == 0;
 
   if (can_switch) {
     const int to = matrix_.nextNonEmptySlot(current_slot_);

@@ -1,6 +1,8 @@
 #include "parpar/node_daemon.hpp"
 
+#include <cstdint>
 #include <string>
+#include <utility>
 
 #include "sim/log.hpp"
 #include "util/check.hpp"

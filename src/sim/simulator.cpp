@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <utility>
 
 namespace gangcomm::sim {

@@ -17,6 +17,7 @@
 // in the node instead of behind a per-event heap allocation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>

@@ -56,7 +56,8 @@ constexpr Duration transferNs(std::uint64_t bytes, double mb_per_s) {
 
 /// Bandwidth in MB/s achieved moving `bytes` in `ns`.
 constexpr double bandwidthMBps(std::uint64_t bytes, Duration ns) {
-  return ns == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(ns) * 1e3;
+  return ns == 0 ? 0.0
+                 : static_cast<double>(bytes) / static_cast<double>(ns) * 1e3;
 }
 
 }  // namespace gangcomm::sim

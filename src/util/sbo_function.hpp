@@ -25,13 +25,17 @@ template <typename R, typename... Args, std::size_t Capacity>
 class SboFunction<R(Args...), Capacity> {
  public:
   SboFunction() = default;
-  SboFunction(std::nullptr_t) {}  // NOLINT: match std::function conversions
+  // NOLINT gclint: allow(hyg-explicit-ctor): implicit nullptr conversion
+  // mirrors std::function so callers can pass/assign nullptr to clear.
+  SboFunction(std::nullptr_t) {}
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, SboFunction> &&
                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
-  SboFunction(F&& f) {  // NOLINT: implicit, like std::function
+  // NOLINT gclint: allow(hyg-explicit-ctor): implicit conversion from any
+  // callable mirrors std::function; explicit would break lambda call sites.
+  SboFunction(F&& f) {
     using D = std::decay_t<F>;
     if constexpr (fitsInline<D>()) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
@@ -54,7 +58,19 @@ class SboFunction<R(Args...), Capacity> {
   SboFunction& operator=(const SboFunction&) = delete;
   ~SboFunction() { reset(); }
 
+  SboFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
   explicit operator bool() const { return ops_ != nullptr; }
+
+  friend bool operator==(const SboFunction& f, std::nullptr_t) {
+    return f.ops_ == nullptr;
+  }
+  friend bool operator!=(const SboFunction& f, std::nullptr_t) {
+    return f.ops_ != nullptr;
+  }
 
   R operator()(Args... args) {
     GC_CHECK_MSG(ops_ != nullptr, "call through empty SboFunction");

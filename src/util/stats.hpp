@@ -1,6 +1,7 @@
 // Streaming statistics and histograms for experiment measurement.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>

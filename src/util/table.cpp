@@ -1,6 +1,10 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/check.hpp"
 

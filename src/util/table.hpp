@@ -5,6 +5,7 @@
 // machine-readable copy next to the binary for plotting.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "app/workloads.hpp"
 #include "net/routing.hpp"

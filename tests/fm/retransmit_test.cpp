@@ -2,7 +2,10 @@
 // shedding, credit neutrality of retransmissions.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "fm/fm_lib.hpp"
 #include "net/routing.hpp"

@@ -1,6 +1,10 @@
 // The two buffer-switch algorithms: cost model and loss-free content moves.
 #include "glue/buffer_switcher.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "net/nic.hpp"

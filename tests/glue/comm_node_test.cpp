@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -40,7 +41,8 @@ class CommNodeTest : public testing::Test {
     for (int n = 0; n < kNodes; ++n) {
       comms_[n]->COMM_halt_network([this, n, to_job, &reports, &released] {
         comms_[n]->COMM_context_switch(
-            to_job, [this, n, &reports, &released](const parpar::SwitchReport& r) {
+            to_job,
+            [this, n, &reports, &released](const parpar::SwitchReport& r) {
               reports[static_cast<std::size_t>(n)] = r;
               comms_[n]->COMM_release_network([&released] { ++released; });
             });

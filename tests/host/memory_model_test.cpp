@@ -2,6 +2,8 @@
 // buffer-switch figures depend on these three bandwidths.
 #include "host/memory_model.hpp"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "sim/time.hpp"
@@ -15,8 +17,10 @@ constexpr std::uint64_t kRecvBufBytes = 668ull * 1560;  // ~1 MB pinned
 TEST(MemoryModel, PaperBandwidthTable) {
   MemoryModel m;
   EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kHost, MemRegion::kHost), 45.0);
-  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kNicSram, MemRegion::kHost), 14.0);
-  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kHost, MemRegion::kNicSram), 80.0);
+  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kNicSram, MemRegion::kHost),
+                   14.0);
+  EXPECT_DOUBLE_EQ(m.copyBandwidth(MemRegion::kHost, MemRegion::kNicSram),
+                   80.0);
 }
 
 TEST(MemoryModel, WcReadIsTheSlowPath) {

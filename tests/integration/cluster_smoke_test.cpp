@@ -2,7 +2,9 @@
 // configuration of the paper's Figure 5 measurements.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"

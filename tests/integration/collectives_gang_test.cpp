@@ -3,7 +3,9 @@
 // switching — the end-to-end statement of the paper's correctness claim.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "app/collective_worker.hpp"
 #include "core/cluster.hpp"

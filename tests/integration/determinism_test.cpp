@@ -3,7 +3,10 @@
 // bit-identical results.  The figure benches depend on this.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"

@@ -10,7 +10,9 @@
 // sender eventually starves.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"

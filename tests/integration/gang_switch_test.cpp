@@ -3,8 +3,10 @@
 // lost, duplicated, or corrupted across switches.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"
@@ -81,12 +83,12 @@ TEST(GangSwitch, ReportsHaveThreeOrderedStages) {
   cfg.quantum = 200 * sim::kMillisecond;
   Cluster cluster(cfg);
   cluster.submit(4, [](Process::Env env) -> std::unique_ptr<Process> {
-    return std::make_unique<AllToAllWorker>(std::move(env), 4096,
-                                            std::numeric_limits<std::uint64_t>::max());
+    return std::make_unique<AllToAllWorker>(
+        std::move(env), 4096, std::numeric_limits<std::uint64_t>::max());
   });
   cluster.submit(4, [](Process::Env env) -> std::unique_ptr<Process> {
-    return std::make_unique<AllToAllWorker>(std::move(env), 4096,
-                                            std::numeric_limits<std::uint64_t>::max());
+    return std::make_unique<AllToAllWorker>(
+        std::move(env), 4096, std::numeric_limits<std::uint64_t>::max());
   });
   cluster.runUntil(sim::secToNs(1.0));
   ASSERT_GE(cluster.switchRecords().size(), 8u);  // >= 2 switches x 4 nodes

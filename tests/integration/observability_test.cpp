@@ -4,10 +4,13 @@
 // tracing off produces bit-identical simulation state.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"

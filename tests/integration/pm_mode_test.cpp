@@ -3,8 +3,11 @@
 // outstanding packets — no halt broadcast, no agreement between nodes.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"
@@ -85,9 +88,9 @@ TEST(PmMode, HaltDrainsOwnTrafficWithoutBroadcast) {
   ASSERT_FALSE(cluster.switchRecords().empty());
   for (const auto& rec : cluster.switchRecords()) {
     // The halt is bounded by draining this node's own send ring and
-    // collecting its acks (a full 252-slot ring against incast back-pressure is several ms) —
-    // workload-proportional, not cluster-skew-proportional, and with no
-    // halt/ready control storm.  Release is a local flag flip.
+    // collecting its acks (a full 252-slot ring against incast back-pressure
+    // is several ms) — workload-proportional, not cluster-skew-proportional,
+    // and with no halt/ready control storm.  Release is a local flag flip.
     EXPECT_LT(rec.report.halt_ns, 10 * sim::kMillisecond);
     EXPECT_LT(rec.report.release_ns, 100 * sim::kMicrosecond);
   }

@@ -2,7 +2,10 @@
 // collapse with the context count; switched buffers do not.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"

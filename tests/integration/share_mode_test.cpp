@@ -4,8 +4,10 @@
 // switch and the system only survives because go-back-N repairs it.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "app/workloads.hpp"
 #include "core/cluster.hpp"
@@ -71,7 +73,8 @@ TEST(ShareMode, UnsynchronizedSwitchesDiscardInFlightPackets) {
   for (int n = 0; n < cfg.nodes; ++n) {
     discarded += cluster.nic(n).stats().drops_wrong_job;
     for (auto* p : cluster.processes(1))
-      if (p->rank() == n) retransmitted += p->fm().stats().packets_retransmitted;
+      if (p->rank() == n)
+        retransmitted += p->fm().stats().packets_retransmitted;
   }
   EXPECT_GT(discarded, 0u);
   // ...and the retransmission layer paid for every one of them.

@@ -3,9 +3,12 @@
 // rendered table/CSV must be byte-identical whatever GANGCOMM_JOBS says.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "app/workloads.hpp"

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "app/workloads.hpp"
 

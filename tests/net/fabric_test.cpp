@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "net/routing.hpp"
@@ -97,7 +99,8 @@ TEST_F(FabricTest, StatsCountPacketsAndBytes) {
   EXPECT_EQ(fabric_.stats().packets, 2u);
   EXPECT_EQ(fabric_.stats().data_packets, 1u);
   EXPECT_EQ(fabric_.stats().control_packets, 1u);
-  EXPECT_EQ(fabric_.stats().bytes, 1000u + kPacketHeaderBytes + kControlWireBytes);
+  EXPECT_EQ(fabric_.stats().bytes,
+            1000u + kPacketHeaderBytes + kControlWireBytes);
 }
 
 // Regression: the throughput timeline reads data_bytes only; control

@@ -2,6 +2,7 @@
 // and PM ack-quiesce.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -297,9 +299,11 @@ TEST_F(NicTest, RoundRobinAcrossContexts) {
   ASSERT_TRUE(util::ok(nics_[1]->allocContext(1, 2, 1, 8, 8, 5, 2)));
   for (std::uint64_t i = 1; i <= 4; ++i) {
     ASSERT_TRUE(nics_[0]->reserveSendSlot(0));
-    ASSERT_TRUE(util::ok(nics_[0]->hostEnqueueSend(0, dataPacket(0, 1, 0, 1, i, 1))));
+    ASSERT_TRUE(
+        util::ok(nics_[0]->hostEnqueueSend(0, dataPacket(0, 1, 0, 1, i, 1))));
     ASSERT_TRUE(nics_[0]->reserveSendSlot(1));
-    ASSERT_TRUE(util::ok(nics_[0]->hostEnqueueSend(1, dataPacket(0, 1, 0, 1, i, 2))));
+    ASSERT_TRUE(
+        util::ok(nics_[0]->hostEnqueueSend(1, dataPacket(0, 1, 0, 1, i, 2))));
   }
   sim_.run();
   EXPECT_EQ(nics_[1]->context(0)->recvq.size(), 4u);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 namespace gangcomm::obs {
 namespace {

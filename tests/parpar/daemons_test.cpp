@@ -3,7 +3,10 @@
 // stack.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "parpar/control_network.hpp"

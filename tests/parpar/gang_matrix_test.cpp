@@ -1,5 +1,9 @@
 #include "parpar/gang_matrix.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/random.hpp"

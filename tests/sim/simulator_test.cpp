@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <utility>
 #include <vector>
 
 namespace gangcomm::sim {
@@ -148,7 +150,8 @@ TEST(Simulator, RunUntilAdvancesTimeEvenWithoutEvents) {
 TEST(Simulator, RunStepsLimitsEventCount) {
   Simulator s;
   int count = 0;
-  for (int i = 0; i < 5; ++i) s.schedule(static_cast<Duration>(i), [&] { ++count; });
+  for (int i = 0; i < 5; ++i)
+    s.schedule(static_cast<Duration>(i), [&] { ++count; });
   EXPECT_EQ(s.runSteps(3), 3u);
   EXPECT_EQ(count, 3);
   EXPECT_EQ(s.pendingEvents(), 2u);
@@ -258,9 +261,9 @@ TEST(Simulator, RandomizedStressMatchesReferenceModel) {
       case 4: {  // cancel a random handle: may be live, fired, or cancelled
         if (handles.empty()) break;
         const auto& [h, seq] = handles[rng() % handles.size()];
-        const auto it =
-            std::find_if(ref.begin(), ref.end(),
-                         [seq = seq](const RefEvent& e) { return e.seq == seq; });
+        const auto it = std::find_if(
+            ref.begin(), ref.end(),
+            [seq = seq](const RefEvent& e) { return e.seq == seq; });
         const bool ref_live = it != ref.end();
         if (ref_live) ref.erase(it);
         EXPECT_EQ(s.cancel(h), ref_live);

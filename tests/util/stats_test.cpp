@@ -1,5 +1,8 @@
 #include "util/stats.hpp"
 
+#include <cstddef>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace gangcomm::util {

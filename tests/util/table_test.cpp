@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 namespace gangcomm::util {
 namespace {

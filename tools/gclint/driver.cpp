@@ -1,0 +1,185 @@
+#include "tools/gclint/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gclint {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".cpp" ||
+         ext == ".cc";
+}
+
+bool readFile(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+fs::path resolve(const LintOptions& opts, const std::string& path) {
+  fs::path p(path);
+  if (p.is_absolute() || opts.root.empty()) return p;
+  return fs::path(opts.root) / p;
+}
+
+std::string relativize(const LintOptions& opts, const fs::path& p) {
+  if (opts.root.empty()) return p.generic_string();
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, opts.root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") return p.generic_string();
+  return rel.generic_string();
+}
+
+bool hotByPath(const LintOptions& opts, const std::string& rel) {
+  for (const std::string& prefix : opts.hot_prefixes)
+    if (rel.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
+void jsonEscape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> collectFiles(const LintOptions& opts,
+                                      const std::vector<std::string>& paths) {
+  std::vector<std::string> out;
+  for (const std::string& path : paths) {
+    const fs::path p = resolve(opts, path);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && lintableExtension(it->path()))
+          out.push_back(relativize(opts, it->path()));
+      }
+    } else if (fs::is_regular_file(p, ec) && lintableExtension(p)) {
+      out.push_back(relativize(opts, p));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+FileResult lintPath(const LintOptions& opts, const std::string& rel_path) {
+  const fs::path abs = resolve(opts, rel_path);
+  FileInput input;
+  input.path = rel_path;
+  if (!readFile(abs, input.source)) {
+    FileResult r;
+    r.diagnostics.push_back(
+        {rel_path, 0, "bad-allow", "cannot read file"});
+    return r;
+  }
+  input.hot_by_path = hotByPath(opts, rel_path);
+
+  // Seed the unordered-container symbol table from the paired header so a
+  // member declared in foo.hpp and iterated in foo.cpp is still caught.
+  std::string header_src;
+  const std::string ext = abs.extension().string();
+  if (ext == ".cpp" || ext == ".cc") {
+    for (const char* hext : {".hpp", ".h", ".hh"}) {
+      fs::path header = abs;
+      header.replace_extension(hext);
+      if (readFile(header, header_src)) {
+        input.paired_header = &header_src;
+        break;
+      }
+    }
+  }
+  return lintFile(input);
+}
+
+TreeResult lintTree(const LintOptions& opts,
+                    const std::vector<std::string>& rel_paths) {
+  TreeResult out;
+  for (const std::string& rel : rel_paths) {
+    FileResult r = lintPath(opts, rel);
+    ++out.files_scanned;
+    if (r.hot) out.hot_files.push_back(rel);
+    for (Diagnostic& d : r.diagnostics)
+      out.diagnostics.push_back(std::move(d));
+    for (SuppressionUse& s : r.suppressions)
+      out.suppressions.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string formatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": " + d.rule + ": " +
+         d.message;
+}
+
+bool writeJsonReport(const TreeResult& result, const std::string& path) {
+  std::string j;
+  j += "{\n";
+  j += "  \"tool\": \"gclint\",\n";
+  j += "  \"version\": 1,\n";
+  j += "  \"files_scanned\": " + std::to_string(result.files_scanned) + ",\n";
+  j += "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"file\": \"";
+    jsonEscape(j, d.file);
+    j += "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"";
+    jsonEscape(j, d.rule);
+    j += "\", \"message\": \"";
+    jsonEscape(j, d.message);
+    j += "\"}";
+  }
+  j += result.diagnostics.empty() ? "],\n" : "\n  ],\n";
+  j += "  \"suppressions\": [";
+  for (std::size_t i = 0; i < result.suppressions.size(); ++i) {
+    const SuppressionUse& s = result.suppressions[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"file\": \"";
+    jsonEscape(j, s.file);
+    j += "\", \"line\": " + std::to_string(s.line) + ", \"rule\": \"";
+    jsonEscape(j, s.rule);
+    j += "\", \"reason\": \"";
+    jsonEscape(j, s.reason);
+    j += "\"}";
+  }
+  j += result.suppressions.empty() ? "]\n" : "\n  ]\n";
+  j += "}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gclint

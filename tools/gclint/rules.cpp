@@ -1,0 +1,721 @@
+#include "tools/gclint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gclint {
+namespace {
+
+// ---- rule ids ---------------------------------------------------------------
+
+constexpr const char* kDetRand = "det-rand";
+constexpr const char* kDetClock = "det-clock";
+constexpr const char* kDetTime = "det-time";
+constexpr const char* kDetUnorderedIter = "det-unordered-iter";
+constexpr const char* kHotStdFunction = "hot-std-function";
+constexpr const char* kHotNewDelete = "hot-new-delete";
+constexpr const char* kHotMakeShared = "hot-make-shared";
+constexpr const char* kHygUsingNamespace = "hyg-using-namespace";
+constexpr const char* kHygExplicitCtor = "hyg-explicit-ctor";
+constexpr const char* kHygIwyu = "hyg-iwyu";
+constexpr const char* kBadAllow = "bad-allow";
+constexpr const char* kUnusedAllow = "unused-allow";
+
+bool isHeaderPath(const std::string& path) {
+  auto ends = [&](const char* suf) {
+    const std::size_t n = std::string(suf).size();
+    return path.size() >= n && path.compare(path.size() - n, n, suf) == 0;
+  };
+  return ends(".hpp") || ends(".h") || ends(".hh");
+}
+
+// ---- suppression directives -------------------------------------------------
+
+struct Allow {
+  std::string rule;
+  std::string reason;
+  int directive_line = 0;  // where the comment lives
+  int target_line = 0;     // line it suppresses
+  bool used = false;
+};
+
+struct Directives {
+  std::vector<Allow> allows;
+  std::vector<Diagnostic> errors;  // malformed allow comments
+  bool hot_marker = false;
+  bool cold_marker = false;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+Directives parseDirectives(const std::string& file,
+                           const std::vector<Comment>& comments) {
+  Directives out;
+  // Lines holding comment-only text, so an own-line allow can skip past the
+  // rest of a multi-line comment and still land on the next statement.
+  std::map<int, int> own_comment_end;  // start line -> end line
+  for (const Comment& c : comments)
+    if (c.own_line) own_comment_end[c.line] = c.end_line;
+  for (const Comment& c : comments) {
+    const std::size_t at = c.text.find("gclint:");
+    if (at == std::string::npos) continue;
+    std::string rest = trim(c.text.substr(at + 7));
+    if (rest == "hot") {
+      out.hot_marker = true;
+      continue;
+    }
+    if (rest == "cold") {
+      out.cold_marker = true;
+      continue;
+    }
+    if (rest.rfind("allow", 0) != 0) {
+      out.errors.push_back({file, c.line, kBadAllow,
+                            "unrecognized gclint directive: '" + rest + "'"});
+      continue;
+    }
+    rest = trim(rest.substr(5));
+    if (rest.empty() || rest[0] != '(') {
+      out.errors.push_back(
+          {file, c.line, kBadAllow, "allow needs a rule id: allow(<rule>)"});
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      out.errors.push_back(
+          {file, c.line, kBadAllow, "unterminated allow(<rule>)"});
+      continue;
+    }
+    const std::string rule = trim(rest.substr(1, close - 1));
+    std::string reason = trim(rest.substr(close + 1));
+    if (!reason.empty() && (reason[0] == ':' || reason[0] == '-'))
+      reason = trim(reason.substr(1));
+    if (!isKnownRule(rule)) {
+      out.errors.push_back(
+          {file, c.line, kBadAllow, "allow names unknown rule '" + rule + "'"});
+      continue;
+    }
+    if (reason.empty()) {
+      out.errors.push_back({file, c.line, kBadAllow,
+                            "allow(" + rule +
+                                ") needs a reason: allow(" + rule +
+                                "): <why this site is exempt>"});
+      continue;
+    }
+    Allow a;
+    a.rule = rule;
+    a.reason = std::move(reason);
+    a.directive_line = c.line;
+    // A comment sharing its line with code suppresses that line; a comment
+    // alone on a line suppresses the first code line after it (skipping any
+    // further comment-only lines, so a long reason may wrap).
+    if (c.own_line) {
+      int target = c.end_line + 1;
+      for (auto it = own_comment_end.find(target); it != own_comment_end.end();
+           it = own_comment_end.find(target)) {
+        target = it->second + 1;
+      }
+      a.target_line = target;
+    } else {
+      a.target_line = c.line;
+    }
+    out.allows.push_back(std::move(a));
+  }
+  return out;
+}
+
+// ---- token helpers ----------------------------------------------------------
+
+using Tokens = std::vector<Token>;
+
+bool isIdent(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+bool isPunct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// True when tokens[i] is a member access (preceded by . or ->).
+bool memberAccess(const Tokens& toks, std::size_t i) {
+  return i > 0 && (isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->"));
+}
+
+/// For an identifier preceded by `::`, returns the qualifying identifier
+/// (e.g. "std" for std::rand) or "" for an unqualified / globally-qualified
+/// name.  Names qualified by anything other than std are project symbols and
+/// never match the std bans.
+std::string qualifier(const Tokens& toks, std::size_t i) {
+  if (i < 2 || !isPunct(toks[i - 1], "::")) return "";
+  if (toks[i - 2].kind == TokKind::kIdent) return toks[i - 2].text;
+  return "";
+}
+
+bool stdOrUnqualified(const Tokens& toks, std::size_t i) {
+  if (i == 0) return true;
+  if (isPunct(toks[i - 1], "::")) {
+    const std::string q = qualifier(toks, i);
+    return q == "std";  // `::rand` is global libc — but toks[i-2] non-ident
+  }
+  return true;
+}
+
+/// Index of the matching close paren for the open paren at `open`, or
+/// toks.size() when unbalanced.
+std::size_t matchParen(const Tokens& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (isPunct(toks[i], "(")) ++depth;
+    if (isPunct(toks[i], ")") && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// ---- D: determinism ---------------------------------------------------------
+
+void ruleDetRand(const std::string& file, const Tokens& toks,
+                 std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "random_device") {
+      if (memberAccess(toks, i)) continue;
+      out.push_back({file, t.line, kDetRand,
+                     "std::random_device is nondeterministic; use "
+                     "sim::Xoshiro256 with an explicit seed"});
+      continue;
+    }
+    if ((t.text == "rand" || t.text == "srand") && i + 1 < toks.size() &&
+        isPunct(toks[i + 1], "(")) {
+      if (memberAccess(toks, i)) continue;
+      if (!stdOrUnqualified(toks, i)) continue;
+      out.push_back({file, t.line, kDetRand,
+                     t.text + "() draws from hidden global state; use "
+                     "sim::Xoshiro256 with an explicit seed"});
+    }
+  }
+}
+
+void ruleDetClock(const std::string& file, const Tokens& toks,
+                  std::vector<Diagnostic>& out) {
+  static const std::array<const char*, 3> kClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock"};
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    for (const char* clock : kClocks) {
+      if (t.text != clock) continue;
+      if (memberAccess(toks, i)) break;
+      out.push_back({file, t.line, kDetClock,
+                     "std::chrono::" + t.text +
+                         " reads the wall clock; simulation state must "
+                         "derive time from sim::Simulator::now()"});
+      break;
+    }
+  }
+}
+
+void ruleDetTime(const std::string& file, const Tokens& toks,
+                 std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!isIdent(t, "time") || !isPunct(toks[i + 1], "(")) continue;
+    if (memberAccess(toks, i)) continue;
+    if (!stdOrUnqualified(toks, i)) continue;
+    // Flag the wall-clock forms: time(), time(nullptr), time(0), time(NULL).
+    const std::size_t a = i + 2;
+    if (a >= toks.size()) continue;
+    const bool empty = isPunct(toks[a], ")");
+    const bool null_arg =
+        a + 1 < toks.size() && isPunct(toks[a + 1], ")") &&
+        (isIdent(toks[a], "nullptr") || isIdent(toks[a], "NULL") ||
+         (toks[a].kind == TokKind::kNumber && toks[a].text == "0"));
+    if (!empty && !null_arg) continue;
+    out.push_back({file, t.line, kDetTime,
+                   "time() reads the wall clock; simulation state must "
+                   "derive time from sim::Simulator::now()"});
+  }
+}
+
+/// Collect names declared with an unordered container type (and aliases of
+/// such types) from a token stream.
+void collectUnorderedDecls(const Tokens& toks, std::set<std::string>& types,
+                           std::set<std::string>& vars) {
+  auto isUnorderedName = [&](const Token& t) {
+    return t.kind == TokKind::kIdent &&
+           (t.text == "unordered_map" || t.text == "unordered_set" ||
+            t.text == "unordered_multimap" || t.text == "unordered_multiset");
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // using Alias = std::unordered_map<...>;
+    if (isIdent(toks[i], "using") && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent && isPunct(toks[i + 2], "=")) {
+      for (std::size_t j = i + 3; j < toks.size() && j < i + 8; ++j) {
+        if (isPunct(toks[j], ";")) break;
+        if (isUnorderedName(toks[j])) {
+          types.insert(toks[i + 1].text);
+          break;
+        }
+      }
+    }
+    const bool direct = isUnorderedName(toks[i]);
+    const bool aliased = toks[i].kind == TokKind::kIdent &&
+                         types.count(toks[i].text) > 0;
+    if (!direct && !aliased) continue;
+    std::size_t j = i + 1;
+    if (direct) {
+      if (j >= toks.size() || !isPunct(toks[j], "<")) continue;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (isPunct(toks[j], "<")) ++depth;
+        if (isPunct(toks[j], ">") && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < toks.size() &&
+           (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
+            isIdent(toks[j], "const")))
+      ++j;
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+        j + 1 < toks.size() &&
+        (isPunct(toks[j + 1], ";") || isPunct(toks[j + 1], "=") ||
+         isPunct(toks[j + 1], "{") || isPunct(toks[j + 1], "(") ||
+         isPunct(toks[j + 1], ",") || isPunct(toks[j + 1], ")"))) {
+      vars.insert(toks[j].text);
+    }
+  }
+}
+
+void ruleDetUnorderedIter(const std::string& file, const Tokens& toks,
+                          const Tokens* paired_header,
+                          std::vector<Diagnostic>& out) {
+  std::set<std::string> types;
+  std::set<std::string> vars;
+  if (paired_header != nullptr)
+    collectUnorderedDecls(*paired_header, types, vars);
+  collectUnorderedDecls(toks, types, vars);
+  if (vars.empty()) return;
+
+  auto diag = [&](int line, const std::string& name) {
+    out.push_back({file, line, kDetUnorderedIter,
+                   "iteration over unordered container '" + name +
+                       "' has platform-defined order; use std::map/std::set "
+                       "or sort before iterating"});
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression names an unordered container.
+    if (isIdent(toks[i], "for") && i + 1 < toks.size() &&
+        isPunct(toks[i + 1], "(")) {
+      const std::size_t close = matchParen(toks, i + 1);
+      // Locate the top-level ':' separating declaration from range.
+      std::size_t colon = close;
+      int depth = 0;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (isPunct(toks[j], "(") || isPunct(toks[j], "[") ||
+            isPunct(toks[j], "{"))
+          ++depth;
+        if (isPunct(toks[j], ")") || isPunct(toks[j], "]") ||
+            isPunct(toks[j], "}"))
+          --depth;
+        if (depth == 0 && isPunct(toks[j], ":")) {
+          colon = j;
+          break;
+        }
+      }
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == TokKind::kIdent && vars.count(toks[j].text) > 0 &&
+            !memberAccess(toks, j)) {
+          diag(toks[i].line, toks[j].text);
+          break;
+        }
+      }
+      continue;
+    }
+    // Explicit iterator walks: var.begin(), var.cbegin(), var.rbegin().
+    if (toks[i].kind == TokKind::kIdent && vars.count(toks[i].text) > 0 &&
+        i + 3 < toks.size() &&
+        (isPunct(toks[i + 1], ".") || isPunct(toks[i + 1], "->")) &&
+        toks[i + 2].kind == TokKind::kIdent &&
+        (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
+         toks[i + 2].text == "rbegin" || toks[i + 2].text == "crbegin") &&
+        isPunct(toks[i + 3], "(")) {
+      diag(toks[i].line, toks[i].text);
+    }
+  }
+}
+
+// ---- A: hot-path allocation -------------------------------------------------
+
+void ruleHotStdFunction(const std::string& file, const Tokens& toks,
+                        std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (isIdent(toks[i], "std") && isPunct(toks[i + 1], "::") &&
+        isIdent(toks[i + 2], "function")) {
+      out.push_back({file, toks[i].line, kHotStdFunction,
+                     "std::function heap-allocates closures beyond ~16 bytes; "
+                     "hot paths must use util::SboFunction"});
+    }
+  }
+}
+
+void ruleHotNewDelete(const std::string& file, const Tokens& toks,
+                      std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (isIdent(t, "new")) {
+      // ::new (addr) T is placement new — no allocation, exempt.
+      if (i > 0 && isPunct(toks[i - 1], "::")) continue;
+      out.push_back({file, t.line, kHotNewDelete,
+                     "naked new in a hot file; allocate up front or use an "
+                     "arena/slab (see sim::Simulator's event slab)"});
+    } else if (isIdent(t, "delete")) {
+      if (i > 0 && isPunct(toks[i - 1], "=")) continue;  // = delete
+      out.push_back({file, t.line, kHotNewDelete,
+                     "naked delete in a hot file; allocate up front or use "
+                     "an arena/slab"});
+    }
+  }
+}
+
+void ruleHotMakeShared(const std::string& file, const Tokens& toks,
+                       std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text != "make_shared" && t.text != "make_unique") continue;
+    if (memberAccess(toks, i)) continue;
+    out.push_back({file, t.line, kHotMakeShared,
+                   "std::" + t.text +
+                       " heap-allocates in a hot file; allocate at setup "
+                       "time or use an arena/slab"});
+  }
+}
+
+// ---- H: hygiene -------------------------------------------------------------
+
+void ruleHygUsingNamespace(const std::string& file, const Tokens& toks,
+                           std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (isIdent(toks[i], "using") && isIdent(toks[i + 1], "namespace")) {
+      out.push_back({file, toks[i].line, kHygUsingNamespace,
+                     "`using namespace` in a header leaks into every "
+                     "includer; qualify names or alias individual symbols"});
+    }
+  }
+}
+
+void ruleHygExplicitCtor(const std::string& file, const Tokens& toks,
+                         std::vector<Diagnostic>& out) {
+  struct Scope {
+    std::string name;  // empty for non-class braces
+    int body_depth;    // brace depth inside the class body
+  };
+  std::vector<Scope> scopes;
+  int depth = 0;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (isPunct(t, "{")) {
+      ++depth;
+      continue;
+    }
+    if (isPunct(t, "}")) {
+      --depth;
+      while (!scopes.empty() && scopes.back().body_depth > depth)
+        scopes.pop_back();
+      continue;
+    }
+    if ((isIdent(t, "class") || isIdent(t, "struct")) &&
+        !(i > 0 && isIdent(toks[i - 1], "enum")) &&
+        !(i > 0 && isIdent(toks[i - 1], "friend")) &&
+        // `template <class T, class U>`: a type-parameter, not a class.
+        !(i > 0 && (isPunct(toks[i - 1], "<") || isPunct(toks[i - 1], ",")))) {
+      // Find the class name: the last plain identifier before the body
+      // opens (skipping `final`, attributes, and template argument lists).
+      std::string name;
+      int angle = 0;
+      bool in_base_clause = false;
+      std::size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (isPunct(toks[j], "<")) ++angle;
+        if (isPunct(toks[j], ">")) --angle;
+        if (angle > 0) continue;
+        if (isPunct(toks[j], ";")) break;        // forward declaration
+        if (isPunct(toks[j], "{")) {
+          scopes.push_back({name, depth + 1});
+          ++depth;
+          i = j;
+          break;
+        }
+        // Base clause: the class name is already final; base names must not
+        // overwrite it.
+        if (isPunct(toks[j], ":")) in_base_clause = true;
+        if (in_base_clause) continue;
+        if (toks[j].kind == TokKind::kIdent && toks[j].text != "final" &&
+            toks[j].text != "alignas")
+          name = toks[j].text;
+      }
+      continue;
+    }
+    // Constructor declaration directly in the innermost class body.
+    if (scopes.empty() || scopes.back().name.empty()) continue;
+    if (depth != scopes.back().body_depth) continue;
+    const std::string& cls = scopes.back().name;
+    if (t.kind != TokKind::kIdent || t.text != cls) continue;
+    if (i + 1 >= toks.size() || !isPunct(toks[i + 1], "(")) continue;
+    if (i > 0 && (isPunct(toks[i - 1], "~") || isPunct(toks[i - 1], "::") ||
+                  isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->") ||
+                  isPunct(toks[i - 1], "&") || isPunct(toks[i - 1], "*")))
+      continue;
+    // A delegating constructor call in a member-init list (`Foo() : Foo(1)`)
+    // follows a ':' that is not an access specifier's.
+    if (i > 0 && isPunct(toks[i - 1], ":") &&
+        !(i > 1 && (isIdent(toks[i - 2], "public") ||
+                    isIdent(toks[i - 2], "private") ||
+                    isIdent(toks[i - 2], "protected"))))
+      continue;
+    // `explicit` may sit a few tokens back (constexpr explicit Foo(...)).
+    bool is_explicit = false;
+    for (std::size_t back = 1; back <= 3 && back <= i; ++back) {
+      const Token& p = toks[i - back];
+      if (isIdent(p, "explicit")) {
+        is_explicit = true;
+        break;
+      }
+      if (!isIdent(p, "constexpr") && !isIdent(p, "inline")) break;
+    }
+    if (is_explicit) continue;
+
+    const std::size_t open = i + 1;
+    const std::size_t close = matchParen(toks, open);
+    if (close >= toks.size()) continue;
+    // Count top-level parameters and whether each beyond the first has a
+    // default argument.
+    int params = 0;
+    int defaults_after_first = 0;
+    bool cur_has_default = false;
+    bool first_mentions_class = false;
+    bool first_is_init_list = false;
+    int pdepth = 0;
+    int adepth = 0;  // angle depth, best-effort
+    for (std::size_t j = open + 1; j < close; ++j) {
+      const Token& u = toks[j];
+      if (isPunct(u, "(") || isPunct(u, "[") || isPunct(u, "{")) ++pdepth;
+      if (isPunct(u, ")") || isPunct(u, "]") || isPunct(u, "}")) --pdepth;
+      if (isPunct(u, "<")) ++adepth;
+      if (isPunct(u, ">") && adepth > 0) --adepth;
+      if (params == 0 && !(isPunct(u, ",") && pdepth == 0 && adepth == 0)) {
+        params = 1;  // first non-empty token: at least one parameter
+      }
+      if (params >= 1 && pdepth == 0 && adepth == 0) {
+        if (isPunct(u, ",")) {
+          if (params > 1 && cur_has_default) ++defaults_after_first;
+          ++params;
+          cur_has_default = false;
+          continue;
+        }
+        if (isPunct(u, "=")) cur_has_default = true;
+      }
+      if (params == 1) {
+        if (u.kind == TokKind::kIdent && u.text == cls)
+          first_mentions_class = true;
+        if (isIdent(u, "initializer_list")) first_is_init_list = true;
+      }
+    }
+    if (params > 1 && cur_has_default) ++defaults_after_first;
+    if (params == 0) continue;                       // default ctor
+    if (params > 1 && defaults_after_first < params - 1) continue;  // multi-arg
+    if (first_mentions_class) continue;              // copy/move ctor
+    if (first_is_init_list) continue;                // initializer-list ctor
+    out.push_back({file, t.line, kHygExplicitCtor,
+                   "single-argument constructor '" + cls +
+                       "' must be explicit (or carry an allow with the "
+                       "reason implicit conversion is intended)"});
+  }
+}
+
+struct IwyuEntry {
+  const char* symbol;
+  const char* header;
+};
+
+// Curated std symbol → required direct include.  Only `std::`-qualified uses
+// are checked, so project members that reuse these names never match.
+constexpr std::array<IwyuEntry, 56> kIwyuMap = {{
+    {"vector", "vector"},
+    {"string", "string"},
+    {"to_string", "string"},
+    {"stoi", "string"},
+    {"stoul", "string"},
+    {"stod", "string"},
+    {"string_view", "string_view"},
+    {"deque", "deque"},
+    {"map", "map"},
+    {"multimap", "map"},
+    {"set", "set"},
+    {"multiset", "set"},
+    {"array", "array"},
+    {"function", "functional"},
+    {"unique_ptr", "memory"},
+    {"shared_ptr", "memory"},
+    {"weak_ptr", "memory"},
+    {"make_unique", "memory"},
+    {"make_shared", "memory"},
+    {"move", "utility"},
+    {"forward", "utility"},
+    {"pair", "utility"},
+    {"swap", "utility"},
+    {"exchange", "utility"},
+    {"size_t", "cstddef"},
+    {"nullptr_t", "cstddef"},
+    {"max_align_t", "cstddef"},
+    {"int8_t", "cstdint"},
+    {"int16_t", "cstdint"},
+    {"int32_t", "cstdint"},
+    {"int64_t", "cstdint"},
+    {"uint8_t", "cstdint"},
+    {"uint16_t", "cstdint"},
+    {"uint32_t", "cstdint"},
+    {"uint64_t", "cstdint"},
+    {"uintptr_t", "cstdint"},
+    {"intptr_t", "cstdint"},
+    {"numeric_limits", "limits"},
+    {"sort", "algorithm"},
+    {"stable_sort", "algorithm"},
+    {"min", "algorithm"},
+    {"max", "algorithm"},
+    {"clamp", "algorithm"},
+    {"min_element", "algorithm"},
+    {"max_element", "algorithm"},
+    {"accumulate", "numeric"},
+    {"iota", "numeric"},
+    {"atomic", "atomic"},
+    {"mutex", "mutex"},
+    {"lock_guard", "mutex"},
+    {"unique_lock", "mutex"},
+    {"thread", "thread"},
+    {"optional", "optional"},
+    {"chrono", "chrono"},
+    {"unordered_map", "unordered_map"},
+    {"unordered_set", "unordered_set"},
+}};
+
+void ruleHygIwyu(const std::string& file, const Tokens& toks,
+                 const std::vector<IncludeDirective>& includes,
+                 std::vector<Diagnostic>& out) {
+  std::set<std::string> included;
+  for (const IncludeDirective& inc : includes)
+    if (inc.angled) included.insert(inc.header);
+  std::set<std::string> reported;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!isIdent(toks[i], "std") || !isPunct(toks[i + 1], "::")) continue;
+    const Token& sym = toks[i + 2];
+    if (sym.kind != TokKind::kIdent) continue;
+    for (const IwyuEntry& e : kIwyuMap) {
+      if (sym.text != e.symbol) continue;
+      if (included.count(e.header) > 0) break;
+      if (!reported.insert(e.header).second) break;
+      out.push_back({file, sym.line, kHygIwyu,
+                     "std::" + sym.text + " needs a direct #include <" +
+                         std::string(e.header) + ">"});
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& allRuleIds() {
+  static const std::vector<std::string> kIds = {
+      kDetRand,        kDetClock,          kDetTime,
+      kDetUnorderedIter, kHotStdFunction,  kHotNewDelete,
+      kHotMakeShared,  kHygUsingNamespace, kHygExplicitCtor,
+      kHygIwyu,        kBadAllow,          kUnusedAllow,
+  };
+  return kIds;
+}
+
+bool isKnownRule(const std::string& id) {
+  const auto& ids = allRuleIds();
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+FileResult lintFile(const FileInput& input) {
+  FileResult result;
+  TokenStream ts = tokenize(input.source);
+  Directives dir = parseDirectives(input.path, ts.comments);
+  result.hot = (input.hot_by_path || dir.hot_marker) && !dir.cold_marker;
+
+  TokenStream paired;
+  if (input.paired_header != nullptr) paired = tokenize(*input.paired_header);
+
+  std::vector<Diagnostic> raw;
+  ruleDetRand(input.path, ts.tokens, raw);
+  ruleDetClock(input.path, ts.tokens, raw);
+  ruleDetTime(input.path, ts.tokens, raw);
+  ruleDetUnorderedIter(input.path, ts.tokens,
+                       input.paired_header != nullptr ? &paired.tokens
+                                                      : nullptr,
+                       raw);
+  if (result.hot) {
+    ruleHotStdFunction(input.path, ts.tokens, raw);
+    ruleHotNewDelete(input.path, ts.tokens, raw);
+    ruleHotMakeShared(input.path, ts.tokens, raw);
+  }
+  if (isHeaderPath(input.path))
+    ruleHygUsingNamespace(input.path, ts.tokens, raw);
+  ruleHygExplicitCtor(input.path, ts.tokens, raw);
+  ruleHygIwyu(input.path, ts.tokens, ts.includes, raw);
+
+  // Apply suppressions: an allow matches a diagnostic on its target line
+  // with the same rule id.
+  for (Diagnostic& d : raw) {
+    bool suppressed = false;
+    for (Allow& a : dir.allows) {
+      if (a.rule == d.rule && a.target_line == d.line) {
+        a.used = true;
+        suppressed = true;
+        result.suppressions.push_back({d.file, d.line, a.rule, a.reason});
+        break;
+      }
+    }
+    if (!suppressed) result.diagnostics.push_back(std::move(d));
+  }
+  for (const Allow& a : dir.allows) {
+    if (a.used) continue;
+    result.diagnostics.push_back(
+        {input.path, a.directive_line, kUnusedAllow,
+         "allow(" + a.rule + ") suppresses nothing on line " +
+             std::to_string(a.target_line) + "; remove the stale directive"});
+  }
+  for (Diagnostic& e : dir.errors)
+    result.diagnostics.push_back(std::move(e));
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  std::sort(result.suppressions.begin(), result.suppressions.end(),
+            [](const SuppressionUse& a, const SuppressionUse& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace gclint

@@ -1,0 +1,71 @@
+// gclint rule engine: project-invariant checks over one file's token stream.
+//
+// Three rule families guard the invariants the simulator's credibility rests
+// on (see DESIGN.md "Static analysis"):
+//
+//   D (determinism)  — wall clocks, libc/unseeded randomness, and
+//                      unordered-container iteration are banned everywhere
+//                      the linter looks: any of them feeding event order or
+//                      an emitted table silently breaks byte-identical
+//                      reproduction of the paper's figures.
+//   A (allocation)   — std::function, naked new/delete, and make_shared/
+//                      make_unique are banned in hot files (packet and
+//                      event paths): one stray heap allocation per packet
+//                      undoes the SboFunction/slab work of PR 2.
+//   H (hygiene)      — include-what-you-use for a curated std symbol list,
+//                      no `using namespace` in headers, no implicit
+//                      single-argument constructors.
+//
+// Suppressions: `// gclint: allow(<rule-id>): <reason>` on the offending
+// line (or alone on the line above) silences one rule; the reason is
+// mandatory.  `// gclint: hot` / `// gclint: cold` override the path-based
+// hot classification for a whole file.  Malformed or unmatched allows are
+// themselves diagnostics (bad-allow / unused-allow), so stale suppressions
+// cannot rot in the tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/gclint/tokenizer.hpp"
+
+namespace gclint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SuppressionUse {
+  std::string file;
+  int line = 0;      // line of the suppressed diagnostic
+  std::string rule;
+  std::string reason;
+};
+
+/// Every rule id the engine can emit, in stable order (the fixture suite
+/// asserts pass+fail coverage for each).
+const std::vector<std::string>& allRuleIds();
+bool isKnownRule(const std::string& id);
+
+struct FileInput {
+  std::string path;        // repo-relative; used in diagnostics
+  std::string source;      // file contents
+  bool hot_by_path = false;  // path matched a configured hot prefix
+  /// Paired header source (when linting foo.cpp and foo.hpp exists): its
+  /// member declarations seed the unordered-container symbol table so
+  /// iteration over a member declared in the header is caught in the .cpp.
+  const std::string* paired_header = nullptr;
+};
+
+struct FileResult {
+  std::vector<Diagnostic> diagnostics;
+  std::vector<SuppressionUse> suppressions;
+  bool hot = false;  // after in-file hot/cold markers are applied
+};
+
+FileResult lintFile(const FileInput& input);
+
+}  // namespace gclint

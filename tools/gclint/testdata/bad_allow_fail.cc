@@ -1,0 +1,5 @@
+// Fixture: bad-allow must fire on a reasonless allow, an unknown rule id,
+// and an unrecognized directive.
+int a;  // gclint: allow(det-rand)
+int b;  // gclint: allow(no-such-rule): bogus id
+int c;  // gclint: allowance

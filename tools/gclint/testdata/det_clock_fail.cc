@@ -1,0 +1,5 @@
+#include <chrono>
+// Fixture: det-clock must fire on the std::chrono wall clocks.
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

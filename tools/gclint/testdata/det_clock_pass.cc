@@ -1,0 +1,5 @@
+// Fixture: simulated time and member accesses named like clocks are exempt.
+struct Sim {
+  long long now();
+};
+long long stamp(Sim& sim, Box& b) { return sim.now() + b.steady_clock; }

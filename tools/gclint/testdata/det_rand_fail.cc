@@ -1,0 +1,2 @@
+// Fixture: det-rand must fire on rand()/srand() and std::random_device.
+int draw() { return rand() % 6; }

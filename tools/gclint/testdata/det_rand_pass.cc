@@ -1,0 +1,4 @@
+// Fixture: member calls named rand() and non-std-qualified rand() are
+// exempt.
+struct Dice;
+int draw(Dice& d) { return d.rand() + myns::rand(); }

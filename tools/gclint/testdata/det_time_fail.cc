@@ -1,0 +1,3 @@
+#include <ctime>
+// Fixture: det-time must fire on the wall-clock forms of time().
+long long stamp() { return static_cast<long long>(time(nullptr)); }

@@ -1,0 +1,5 @@
+// Fixture: member calls named time() and non-wall-clock arities are exempt.
+struct Sim {
+  long long time(int epoch);
+};
+long long stamp(Sim& sim) { return sim.time(3); }

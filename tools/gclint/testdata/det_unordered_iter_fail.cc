@@ -1,0 +1,9 @@
+#include <unordered_map>
+// Fixture: det-unordered-iter must fire on range-for and explicit iterator
+// walks over unordered containers.
+std::unordered_map<int, int> counts;
+int total() {
+  int sum = 0;
+  for (const auto& kv : counts) sum += kv.second;
+  return sum;
+}

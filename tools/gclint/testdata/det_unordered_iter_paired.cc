@@ -1,0 +1,6 @@
+#include "det_unordered_iter_paired.hpp"
+int Registry::walk() {
+  int sum = 0;
+  for (const auto& kv : idx_) sum += kv.second;
+  return sum;
+}

@@ -1,0 +1,8 @@
+#pragma once
+#include <unordered_map>
+// Fixture: the unordered member is declared here; the paired .cc iterates
+// it, which the paired-header seeding must catch.
+struct Registry {
+  std::unordered_map<int, int> idx_;
+  int walk();
+};

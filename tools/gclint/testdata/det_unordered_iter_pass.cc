@@ -1,0 +1,13 @@
+#include <map>
+#include <unordered_map>
+// Fixture: ordered-container iteration and point lookups into unordered
+// containers are exempt.
+std::map<int, int> ordered;
+std::unordered_map<int, int> index;
+int total() {
+  int sum = 0;
+  for (const auto& kv : ordered) sum += kv.second;
+  auto it = index.find(3);
+  if (it != index.end()) sum += it->second;
+  return sum;
+}

@@ -1,0 +1,5 @@
+// gclint: hot
+#include <memory>
+// Fixture: hot-make-shared must fire on make_unique/make_shared in a hot
+// file.
+std::unique_ptr<int> make() { return std::make_unique<int>(3); }

@@ -1,0 +1,4 @@
+// gclint: hot
+// Fixture: member calls named make_unique are exempt; so is the cold
+// variant of this fixture by omitting the hot marker.
+int make(Factory& f) { return f.make_unique(); }

@@ -1,0 +1,4 @@
+// gclint: hot
+// Fixture: hot-new-delete must fire on naked new and delete in a hot file.
+int* make() { return new int(3); }
+void unmake(int* p) { delete p; }

@@ -1,0 +1,7 @@
+// gclint: hot
+// Fixture: placement new and deleted functions are exempt in hot files.
+struct Slab {
+  alignas(int) unsigned char buf[sizeof(int)];
+  Slab& operator=(const Slab&) = delete;
+};
+int* make(Slab& s) { return ::new (static_cast<void*>(s.buf)) int(3); }

@@ -1,0 +1,4 @@
+// gclint: hot
+#include <functional>
+// Fixture: hot-std-function must fire on std::function in a hot file.
+std::function<void()> callback;

@@ -1,0 +1,4 @@
+#include <functional>
+// Fixture: std::function in a cold file is fine; hot files using the
+// project's SboFunction are fine.
+std::function<void()> cold_callback;

@@ -1,0 +1,11 @@
+// Fixture: hyg-explicit-ctor must fire on implicit single-argument
+// constructors, including multi-parameter ones that are single-argument
+// callable through defaults.
+class Meters {
+ public:
+  Meters(double v);
+  Meters(int v, int scale = 1);
+
+ private:
+  double v_;
+};

@@ -1,0 +1,18 @@
+// Fixture: explicit, copy/move, delegating, defaulted, deleted, and
+// multi-argument constructors are all exempt.
+class Meters {
+ public:
+  Meters() = default;
+  explicit Meters(double v);
+  Meters(double v, int scale);
+  Meters(const Meters& o) = default;
+  Meters(Meters&& o) = default;
+
+ private:
+  double v_ = 0;
+};
+class Feet : public Meters {
+ public:
+  Feet() : Feet(0.0, 1) {}
+  Feet(double v, int scale);
+};

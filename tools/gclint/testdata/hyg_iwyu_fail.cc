@@ -1,0 +1,3 @@
+// Fixture: hyg-iwyu must fire when a curated std symbol is used without its
+// direct include.
+std::vector<int> values;

@@ -1,0 +1,5 @@
+#include <vector>
+// Fixture: the direct include satisfies hyg-iwyu; unqualified project
+// symbols that shadow std names never match.
+std::vector<int> values;
+struct vector {};

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: hyg-using-namespace must fire in headers.
+using namespace std;

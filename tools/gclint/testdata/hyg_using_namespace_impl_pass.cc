@@ -1,0 +1,4 @@
+// Fixture: `using namespace` in an implementation file is the namespace's
+// own business; the rule only guards headers.
+namespace proj {}
+using namespace proj;

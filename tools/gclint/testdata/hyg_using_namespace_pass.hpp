@@ -1,0 +1,4 @@
+#pragma once
+#include <vector>
+// Fixture: single-symbol using declarations are exempt.
+using std::vector;

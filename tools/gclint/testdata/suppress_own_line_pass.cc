@@ -1,0 +1,7 @@
+// Fixture: an own-line allow applies to the next code line, skipping the
+// rest of a wrapped comment.
+int draw() {
+  // gclint: allow(det-rand): the reason may wrap across several comment
+  // lines; the directive still lands on the first code line after them.
+  return rand() % 6;
+}

@@ -1,0 +1,3 @@
+// Fixture: a same-line allow with a reason suppresses the diagnostic on its
+// own line and counts as a used suppression.
+int draw() { return rand() % 6; }  // gclint: allow(det-rand): fixture demo

@@ -1,0 +1,3 @@
+// Fixture: unused-allow must fire when an allow suppresses nothing.
+// gclint: allow(det-rand): nothing on the next line actually calls rand
+int clean_line = 0;

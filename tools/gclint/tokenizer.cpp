@@ -1,0 +1,275 @@
+#include "tools/gclint/tokenizer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace gclint {
+namespace {
+
+bool identStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool identChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Raw-string openers: the literal prefix identifiers that may precede R"(.
+bool rawStringPrefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  TokenStream run() {
+    while (pos_ < src_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char cur() const { return src_[pos_]; }
+  char peek(std::size_t off = 1) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  bool done() const { return pos_ >= src_.size(); }
+
+  void advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      line_has_code_ = false;
+      line_start_ = true;
+    }
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back({kind, std::move(text), line});
+    line_has_code_ = true;
+    line_start_ = false;
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      lineComment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      blockComment();
+      return;
+    }
+    if (c == '#' && line_start_) {
+      preprocessor();
+      return;
+    }
+    if (identStart(c)) {
+      identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      stringLiteral();
+      return;
+    }
+    if (c == '\'') {
+      charLiteral();
+      return;
+    }
+    punct();
+  }
+
+  void lineComment() {
+    const int start = line_;
+    const bool own = !line_has_code_;
+    advance();  // /
+    advance();  // /
+    std::string body;
+    while (!done() && cur() != '\n') {
+      body += cur();
+      advance();
+    }
+    out_.comments.push_back({std::move(body), start, start, own});
+  }
+
+  void blockComment() {
+    const int start = line_;
+    const bool own = !line_has_code_;
+    advance();  // /
+    advance();  // *
+    std::string body;
+    while (!done()) {
+      if (cur() == '*' && peek() == '/') {
+        advance();
+        advance();
+        break;
+      }
+      body += cur();
+      advance();
+    }
+    out_.comments.push_back({std::move(body), start, line_, own});
+    // A trailing block comment still leaves the line "code-bearing" for any
+    // comment that follows it; treat the block itself as code for that
+    // purpose only when it shared its first line with code.
+    if (!own) line_has_code_ = true;
+  }
+
+  void preprocessor() {
+    advance();  // #
+    while (!done() && (cur() == ' ' || cur() == '\t')) advance();
+    std::string directive;
+    while (!done() && identChar(cur())) {
+      directive += cur();
+      advance();
+    }
+    if (directive == "include") {
+      while (!done() && (cur() == ' ' || cur() == '\t')) advance();
+      if (!done() && (cur() == '<' || cur() == '"')) {
+        const bool angled = cur() == '<';
+        const char close = angled ? '>' : '"';
+        advance();
+        std::string header;
+        while (!done() && cur() != close && cur() != '\n') {
+          header += cur();
+          advance();
+        }
+        out_.includes.push_back({std::move(header), angled, line_});
+      }
+    }
+    // Skip the remainder of the directive, honoring line continuations.
+    while (!done() && cur() != '\n') {
+      if (cur() == '\\' && peek() == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      // Comments may trail a directive; hand them back to the main loop.
+      if (cur() == '/' && (peek() == '/' || peek() == '*')) return;
+      advance();
+    }
+  }
+
+  void identifier() {
+    const int start = line_;
+    std::string id;
+    while (!done() && identChar(cur())) {
+      id += cur();
+      advance();
+    }
+    if (!done() && cur() == '"' && rawStringPrefix(id)) {
+      rawString();
+      return;
+    }
+    emit(TokKind::kIdent, std::move(id), start);
+  }
+
+  void number() {
+    const int start = line_;
+    std::string num;
+    while (!done()) {
+      const char c = cur();
+      if (identChar(c) || c == '.' || c == '\'') {
+        num += c;
+        advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && !num.empty()) {
+        const char prev = num.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          num += c;
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, std::move(num), start);
+  }
+
+  void stringLiteral() {
+    const int start = line_;
+    advance();  // opening quote
+    while (!done() && cur() != '"') {
+      if (cur() == '\\') advance();
+      if (!done()) advance();
+    }
+    if (!done()) advance();  // closing quote
+    emit(TokKind::kString, "\"...\"", start);
+  }
+
+  void rawString() {
+    const int start = line_;
+    advance();  // opening quote
+    std::string delim;
+    while (!done() && cur() != '(') {
+      delim += cur();
+      advance();
+    }
+    const std::string closer = ")" + delim + "\"";
+    std::string window;
+    while (!done()) {
+      window += cur();
+      advance();
+      if (window.size() > closer.size())
+        window.erase(window.begin());
+      if (window == closer) break;
+    }
+    emit(TokKind::kString, "\"...\"", start);
+  }
+
+  void charLiteral() {
+    const int start = line_;
+    advance();  // opening quote
+    while (!done() && cur() != '\'') {
+      if (cur() == '\\') advance();
+      if (!done()) advance();
+    }
+    if (!done()) advance();  // closing quote
+    emit(TokKind::kChar, "'.'", start);
+  }
+
+  void punct() {
+    const int start = line_;
+    const char c = cur();
+    // Only the operators the rules care about are fused; everything else is
+    // emitted one character at a time (template-depth counting relies on
+    // seeing < and > individually).
+    if (c == ':' && peek() == ':') {
+      advance();
+      advance();
+      emit(TokKind::kPunct, "::", start);
+      return;
+    }
+    if (c == '-' && peek() == '>') {
+      advance();
+      advance();
+      emit(TokKind::kPunct, "->", start);
+      return;
+    }
+    advance();
+    emit(TokKind::kPunct, std::string(1, c), start);
+  }
+
+  const std::string& src_;
+  TokenStream out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  bool line_start_ = true;  // only whitespace so far on this line
+};
+
+}  // namespace
+
+TokenStream tokenize(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace gclint

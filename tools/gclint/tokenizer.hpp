@@ -1,0 +1,48 @@
+// gclint's C++ tokenizer.
+//
+// A deliberately small lexer: it understands exactly enough C++ to feed the
+// per-file rule engine — identifiers, numbers (including digit separators),
+// string/char literals (including raw strings), comments, and punctuation —
+// while keeping comments and #include directives out-of-band so rules never
+// trip on banned constructs that appear in prose or in suppression markers.
+//
+// Preprocessor lines other than #include are skipped wholesale (conditional
+// compilation guards routinely mention platform clocks and the like); this
+// is a documented blind spot, not an accident.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gclint {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Comment {
+  std::string text;  // body without the // or /* */ markers
+  int line;          // line the comment starts on
+  int end_line;      // line the comment ends on (== line for // comments)
+  bool own_line;     // only whitespace precedes it on its first line
+};
+
+struct IncludeDirective {
+  std::string header;  // "vector" for <vector>, "net/nic.hpp" for quotes
+  bool angled;
+  int line;
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+TokenStream tokenize(const std::string& source);
+
+}  // namespace gclint

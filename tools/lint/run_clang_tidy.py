@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over a compile_commands.json, in parallel, fail on findings.
+
+Usage: run_clang_tidy.py <compile_commands.json> [source-filter-regex]
+
+Only translation units whose path matches the filter (default: the project's
+src/, bench/, and tests/ trees) are checked; third-party and generated files
+in the compilation database are skipped.  Exit status: 0 clean, 1 findings,
+2 usage/environment error.
+"""
+
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+DEFAULT_FILTER = r"/(src|bench|tests)/.*\.(cc|cpp)$"
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    db_path = sys.argv[1]
+    source_filter = re.compile(
+        sys.argv[2] if len(sys.argv) > 2 else DEFAULT_FILTER
+    )
+
+    tidy = os.environ.get("CLANG_TIDY") or shutil.which("clang-tidy")
+    if not tidy:
+        print("run_clang_tidy.py: clang-tidy not found", file=sys.stderr)
+        return 2
+
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"run_clang_tidy.py: cannot read {db_path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    files = sorted(
+        {
+            entry["file"]
+            for entry in db
+            if source_filter.search(entry["file"])
+        }
+    )
+    if not files:
+        print("run_clang_tidy.py: no sources matched the filter",
+              file=sys.stderr)
+        return 2
+
+    build_dir = os.path.dirname(os.path.abspath(db_path))
+
+    def run_one(path: str):
+        proc = subprocess.run(
+            [tidy, "-p", build_dir, "--quiet", path],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        return path, proc.returncode, proc.stdout, proc.stderr
+
+    jobs = min(len(files), multiprocessing.cpu_count())
+    failed = False
+    with multiprocessing.pool.ThreadPool(jobs) as pool:
+        for path, rc, out, err in pool.imap(run_one, files):
+            # clang-tidy prints findings on stdout; suppress the noise-only
+            # "warnings generated" chatter on stderr.
+            findings = out.strip()
+            if findings:
+                print(findings)
+            if rc != 0:
+                failed = True
+                if not findings:
+                    print(err.strip(), file=sys.stderr)
+
+    print(
+        f"run_clang_tidy.py: {len(files)} translation units checked, "
+        f"{'findings above' if failed else 'clean'}",
+        file=sys.stderr,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
