@@ -23,8 +23,10 @@
 #include "net/routing.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "util/check.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/sbo_function.hpp"
+#include "util/status.hpp"
 
 namespace {
 
@@ -162,8 +164,8 @@ void BM_EndToEndPacket(benchmark::State& state) {
   net::Fabric fabric(s, net::RoutingTable::singleSwitch(2));
   net::Nic a(s, fabric, 0, net::NicConfig{});
   net::Nic b(s, fabric, 1, net::NicConfig{});
-  a.allocContext(0, 1, 0, 252, 668, 1 << 20, 2);
-  b.allocContext(0, 1, 1, 252, 668, 1 << 20, 2);
+  GC_CHECK(util::ok(a.allocContext(0, 1, 0, 252, 668, 1 << 20, 2)));
+  GC_CHECK(util::ok(b.allocContext(0, 1, 1, 252, 668, 1 << 20, 2)));
   host::HostCpu cpu0, cpu1;
   fm::FmLib::Params pa{0, 1, 0, {0, 1}, 1 << 20, 0};
   fm::FmLib::Params pb{0, 1, 1, {0, 1}, 1 << 20, 0};

@@ -15,9 +15,17 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   GC_CHECK_MSG(cfg_.nodes >= 1, "cluster needs nodes");
   GC_CHECK_MSG(cfg_.max_contexts >= 1, "max_contexts must be positive");
 
+  // Before anything can schedule: the tie salt requires an empty queue.
+  sim_.setTieSalt(cfg_.tie_salt);
+
   // A non-empty trace_path implies tracing.  The recorder exists either way;
   // subsystem hooks check enabled() and are zero-cost when it is off.
   trace_.setEnabled(cfg_.trace || !cfg_.trace_path.empty());
+
+  if (cfg_.verify) {
+    verifier_ = std::make_unique<verify::InvariantEngine>(sim_);
+    sim_.setObserver(verifier_.get());
+  }
 
   if (cfg_.share_discard_mode &&
       cfg_.flush_protocol == glue::FlushProtocol::kBroadcast)
@@ -41,6 +49,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   fabric_ = std::make_unique<net::Fabric>(
       sim_, net::RoutingTable::singleSwitch(cfg_.nodes), cfg_.fabric);
   fabric_->setTrace(&trace_);
+  fabric_->setVerify(verifier_.get());
 
   // Control-network address space: nodes 0..p-1, masterd at address p.
   const int master_addr = cfg_.nodes;
@@ -53,6 +62,8 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
     Node& node = nodes_.back();
     node.nic = std::make_unique<net::Nic>(sim_, *fabric_, n, cfg_.nic);
     node.nic->setTrace(&trace_);
+    node.nic->setVerify(verifier_.get());
+    if (verifier_) verifier_->attachNic(node.nic.get());
     if (cfg_.flush_protocol != glue::FlushProtocol::kBroadcast)
       node.nic->setDiscardWrongJob(true);
 
@@ -68,6 +79,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
     node.comm = std::make_unique<glue::CommNode>(sim_, node.cpu, mem_,
                                                  *node.nic, cc);
     node.comm->setTrace(&trace_);
+    node.comm->setVerify(verifier_.get());
     GC_CHECK(util::ok(node.comm->COMM_init_node()));
 
     parpar::NodeDaemonConfig nc;
@@ -146,6 +158,7 @@ std::unique_ptr<app::Process> Cluster::spawnProcess(
   auto fmlib = std::make_unique<fm::FmLib>(sim_, node.cpu, *node.nic,
                                            cfg_.fm, std::move(params));
   fmlib->setTrace(&trace_);
+  fmlib->setVerify(verifier_.get());
   // The FmLib is owned by the process (alive until cluster teardown); keep a
   // raw pointer so collectMetrics can reach it.
   fm_libs_.push_back(fmlib.get());

@@ -45,6 +45,14 @@
 #include "parpar/master_daemon.hpp"
 #include "parpar/node_daemon.hpp"
 #include "sim/simulator.hpp"
+#include "verify/invariant_engine.hpp"
+
+// The build defines GANGCOMM_VERIFY_DEFAULT=1 when configured with
+// -DGANGCOMM_VERIFY=ON, turning dynamic verification on by default for
+// every Cluster in that tree (tests and benches alike).
+#ifndef GANGCOMM_VERIFY_DEFAULT
+#define GANGCOMM_VERIFY_DEFAULT 0
+#endif
 
 namespace gangcomm::core {
 
@@ -78,6 +86,17 @@ struct ClusterConfig {
   /// When non-empty, implies `trace` and writes a Chrome trace-event JSON
   /// file (chrome://tracing / Perfetto) here on Cluster destruction.
   std::string trace_path;
+  /// Dynamic verification (gcverify): run an InvariantEngine as the
+  /// simulator's event observer, checking credit conservation, buffer
+  /// ownership, packet conservation, and switch-protocol order after every
+  /// event.  Like tracing, the engine only observes — it never schedules
+  /// events or charges simulated time — so results are identical either way.
+  bool verify = GANGCOMM_VERIFY_DEFAULT != 0;
+  /// Same-timestamp event permutation salt (sim::Simulator::setTieSalt),
+  /// installed before any event is scheduled.  0 = natural FIFO tiebreak.
+  /// The interleaving explorer (tools/gcverify_explore) sweeps this to
+  /// exercise alternative legal orderings of logically concurrent events.
+  std::uint64_t tie_salt = 0;
 };
 
 /// One node's switch measurement, tagged with its origin.
@@ -137,6 +156,11 @@ class Cluster {
   obs::TraceRecorder& trace() { return trace_; }
   const obs::TraceRecorder& trace() const { return trace_; }
 
+  /// The invariant engine (null unless ClusterConfig::verify).  Tests use it
+  /// to flip collect mode, inspect violations, or run the drained-state
+  /// finalCheck() after run() returns.
+  verify::InvariantEngine* verifier() { return verifier_.get(); }
+
   /// Pull a snapshot of every subsystem's counters/gauges into `reg`.
   void collectMetrics(obs::MetricsRegistry& reg) const;
 
@@ -162,6 +186,7 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Simulator sim_;
   obs::TraceRecorder trace_;
+  std::unique_ptr<verify::InvariantEngine> verifier_;
   host::MemoryModel mem_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<parpar::ControlNetwork> ctrl_;

@@ -164,6 +164,10 @@ void FmLib::queueFragment(int dst_rank, std::uint16_t handler,
   p.seq = ++next_seq_to_[static_cast<std::size_t>(dst_rank)];
   p.tag = Packet::makeTag(p.job, p.src_rank, p.dst_rank, p.msg_id,
                           p.frag_index);
+  // The caller (send) debited one credit for this fresh fragment;
+  // retransmissions bypass queueFragment and spend nothing.
+  if (verify::active(verify_))
+    verify_->onCreditDebit(params_.job, params_.rank, dst_rank, p.seq);
 
   // Cumulative ack rides on every packet (harmless without the
   // retransmission layer: receivers merge it by max).
@@ -179,6 +183,10 @@ void FmLib::queueFragment(int dst_rank, std::uint16_t handler,
     if (owed > 0) {
       p.refill_credits = owed;
       stats_.refill_credits_piggybacked += owed;
+      // The piggybacked credits belong to the reverse pair: dst_rank sent us
+      // data, we owe the refill.
+      if (verify::active(verify_))
+        verify_->onRefillQueued(params_.job, dst_rank, params_.rank, owed);
       owed = 0;
     }
   }
@@ -198,7 +206,11 @@ void FmLib::pushPacketToNic(const net::Packet& p) {
   const sim::SimTime done = cpu_.acquire(sim_.now(), cost);
   const net::ContextId ctx = params_.ctx;
   net::Nic* nic = &nic_;
-  sim_.scheduleAt(done, [nic, ctx, p] { nic->hostEnqueueSend(ctx, p); });
+  sim_.scheduleAt(done, [nic, ctx, p] {
+    // The context can be freed between PIO start and completion (job torn
+    // down mid-flight); the packet is then legally dropped with the job.
+    (void)nic->hostEnqueueSend(ctx, p);
+  });
 }
 
 int FmLib::extract(int max_packets) {
@@ -235,6 +247,8 @@ int FmLib::extract(int max_packets) {
     ++stats_.packets_received;
     stats_.payload_bytes_received += p.payload_bytes;
     if (p.last_frag) ++stats_.messages_received;
+    if (verify::active(verify_))
+      verify_->onPacketAccepted(params_.job, p.src_rank, params_.rank, p.seq);
 
     // A credit is owed only for delivered packets; shed duplicates above
     // never spent a fresh credit (retransmissions are free of credits).
@@ -261,6 +275,8 @@ void FmLib::maybeSendRefill(int src_rank) {
   r.dst_rank = src_rank;
   r.refill_credits = owed;
   r.ack_seq = expected_from_[static_cast<std::size_t>(src_rank)] - 1;
+  if (verify::active(verify_))
+    verify_->onRefillQueued(params_.job, src_rank, params_.rank, owed);
   owed = 0;
 
   const sim::SimTime done = cpu_.acquire(sim_.now(), cfg_.refill_send_ns);

@@ -31,6 +31,7 @@
 #include "sim/simulator.hpp"
 #include "util/sbo_function.hpp"
 #include "util/status.hpp"
+#include "verify/sink.hpp"
 
 namespace gangcomm::fm {
 
@@ -117,6 +118,10 @@ class FmLib {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// Verification hooks (gcverify; may be null).  Reports credit debits,
+  /// accepted packets, and queued refills to the invariant engine.
+  void setVerify(verify::VerifySink* v) { verify_ = v; }
+
  private:
   net::ContextSlot& slot();
   const net::ContextSlot& slot() const;
@@ -167,6 +172,7 @@ class FmLib {
   bool suspended_ = false;
   bool rtx_wake_pending_ = false;
   obs::TraceRecorder* trace_ = nullptr;
+  verify::VerifySink* verify_ = nullptr;
   FmStats stats_;
 };
 

@@ -109,6 +109,8 @@ Status CommNode::COMM_init_job(net::JobId job, int rank, int job_size,
   }
   job_size_[job] = job_size;
   cpu_.acquire(sim_.now(), cfg_.init_job_cost_ns);
+  if (verify::active(verify_))
+    verify_->onJobCredits(job, rank, job_size, c0_, cfg_.fm.enable_retransmit);
 
   if (env != nullptr) {
     // The variables FM_initialize reads instead of contacting the GRM/CM.
@@ -126,6 +128,7 @@ Status CommNode::COMM_end_job(net::JobId job) {
   if (!job_size_.contains(job)) return Status::kNotFound;
   job_size_.erase(job);
   cpu_.acquire(sim_.now(), cfg_.end_job_cost_ns);
+  if (verify::active(verify_)) verify_->onJobEnd(job);
   if (isSwitched(cfg_.policy)) {
     if (live_job_ == job) {
       net::ContextSlot* slot = nic_.context(kLiveCtx);
@@ -154,9 +157,13 @@ void CommNode::COMM_halt_network(util::SboFunction<void()> done) {
         nic_.beginFlush(std::move(done));
         return;
       case FlushProtocol::kAckQuiesce:
+        // gclint: allow(flow-switch-order): switch arms are mutually
+        // exclusive flush variants; the linter straight-lines lambda bodies
         nic_.beginAckQuiesce(std::move(done));
         return;
       case FlushProtocol::kLocalOnly:
+        // gclint: allow(flow-switch-order): mutually exclusive with the
+        // arms above inside a straight-lined lambda body
         nic_.beginLocalQuiesce(std::move(done));
         return;
     }
@@ -175,6 +182,13 @@ void CommNode::COMM_context_switch(
   sim::Duration out_cost = 0;
   sim::Duration in_cost = 0;
   const net::JobId from_job = live_job_;
+
+  // The switcher owns the NIC buffers for the whole copy-out/copy-in span;
+  // the NIC must not DMA into them until ownership returns.
+  if (verify::active(verify_)) {
+    verify_->onSwitchStage(nic_.node(), verify::SwitchStage::kCopyBegin);
+    verify_->onBufferAcquire(nic_.node(), verify::BufferOwner::kSwitcher);
+  }
 
   net::ContextSlot* slot =
       live_allocated_ ? nic_.context(kLiveCtx) : nullptr;
@@ -203,6 +217,9 @@ void CommNode::COMM_context_switch(
     live_job_ = to_job;
     saved_.erase(it);
   }
+
+  if (verify::active(verify_))
+    verify_->onBufferRelease(nic_.node(), verify::BufferOwner::kSwitcher);
 
   ++switches_;
   bytes_copied_total_ += r.bytes_copied_out + r.bytes_copied_in;
@@ -236,10 +253,14 @@ void CommNode::COMM_release_network(util::SboFunction<void()> done) {
         return;
       case FlushProtocol::kAckQuiesce:
         // No synchronization with peers: clear the halt bit and go.
+        // gclint: allow(flow-switch-order): switch arms are mutually
+        // exclusive release variants; the linter straight-lines lambda bodies
         nic_.endAckQuiesce();
         done();
         return;
       case FlushProtocol::kLocalOnly:
+        // gclint: allow(flow-switch-order): mutually exclusive with the
+        // arms above inside a straight-lined lambda body
         nic_.endLocalQuiesce();
         done();
         return;

@@ -38,6 +38,7 @@
 #include "parpar/interfaces.hpp"
 #include "sim/simulator.hpp"
 #include "util/sbo_function.hpp"
+#include "verify/sink.hpp"
 
 namespace gangcomm::glue {
 
@@ -136,6 +137,10 @@ class CommNode final : public parpar::CommManager {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// Verification hooks (gcverify; may be null).  Reports job credit
+  /// grants, job teardown, and buffer ownership around the copy phase.
+  void setVerify(verify::VerifySink* v) { verify_ = v; }
+
  private:
   sim::Simulator& sim_;
   host::HostCpu& cpu_;
@@ -158,6 +163,7 @@ class CommNode final : public parpar::CommManager {
 
   std::vector<bool> node_active_;
   obs::TraceRecorder* trace_ = nullptr;
+  verify::VerifySink* verify_ = nullptr;
   std::uint64_t switches_ = 0;
   std::uint64_t bytes_copied_total_ = 0;
 };

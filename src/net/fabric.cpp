@@ -43,6 +43,7 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
 
   ++stats_.packets;
   stats_.bytes += pkt.wireBytes();
+  if (verify::active(verify_)) verify_->onWireInject(pkt);
   if (pkt.isControl()) {
     ++stats_.control_packets;
     stats_.control_bytes += pkt.wireBytes();
@@ -61,6 +62,7 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
         trace_->instant(pkt.src_node, "fabric", "drop:fault", inj_done,
                         {{"dst", pkt.dst_node},
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
+      if (verify::active(verify_)) verify_->onWireDrop(pkt);
       return inj_done;
     }
   }
@@ -95,6 +97,7 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
                   {"job", pkt.job}});
 
   sim_.scheduleAt(rx_done, [this, pkt] {
+    if (verify::active(verify_)) verify_->onWireDeliver(pkt);
     deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt);
   });
   return out_busy_[static_cast<std::size_t>(pkt.src_node)];

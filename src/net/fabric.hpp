@@ -25,6 +25,7 @@
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/sbo_function.hpp"
+#include "verify/sink.hpp"
 
 namespace gangcomm::net {
 
@@ -80,6 +81,10 @@ class Fabric {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// Verification hooks (gcverify).  Null unless the cluster runs with
+  /// verification on; the sink observes and never perturbs simulation state.
+  void setVerify(verify::VerifySink* v) { verify_ = v; }
+
  private:
   sim::Simulator& sim_;
   RoutingTable routes_;
@@ -89,6 +94,7 @@ class Fabric {
   std::vector<sim::SimTime> in_busy_;
   FabricStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  verify::VerifySink* verify_ = nullptr;
   std::uint64_t drop_every_ = 0;
   std::uint64_t data_seen_ = 0;
   std::uint64_t dropped_ = 0;

@@ -255,6 +255,8 @@ void Nic::beginFlush(util::SboFunction<void()> on_flushed) {
   GC_DEBUG(sim_, "nic", "node %d: local halt ('lh')", node_);
   if (obs::tracing(trace_))
     trace_->instant(node_, "nic", "flush:halt_bit", sim_.now());
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kHaltBegin);
   scheduleSendScan();
 }
 
@@ -295,6 +297,8 @@ void Nic::maybeCompleteFlush() {
   GC_DEBUG(sim_, "nic", "node %d: network flushed (H,p)", node_);
   if (obs::tracing(trace_))
     trace_->instant(node_, "nic", "flush:complete", sim_.now());
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kFlushComplete);
   if (on_flushed_) {
     auto cb = std::move(on_flushed_);
     on_flushed_ = nullptr;
@@ -310,6 +314,8 @@ void Nic::beginRelease(util::SboFunction<void()> on_released) {
   release_broadcast_done_ = false;
   if (obs::tracing(trace_))
     trace_->instant(node_, "nic", "release:begin", sim_.now());
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kReleaseBegin);
   const int peers = fabric_.nodeCount() - 1;
   pending_ready_sends_ = peers;
   if (peers == 0) {
@@ -341,6 +347,8 @@ void Nic::maybeCompleteRelease() {
   GC_DEBUG(sim_, "nic", "node %d: network released", node_);
   if (obs::tracing(trace_))
     trace_->instant(node_, "nic", "release:complete", sim_.now());
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kReleaseComplete);
   if (on_released_) {
     auto cb = std::move(on_released_);
     on_released_ = nullptr;
@@ -358,6 +366,8 @@ void Nic::beginLocalQuiesce(util::SboFunction<void()> on_quiesced) {
   GC_DEBUG(sim_, "nic", "node %d: local quiesce begin", node_);
   if (obs::tracing(trace_))
     trace_->instant(node_, "nic", "quiesce:begin", sim_.now());
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kHaltBegin);
   scheduleSendScan();
   // The card may already be idle.
   maybeCompleteQuiesce();
@@ -375,6 +385,8 @@ void Nic::maybeCompleteQuiesce() {
   GC_DEBUG(sim_, "nic", "node %d: locally quiesced", node_);
   if (obs::tracing(trace_))
     trace_->instant(node_, "nic", "quiesce:complete", sim_.now());
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kFlushComplete);
   if (on_quiesced_) {
     auto cb = std::move(on_quiesced_);
     on_quiesced_ = nullptr;
@@ -395,6 +407,8 @@ void Nic::beginAckQuiesce(util::SboFunction<void()> on_quiesced) {
   GC_DEBUG(sim_, "nic", "node %d: ack-quiesce begin", node_);
   if (obs::tracing(trace_))
     trace_->instant(node_, "nic", "quiesce:ack_begin", sim_.now());
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kHaltBegin);
   scheduleSendScan();
   maybeCompleteQuiesce();
 }
@@ -436,6 +450,8 @@ void Nic::endLocalQuiesce() {
   quiesce_mode_ = false;
   quiesce_complete_ = false;
   halt_bit_ = false;
+  if (verify::active(verify_))
+    verify_->onSwitchStage(node_, verify::SwitchStage::kReleaseComplete);
   scheduleSendScan();
 }
 
@@ -469,6 +485,7 @@ void Nic::fromWire(const Packet& pkt) {
         if (obs::tracing(trace_))
           trace_->instant(node_, "nic", "drop:no_ctx", sim_.now(),
                           {{"src", pkt.src_node}, {"job", pkt.job}});
+        if (verify::active(verify_)) verify_->onNicDrop(node_, pkt, "no_ctx");
         return;
       }
       if (obs::tracing(trace_))
@@ -481,6 +498,9 @@ void Nic::fromWire(const Packet& pkt) {
                    ctx->send_credits.size());
       ctx->send_credits[static_cast<std::size_t>(pkt.src_rank)] +=
           static_cast<int>(pkt.refill_credits);
+      if (verify::active(verify_))
+        verify_->onRefillApplied(pkt.job, ctx->rank, pkt.src_rank,
+                                 pkt.refill_credits);
       auto& acked =
           ctx->acked_seq_from[static_cast<std::size_t>(pkt.src_rank)];
       if (pkt.ack_seq > acked) acked = pkt.ack_seq;
@@ -494,6 +514,7 @@ void Nic::fromWire(const Packet& pkt) {
       ContextSlot* ctx = contextForJob(pkt.job);
       if (ctx == nullptr) {
         ++stats_.drops_no_context;
+        if (verify::active(verify_)) verify_->onNicDrop(node_, pkt, "no_ctx");
         return;
       }
       if (pkt.src_rank >= 0 &&
@@ -533,6 +554,9 @@ void Nic::deliverData(const Packet& pkt) {
                       {{"src", pkt.src_node},
                        {"job", pkt.job},
                        {"seq", static_cast<std::int64_t>(pkt.seq)}});
+    if (verify::active(verify_))
+      verify_->onNicDrop(node_, pkt,
+                         discard_wrong_job_ ? "wrong_job" : "no_ctx");
     return;
   }
   if (cfg_.enforce_fifo) {
@@ -556,6 +580,9 @@ void Nic::deliverData(const Packet& pkt) {
                  ctx->send_credits.size());
     ctx->send_credits[static_cast<std::size_t>(pkt.src_rank)] +=
         static_cast<int>(pkt.refill_credits);
+    if (verify::active(verify_))
+      verify_->onRefillApplied(pkt.job, ctx->rank, pkt.src_rank,
+                               pkt.refill_credits);
     stats_.refill_credits_received += pkt.refill_credits;
     fireSendable(*ctx);
   }
@@ -597,6 +624,8 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
         trace_->instant(node_, "nic", "drop:quiesce_shed", sim_.now(),
                         {{"src", pkt.src_node},
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
+      if (verify::active(verify_))
+        verify_->onNicDrop(node_, pkt, "quiesce_shed");
       return;
     }
     if (c->job != pkt.job) {
@@ -609,6 +638,8 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
         trace_->instant(node_, "nic", "drop:wrong_job", sim_.now(),
                         {{"src", pkt.src_node},
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
+      if (verify::active(verify_))
+        verify_->onNicDrop(node_, pkt, "wrong_job");
       maybeCompleteFlush();
       maybeCompleteQuiesce();
       return;
@@ -621,11 +652,14 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
         trace_->instant(node_, "nic", "drop:recv_overflow", sim_.now(),
                         {{"src", pkt.src_node},
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
+      if (verify::active(verify_))
+        verify_->onNicDrop(node_, pkt, "recv_overflow");
       maybeCompleteFlush();
       maybeCompleteQuiesce();
       return;
     }
     ++c->pkts_received;
+    if (verify::active(verify_)) verify_->onRecvLanded(node_, pkt);
     if (c->on_arrival) {
       auto cb = std::move(c->on_arrival);
       c->on_arrival = nullptr;

@@ -36,6 +36,7 @@
 #include "util/ring_buffer.hpp"
 #include "util/sbo_function.hpp"
 #include "util/status.hpp"
+#include "verify/sink.hpp"
 
 namespace gangcomm::net {
 
@@ -218,6 +219,11 @@ class Nic {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// Attach the verification sink (gcverify; may be null).  Hooks report
+  /// refill applications, drops, landings, and flush-FSM stages; the sink
+  /// only observes and the simulation is bit-identical without it.
+  void setVerify(verify::VerifySink* v) { verify_ = v; }
+
  private:
   void scheduleSendScan();
   void sendScan();
@@ -278,6 +284,7 @@ class Nic {
 
   bool discard_wrong_job_ = false;
   obs::TraceRecorder* trace_ = nullptr;
+  verify::VerifySink* verify_ = nullptr;
 
   // FIFO assertion state: last data (job, seq) seen per source node.
   std::vector<std::uint64_t> last_seq_from_;

@@ -4,7 +4,15 @@
 #include <cstdint>
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace gangcomm::sim {
+
+void Simulator::setTieSalt(std::uint64_t salt) {
+  GC_CHECK_MSG(heap_.empty(),
+               "tie salt must be set while the event queue is empty");
+  tie_salt_ = salt;
+}
 
 EventHandle Simulator::scheduleAt(SimTime t, Action fn) {
   if (t < now_) {
@@ -108,6 +116,9 @@ void Simulator::fireNext() {
   freeSlot(slot);
   ++fired_;
   fn();
+  // Event boundary: the action (and everything it ran synchronously) is
+  // done, the next event has not started.  Observers are read-only.
+  if (observer_ != nullptr) observer_->onEventBoundary(now_, fired_);
 }
 
 std::uint64_t Simulator::run() {

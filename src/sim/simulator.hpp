@@ -36,6 +36,19 @@ struct EventHandle {
   bool valid() const { return id != 0; }
 };
 
+/// Observer notified at every event boundary (immediately after an event's
+/// action returns, before the next one is popped).  Used by the gcverify
+/// invariant engine to audit global state between events.  Observers must
+/// never schedule or cancel events and never charge simulated time: they are
+/// read-only instrumentation, like obs::TraceRecorder.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  /// `now` is the timestamp of the event that just fired; `fired` is the
+  /// total number of events fired so far (including this one).
+  virtual void onEventBoundary(SimTime now, std::uint64_t fired) = 0;
+};
+
 class Simulator {
  public:
   // Sized so the dominant hot-path closure — `this` plus a net::Packet by
@@ -91,6 +104,24 @@ class Simulator {
   /// left intact so the caller can inspect or resume.
   void requestStop() { stop_requested_ = true; }
 
+  /// Install (or clear, with nullptr) the event-boundary observer.  The
+  /// pointer is not owned and must outlive any run with it installed.
+  void setObserver(EventObserver* obs) { observer_ = obs; }
+
+  /// The same-timestamp tiebreak key is the scheduling sequence number:
+  /// events at equal times fire in the order they were scheduled.  A
+  /// non-zero salt deterministically permutes that order — ties compare by
+  /// splitmix64(seq ^ salt) first, seq last — so the interleaving explorer
+  /// (tools/gcverify_explore) can exercise alternative legal orderings of
+  /// logically concurrent events.  Every salt still yields a total order
+  /// and hence a fully reproducible run; salt 0 restores FIFO.  Must be
+  /// called while the queue is empty (changing the comparator under a
+  /// populated heap would corrupt it).
+  void setTieSalt(std::uint64_t salt);
+
+  /// The active same-timestamp permutation salt (0 = natural FIFO order).
+  std::uint64_t tieSalt() const { return tie_salt_; }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
@@ -104,11 +135,29 @@ class Simulator {
 
   // (time, seq) strict weak order between slab slots; seq is unique, so
   // this is a total order and the firing sequence is fully deterministic.
+  // With a non-zero tie salt, same-time events order by a salted hash of
+  // seq instead (seq as the final tie), which is still total — see
+  // setTieSalt().
   bool before(std::uint32_t a, std::uint32_t b) const {
     const Node& na = slab_[a];
     const Node& nb = slab_[b];
     if (na.time != nb.time) return na.time < nb.time;
+    if (tie_salt_ != 0) {
+      const std::uint64_t ka = mixSeq(na.seq);
+      const std::uint64_t kb = mixSeq(nb.seq);
+      if (ka != kb) return ka < kb;
+    }
     return na.seq < nb.seq;
+  }
+
+  // splitmix64 finalizer over (seq ^ salt): a cheap bijective mixer, so
+  // distinct seqs keep distinct keys and the salted order stays total.
+  std::uint64_t mixSeq(std::uint64_t seq) const {
+    std::uint64_t z = seq ^ tie_salt_;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
   }
 
   void siftUp(std::size_t i);
@@ -127,7 +176,9 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t past_clamps_ = 0;
+  std::uint64_t tie_salt_ = 0;
   bool stop_requested_ = false;
+  EventObserver* observer_ = nullptr;  // not owned; null-checked per event
 };
 
 }  // namespace gangcomm::sim

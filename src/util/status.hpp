@@ -9,7 +9,9 @@
 
 namespace gangcomm::util {
 
-enum class Status {
+// [[nodiscard]] on the enum makes every function returning Status warn when
+// the result is dropped; intentional discards must say `(void)call(...)`.
+enum class [[nodiscard]] Status {
   kOk = 0,
   kWouldBlock,    // retry later: out of credits or queue space
   kDeadlock,      // configuration makes progress impossible (e.g. C0 == 0)

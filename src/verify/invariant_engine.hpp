@@ -1,0 +1,160 @@
+// The gcverify dynamic invariant engine.
+//
+// Registered as the Simulator's EventObserver, the engine re-derives the
+// protocol's conservation laws from the VerifySink event stream and checks
+// them after every fired event:
+//
+//  1. Credit conservation.  For each pair (job, a -> b) the engine keeps a
+//     ledger: outstanding fragments (debited, not yet accepted), credits
+//     owed at the receiver, refill credits in flight, and credits lost to
+//     drops.  At every event boundary the physical counter — the live
+//     context's send_credits[b] on a's NIC — must equal
+//         C0 - outstanding - owed - in_flight - lost,
+//     where C0 is Br/p under buffer switching and Br/(n^2 * p) under
+//     partitioning (glue::CommNode computes it; the engine checks the value
+//     it is handed against what the ledger implies).
+//
+//  2. Buffer-ownership exclusivity.  A node's live context buffers are owned
+//     by the NIC or by the buffer switcher, never both: a DMA landing while
+//     the switcher holds the buffers, a double acquire, or a release by a
+//     non-owner is a violation.
+//
+//  3. Packet conservation.  Every injected packet is eventually delivered,
+//     still in flight, or dropped with a recorded reason; in-flight counts
+//     can never go negative, and finalCheck() asserts the drained equalities.
+//
+//  4. Switch-protocol order.  Per node, stage events must follow
+//     halt -> flush-complete -> (copy) -> release -> release-complete.
+//
+// Violations either abort immediately with a "gcverify:" diagnostic (the
+// default — tier-1 tests under GANGCOMM_VERIFY fail loudly at the first
+// broken invariant) or are collected for inspection (fault-injection tests,
+// the interleaving explorer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "verify/sink.hpp"
+
+namespace gangcomm::verify {
+
+struct Violation {
+  sim::SimTime time = 0;
+  std::string what;
+};
+
+class InvariantEngine : public VerifySink, public sim::EventObserver {
+ public:
+  enum class OnViolation { kAbort, kCollect };
+
+  explicit InvariantEngine(sim::Simulator& sim,
+                           OnViolation mode = OnViolation::kAbort);
+
+  /// Register a NIC whose live contexts back the credit-conservation poll.
+  void attachNic(net::Nic* nic);
+
+  /// Switch violation handling after construction.  Fault-injection tests
+  /// flip a Cluster-created engine (which defaults to kAbort) into collect
+  /// mode to assert on the recorded diagnostics.
+  void setMode(OnViolation mode) { mode_ = mode; }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Sum of credits the ledger has written off to drops, across all pairs.
+  /// Nonzero under the no-flush ablations — the paper's credit-loss hazard,
+  /// quantified.
+  long lostCredits() const;
+
+  /// Drained-state check: no packets in the wire or the DMA pipeline, and
+  /// injected == delivered + dropped per class.  Call after the simulation
+  /// ran to completion; not valid mid-run.
+  void finalCheck();
+
+  /// Checks run after every fired event; also invokable directly by tests.
+  void onEventBoundary(sim::SimTime now, std::uint64_t fired) override;
+
+  // ---- VerifySink ---------------------------------------------------------
+
+  void onJobCredits(net::JobId job, int rank, int job_size, int c0,
+                    bool retransmit) override;
+  void onJobEnd(net::JobId job) override;
+  void onCreditDebit(net::JobId job, int src_rank, int dst_rank,
+                     std::uint64_t seq) override;
+  void onPacketAccepted(net::JobId job, int src_rank, int dst_rank,
+                        std::uint64_t seq) override;
+  void onRefillQueued(net::JobId job, int src_rank, int dst_rank,
+                      std::uint32_t credits) override;
+  void onRefillApplied(net::JobId job, int src_rank, int dst_rank,
+                       std::uint32_t credits) override;
+  void onWireInject(const net::Packet& p) override;
+  void onWireDeliver(const net::Packet& p) override;
+  void onWireDrop(const net::Packet& p) override;
+  void onRecvLanded(net::NodeId node, const net::Packet& p) override;
+  void onNicDrop(net::NodeId node, const net::Packet& p,
+                 const char* reason) override;
+  void onBufferAcquire(net::NodeId node, BufferOwner who) override;
+  void onBufferRelease(net::NodeId node, BufferOwner who) override;
+  void onSwitchStage(net::NodeId node, SwitchStage stage) override;
+
+ private:
+  /// Ledger for one directed pair: src_rank's credits toward dst_rank.
+  struct PairLedger {
+    std::set<std::uint64_t> outstanding;  // debited seqs, not yet accepted
+    long owed = 0;       // accepted at the receiver, refill not yet queued
+    long in_flight = 0;  // refill credits on the wire back to the sender
+    long lost = 0;       // written off to drops (credit-loss hazard)
+  };
+
+  struct JobLedger {
+    int c0 = 0;
+    int size = 0;
+    bool retransmit = false;
+    std::map<std::pair<int, int>, PairLedger> pairs;  // (src, dst) -> ledger
+  };
+
+  /// Per-node switch-protocol state.
+  enum class NodeState { kRunning, kHalting, kFlushed, kReleasing };
+
+  struct NodeVerifyState {
+    NodeState fsm = NodeState::kRunning;
+    BufferOwner owner = BufferOwner::kNic;
+  };
+
+  struct FlowCounters {
+    std::uint64_t injected = 0;
+    std::uint64_t wire_dropped = 0;
+    std::uint64_t delivered = 0;
+  };
+
+  void report(const std::string& what);
+  PairLedger& pair(JobLedger& jl, int src, int dst);
+  /// Ledger bookkeeping shared by wire- and NIC-level drops of one packet.
+  void accountDroppedPacket(const net::Packet& p, const char* reason);
+  void checkCredits();
+  NodeVerifyState& nodeState(net::NodeId node);
+  static const char* stateName(NodeState s);
+
+  sim::Simulator& sim_;
+  OnViolation mode_;
+  std::vector<Violation> violations_;
+
+  std::map<net::JobId, JobLedger> jobs_;
+  std::vector<net::Nic*> nics_;
+  std::map<net::NodeId, NodeVerifyState> node_states_;
+
+  FlowCounters data_;
+  FlowCounters control_;
+  std::uint64_t landed_ = 0;
+  std::uint64_t nic_dropped_ = 0;
+  std::map<std::string, std::uint64_t> drop_reasons_;
+};
+
+}  // namespace gangcomm::verify

@@ -1,0 +1,95 @@
+// Instrumentation interface for the dynamic verification engine (gcverify).
+//
+// Every protocol layer (Fabric, Nic, FmLib, CommNode) holds a null-checked
+// `VerifySink*` and reports semantic events through it: credit movements,
+// packet lifecycle milestones, buffer-ownership transfers, and buffer-switch
+// protocol stages.  The pointer is null unless ClusterConfig::verify is set,
+// so the hooks are a pointer compare on the default path and the simulated
+// results are bit-identical with verification off (the sink only observes;
+// it never schedules events or perturbs state).
+//
+// Rank conventions: credit events are keyed by the *data-flow* direction.
+// A pair (job, src_rank, dst_rank) names the credits src_rank holds toward
+// dst_rank, regardless of which physical packet (data with a piggybacked
+// refill, or a dedicated refill control packet) carries the movement.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace gangcomm::verify {
+
+/// Stages of the three-phase context-switch protocol, as observed at one
+/// node's NIC/glue layer.
+enum class SwitchStage {
+  kHaltBegin,        // beginFlush / beginLocalQuiesce / beginAckQuiesce
+  kFlushComplete,    // flush or quiesce reached completion
+  kCopyBegin,        // buffer switch (copy-out/copy-in) started
+  kReleaseBegin,     // release broadcast started (broadcast protocol only)
+  kReleaseComplete,  // network released; sending may resume
+};
+
+/// Who currently owns a node's live context queue buffers.
+enum class BufferOwner { kNic, kSwitcher };
+
+class VerifySink {
+ public:
+  virtual ~VerifySink() = default;
+
+  // ---- Credit ledger ------------------------------------------------------
+
+  /// A job's ranks were granted `c0` credits toward every peer.  `retransmit`
+  /// selects the credit-loss semantics: with a retransmission layer a dropped
+  /// data packet keeps its credit outstanding (some copy will arrive);
+  /// without one the credit is gone — the paper's credit-loss hazard.
+  virtual void onJobCredits(net::JobId job, int rank, int job_size, int c0,
+                            bool retransmit) = 0;
+  virtual void onJobEnd(net::JobId job) = 0;
+
+  /// The host library spent one credit sending fragment `seq` of pair
+  /// (job, src_rank -> dst_rank).
+  virtual void onCreditDebit(net::JobId job, int src_rank, int dst_rank,
+                             std::uint64_t seq) = 0;
+
+  /// The receiving host accepted fragment `seq` (it reached a handler); the
+  /// credit is now owed back to the sender.
+  virtual void onPacketAccepted(net::JobId job, int src_rank, int dst_rank,
+                                std::uint64_t seq) = 0;
+
+  /// The receiver put `credits` owed credits on the wire (piggybacked or as
+  /// a refill control packet) toward the pair's sender.
+  virtual void onRefillQueued(net::JobId job, int src_rank, int dst_rank,
+                              std::uint32_t credits) = 0;
+
+  /// The sender's NIC credited `credits` back to the pair.
+  virtual void onRefillApplied(net::JobId job, int src_rank, int dst_rank,
+                               std::uint32_t credits) = 0;
+
+  // ---- Packet conservation ------------------------------------------------
+
+  virtual void onWireInject(const net::Packet& p) = 0;
+  virtual void onWireDeliver(const net::Packet& p) = 0;
+  /// Fabric-level fault-injection drop (never a control packet).
+  virtual void onWireDrop(const net::Packet& p) = 0;
+  /// A data packet landed in the destination context's receive queue.
+  virtual void onRecvLanded(net::NodeId node, const net::Packet& p) = 0;
+  /// The NIC terminally dropped a delivered packet.  `reason` is a static
+  /// string: "no_ctx", "wrong_job", "recv_overflow", or "quiesce_shed".
+  virtual void onNicDrop(net::NodeId node, const net::Packet& p,
+                         const char* reason) = 0;
+
+  // ---- Buffer ownership ---------------------------------------------------
+
+  virtual void onBufferAcquire(net::NodeId node, BufferOwner who) = 0;
+  virtual void onBufferRelease(net::NodeId node, BufferOwner who) = 0;
+
+  // ---- Switch-protocol state machine --------------------------------------
+
+  virtual void onSwitchStage(net::NodeId node, SwitchStage stage) = 0;
+};
+
+/// Hook-site guard, mirroring obs::tracing(): `if (verify::active(v)) ...`.
+inline bool active(const VerifySink* v) { return v != nullptr; }
+
+}  // namespace gangcomm::verify

@@ -147,6 +147,8 @@ TEST_F(NicQuiesceTest, RetagAllowedWhileLocallyQuiesced) {
 
 TEST_F(NicQuiesceTest, QuiesceDuringFlushDies) {
   nics_[0]->beginFlush([] {});
+  // gclint: allow(flow-switch-order): the double halt is the point — the
+  // death test asserts the NIC rejects it
   EXPECT_DEATH(nics_[0]->beginLocalQuiesce([] {}), "another halt");
 }
 

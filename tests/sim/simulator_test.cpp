@@ -349,6 +349,62 @@ TEST(Simulator, CancelAndScheduleFromCallback) {
   EXPECT_EQ(s.firedEvents(), 65u);  // the t=5 event + 64 nested; doomed died
 }
 
+// ---- Same-timestamp tiebreak (setTieSalt) -----------------------------------
+
+namespace {
+// Schedules `n` events at one instant and returns the order they fired in.
+std::vector<int> tieOrder(std::uint64_t salt, int n) {
+  Simulator s;
+  s.setTieSalt(salt);
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i)
+    s.scheduleAt(100, [&order, i] { order.push_back(i); });
+  s.run();
+  return order;
+}
+}  // namespace
+
+TEST(Simulator, ZeroSaltKeepsSchedulingOrderAtTies) {
+  EXPECT_EQ(tieOrder(0, 8), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulator, TieSaltIsDeterministicPerSalt) {
+  for (std::uint64_t salt : {1ull, 2ull, 0xdeadbeefull})
+    EXPECT_EQ(tieOrder(salt, 16), tieOrder(salt, 16)) << "salt " << salt;
+}
+
+TEST(Simulator, TieSaltPermutesWithoutLosingEvents) {
+  const std::vector<int> fifo = tieOrder(0, 16);
+  bool any_differs = false;
+  for (std::uint64_t salt = 1; salt <= 4; ++salt) {
+    std::vector<int> order = tieOrder(salt, 16);
+    ASSERT_EQ(order.size(), 16u);
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, fifo);  // a permutation: every event fired exactly once
+    if (order != fifo) any_differs = true;
+  }
+  // The permutation is not a no-op: some salt reorders the ties.
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Simulator, TieSaltNeverReordersAcrossTimestamps) {
+  Simulator s;
+  s.setTieSalt(0x5a5a5a5aull);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    s.scheduleAt(static_cast<SimTime>(10 * (i + 1)),
+                 [&order, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(SimulatorDeathTest, TieSaltRejectsPopulatedQueue) {
+  Simulator s;
+  s.schedule(5, [] {});
+  EXPECT_DEATH(s.setTieSalt(1), "tie salt must be set");
+}
+
 TEST(SimTime, CycleConversionsMatch200MHz) {
   EXPECT_EQ(cyclesToNs(1), 5u);
   EXPECT_EQ(nsToCycles(5), 1u);

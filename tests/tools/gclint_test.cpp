@@ -59,6 +59,12 @@ const RuleCase kRuleCases[] = {
     {"hyg-explicit-ctor", "hyg_explicit_ctor_fail.cc",
      "hyg_explicit_ctor_pass.cc"},
     {"hyg-iwyu", "hyg_iwyu_fail.cc", "hyg_iwyu_pass.cc"},
+    {"flow-halt-release", "flow_halt_release_fail.cc",
+     "flow_halt_release_pass.cc"},
+    {"flow-status-ignored", "flow_status_ignored_fail.cc",
+     "flow_status_ignored_pass.cc"},
+    {"flow-switch-order", "flow_switch_order_fail.cc",
+     "flow_switch_order_pass.cc"},
     {"bad-allow", "bad_allow_fail.cc", nullptr},
     {"unused-allow", "unused_allow_fail.cc", nullptr},
 };
@@ -105,6 +111,129 @@ TEST(GclintRules, HotRulesStayQuietInColdFiles) {
   EXPECT_TRUE(lintFixture("hot_std_function_pass.cc").diagnostics.empty());
   const FileResult hot = lintFixture("hot_std_function_fail.cc");
   EXPECT_EQ(rulesFired(hot), std::set<std::string>{"hot-std-function"});
+}
+
+// ---- flow-sensitive rules ---------------------------------------------------
+
+FileResult lintSource(const std::string& source) {
+  FileInput in;
+  in.path = "inline.cc";
+  in.source = source;
+  return lintFile(in);
+}
+
+TEST(GclintFlow, StatusFailFixtureReportsBothDiscardShapes) {
+  // The fixture drops a Status twice: once as a bare expression statement,
+  // once into a variable that is never read.
+  const FileResult r = lintFixture("flow_status_ignored_fail.cc");
+  ASSERT_EQ(r.diagnostics.size(), 2u);
+  for (const Diagnostic& d : r.diagnostics)
+    EXPECT_EQ(d.rule, "flow-status-ignored");
+}
+
+TEST(GclintFlow, StatusConsumedInConditionIsClean) {
+  const FileResult r = lintSource(
+      "enum class Status { kOk };\n"
+      "struct C { Status initJob(int j); };\n"
+      "bool f(C& c) { return c.initJob(1) == Status::kOk; }\n"
+      "void g(C& c) { if (c.initJob(2) == Status::kOk) { return; } }\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(GclintFlow, DoubleHaltAcrossBranchJoinIsCaught) {
+  const FileResult r = lintSource(
+      "struct Nic { void beginFlush(); void beginRelease(); };\n"
+      "void f(Nic& n, bool b) {\n"
+      "  n.beginFlush();\n"
+      "  if (b) {\n"
+      "    n.beginFlush();\n"
+      "  }\n"
+      "  n.beginRelease();\n"
+      "}\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "flow-switch-order");
+  EXPECT_EQ(r.diagnostics[0].line, 5);
+}
+
+TEST(GclintFlow, HaltAndReleaseInsideLoopBodyIsClean) {
+  const FileResult r = lintSource(
+      "struct Nic { void beginFlush(); void beginRelease(); };\n"
+      "void f(Nic& n, int k) {\n"
+      "  for (int i = 0; i < k; ++i) {\n"
+      "    n.beginFlush();\n"
+      "    n.beginRelease();\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(GclintFlow, HaltBeforeLoopReleasedAfterLoopIsClean) {
+  // The zero-iteration bypass and the back edge both still pass the
+  // release below the loop.
+  const FileResult r = lintSource(
+      "struct Nic { void beginFlush(); void beginRelease(); };\n"
+      "void work(int i);\n"
+      "void f(Nic& n, int k) {\n"
+      "  n.beginFlush();\n"
+      "  for (int i = 0; i < k; ++i) {\n"
+      "    work(i);\n"
+      "  }\n"
+      "  n.beginRelease();\n"
+      "}\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(GclintFlow, HaltEveryIterationReleaseOnceIsDoubleHalt) {
+  // A loop body that halts on the back edge without releasing re-halts a
+  // halted network: the second iteration is a protocol violation.
+  const FileResult r = lintSource(
+      "struct Nic { void beginFlush(); void beginRelease(); };\n"
+      "void f(Nic& n, int k) {\n"
+      "  for (int i = 0; i < k; ++i) {\n"
+      "    n.beginFlush();\n"
+      "  }\n"
+      "  n.beginRelease();\n"
+      "}\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "flow-switch-order");
+}
+
+TEST(GclintFlow, SwitchStatementArmsAreAlternatives) {
+  // The release lives in every reachable arm, so no escape exists; the
+  // halt in one arm does not leak into its siblings.
+  const FileResult r = lintSource(
+      "struct Nic { void beginFlush(); void beginRelease(); };\n"
+      "void f(Nic& n, int k) {\n"
+      "  n.beginFlush();\n"
+      "  switch (k) {\n"
+      "    case 0:\n"
+      "      n.beginRelease();\n"
+      "      break;\n"
+      "    default:\n"
+      "      n.beginRelease();\n"
+      "      break;\n"
+      "  }\n"
+      "}\n");
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(GclintFlow, NestedCallbackChainReadsInSourceOrder) {
+  // The gang-switch continuation chain: halt -> switch -> release nested in
+  // callbacks inside one statement must parse as one in-order node.
+  const FileResult r = lintSource(
+      "struct Comm {\n"
+      "  template <typename F> void haltNetwork(F f);\n"
+      "  template <typename F> void contextSwitch(int j, F f);\n"
+      "  template <typename F> void releaseNetwork(F f);\n"
+      "};\n"
+      "void f(Comm& c, int j) {\n"
+      "  c.haltNetwork([&] {\n"
+      "    c.contextSwitch(j, [&] {\n"
+      "      c.releaseNetwork([&] {});\n"
+      "    });\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(r.diagnostics.empty());
 }
 
 // ---- suppression syntax -----------------------------------------------------

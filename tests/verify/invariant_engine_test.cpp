@@ -1,0 +1,261 @@
+// gcverify invariant-engine tests.
+//
+// Two families:
+//   * synthetic: drive the VerifySink interface directly and assert each
+//     invariant class fires the right diagnostic (and that collect mode
+//     records instead of aborting);
+//   * end-to-end: real Clusters with ClusterConfig::verify on — clean runs
+//     report nothing, and corrupting live NIC state from the outside is
+//     caught at the next event boundary (fault injection).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "verify/invariant_engine.hpp"
+
+namespace gangcomm {
+namespace {
+
+using verify::BufferOwner;
+using verify::InvariantEngine;
+using verify::SwitchStage;
+using OnViolation = InvariantEngine::OnViolation;
+
+// ---- Synthetic: single-invariant probes -------------------------------------
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  InvariantEngine collect_{sim_, OnViolation::kCollect};
+};
+
+net::Packet dataPacket(net::JobId job, int src, int dst, std::uint64_t seq) {
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.job = job;
+  p.src_node = src;
+  p.dst_node = dst;
+  p.src_rank = src;
+  p.dst_rank = dst;
+  p.seq = seq;
+  p.payload_bytes = 64;
+  return p;
+}
+
+TEST_F(EngineFixture, CleanLifecycleReportsNothing) {
+  collect_.onJobCredits(7, 0, 2, 10, false);
+  collect_.onCreditDebit(7, 0, 1, 1);
+  collect_.onWireInject(dataPacket(7, 0, 1, 1));
+  collect_.onWireDeliver(dataPacket(7, 0, 1, 1));
+  collect_.onRecvLanded(1, dataPacket(7, 0, 1, 1));
+  collect_.onPacketAccepted(7, 0, 1, 1);
+  collect_.onRefillQueued(7, 0, 1, 1);
+  collect_.onRefillApplied(7, 0, 1, 1);
+  collect_.onEventBoundary(sim_.now(), 0);
+  collect_.finalCheck();
+  EXPECT_TRUE(collect_.violations().empty());
+  EXPECT_EQ(collect_.lostCredits(), 0);
+}
+
+TEST_F(EngineFixture, DoubleAcquireIsAViolation) {
+  collect_.onBufferAcquire(3, BufferOwner::kSwitcher);
+  collect_.onBufferAcquire(3, BufferOwner::kSwitcher);
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("double buffer ownership"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, ReleaseByNonOwnerIsAViolation) {
+  // Initial owner is the NIC; the switcher never acquired.
+  collect_.onBufferRelease(3, BufferOwner::kSwitcher);
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("non-owner"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, DmaLandingDuringBufferSwitchIsAViolation) {
+  collect_.onBufferAcquire(2, BufferOwner::kSwitcher);
+  collect_.onRecvLanded(2, dataPacket(7, 0, 1, 1));
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("switcher owns"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, SkippedReleaseIsAViolation) {
+  collect_.onSwitchStage(0, SwitchStage::kHaltBegin);
+  collect_.onSwitchStage(0, SwitchStage::kFlushComplete);
+  collect_.onSwitchStage(0, SwitchStage::kHaltBegin);  // no release first
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("skipped its release"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, CopyBeforeFlushIsAViolation) {
+  collect_.onSwitchStage(0, SwitchStage::kCopyBegin);
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("copy before the network"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, FullSwitchSequenceIsClean) {
+  collect_.onSwitchStage(0, SwitchStage::kHaltBegin);
+  collect_.onSwitchStage(0, SwitchStage::kFlushComplete);
+  collect_.onBufferAcquire(0, BufferOwner::kSwitcher);
+  collect_.onSwitchStage(0, SwitchStage::kCopyBegin);
+  collect_.onBufferRelease(0, BufferOwner::kSwitcher);
+  collect_.onSwitchStage(0, SwitchStage::kReleaseBegin);
+  collect_.onSwitchStage(0, SwitchStage::kReleaseComplete);
+  // Quiesce-style second round: flushed -> released with no broadcast.
+  collect_.onSwitchStage(0, SwitchStage::kHaltBegin);
+  collect_.onSwitchStage(0, SwitchStage::kFlushComplete);
+  collect_.onSwitchStage(0, SwitchStage::kReleaseComplete);
+  EXPECT_TRUE(collect_.violations().empty());
+}
+
+TEST_F(EngineFixture, AcceptWithoutDebitIsAViolation) {
+  collect_.onJobCredits(7, 0, 2, 10, false);
+  collect_.onPacketAccepted(7, 0, 1, 5);
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("never spent a credit"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, RefillNeverInFlightIsAViolation) {
+  collect_.onJobCredits(7, 0, 2, 10, false);
+  collect_.onRefillApplied(7, 0, 1, 3);
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("counterfeiting"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, DroppedPacketWritesOffTheCredit) {
+  // No retransmission layer: a wire drop loses the packet's credit — the
+  // paper's credit-loss hazard, visible through lostCredits().
+  collect_.onJobCredits(7, 0, 2, 10, false);
+  collect_.onCreditDebit(7, 0, 1, 1);
+  net::Packet p = dataPacket(7, 0, 1, 1);
+  collect_.onWireInject(p);
+  collect_.onWireDrop(p);
+  EXPECT_EQ(collect_.lostCredits(), 1);
+  EXPECT_TRUE(collect_.violations().empty());
+  collect_.finalCheck();
+  EXPECT_TRUE(collect_.violations().empty());
+}
+
+TEST_F(EngineFixture, DroppedPacketKeepsCreditUnderRetransmit) {
+  // With the retransmission layer the reservation stands: some copy of the
+  // fragment will eventually be accepted.
+  collect_.onJobCredits(7, 0, 2, 10, true);
+  collect_.onCreditDebit(7, 0, 1, 1);
+  net::Packet p = dataPacket(7, 0, 1, 1);
+  collect_.onWireInject(p);
+  collect_.onWireDrop(p);
+  EXPECT_EQ(collect_.lostCredits(), 0);
+}
+
+TEST_F(EngineFixture, UndrainedWireFailsFinalCheck) {
+  collect_.onWireInject(dataPacket(7, 0, 1, 1));
+  collect_.finalCheck();
+  ASSERT_EQ(collect_.violations().size(), 1u);
+  EXPECT_NE(collect_.violations()[0].what.find("still in the wire"),
+            std::string::npos);
+}
+
+TEST_F(EngineFixture, AbortModeDiesWithDiagnostic) {
+  InvariantEngine abort_engine(sim_, OnViolation::kAbort);
+  abort_engine.onBufferAcquire(0, BufferOwner::kSwitcher);
+  EXPECT_DEATH(abort_engine.onBufferAcquire(0, BufferOwner::kSwitcher),
+               "gcverify: double buffer ownership");
+}
+
+// ---- End-to-end: real clusters under verification ---------------------------
+
+core::ClusterConfig verifyingConfig(int nodes) {
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.verify = true;
+  return cfg;
+}
+
+TEST(VerifyCluster, DefaultTracksBuildOption) {
+  core::ClusterConfig cfg;
+  cfg.nodes = 2;
+  core::Cluster cluster(cfg);
+  EXPECT_EQ(cluster.verifier() != nullptr, GANGCOMM_VERIFY_DEFAULT != 0);
+}
+
+TEST(VerifyCluster, CleanBandwidthRunReportsNothing) {
+  core::Cluster cluster(verifyingConfig(2));
+  ASSERT_NE(cluster.verifier(), nullptr);
+  cluster.verifier()->setMode(OnViolation::kCollect);
+  cluster.submit(2, [](app::Process::Env env)
+                        -> std::unique_ptr<app::Process> {
+    if (env.rank == 0)
+      return std::make_unique<app::BandwidthSender>(std::move(env), 1, 8192,
+                                                    200);
+    return std::make_unique<app::BandwidthReceiver>(std::move(env), 0, 200);
+  });
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 1);
+  cluster.verifier()->finalCheck();
+  EXPECT_TRUE(cluster.verifier()->violations().empty());
+  EXPECT_EQ(cluster.verifier()->lostCredits(), 0);
+}
+
+TEST(VerifyCluster, CleanGangScheduledRunReportsNothing) {
+  // Two jobs stacked on the same two nodes: every quantum runs the full
+  // halt -> flush -> buffer switch -> release protocol under the engine.
+  core::ClusterConfig cfg = verifyingConfig(2);
+  cfg.quantum = 20 * sim::kMillisecond;
+  core::Cluster cluster(cfg);
+  ASSERT_NE(cluster.verifier(), nullptr);
+  cluster.verifier()->setMode(OnViolation::kCollect);
+  auto factory = [](app::Process::Env env) -> std::unique_ptr<app::Process> {
+    return std::make_unique<app::AllToAllWorker>(std::move(env), 4096, 50);
+  };
+  cluster.submit(2, factory, {0, 1});
+  cluster.submit(2, factory, {0, 1});
+  cluster.run();
+  EXPECT_EQ(cluster.jobsDone(), 2);
+  cluster.verifier()->finalCheck();
+  EXPECT_TRUE(cluster.verifier()->violations().empty());
+  EXPECT_EQ(cluster.verifier()->lostCredits(), 0);
+}
+
+TEST(VerifyClusterDeathTest, ExternallyLeakedCreditIsCaught) {
+  core::Cluster cluster(verifyingConfig(2));
+  ASSERT_NE(cluster.verifier(), nullptr);
+  const net::JobId job =
+      cluster.submit(2,
+                     [](app::Process::Env env)
+                         -> std::unique_ptr<app::Process> {
+                       if (env.rank == 0)
+                         return std::make_unique<app::BandwidthSender>(
+                             std::move(env), 1, 8192, 1u << 20);
+                       return std::make_unique<app::BandwidthReceiver>(
+                           std::move(env), 0, 1u << 20);
+                     },
+                     {0, 1});
+  cluster.runUntil(200 * sim::kMillisecond);
+  net::ContextSlot* ctx = cluster.nic(0).contextForJob(job);
+  ASSERT_NE(ctx, nullptr);
+  ASSERT_GT(ctx->send_credits.size(), 1u);
+  EXPECT_DEATH(
+      {
+        // A credit appearing out of thin air (or vanishing) must trip the
+        // conservation check at the very next event boundary.
+        ctx->send_credits[1] += 1;
+        cluster.verifier()->onEventBoundary(cluster.sim().now(), 0);
+      },
+      "gcverify: credit conservation broken");
+}
+
+}  // namespace
+}  // namespace gangcomm

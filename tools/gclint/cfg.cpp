@@ -1,0 +1,430 @@
+#include "tools/gclint/cfg.hpp"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gclint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool isIdent(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+bool isPunct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// Index just past the bracket construct opening at `i` (one of ( [ {),
+/// counting all three bracket kinds so lambdas and init-lists nest freely.
+/// Returns toks.size() when unbalanced.
+std::size_t skipBalanced(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) ++depth;
+    if (isPunct(t, ")") || isPunct(t, "]") || isPunct(t, "}")) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+/// Index of the close paren matching the open paren at `open`, or
+/// toks.size() when unbalanced.
+std::size_t matchParen(const Tokens& toks, std::size_t open) {
+  const std::size_t past = skipBalanced(toks, open);
+  return past == toks.size() ? past : past - 1;
+}
+
+/// Keywords that an identifier-then-( sequence must not be mistaken for a
+/// function definition name.
+bool isControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "constexpr" ||
+         s == "operator" || s == "throw" || s == "new" || s == "delete";
+}
+
+/// Given `name ( params )` at [name_at, close], decide whether a function
+/// body follows and return the index of its opening brace (or npos).  Walks
+/// the definition trailer: cv/ref/noexcept/override/final, a trailing return
+/// type, or a constructor member-init list.  `= default/delete/0`, `;`, or
+/// anything expression-like means this was a call or declaration.
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::size_t findBodyBrace(const Tokens& toks, std::size_t close) {
+  std::size_t j = close + 1;
+  bool in_init_list = false;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (isPunct(t, "{")) {
+      // A brace directly after an identifier (or template args) inside a
+      // ctor-init list is a member brace-init (`: x_{1}`), not the body —
+      // except definition-trailer keywords, after which a body may open.
+      if (in_init_list && j > 0 &&
+          (toks[j - 1].kind == TokKind::kIdent || isPunct(toks[j - 1], ">")) &&
+          !isIdent(toks[j - 1], "const") && !isIdent(toks[j - 1], "noexcept") &&
+          !isIdent(toks[j - 1], "override") && !isIdent(toks[j - 1], "final")) {
+        j = skipBalanced(toks, j);
+        continue;
+      }
+      return j;
+    }
+    if (isPunct(t, ";") || isPunct(t, "=") || isPunct(t, "}")) return kNpos;
+    if (isPunct(t, ":") && !in_init_list &&
+        !(j + 1 < toks.size() && isPunct(toks[j + 1], ":"))) {
+      in_init_list = true;
+      ++j;
+      continue;
+    }
+    if (isPunct(t, "(")) {
+      j = skipBalanced(toks, j);  // noexcept(...), member-init args
+      continue;
+    }
+    if (t.kind == TokKind::kIdent || t.kind == TokKind::kNumber ||
+        isPunct(t, "::") || isPunct(t, "->") || isPunct(t, "<") ||
+        isPunct(t, ">") || isPunct(t, ",") || isPunct(t, "&") ||
+        isPunct(t, "&&") || isPunct(t, "*") || isPunct(t, ".") ||
+        isPunct(t, "[") || isPunct(t, "]")) {
+      ++j;
+      continue;
+    }
+    return kNpos;  // an operator that only appears in expressions
+  }
+  return kNpos;
+}
+
+// ---- CFG builder ------------------------------------------------------------
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(const Tokens& toks) : toks_(toks) {}
+
+  FunctionCfg build(std::string name, int line, std::size_t body_begin,
+                    std::size_t body_end) {
+    cfg_ = FunctionCfg{};
+    cfg_.name = std::move(name);
+    cfg_.line = line;
+    cfg_.body_begin = body_begin;
+    cfg_.body_end = body_end;
+    cfg_.entry = newNode(body_begin, body_begin);
+    cfg_.exit = newNode(body_end, body_end);
+    std::size_t i = body_begin;
+    const std::vector<std::size_t> last =
+        parseList(i, body_end, {cfg_.entry});
+    for (const std::size_t p : last) addEdge(p, cfg_.exit);
+    return std::move(cfg_);
+  }
+
+ private:
+  struct LoopFrame {
+    std::size_t continue_target;
+    std::vector<std::size_t>* break_exits;
+  };
+
+  std::size_t newNode(std::size_t tb, std::size_t te) {
+    cfg_.nodes.push_back({tb, te, {}});
+    return cfg_.nodes.size() - 1;
+  }
+
+  void addEdge(std::size_t from, std::size_t to) {
+    for (const std::size_t s : cfg_.nodes[from].succs)
+      if (s == to) return;
+    cfg_.nodes[from].succs.push_back(to);
+  }
+
+  void connect(const std::vector<std::size_t>& preds, std::size_t n) {
+    for (const std::size_t p : preds) addEdge(p, n);
+  }
+
+  /// Parse statements until `end` (exclusive); `preds` are the nodes whose
+  /// control falls into the first statement.  Returns the fall-through set.
+  std::vector<std::size_t> parseList(std::size_t& i, std::size_t end,
+                                     std::vector<std::size_t> preds) {
+    while (i < end && !preds.empty()) preds = parseStmt(i, end, preds);
+    // Dead statements after a return/break still need consuming so `i`
+    // lands on `end`; their nodes stay disconnected.
+    while (i < end) parseStmt(i, end, {});
+    return preds;
+  }
+
+  std::vector<std::size_t> parseStmt(std::size_t& i, std::size_t end,
+                                     std::vector<std::size_t> preds) {
+    const Token& t = toks_[i];
+
+    if (isPunct(t, ";")) {  // empty statement
+      ++i;
+      return preds;
+    }
+
+    if (isPunct(t, "{")) {
+      const std::size_t close = skipBalanced(toks_, i) - 1;
+      ++i;
+      std::vector<std::size_t> out = parseList(i, close, std::move(preds));
+      i = close + 1;
+      return out;
+    }
+
+    if (isIdent(t, "if")) return parseIf(i, end, std::move(preds));
+    if (isIdent(t, "while") || isIdent(t, "for"))
+      return parseLoop(i, end, std::move(preds));
+    if (isIdent(t, "do")) return parseDoWhile(i, end, std::move(preds));
+    if (isIdent(t, "switch")) return parseSwitch(i, end, std::move(preds));
+    if (isIdent(t, "try")) return parseTry(i, end, std::move(preds));
+
+    if (isIdent(t, "return")) {
+      const std::size_t stop = simpleStmtEnd(i, end);
+      const std::size_t n = newNode(i, stop);
+      connect(preds, n);
+      addEdge(n, cfg_.exit);
+      i = stop;
+      return {};
+    }
+    if (isIdent(t, "break") && i + 1 < end && isPunct(toks_[i + 1], ";")) {
+      const std::size_t n = newNode(i, i + 2);
+      connect(preds, n);
+      if (!loops_.empty()) loops_.back().break_exits->push_back(n);
+      i += 2;
+      return {};
+    }
+    if (isIdent(t, "continue") && i + 1 < end && isPunct(toks_[i + 1], ";")) {
+      const std::size_t n = newNode(i, i + 2);
+      connect(preds, n);
+      if (!loops_.empty()) addEdge(n, loops_.back().continue_target);
+      i += 2;
+      return {};
+    }
+    if (isIdent(t, "else")) {  // stray else (shouldn't happen); skip keyword
+      ++i;
+      return preds;
+    }
+
+    // Simple statement: everything to the terminating `;` at local depth 0.
+    const std::size_t stop = simpleStmtEnd(i, end);
+    const std::size_t n = newNode(i, stop);
+    connect(preds, n);
+    i = stop;
+    return {n};
+  }
+
+  /// One past the end of the simple statement starting at `i`: the `;` that
+  /// terminates it at bracket depth 0 (lambda bodies and init-lists are
+  /// skipped balanced), or `end`.
+  std::size_t simpleStmtEnd(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) {
+        i = skipBalanced(toks_, i);
+        continue;
+      }
+      if (isPunct(t, ";")) return i + 1;
+      ++i;
+    }
+    return end;
+  }
+
+  std::vector<std::size_t> parseIf(std::size_t& i, std::size_t end,
+                                   std::vector<std::size_t> preds) {
+    // `if constexpr (...)` / `if (...)`: condition node spans through `)`.
+    std::size_t open = i + 1;
+    if (open < end && isIdent(toks_[open], "constexpr")) ++open;
+    if (open >= end || !isPunct(toks_[open], "(")) {  // malformed; bail
+      const std::size_t stop = simpleStmtEnd(i, end);
+      const std::size_t n = newNode(i, stop);
+      connect(preds, n);
+      i = stop;
+      return {n};
+    }
+    const std::size_t close = matchParen(toks_, open);
+    const std::size_t cond = newNode(i, close + 1);
+    connect(preds, cond);
+    i = close + 1;
+    std::vector<std::size_t> out = parseStmt(i, end, {cond});
+    if (i < end && isIdent(toks_[i], "else")) {
+      ++i;
+      std::vector<std::size_t> ealt = parseStmt(i, end, {cond});
+      out.insert(out.end(), ealt.begin(), ealt.end());
+    } else {
+      out.push_back(cond);  // condition false: fall through
+    }
+    return out;
+  }
+
+  std::vector<std::size_t> parseLoop(std::size_t& i, std::size_t end,
+                                     std::vector<std::size_t> preds) {
+    const std::size_t open = i + 1;
+    if (open >= end || !isPunct(toks_[open], "(")) {
+      const std::size_t stop = simpleStmtEnd(i, end);
+      const std::size_t n = newNode(i, stop);
+      connect(preds, n);
+      i = stop;
+      return {n};
+    }
+    const std::size_t close = matchParen(toks_, open);
+    // Header node covers init/condition/step (or the range declaration).
+    const std::size_t head = newNode(i, close + 1);
+    connect(preds, head);
+    i = close + 1;
+    std::vector<std::size_t> breaks;
+    loops_.push_back({head, &breaks});
+    std::vector<std::size_t> body_out = parseStmt(i, end, {head});
+    loops_.pop_back();
+    for (const std::size_t p : body_out) addEdge(p, head);  // back edge
+    breaks.push_back(head);  // zero iterations / condition turns false
+    return breaks;
+  }
+
+  std::vector<std::size_t> parseDoWhile(std::size_t& i, std::size_t end,
+                                        std::vector<std::size_t> preds) {
+    ++i;  // `do`
+    const std::size_t head = newNode(i, i);  // join for the back edge
+    connect(preds, head);
+    std::vector<std::size_t> breaks;
+    std::size_t cond = head;  // placeholder until parsed
+    loops_.push_back({head, &breaks});
+    std::vector<std::size_t> body_out = parseStmt(i, end, {head});
+    loops_.pop_back();
+    if (i < end && isIdent(toks_[i], "while")) {
+      const std::size_t stop = simpleStmtEnd(i, end);
+      cond = newNode(i, stop);
+      i = stop;
+    }
+    connect(body_out, cond);
+    addEdge(cond, head);  // loop again
+    breaks.push_back(cond);
+    return breaks;
+  }
+
+  std::vector<std::size_t> parseSwitch(std::size_t& i, std::size_t end,
+                                       std::vector<std::size_t> preds) {
+    const std::size_t open = i + 1;
+    if (open >= end || !isPunct(toks_[open], "(")) {
+      const std::size_t stop = simpleStmtEnd(i, end);
+      const std::size_t n = newNode(i, stop);
+      connect(preds, n);
+      i = stop;
+      return {n};
+    }
+    const std::size_t close = matchParen(toks_, open);
+    const std::size_t head = newNode(i, close + 1);
+    connect(preds, head);
+    i = close + 1;
+    if (i >= end || !isPunct(toks_[i], "{")) return {head};
+    const std::size_t body_close = skipBalanced(toks_, i) - 1;
+    ++i;
+
+    // Locate `case`/`default` labels at depth 0 of the switch body.
+    struct Arm {
+      std::size_t stmts_begin;
+      bool is_default;
+    };
+    std::vector<Arm> arms;
+    bool has_default = false;
+    for (std::size_t j = i; j < body_close;) {
+      const Token& u = toks_[j];
+      if (isPunct(u, "(") || isPunct(u, "[") || isPunct(u, "{")) {
+        j = skipBalanced(toks_, j);
+        continue;
+      }
+      if (isIdent(u, "case") || isIdent(u, "default")) {
+        const bool dflt = u.text == "default";
+        has_default = has_default || dflt;
+        while (j < body_close && !isPunct(toks_[j], ":")) ++j;
+        ++j;  // past ':'
+        if (arms.empty() || arms.back().stmts_begin != j)
+          arms.push_back({j, dflt});
+        else
+          arms.back().is_default |= dflt;
+        continue;
+      }
+      ++j;
+    }
+
+    std::vector<std::size_t> breaks;
+    std::vector<std::size_t> fall;  // fallthrough from the previous arm
+    loops_.push_back({/*continue target: enclosing loop's, approximated*/
+                      loops_.empty() ? head : loops_.back().continue_target,
+                      &breaks});
+    for (std::size_t a = 0; a < arms.size(); ++a) {
+      const std::size_t stmts_end =
+          a + 1 < arms.size() ? prevLabel(arms[a + 1].stmts_begin)
+                              : body_close;
+      std::vector<std::size_t> in = fall;
+      in.push_back(head);
+      std::size_t j = arms[a].stmts_begin;
+      fall = parseList(j, stmts_end, std::move(in));
+    }
+    loops_.pop_back();
+    breaks.insert(breaks.end(), fall.begin(), fall.end());
+    if (!has_default || arms.empty()) breaks.push_back(head);
+    i = body_close + 1;
+    return breaks;
+  }
+
+  /// The token index where the label run introducing `stmts_begin` starts
+  /// (backs up over `case X:` / `default:` sequences).
+  std::size_t prevLabel(std::size_t stmts_begin) const {
+    std::size_t j = stmts_begin;
+    while (j > 1) {
+      const std::size_t k = j;
+      // A label ends with ':' directly before j; back up to its keyword.
+      if (!isPunct(toks_[k - 1], ":")) break;
+      std::size_t start = k - 2;
+      while (start > 0 && !isIdent(toks_[start], "case") &&
+             !isIdent(toks_[start], "default") && !isPunct(toks_[start], ";") &&
+             !isPunct(toks_[start], "{") && !isPunct(toks_[start], ":"))
+        --start;
+      if (!isIdent(toks_[start], "case") && !isIdent(toks_[start], "default"))
+        break;
+      j = start;
+    }
+    return j;
+  }
+
+  std::vector<std::size_t> parseTry(std::size_t& i, std::size_t end,
+                                    std::vector<std::size_t> preds) {
+    ++i;  // `try`
+    const std::vector<std::size_t> in = preds;
+    std::vector<std::size_t> out = parseStmt(i, end, std::move(preds));
+    while (i < end && isIdent(toks_[i], "catch")) {
+      ++i;
+      if (i < end && isPunct(toks_[i], "(")) i = matchParen(toks_, i) + 1;
+      std::vector<std::size_t> cin = in;
+      cin.insert(cin.end(), out.begin(), out.end());
+      std::vector<std::size_t> cout = parseStmt(i, end, std::move(cin));
+      out.insert(out.end(), cout.begin(), cout.end());
+    }
+    return out;
+  }
+
+  const Tokens& toks_;
+  FunctionCfg cfg_;
+  std::vector<LoopFrame> loops_;
+};
+
+}  // namespace
+
+std::vector<FunctionCfg> buildFunctionCfgs(const std::vector<Token>& toks) {
+  std::vector<FunctionCfg> out;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !isPunct(toks[i + 1], "("))
+      continue;
+    if (isControlKeyword(toks[i].text)) continue;
+    const std::size_t close = matchParen(toks, i + 1);
+    if (close >= toks.size()) continue;
+    const std::size_t brace = findBodyBrace(toks, close);
+    if (brace == kNpos) continue;
+    const std::size_t body_close = skipBalanced(toks, brace) - 1;
+    if (body_close >= toks.size()) continue;
+    CfgBuilder builder(toks);
+    out.push_back(
+        builder.build(toks[i].text, toks[i].line, brace + 1, body_close));
+    i = body_close;  // nested constructs belong to this body
+  }
+  return out;
+}
+
+}  // namespace gclint

@@ -1,0 +1,56 @@
+// Per-function control-flow graphs over gclint's token stream.
+//
+// buildFunctionCfgs() finds every function definition in a file (free
+// functions, member functions, and test macro bodies alike — anything shaped
+// `name(...) ... {`) and builds a statement-level CFG for its body: straight-
+// line statements become nodes carrying their token range, and if/else,
+// loops, switch, return, break and continue contribute the edges.  The flow-
+// sensitive rules (flow-halt-release, flow-switch-order, flow-status-ignored)
+// run their dataflow over these graphs.
+//
+// Deliberate approximations, chosen to keep the linter dependency-free and
+// predictable rather than to be a real front end:
+//   - Lambda bodies are straight-lined into the enclosing statement's node
+//     (their braces are skipped as balanced tokens).  The gang-switch
+//     continuation chains (halt -> switch -> release nested callbacks) thus
+//     appear in source order inside one node, which is exactly how the
+//     switch-order rule should read them.
+//   - Loops are modeled with a back edge and a zero-iteration bypass;
+//     conditions are assumed able to go either way.
+//   - goto and exceptions are not modeled (neither appears in this tree);
+//     try/catch blocks are treated as alternative branches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/gclint/tokenizer.hpp"
+
+namespace gclint {
+
+/// One CFG node: a run of tokens [tok_begin, tok_end) executed straight
+/// through.  Synthetic nodes (entry, exit, join points) carry empty ranges.
+struct CfgNode {
+  std::size_t tok_begin = 0;
+  std::size_t tok_end = 0;
+  std::vector<std::size_t> succs;
+};
+
+/// The control-flow graph of one function body.
+struct FunctionCfg {
+  std::string name;            // the identifier before the parameter list
+  int line = 0;                // line of that identifier
+  std::size_t body_begin = 0;  // first token index inside the body braces
+  std::size_t body_end = 0;    // token index of the closing body brace
+  std::vector<CfgNode> nodes;
+  std::size_t entry = 0;       // synthetic; precedes the first statement
+  std::size_t exit = 0;        // synthetic; every path out of the body
+};
+
+/// Extract every function definition in the token stream and build its CFG.
+/// Bodies are consumed left to right, so constructs nested inside one body
+/// (lambdas, local classes) are not reported as separate functions.
+std::vector<FunctionCfg> buildFunctionCfgs(const std::vector<Token>& toks);
+
+}  // namespace gclint

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "tools/gclint/cfg.hpp"
+
 namespace gclint {
 namespace {
 
@@ -24,6 +26,9 @@ constexpr const char* kHotMakeShared = "hot-make-shared";
 constexpr const char* kHygUsingNamespace = "hyg-using-namespace";
 constexpr const char* kHygExplicitCtor = "hyg-explicit-ctor";
 constexpr const char* kHygIwyu = "hyg-iwyu";
+constexpr const char* kFlowHaltRelease = "flow-halt-release";
+constexpr const char* kFlowStatusIgnored = "flow-status-ignored";
+constexpr const char* kFlowSwitchOrder = "flow-switch-order";
 constexpr const char* kBadAllow = "bad-allow";
 constexpr const char* kUnusedAllow = "unused-allow";
 
@@ -637,6 +642,385 @@ void ruleHygIwyu(const std::string& file, const Tokens& toks,
   }
 }
 
+// ---- F: flow-sensitive protocol rules ---------------------------------------
+//
+// These run the per-function CFGs from tools/gclint/cfg.hpp.  The gang-switch
+// stage vocabulary below mirrors the three-stage protocol (paper §3.2): a
+// network halt must be released on every path, util::Status results must be
+// consumed, and stage calls must respect halt -> swap -> release order.
+
+enum class Stage { kHalt, kSwap, kRelease };
+
+/// Names of the halt/quiesce entry points (CommNode facade, CommManager
+/// interface, and the Nic flush FSM starters).
+bool isHaltName(const std::string& s) {
+  return s == "COMM_halt_network" || s == "haltNetwork" || s == "beginFlush" ||
+         s == "beginLocalQuiesce" || s == "beginAckQuiesce";
+}
+/// Names of buffer-switch stage operations.
+bool isSwapName(const std::string& s) {
+  return s == "COMM_context_switch" || s == "contextSwitch" ||
+         s == "copyOut" || s == "copyIn";
+}
+/// Names of the release-stage entry points.
+bool isReleaseName(const std::string& s) {
+  return s == "COMM_release_network" || s == "releaseNetwork" ||
+         s == "beginRelease" || s == "endLocalQuiesce" || s == "endAckQuiesce";
+}
+
+/// A stage call is a stage name used as a call (followed by `(`), not its
+/// own definition header — cfg bodies never include the function's name.
+bool isCallAt(const Tokens& toks, std::size_t i) {
+  return toks[i].kind == TokKind::kIdent && i + 1 < toks.size() &&
+         isPunct(toks[i + 1], "(");
+}
+
+struct StageCall {
+  std::size_t tok;
+  Stage stage;
+  std::string receiver;  // textual key of the object expression; "" = this
+};
+
+/// Index of the open paren/bracket matching the closer at `close`, scanning
+/// backwards; returns toks.size() when unbalanced.
+std::size_t matchBack(const Tokens& toks, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    const Token& t = toks[i];
+    if (isPunct(t, ")") || isPunct(t, "]")) ++depth;
+    if (isPunct(t, "(") || isPunct(t, "[")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+/// Walk back from a call name over its object expression (`a.b->c(...)`,
+/// `f(x).g(...)`) to the first token of the whole call expression.
+std::size_t callExprStart(const Tokens& toks, std::size_t name_at,
+                          std::size_t begin) {
+  std::size_t s = name_at;
+  while (s > begin + 1) {
+    const Token& prev = toks[s - 1];
+    if (!isPunct(prev, ".") && !isPunct(prev, "->") && !isPunct(prev, "::"))
+      break;
+    const Token& q = toks[s - 2];
+    if (q.kind == TokKind::kIdent) {
+      s -= 2;
+      continue;
+    }
+    if (isPunct(q, ")") || isPunct(q, "]")) {
+      const std::size_t open = matchBack(toks, s - 2);
+      if (open >= toks.size() || open <= begin) break;
+      if (toks[open - 1].kind == TokKind::kIdent) {
+        s = open - 1;
+        continue;
+      }
+      s = open;
+      break;
+    }
+    break;
+  }
+  return s;
+}
+
+/// The textual receiver of the call at `name_at`: the token texts of the
+/// object expression (`nics_[0]` for `nics_[0]->beginFlush(...)`), or ""
+/// for an unqualified (implicit this) call.  The stage rules track protocol
+/// state per receiver, so halting one NIC and then another is not a double
+/// halt.  Textual identity is an approximation: aliases split state (may
+/// miss), and reseated references share it (may over-report).
+std::string receiverKey(const Tokens& toks, std::size_t name_at,
+                        std::size_t begin) {
+  const std::size_t s = callExprStart(toks, name_at, begin);
+  std::string key;
+  for (std::size_t j = s; j + 1 < name_at; ++j) key += toks[j].text;
+  return key;
+}
+
+/// Names declared as range-for variables anywhere in [begin, end):
+/// `for (auto& nic : nics_)` declares `nic`.  A stage call whose receiver
+/// is such a variable addresses a *different* object every iteration, so
+/// the per-object protocol rules exempt it rather than mistake the loop's
+/// back edge for a repeated call on one object.
+std::set<std::string> rangeForVars(const Tokens& toks, std::size_t begin,
+                                   std::size_t end) {
+  std::set<std::string> out;
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (!isIdent(toks[i], "for") || !isPunct(toks[i + 1], "(")) continue;
+    const std::size_t close = matchParen(toks, i + 1);
+    if (close >= end) continue;
+    int depth = 0;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (isPunct(toks[j], "(") || isPunct(toks[j], "[") ||
+          isPunct(toks[j], "{"))
+        ++depth;
+      if (isPunct(toks[j], ")") || isPunct(toks[j], "]") ||
+          isPunct(toks[j], "}"))
+        --depth;
+      if (depth == 0 && isPunct(toks[j], ":") && j > i + 2 &&
+          toks[j - 1].kind == TokKind::kIdent) {
+        out.insert(toks[j - 1].text);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<StageCall> stageCallsIn(const Tokens& toks, std::size_t begin,
+                                    std::size_t end, std::size_t body_begin,
+                                    const std::set<std::string>& loop_vars) {
+  std::vector<StageCall> out;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!isCallAt(toks, i)) continue;
+    const std::string& s = toks[i].text;
+    Stage stage;
+    if (isHaltName(s))
+      stage = Stage::kHalt;
+    else if (isSwapName(s))
+      stage = Stage::kSwap;
+    else if (isReleaseName(s))
+      stage = Stage::kRelease;
+    else
+      continue;
+    std::string key = receiverKey(toks, i, body_begin);
+    if (loop_vars.count(key) > 0) continue;  // fan-out over many objects
+    out.push_back({i, stage, std::move(key)});
+  }
+  return out;
+}
+
+void ruleFlowHaltRelease(const std::string& file, const Tokens& toks,
+                         const std::vector<FunctionCfg>& cfgs,
+                         std::vector<Diagnostic>& out) {
+  for (const FunctionCfg& cfg : cfgs) {
+    const std::set<std::string> loop_vars =
+        rangeForVars(toks, cfg.body_begin, cfg.body_end);
+    // Per-node stage positions, grouped by receiver key.
+    std::map<std::string, std::vector<std::vector<std::size_t>>> halts;
+    std::map<std::string, std::vector<std::vector<std::size_t>>> releases;
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      for (const StageCall& c :
+           stageCallsIn(toks, cfg.nodes[n].tok_begin, cfg.nodes[n].tok_end,
+                        cfg.body_begin, loop_vars)) {
+        auto& table = c.stage == Stage::kHalt      ? halts
+                      : c.stage == Stage::kRelease ? releases
+                                                   : halts;
+        if (c.stage == Stage::kSwap) continue;
+        auto [it, inserted] = table.try_emplace(c.receiver);
+        if (inserted) it->second.resize(cfg.nodes.size());
+        it->second[n].push_back(c.tok);
+      }
+    }
+
+    for (const auto& [key, key_halts] : halts) {
+      // The rule only applies when this receiver both halts and releases in
+      // the function: a halt whose release lives in a later continuation
+      // (callback style) is the codebase's normal asynchronous shape and
+      // cannot be judged locally.
+      const auto rel_it = releases.find(key);
+      if (rel_it == releases.end()) continue;
+      const std::vector<std::vector<std::size_t>>& key_rels = rel_it->second;
+
+      // bad(n): control can flow from n to the function exit without
+      // passing a release on this receiver.  Reverse fixpoint;
+      // release-bearing nodes absorb.
+      std::vector<char> bad(cfg.nodes.size(), 0);
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+          if (!key_rels[n].empty()) continue;
+          char b = n == cfg.exit ? 1 : 0;
+          for (const std::size_t s : cfg.nodes[n].succs) b |= bad[s];
+          if (b != bad[n]) {
+            bad[n] = b;
+            changed = true;
+          }
+        }
+      }
+
+      for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+        for (const std::size_t h : key_halts[n]) {
+          // A release later in the same straight-line node covers this halt.
+          bool covered = false;
+          for (const std::size_t r : key_rels[n]) covered = covered || r > h;
+          if (covered) continue;
+          bool escapes = false;
+          for (const std::size_t s : cfg.nodes[n].succs)
+            escapes |= bad[s] != 0;
+          if (!escapes) continue;
+          out.push_back(
+              {file, toks[h].line, kFlowHaltRelease,
+               "'" + toks[h].text + "' halts the network but '" + cfg.name +
+                   "' can exit without releasing it; every path after a halt "
+                   "must reach a release"});
+        }
+      }
+    }
+  }
+}
+
+void ruleFlowSwitchOrder(const std::string& file, const Tokens& toks,
+                         const std::vector<FunctionCfg>& cfgs,
+                         std::vector<Diagnostic>& out) {
+  // Possible-state sets as bitmasks over the switch-protocol machine.
+  constexpr unsigned kU = 1;  // unknown (function entry / continuation)
+  constexpr unsigned kH = 2;  // network halted
+  constexpr unsigned kS = 4;  // buffers switched
+  constexpr unsigned kR = 8;  // network released
+  for (const FunctionCfg& cfg : cfgs) {
+    const std::set<std::string> loop_vars =
+        rangeForVars(toks, cfg.body_begin, cfg.body_end);
+    std::vector<std::vector<StageCall>> calls(cfg.nodes.size());
+    bool any = false;
+    for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+      calls[n] = stageCallsIn(toks, cfg.nodes[n].tok_begin,
+                              cfg.nodes[n].tok_end, cfg.body_begin, loop_vars);
+      any = any || !calls[n].empty();
+    }
+    if (!any) continue;
+
+    // Diagnostics dedupe across fixpoint revisits.
+    std::set<std::pair<int, std::string>> diags;
+    auto step = [&](unsigned state_bit, const StageCall& c) -> unsigned {
+      const int line = toks[c.tok].line;
+      const std::string& name = toks[c.tok].text;
+      switch (c.stage) {
+        case Stage::kHalt:
+          if (state_bit == kH)
+            diags.insert({line, "'" + name +
+                                    "' halts a network that is already "
+                                    "halted (double halt)"});
+          if (state_bit == kS)
+            diags.insert({line, "'" + name +
+                                    "' halts after a buffer switch; release "
+                                    "the network before halting again"});
+          return kH;
+        case Stage::kSwap:
+          if (state_bit == kR)
+            diags.insert({line, "'" + name +
+                                    "' switches buffers after the release "
+                                    "stage; stages must run halt -> switch "
+                                    "-> release"});
+          return kS;
+        case Stage::kRelease:
+          if (state_bit == kR)
+            diags.insert({line, "'" + name +
+                                    "' releases a network that is already "
+                                    "released (double release)"});
+          return kR;
+      }
+      return state_bit;
+    };
+    // Protocol state is tracked per receiver expression: halting nics_[0]
+    // and then nics_[1] is a fan-out over two networks, not a double halt.
+    // Each call advances only its own receiver's machine, so the analysis
+    // decomposes into one independent fixpoint per key.
+    std::set<std::string> keys;
+    for (const std::vector<StageCall>& node_calls : calls)
+      for (const StageCall& c : node_calls) keys.insert(c.receiver);
+
+    for (const std::string& key : keys) {
+      auto transfer = [&](std::size_t n, unsigned in_mask) -> unsigned {
+        unsigned m = in_mask;
+        for (const StageCall& c : calls[n]) {
+          if (c.receiver != key) continue;
+          unsigned next = 0;
+          for (unsigned bit = 1; bit <= kR; bit <<= 1u)
+            if ((m & bit) != 0) next |= step(bit, c);
+          m = next;
+        }
+        return m;
+      };
+
+      std::vector<unsigned> in(cfg.nodes.size(), 0);
+      in[cfg.entry] = kU;
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+          if (in[n] == 0) continue;
+          const unsigned o = transfer(n, in[n]);
+          for (const std::size_t s : cfg.nodes[n].succs) {
+            if ((in[s] | o) != in[s]) {
+              in[s] |= o;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (const auto& [line, msg] : diags)
+      out.push_back({file, line, kFlowSwitchOrder, msg});
+  }
+}
+
+/// Functions in this tree returning util::Status, by unambiguous name.
+/// Names shared with void-returning APIs (e.g. `send`) are deliberately
+/// absent — the compiler-side [[nodiscard]] on util::Status covers those;
+/// this rule keeps zero false positives on token evidence alone.
+bool isStatusFnName(const std::string& s) {
+  return s == "COMM_init_node" || s == "COMM_add_node" ||
+         s == "COMM_remove_node" || s == "COMM_init_job" ||
+         s == "COMM_end_job" || s == "initJob" || s == "endJob" ||
+         s == "allocContext" || s == "freeContext" || s == "hostEnqueueSend";
+}
+
+void ruleFlowStatusIgnored(const std::string& file, const Tokens& toks,
+                           const std::vector<FunctionCfg>& cfgs,
+                           std::vector<Diagnostic>& out) {
+  for (const FunctionCfg& cfg : cfgs) {
+    const std::size_t begin = cfg.body_begin;
+    const std::size_t end = cfg.body_end;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!isCallAt(toks, i) || !isStatusFnName(toks[i].text)) continue;
+      const std::size_t close = matchParen(toks, i + 1);
+      if (close >= end) continue;
+      const std::size_t s = callExprStart(toks, i, begin);
+
+      // `(void)` prefix: the discard is explicit and intentional.
+      if (s >= begin + 3 && isPunct(toks[s - 1], ")") &&
+          isIdent(toks[s - 2], "void") && isPunct(toks[s - 3], "("))
+        continue;
+
+      const Token* b = s > begin ? &toks[s - 1] : nullptr;
+      const bool stmt_start =
+          b == nullptr || isPunct(*b, ";") || isPunct(*b, "{") ||
+          isPunct(*b, "}") || isPunct(*b, ")") || isIdent(*b, "else") ||
+          isIdent(*b, "do");
+      if (stmt_start) {
+        // Bare expression statement: the Status vanishes.
+        if (close + 1 < end && isPunct(toks[close + 1], ";")) {
+          out.push_back({file, toks[i].line, kFlowStatusIgnored,
+                         "result of '" + toks[i].text +
+                             "' is a util::Status but is discarded; check "
+                             "it or cast to (void) with a reason"});
+        }
+        continue;
+      }
+      // `Status st = call(...)` / `auto st = call(...)`: flag when `st` is
+      // never read again anywhere in the function.
+      if (isPunct(*b, "=") && s >= begin + 2 &&
+          toks[s - 2].kind == TokKind::kIdent && s >= begin + 3 &&
+          (isIdent(toks[s - 3], "Status") || isIdent(toks[s - 3], "auto"))) {
+        const std::string& var = toks[s - 2].text;
+        bool read = false;
+        for (std::size_t j = begin; j < end && !read; ++j)
+          read = j != s - 2 && toks[j].kind == TokKind::kIdent &&
+                 toks[j].text == var;
+        if (!read) {
+          out.push_back({file, toks[s - 2].line, kFlowStatusIgnored,
+                         "util::Status stored in '" + var +
+                             "' is never read; the call's outcome is "
+                             "silently dropped"});
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<std::string>& allRuleIds() {
@@ -644,7 +1028,8 @@ const std::vector<std::string>& allRuleIds() {
       kDetRand,        kDetClock,          kDetTime,
       kDetUnorderedIter, kHotStdFunction,  kHotNewDelete,
       kHotMakeShared,  kHygUsingNamespace, kHygExplicitCtor,
-      kHygIwyu,        kBadAllow,          kUnusedAllow,
+      kHygIwyu,        kFlowHaltRelease,   kFlowStatusIgnored,
+      kFlowSwitchOrder, kBadAllow,         kUnusedAllow,
   };
   return kIds;
 }
@@ -680,6 +1065,10 @@ FileResult lintFile(const FileInput& input) {
     ruleHygUsingNamespace(input.path, ts.tokens, raw);
   ruleHygExplicitCtor(input.path, ts.tokens, raw);
   ruleHygIwyu(input.path, ts.tokens, ts.includes, raw);
+  const std::vector<FunctionCfg> cfgs = buildFunctionCfgs(ts.tokens);
+  ruleFlowHaltRelease(input.path, ts.tokens, cfgs, raw);
+  ruleFlowStatusIgnored(input.path, ts.tokens, cfgs, raw);
+  ruleFlowSwitchOrder(input.path, ts.tokens, cfgs, raw);
 
   // Apply suppressions: an allow matches a diagnostic on its target line
   // with the same rule id.

@@ -15,6 +15,11 @@
 //   H (hygiene)      — include-what-you-use for a curated std symbol list,
 //                      no `using namespace` in headers, no implicit
 //                      single-argument constructors.
+//   F (flow)         — flow-sensitive checks over per-function CFGs (see
+//                      tools/gclint/cfg.hpp): a halted network must be
+//                      released on every exit path, util::Status results
+//                      must be consumed, and gang-switch stage calls must
+//                      respect halt -> switch -> release order.
 //
 // Suppressions: `// gclint: allow(<rule-id>): <reason>` on the offending
 // line (or alone on the line above) silences one rule; the reason is

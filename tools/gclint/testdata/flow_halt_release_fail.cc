@@ -1,0 +1,14 @@
+// flow-halt-release: the error path returns with the network still halted.
+
+struct Nic {
+  void beginFlush();
+  void beginRelease();
+};
+
+void switchWithEarlyReturn(Nic& nic, bool drain_failed) {
+  nic.beginFlush();
+  if (drain_failed) {
+    return;  // escapes with the fabric stopped: every peer deadlocks
+  }
+  nic.beginRelease();
+}

@@ -1,0 +1,23 @@
+// flow-halt-release clean shapes: release on every path, and the
+// asynchronous continuation style where the release lives in a later
+// callback (no release in the halting function at all).
+
+struct Nic {
+  void beginFlush();
+  void beginRelease();
+};
+
+void releaseOnAllPaths(Nic& nic, bool fast_path) {
+  nic.beginFlush();
+  if (fast_path) {
+    nic.beginRelease();
+    return;
+  }
+  nic.beginRelease();
+}
+
+void haltNowReleaseInContinuation(Nic& nic) {
+  // The matching beginRelease is scheduled from the flush-done callback;
+  // a function with no release anywhere is outside the rule's scope.
+  nic.beginFlush();
+}

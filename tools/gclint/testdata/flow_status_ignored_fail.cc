@@ -1,0 +1,14 @@
+// flow-status-ignored: Status results dropped on the floor.
+
+enum class Status { kOk, kNoResources };
+
+struct Nic {
+  Status allocContext(int id);
+  Status freeContext(int id);
+};
+
+void setupDropsStatuses(Nic& nic) {
+  nic.allocContext(3);  // a failed allocation goes unnoticed
+  Status got = nic.freeContext(3);
+  // `got` is never read again: same silent drop, one hop removed.
+}

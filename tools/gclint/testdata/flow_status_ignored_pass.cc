@@ -1,0 +1,22 @@
+// flow-status-ignored clean shapes: checked results, consumed variables,
+// and the explicit (void) discard for genuinely best-effort calls.
+
+enum class Status { kOk, kNoResources };
+
+struct Nic {
+  Status allocContext(int id);
+  Status freeContext(int id);
+};
+
+bool setupChecksStatuses(Nic& nic) {
+  if (nic.allocContext(3) != Status::kOk) {
+    return false;
+  }
+  const Status got = nic.freeContext(3);
+  return got == Status::kOk;
+}
+
+void teardownBestEffort(Nic& nic) {
+  // Shutdown path: the context may already be gone and that is fine.
+  (void)nic.freeContext(4);
+}

@@ -1,0 +1,14 @@
+// flow-switch-order: stage calls out of the halt -> switch -> release
+// protocol order.
+
+struct Comm {
+  void COMM_halt_network();
+  void COMM_context_switch(int to_job);
+  void COMM_release_network();
+};
+
+void switchesAfterRelease(Comm& comm, int job) {
+  comm.COMM_halt_network();
+  comm.COMM_release_network();
+  comm.COMM_context_switch(job);  // the buffers are live again
+}

@@ -1,0 +1,32 @@
+// flow-switch-order clean shapes: the full protocol in order, repeated
+// swap operations inside the switch stage, and continuation functions that
+// begin mid-protocol (their entry state is unknown, so the first stage call
+// is accepted as-is).
+
+struct Comm {
+  void COMM_halt_network();
+  void copyOut(int job);
+  void copyIn(int job);
+  void COMM_release_network();
+};
+
+void fullSwitch(Comm& comm, int out_job, int in_job) {
+  comm.COMM_halt_network();
+  comm.copyOut(out_job);  // several copy operations are one switch stage
+  comm.copyIn(in_job);
+  comm.COMM_release_network();
+}
+
+void releaseContinuation(Comm& comm) {
+  // Runs as the buffer-switch completion callback: starting at the release
+  // stage is legal for a continuation.
+  comm.COMM_release_network();
+}
+
+void switchThenReleaseBranchy(Comm& comm, int in_job, bool have_in) {
+  comm.COMM_halt_network();
+  if (have_in) {
+    comm.copyIn(in_job);
+  }
+  comm.COMM_release_network();
+}

@@ -1,0 +1,126 @@
+#include "explore.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+#include "util/check.hpp"
+
+namespace gangcomm::explore {
+
+RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt) {
+  core::ClusterConfig cc;
+  cc.nodes = cfg.nodes;
+  cc.quantum = static_cast<sim::Duration>(cfg.quantum_ms) * sim::kMillisecond;
+  cc.verify = true;  // invariant violations abort the explorer loudly
+  cc.tie_salt = salt;
+  core::Cluster cluster(cc);
+
+  // `jobs` identical all-to-all jobs pinned to the same nodes, so they
+  // gang-share one time slot and every quantum runs the full switch
+  // protocol under the permuted event order.
+  std::vector<net::NodeId> all_nodes(static_cast<std::size_t>(cfg.nodes));
+  for (int n = 0; n < cfg.nodes; ++n)
+    all_nodes[static_cast<std::size_t>(n)] = n;
+
+  std::vector<net::JobId> jobs;
+  for (int j = 0; j < cfg.jobs; ++j) {
+    const net::JobId id = cluster.submit(
+        cfg.nodes,
+        [&cfg](app::Process::Env env) -> std::unique_ptr<app::Process> {
+          return std::make_unique<app::AllToAllWorker>(
+              std::move(env), cfg.msg_bytes, cfg.rounds);
+        },
+        all_nodes);
+    GC_CHECK_MSG(id != net::kNoJob, "explorer job rejected by the masterd");
+    jobs.push_back(id);
+  }
+
+  cluster.run();
+  GC_CHECK(cluster.verifier() != nullptr);
+  cluster.verifier()->finalCheck();
+
+  RunMetrics m;
+  m.salt = salt;
+  m.jobs_done = cluster.jobsDone();
+  for (const net::JobId job : jobs) {
+    for (const app::Process* proc : cluster.processes(job)) {
+      const fm::FmStats& st = proc->fm().stats();
+      ProcessOutcome po;
+      po.job = job;
+      po.rank = proc->rank();
+      po.messages_sent = st.messages_sent;
+      po.messages_received = st.messages_received;
+      po.payload_bytes_sent = st.payload_bytes_sent;
+      po.payload_bytes_received = st.payload_bytes_received;
+      m.processes.push_back(po);
+    }
+  }
+  std::sort(m.processes.begin(), m.processes.end(),
+            [](const ProcessOutcome& a, const ProcessOutcome& b) {
+              return std::pair(a.job, a.rank) < std::pair(b.job, b.rank);
+            });
+
+  obs::MetricsRegistry reg;
+  cluster.collectMetrics(reg);
+  m.data_packets = reg.counter("fabric.data_packets");
+  m.data_bytes = reg.counter("fabric.data_bytes");
+  return m;
+}
+
+std::string summarize(const RunMetrics& m) {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  for (const ProcessOutcome& p : m.processes) {
+    msgs += p.messages_received;
+    bytes += p.payload_bytes_received;
+  }
+  return "salt=" + std::to_string(m.salt) +
+         " jobs_done=" + std::to_string(m.jobs_done) +
+         " data_pkts=" + std::to_string(m.data_packets) +
+         " data_bytes=" + std::to_string(m.data_bytes) +
+         " msgs_recv=" + std::to_string(msgs) +
+         " payload_recv=" + std::to_string(bytes);
+}
+
+ExploreResult explore(const ExploreConfig& cfg) {
+  ExploreResult res;
+  GC_CHECK_MSG(!cfg.salts.empty(), "explorer needs at least one salt");
+  for (const std::uint64_t salt : cfg.salts)
+    res.runs.push_back(runOnce(cfg, salt));
+
+  const RunMetrics& base = res.runs.front();
+  for (std::size_t i = 1; i < res.runs.size(); ++i) {
+    const RunMetrics& run = res.runs[i];
+    if (run.sameOutcome(base)) continue;
+    res.diverged = true;
+    std::string d = "salt " + std::to_string(run.salt) +
+                    " diverges from salt " + std::to_string(base.salt) + ": ";
+    if (run.jobs_done != base.jobs_done)
+      d += "jobs_done " + std::to_string(run.jobs_done) + " vs " +
+           std::to_string(base.jobs_done) + "; ";
+    if (run.data_packets != base.data_packets)
+      d += "data_packets " + std::to_string(run.data_packets) + " vs " +
+           std::to_string(base.data_packets) + "; ";
+    if (run.data_bytes != base.data_bytes)
+      d += "data_bytes " + std::to_string(run.data_bytes) + " vs " +
+           std::to_string(base.data_bytes) + "; ";
+    for (std::size_t p = 0;
+         p < run.processes.size() && p < base.processes.size(); ++p) {
+      if (run.processes[p] == base.processes[p]) continue;
+      d += "job " + std::to_string(base.processes[p].job) + " rank " +
+           std::to_string(base.processes[p].rank) + " outcome differs; ";
+    }
+    if (run.processes.size() != base.processes.size())
+      d += "process count " + std::to_string(run.processes.size()) + " vs " +
+           std::to_string(base.processes.size()) + "; ";
+    res.detail.push_back(std::move(d));
+  }
+  return res;
+}
+
+}  // namespace gangcomm::explore

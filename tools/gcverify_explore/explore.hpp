@@ -1,0 +1,82 @@
+// gcverify_explore — interleaving explorer for the gang-scheduled runtime.
+//
+// The simulator fires same-timestamp events in scheduling order by default;
+// any permutation of those ties is an equally legal serialization of
+// logically concurrent hardware.  The explorer reruns one fixed-work
+// multiprogrammed workload (several all-to-all jobs gang-sharing the same
+// nodes) under a sweep of tie salts, with the gcverify invariant engine
+// armed in abort mode, and then compares the serialization-invariant
+// outcome metrics across runs:
+//
+//   * every job completes,
+//   * per-process message and payload totals (what the application observed),
+//   * wire-level data-packet and data-byte totals (fragment counts are fixed
+//     by the workload when nothing is dropped).
+//
+// Timing-dependent quantities — control-packet counts (refill batching),
+// completion times, queue depths — legitimately vary and are not compared.
+// A divergence therefore means order-dependent application-visible state:
+// exactly the class of bug (lost/duplicated packets, credit accounting that
+// depends on arrival order) the paper's protocols must exclude.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gangcomm::explore {
+
+struct ExploreConfig {
+  int nodes = 2;
+  int jobs = 2;             // gang-stacked on the same nodes
+  std::uint32_t msg_bytes = 4096;
+  std::uint64_t rounds = 20;  // all-to-all rounds per process (fixed work)
+  std::uint64_t quantum_ms = 20;  // short quantum => many gang switches
+  std::vector<std::uint64_t> salts = {0, 1, 2, 3, 4, 5, 6, 7};
+};
+
+/// What one process observed by the end of the run.
+struct ProcessOutcome {
+  int job = 0;
+  int rank = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t payload_bytes_received = 0;
+
+  bool operator==(const ProcessOutcome&) const = default;
+};
+
+/// The serialization-invariant fingerprint of one run.
+struct RunMetrics {
+  std::uint64_t salt = 0;
+  int jobs_done = 0;
+  std::uint64_t data_packets = 0;
+  std::uint64_t data_bytes = 0;
+  std::vector<ProcessOutcome> processes;  // sorted by (job, rank)
+
+  /// Equality ignoring the salt itself.
+  bool sameOutcome(const RunMetrics& other) const {
+    return jobs_done == other.jobs_done &&
+           data_packets == other.data_packets &&
+           data_bytes == other.data_bytes && processes == other.processes;
+  }
+};
+
+/// Run the workload once under `salt` with the invariant engine armed
+/// (violations abort).  Also runs the engine's drained-state finalCheck.
+RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt);
+
+struct ExploreResult {
+  bool diverged = false;
+  std::vector<RunMetrics> runs;     // one per salt, in sweep order
+  std::vector<std::string> detail;  // human-readable divergence descriptions
+};
+
+/// Sweep every salt in `cfg.salts` and compare outcomes against the first.
+ExploreResult explore(const ExploreConfig& cfg);
+
+/// One-line summary of a run ("salt=3 jobs_done=2 data_pkts=480 ...").
+std::string summarize(const RunMetrics& m);
+
+}  // namespace gangcomm::explore
