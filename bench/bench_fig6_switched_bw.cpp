@@ -17,17 +17,26 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/gctrace.hpp"
 
 namespace gangcomm {
 namespace {
 
-double totalBandwidth(int jobs, std::uint32_t msg_bytes,
-                      std::uint64_t count_per_job, sim::Duration quantum) {
+struct BwPoint {
+  double total_mbps = 0;
+  /// gctrace per-stage attribution of every packet in the run; merged per
+  /// jobs row to show where latency goes as the gang matrix deepens.
+  obs::LatencyAttribution attr;
+};
+
+BwPoint totalBandwidth(int jobs, std::uint32_t msg_bytes,
+                       std::uint64_t count_per_job, sim::Duration quantum) {
   core::ClusterConfig cfg;
   cfg.nodes = 16;
   cfg.policy = glue::BufferPolicy::kSwitchedValidOnly;
   cfg.max_contexts = jobs;
   cfg.quantum = quantum;
+  cfg.packet_trace = true;  // observer-only: bandwidth is unchanged
   core::Cluster cluster(cfg);
   std::vector<net::JobId> ids;
   // All applications pinned to the same node pair so they stack in the gang
@@ -37,13 +46,14 @@ double totalBandwidth(int jobs, std::uint32_t msg_bytes,
     ids.push_back(cluster.submit(
         2, bench::bandwidthFactory(msg_bytes, count_per_job), {0, 1}));
   cluster.run();
-  double total = 0;
+  BwPoint pt;
   for (net::JobId id : ids) {
     auto* s = dynamic_cast<app::BandwidthSender*>(cluster.processes(id)[0]);
-    total += s->bandwidthMBps();
+    pt.total_mbps += s->bandwidthMBps();
   }
+  pt.attr = cluster.packetTracer()->attribution();
   bench::perf().addEvents(cluster.sim().firedEvents());
-  return total;
+  return pt;
 }
 
 }  // namespace
@@ -86,7 +96,7 @@ int main() {
   std::vector<Point> points;
   for (int jobs = 1; jobs <= 8; ++jobs)
     for (auto s : sizes) points.push_back({jobs, s});
-  const std::vector<double> bw = bench::parallelMap<double>(
+  const std::vector<BwPoint> bw = bench::parallelMap<BwPoint>(
       points.size(), [&](std::size_t i) {
         const Point& p = points[i];
         const std::uint64_t count =
@@ -94,15 +104,45 @@ int main() {
         return totalBandwidth(p.jobs, p.size, count, quantum);
       });
 
+  // Per-jobs stage attribution: as the gang matrix deepens, switch_stall is
+  // the only stage that should grow — the paper's claim that the switch
+  // cost, not steady-state bandwidth, pays for multiprogramming.
+  util::Table attr_table({"jobs", "packets", "credit_us", "pio_us",
+                          "nicq_us", "stall_us", "wire_us", "dma_us",
+                          "recvq_us", "e2e_us", "stall_pct"});
+
   std::size_t at = 0;
   for (int jobs = 1; jobs <= 8; ++jobs) {
     std::vector<std::string> row = {std::to_string(jobs)};
-    for (std::size_t c = 0; c < sizes.size(); ++c)
-      row.push_back(util::formatDouble(bw[at++], 2));
+    obs::LatencyAttribution merged;  // index order: deterministic per row
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+      row.push_back(util::formatDouble(bw[at].total_mbps, 2));
+      merged.merge(bw[at].attr);
+      ++at;
+    }
     table.addRow(row);
+
+    std::vector<std::string> arow = {std::to_string(jobs),
+                                     util::formatU64(merged.packets())};
+    for (const obs::PacketStage s : obs::packetStages())
+      arow.push_back(
+          util::formatDouble(merged.stageStats(s).mean() / 1000.0, 3));
+    arow.push_back(
+        util::formatDouble(merged.endToEndStats().mean() / 1000.0, 3));
+    const double e2e_sum = merged.endToEndStats().sum();
+    arow.push_back(util::formatDouble(
+        e2e_sum > 0
+            ? 100.0 *
+                  merged.stageStats(obs::PacketStage::kSwitchStall).sum() /
+                  e2e_sum
+            : 0.0,
+        2));
+    attr_table.addRow(arow);
     std::fflush(stdout);
   }
   bench::emit(table, "fig6_switched_bw");
+  std::printf("Per-stage latency attribution by job count:\n");
+  bench::emit(attr_table, "fig6_attribution");
   bench::writeBenchJson("fig6_switched_bw");
 
   std::printf(

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/gctrace.hpp"
 
 namespace gangcomm {
 namespace {
@@ -24,13 +25,16 @@ struct LatencyPoint {
   double p99_us = -1;
 };
 
-LatencyPoint measure(int contexts, std::uint32_t msg_bytes,
-                     std::uint64_t reps) {
+core::ClusterConfig latencyConfig(int contexts) {
   core::ClusterConfig cfg;
   cfg.nodes = 16;
   cfg.policy = glue::BufferPolicy::kPartitioned;
   cfg.max_contexts = contexts;
-  core::Cluster cluster(cfg);
+  return cfg;
+}
+
+LatencyPoint runPingPong(core::Cluster& cluster, std::uint32_t msg_bytes,
+                         std::uint64_t reps) {
   const net::JobId job = cluster.submit(
       2, [&](app::Process::Env env) -> std::unique_ptr<app::Process> {
         return std::make_unique<app::PingPongWorker>(std::move(env),
@@ -44,6 +48,27 @@ LatencyPoint measure(int contexts, std::uint32_t msg_bytes,
   pt.mean_us = p0->rttStats().mean() / 2.0;    // one-way
   pt.p99_us = p0->rttStats().max() / 2.0;
   return pt;
+}
+
+LatencyPoint measure(int contexts, std::uint32_t msg_bytes,
+                     std::uint64_t reps) {
+  core::Cluster cluster(latencyConfig(contexts));
+  return runPingPong(cluster, msg_bytes, reps);
+}
+
+/// Stage-decomposition probe: the same ping-pong point with gctrace packet
+/// tracing on (observer-only, so the latency numbers are untouched).
+/// Returns the run's per-stage attribution; when `trace_path` is non-empty
+/// the run also writes a Chrome trace for tools/gctrace / Perfetto.
+obs::LatencyAttribution measureStages(int contexts, std::uint32_t msg_bytes,
+                                      std::uint64_t reps,
+                                      const std::string& trace_path) {
+  core::ClusterConfig cfg = latencyConfig(contexts);
+  cfg.packet_trace = true;
+  cfg.trace_path = trace_path;
+  core::Cluster cluster(cfg);
+  (void)runPingPong(cluster, msg_bytes, reps);
+  return cluster.packetTracer()->attribution();
 }
 
 }  // namespace
@@ -60,8 +85,20 @@ int main() {
       "#contexts\n(partitioned buffers, p=16, ping-pong, %llu reps)\n\n",
       static_cast<unsigned long long>(reps));
 
+  // Stage-decomposition probe size: large enough to exercise fragmentation
+  // yet small enough that every context count still communicates.
+  const std::uint32_t probe_bytes = 1536;
+
   std::vector<std::string> header = {"contexts", "C0"};
   for (auto s : sizes) header.push_back(std::to_string(s) + "B");
+  // New columns ride after the existing ones so prior consumers of the CSV
+  // see byte-identical data: gctrace stage means at the probe size.
+  const std::vector<std::string> stage_cols = {
+      "credit_us", "pio_us", "nicq_us", "stall_us",
+      "wire_us",   "dma_us", "recvq_us"};
+  for (const std::string& c : stage_cols)
+    header.push_back(c + "@" + std::to_string(probe_bytes));
+  header.push_back("e2e_us@" + std::to_string(probe_bytes));
   util::Table table(header);
 
   const std::vector<int> contexts = {1, 2, 4, 6, 8};
@@ -70,8 +107,19 @@ int main() {
         return measure(contexts[i / sizes.size()], sizes[i % sizes.size()],
                        reps);
       });
+  // The packet-traced probe runs: one per context count, the first also
+  // writing a Chrome trace for tools/gctrace and Perfetto.
+  const std::string trace_path = bench::outPath("latency_trace.json");
+  const auto stages = bench::parallelMap<obs::LatencyAttribution>(
+      contexts.size(), [&](std::size_t i) {
+        return measureStages(contexts[i], probe_bytes, reps,
+                             i == 0 ? trace_path : std::string());
+      });
+
   std::size_t at = 0;
-  for (int n : contexts) {
+  obs::LatencyAttribution merged;
+  for (std::size_t r = 0; r < contexts.size(); ++r) {
+    const int n = contexts[r];
     const int c0 = fm::CreditMath::partitionedCredits(668, n, 16);
     std::vector<std::string> row = {std::to_string(n), std::to_string(c0)};
     for (std::size_t c = 0; c < sizes.size(); ++c) {
@@ -79,10 +127,27 @@ int main() {
       row.push_back(pt.mean_us < 0 ? "deadlock"
                                    : util::formatDouble(pt.mean_us, 1));
     }
+    const obs::LatencyAttribution& attr = stages[r];
+    const bool dead = attr.packets() == 0;
+    for (const obs::PacketStage s : obs::packetStages())
+      row.push_back(dead ? "-"
+                         : util::formatDouble(
+                               attr.stageStats(s).mean() / 1000.0, 3));
+    row.push_back(dead ? "-"
+                       : util::formatDouble(
+                             attr.endToEndStats().mean() / 1000.0, 3));
     table.addRow(row);
+    merged.merge(attr);  // index order: byte-identical at any job count
     std::fflush(stdout);
   }
   bench::emit(table, "latency_companion");
+
+  // The full per-stage attribution (histogram percentiles included) as its
+  // own artifact, plus the Perfetto-ready trace written above.
+  std::printf("Stage attribution across all probe runs (%u B):\n",
+              probe_bytes);
+  bench::emit(merged.table(), "latency_attribution");
+  std::printf("(chrome trace written to %s)\n\n", trace_path.c_str());
   bench::writeBenchJson("latency_companion");
 
   std::printf(

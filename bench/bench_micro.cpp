@@ -21,6 +21,7 @@
 #include "net/nic.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
+#include "obs/gctrace.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "util/check.hpp"
@@ -183,6 +184,42 @@ void BM_EndToEndPacket(benchmark::State& state) {
   bench::perf().addEvents(s.firedEvents());
 }
 BENCHMARK(BM_EndToEndPacket);
+
+void BM_EndToEndPacketTraced(benchmark::State& state) {
+  // The identical exchange with a gctrace PacketTracer installed in every
+  // subsystem.  BM_EndToEndPacket (above, tracing off) is the null-path
+  // control: its cost must be unchanged within noise, since a disabled
+  // tracer is a single untaken pointer test per stamping site.
+  sim::Simulator s;
+  net::Fabric fabric(s, net::RoutingTable::singleSwitch(2));
+  net::Nic a(s, fabric, 0, net::NicConfig{});
+  net::Nic b(s, fabric, 1, net::NicConfig{});
+  GC_CHECK(util::ok(a.allocContext(0, 1, 0, 252, 668, 1 << 20, 2)));
+  GC_CHECK(util::ok(b.allocContext(0, 1, 1, 252, 668, 1 << 20, 2)));
+  host::HostCpu cpu0, cpu1;
+  fm::FmLib::Params pa{0, 1, 0, {0, 1}, 1 << 20, 0};
+  fm::FmLib::Params pb{0, 1, 1, {0, 1}, 1 << 20, 0};
+  fm::FmLib sender(s, cpu0, a, fm::FmConfig{}, pa);
+  fm::FmLib receiver(s, cpu1, b, fm::FmConfig{}, pb);
+  obs::PacketTracer tracer;
+  fabric.setPacketTracer(&tracer);
+  a.setPacketTracer(&tracer);
+  b.setPacketTracer(&tracer);
+  sender.setPacketTracer(&tracer);
+  receiver.setPacketTracer(&tracer);
+  std::uint64_t got = 0;
+  receiver.setHandler(1, [&got](const net::Packet&) { ++got; });
+  for (auto _ : state) {
+    (void)sender.send(1, 1, 1024);
+    s.run();
+    receiver.extract(16);
+  }
+  benchmark::DoNotOptimize(got);
+  benchmark::DoNotOptimize(tracer.attribution().packets());
+  state.SetItemsProcessed(state.iterations());
+  bench::perf().addEvents(s.firedEvents());
+}
+BENCHMARK(BM_EndToEndPacketTraced);
 
 }  // namespace
 

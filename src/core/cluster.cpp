@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -22,9 +23,22 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   // subsystem hooks check enabled() and are zero-cost when it is off.
   trace_.setEnabled(cfg_.trace || !cfg_.trace_path.empty());
 
+  // gctrace: the packet tracer exists when either lifecycle tracing or the
+  // flight recorder is requested.  Subsystem hooks carry a nullable pointer
+  // and test it once per stamp, so a null tracer costs nothing.
+  if (cfg_.packet_trace || cfg_.flight_recorder_depth > 0) {
+    ptracer_ = std::make_unique<obs::PacketTracer>(&trace_);
+    if (cfg_.flight_recorder_depth > 0)
+      ptracer_->enableFlightRecorder(cfg_.flight_recorder_depth);
+  }
+
   if (cfg_.verify) {
     verifier_ = std::make_unique<verify::InvariantEngine>(sim_);
     sim_.setObserver(verifier_.get());
+    // A gcverify abort is exactly when a post-mortem matters: dump the
+    // flight ring right before std::abort so the file survives the crash.
+    if (ptracer_ && ptracer_->flight())
+      verifier_->setAbortHook([this] { dumpFlightRecorder(); });
   }
 
   if (cfg_.share_discard_mode &&
@@ -49,6 +63,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   fabric_ = std::make_unique<net::Fabric>(
       sim_, net::RoutingTable::singleSwitch(cfg_.nodes), cfg_.fabric);
   fabric_->setTrace(&trace_);
+  fabric_->setPacketTracer(ptracer_.get());
   fabric_->setVerify(verifier_.get());
 
   // Control-network address space: nodes 0..p-1, masterd at address p.
@@ -62,6 +77,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
     Node& node = nodes_.back();
     node.nic = std::make_unique<net::Nic>(sim_, *fabric_, n, cfg_.nic);
     node.nic->setTrace(&trace_);
+    node.nic->setPacketTracer(ptracer_.get());
     node.nic->setVerify(verifier_.get());
     if (verifier_) verifier_->attachNic(node.nic.get());
     if (cfg_.flush_protocol != glue::FlushProtocol::kBroadcast)
@@ -79,6 +95,7 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
     node.comm = std::make_unique<glue::CommNode>(sim_, node.cpu, mem_,
                                                  *node.nic, cc);
     node.comm->setTrace(&trace_);
+    node.comm->setPacketTracer(ptracer_.get());
     node.comm->setVerify(verifier_.get());
     GC_CHECK(util::ok(node.comm->COMM_init_node()));
 
@@ -127,6 +144,13 @@ void Cluster::collectMetrics(obs::MetricsRegistry& reg) const {
   reg.setCounter("cluster.jobs_done", static_cast<std::uint64_t>(jobs_done_));
   reg.setCounter("obs.trace_events",
                  static_cast<std::uint64_t>(trace_.size()));
+  if (ptracer_) {
+    ptracer_->attribution().publish(reg, "gctrace.");
+    reg.setGauge("gctrace.open_journeys",
+                 static_cast<double>(ptracer_->openJourneys()));
+    if (const obs::FlightRecorder* fr = ptracer_->flight())
+      reg.setCounter("gctrace.flight_recorded", fr->recorded());
+  }
   fabric_->publishMetrics(reg);
   for (const Node& node : nodes_) {
     node.nic->publishMetrics(reg);
@@ -134,6 +158,13 @@ void Cluster::collectMetrics(obs::MetricsRegistry& reg) const {
     node.noded->publishMetrics(reg);
   }
   for (const fm::FmLib* lib : fm_libs_) lib->publishMetrics(reg);
+}
+
+bool Cluster::dumpFlightRecorder(const std::string& path) const {
+  if (!ptracer_) return false;
+  const obs::FlightRecorder* fr = ptracer_->flight();
+  if (fr == nullptr) return false;
+  return fr->writeJson(path.empty() ? cfg_.flight_dump_path : path);
 }
 
 int Cluster::creditsC0() const {
@@ -158,6 +189,7 @@ std::unique_ptr<app::Process> Cluster::spawnProcess(
   auto fmlib = std::make_unique<fm::FmLib>(sim_, node.cpu, *node.nic,
                                            cfg_.fm, std::move(params));
   fmlib->setTrace(&trace_);
+  fmlib->setPacketTracer(ptracer_.get());
   fmlib->setVerify(verifier_.get());
   // The FmLib is owned by the process (alive until cluster teardown); keep a
   // raw pointer so collectMetrics can reach it.

@@ -39,6 +39,7 @@
 #include "host/memory_model.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
+#include "obs/gctrace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parpar/control_network.hpp"
@@ -86,6 +87,20 @@ struct ClusterConfig {
   /// When non-empty, implies `trace` and writes a Chrome trace-event JSON
   /// file (chrome://tracing / Perfetto) here on Cluster destruction.
   std::string trace_path;
+  /// gctrace: per-packet lifecycle tracing.  Every data packet is stamped
+  /// at each stage (COMM_send -> credit grant -> NIC queue -> wire ->
+  /// receive queue -> dispatch, plus switch-stall time) and aggregated into
+  /// a LatencyAttribution; with `trace` also on, packets emit Chrome flow
+  /// events.  Observer-only, like `trace`: results are identical either way.
+  bool packet_trace = false;
+  /// gctrace flight recorder: keep the last N packet/protocol events in a
+  /// bounded ring (0 disables).  O(1) memory however long the run; dumped
+  /// to `flight_dump_path` when the invariant engine aborts.  Implies the
+  /// tracer exists even when `packet_trace` is off.
+  std::size_t flight_recorder_depth = 0;
+  /// Where the flight ring is dumped on a gcverify abort (and by
+  /// dumpFlightRecorder()).  Default: "gctrace_flight.json".
+  std::string flight_dump_path = "gctrace_flight.json";
   /// Dynamic verification (gcverify): run an InvariantEngine as the
   /// simulator's event observer, checking credit conservation, buffer
   /// ownership, packet conservation, and switch-protocol order after every
@@ -156,6 +171,18 @@ class Cluster {
   obs::TraceRecorder& trace() { return trace_; }
   const obs::TraceRecorder& trace() const { return trace_; }
 
+  /// The cluster-wide packet tracer (null unless packet_trace or a flight
+  /// recorder depth was configured).  Harnesses read the attribution from
+  /// it; collectMetrics publishes the same data under "gctrace.".
+  obs::PacketTracer* packetTracer() { return ptracer_.get(); }
+  const obs::PacketTracer* packetTracer() const { return ptracer_.get(); }
+
+  /// Write the flight ring to cfg.flight_dump_path (or `path` if given).
+  /// Returns false when no flight recorder is active or the write failed.
+  /// Installed as the invariant engine's abort hook, so gcverify aborts
+  /// leave a post-mortem dump automatically.
+  bool dumpFlightRecorder(const std::string& path = "") const;
+
   /// The invariant engine (null unless ClusterConfig::verify).  Tests use it
   /// to flip collect mode, inspect violations, or run the drained-state
   /// finalCheck() after run() returns.
@@ -186,6 +213,7 @@ class Cluster {
   ClusterConfig cfg_;
   sim::Simulator sim_;
   obs::TraceRecorder trace_;
+  std::unique_ptr<obs::PacketTracer> ptracer_;
   std::unique_ptr<verify::InvariantEngine> verifier_;
   host::MemoryModel mem_;
   std::unique_ptr<net::Fabric> fabric_;

@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/gctrace.hpp"
 #include "sim/log.hpp"
 #include "util/check.hpp"
 
@@ -106,6 +107,12 @@ Status FmLib::send(int dst_rank, std::uint16_t handler,
 
   net::ContextSlot& s = slot();
   while (pending_.next_frag < pending_.total_frags) {
+    if (!pending_.frag_start_valid) {
+      // gctrace anchors the fragment's credit_wait stage at its *first*
+      // attempt; a resumed send() after kWouldBlock keeps the old stamp.
+      pending_.frag_start = sim_.now();
+      pending_.frag_start_valid = true;
+    }
     if (s.send_credits[static_cast<std::size_t>(dst_rank)] <= 0) {
       ++stats_.send_blocks_on_credit;
       if (obs::tracing(trace_))
@@ -135,6 +142,7 @@ Status FmLib::send(int dst_rank, std::uint16_t handler,
                        {"remaining",
                         s.send_credits[static_cast<std::size_t>(dst_rank)]}});
     queueFragment(dst_rank, handler, payload, last);
+    pending_.frag_start_valid = false;
     pending_.bytes_left -= payload;
     ++pending_.next_frag;
   }
@@ -164,6 +172,14 @@ void FmLib::queueFragment(int dst_rank, std::uint16_t handler,
   p.seq = ++next_seq_to_[static_cast<std::size_t>(dst_rank)];
   p.tag = Packet::makeTag(p.job, p.src_rank, p.dst_rank, p.msg_id,
                           p.frag_index);
+  if (obs::ptracing(ptrace_)) {
+    // Mint the lifecycle id here — the one place every data packet passes —
+    // with the credit grant happening now and the fragment's first send()
+    // attempt as the journey origin.
+    p.trace_id = ptrace_->onSend(p.src_node, p.dst_node, p.job, p.src_rank,
+                                 p.dst_rank, p.seq, p.payload_bytes,
+                                 pending_.frag_start, sim_.now());
+  }
   // The caller (send) debited one credit for this fresh fragment;
   // retransmissions bypass queueFragment and spend nothing.
   if (verify::active(verify_))
@@ -234,11 +250,15 @@ int FmLib::extract(int max_packets) {
       auto& expected = expected_from_[src];
       if (p.seq < expected) {
         ++stats_.dup_dropped;
+        if (obs::ptracing(ptrace_) && p.trace_id != 0)
+          ptrace_->onDrop(p.trace_id, nic_.node(), "drop:dup", sim_.now());
         continue;
       }
       if (p.seq > expected) {
         // Go-back-N: shed and wait for the sender's timeout sweep.
         ++stats_.ooo_dropped;
+        if (obs::ptracing(ptrace_) && p.trace_id != 0)
+          ptrace_->onDrop(p.trace_id, nic_.node(), "drop:ooo", sim_.now());
         continue;
       }
       ++expected;
@@ -257,6 +277,8 @@ int FmLib::extract(int max_packets) {
 
     GC_CHECK_MSG(p.handler < handlers_.size() && handlers_[p.handler],
                  "packet for an unregistered handler");
+    if (obs::ptracing(ptrace_) && p.trace_id != 0)
+      ptrace_->onDispatch(p.trace_id, sim_.now());
     handlers_[p.handler](p);
   }
   return n;

@@ -33,6 +33,10 @@
 #include "util/status.hpp"
 #include "verify/sink.hpp"
 
+namespace gangcomm::obs {
+class PacketTracer;
+}
+
 namespace gangcomm::fm {
 
 struct FmStats {
@@ -118,6 +122,10 @@ class FmLib {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// gctrace hook (may be null).  When set, send() mints a per-packet trace
+  /// id and extract() stamps handler dispatch; see obs/gctrace.hpp.
+  void setPacketTracer(obs::PacketTracer* p) { ptrace_ = p; }
+
   /// Verification hooks (gcverify; may be null).  Reports credit debits,
   /// accepted packets, and queued refills to the invariant engine.
   void setVerify(verify::VerifySink* v) { verify_ = v; }
@@ -157,6 +165,10 @@ class FmLib {
     std::uint32_t next_frag = 0;
     std::uint32_t total_frags = 0;
     std::uint32_t bytes_left = 0;
+    // gctrace: first send() attempt of the *current* fragment, so blocked
+    // time (credits / queue slots) lands in the credit_wait stage.
+    sim::SimTime frag_start = 0;
+    bool frag_start_valid = false;
   } pending_;
 
   std::uint64_t next_msg_id_ = 1;
@@ -172,6 +184,7 @@ class FmLib {
   bool suspended_ = false;
   bool rtx_wake_pending_ = false;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::PacketTracer* ptrace_ = nullptr;
   verify::VerifySink* verify_ = nullptr;
   FmStats stats_;
 };

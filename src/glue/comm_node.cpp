@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/gctrace.hpp"
 #include "sim/log.hpp"
 #include "util/check.hpp"
 
@@ -238,6 +239,17 @@ void CommNode::COMM_context_switch(
       trace_->span(node, "glue", "copy_in", t - in_cost, t,
                    {{"job", to_job},
                     {"bytes", static_cast<std::int64_t>(r.bytes_copied_in)}});
+  }
+  if (obs::ptracing(ptrace_)) {
+    // Flight-ring breadcrumbs: a post-mortem dump shows which switches were
+    // in progress around the aborting invariant.
+    if (out_cost > 0)
+      ptrace_->protocolEvent(
+          nic_.node(), "copy_out", t - cost + out_cost,
+          static_cast<std::int64_t>(r.bytes_copied_out));
+    if (in_cost > 0)
+      ptrace_->protocolEvent(nic_.node(), "copy_in", t,
+                             static_cast<std::int64_t>(r.bytes_copied_in));
   }
   sim_.scheduleAt(t, [r, done = std::move(done)]() mutable { done(r); });
 }

@@ -137,6 +137,13 @@ class CommNode final : public parpar::CommManager {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// gctrace hook (may be null): copy-out/copy-in land in the flight ring
+  /// as protocol events, and the switcher marks carried packet journeys.
+  void setPacketTracer(obs::PacketTracer* p) {
+    ptrace_ = p;
+    switcher_.setPacketTracer(p);
+  }
+
   /// Verification hooks (gcverify; may be null).  Reports job credit
   /// grants, job teardown, and buffer ownership around the copy phase.
   void setVerify(verify::VerifySink* v) { verify_ = v; }
@@ -163,6 +170,7 @@ class CommNode final : public parpar::CommManager {
 
   std::vector<bool> node_active_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::PacketTracer* ptrace_ = nullptr;
   verify::VerifySink* verify_ = nullptr;
   std::uint64_t switches_ = 0;
   std::uint64_t bytes_copied_total_ = 0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "obs/gctrace.hpp"
 #include "sim/log.hpp"
 #include "util/check.hpp"
 
@@ -63,6 +64,8 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
                         {{"dst", pkt.dst_node},
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
       if (verify::active(verify_)) verify_->onWireDrop(pkt);
+      if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+        ptrace_->onDrop(pkt.trace_id, pkt.src_node, "drop:fault", inj_done);
       return inj_done;
     }
   }
@@ -95,6 +98,8 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
                   {"bytes", pkt.wireBytes()},
                   {"seq", static_cast<std::int64_t>(pkt.seq)},
                   {"job", pkt.job}});
+  if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+    ptrace_->onWire(pkt.trace_id, inj_start, rx_done);
 
   sim_.scheduleAt(rx_done, [this, pkt] {
     if (verify::active(verify_)) verify_->onWireDeliver(pkt);

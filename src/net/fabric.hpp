@@ -27,6 +27,10 @@
 #include "util/sbo_function.hpp"
 #include "verify/sink.hpp"
 
+namespace gangcomm::obs {
+class PacketTracer;
+}
+
 namespace gangcomm::net {
 
 struct FabricConfig {
@@ -81,6 +85,10 @@ class Fabric {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// gctrace hook (may be null).  Stamps wire entry/exit (injection start to
+  /// last byte off the destination input link) for traced data packets.
+  void setPacketTracer(obs::PacketTracer* p) { ptrace_ = p; }
+
   /// Verification hooks (gcverify).  Null unless the cluster runs with
   /// verification on; the sink observes and never perturbs simulation state.
   void setVerify(verify::VerifySink* v) { verify_ = v; }
@@ -94,6 +102,7 @@ class Fabric {
   std::vector<sim::SimTime> in_busy_;
   FabricStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::PacketTracer* ptrace_ = nullptr;
   verify::VerifySink* verify_ = nullptr;
   std::uint64_t drop_every_ = 0;
   std::uint64_t data_seen_ = 0;

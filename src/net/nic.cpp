@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/gctrace.hpp"
 #include "sim/log.hpp"
 #include "util/check.hpp"
 
@@ -125,6 +126,10 @@ util::Status Nic::hostEnqueueSend(ContextId id, const Packet& pkt) {
     if (pkt.seq > hwm) hwm = pkt.seq;
   }
   GC_CHECK_MSG(ctx->sendq.push(pkt), "send ring overflow despite reservation");
+  // gctrace: the packet is now in NIC SRAM; the halted-time accumulator is
+  // snapshotted here so the dequeue diff isolates the switch stall.
+  if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+    ptrace_->onNicQueued(pkt.trace_id, node_, sim_.now());
   scheduleSendScan();
   return util::Status::kOk;
 }
@@ -215,6 +220,8 @@ bool Nic::trySendDataPacket() {
     if (ctx.sendq.empty()) continue;
     scan_cursor_ = (idx + 1) % contexts_.size();
     Packet pkt = ctx.sendq.pop();
+    if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+      ptrace_->onNicDequeued(pkt.trace_id, node_, sim_.now());
     const ContextId cid = ctx.id;
     send_busy_ = true;
     sim_.schedule(cfg_.lanai_send_ns, [this, pkt, cid] {
@@ -248,6 +255,7 @@ void Nic::beginFlush(util::SboFunction<void()> on_flushed) {
   GC_CHECK_MSG(!halt_bit_, "flush already in progress");
   GC_CHECK_MSG(!quiesce_mode_, "flush during a local quiesce");
   halt_bit_ = true;
+  if (obs::ptracing(ptrace_)) ptrace_->onHaltBegin(node_, sim_.now());
   halt_broadcast_pending_ = true;
   halt_broadcast_done_ = false;
   flush_complete_ = false;
@@ -342,6 +350,7 @@ void Nic::maybeCompleteRelease() {
   readies_consumed_ += peers;
   release_pending_ = false;
   halt_bit_ = false;
+  if (obs::ptracing(ptrace_)) ptrace_->onHaltEnd(node_, sim_.now());
   flush_complete_ = false;
   halt_broadcast_done_ = false;
   GC_DEBUG(sim_, "nic", "node %d: network released", node_);
@@ -360,6 +369,7 @@ void Nic::maybeCompleteRelease() {
 void Nic::beginLocalQuiesce(util::SboFunction<void()> on_quiesced) {
   GC_CHECK_MSG(!halt_bit_ && !quiesce_mode_, "quiesce during another halt");
   halt_bit_ = true;
+  if (obs::ptracing(ptrace_)) ptrace_->onHaltBegin(node_, sim_.now());
   quiesce_mode_ = true;
   quiesce_complete_ = false;
   on_quiesced_ = std::move(on_quiesced);
@@ -400,6 +410,7 @@ void Nic::beginAckQuiesce(util::SboFunction<void()> on_quiesced) {
   GC_CHECK_MSG(!halt_bit_ && !quiesce_mode_ && !ack_quiesce_mode_,
                "ack-quiesce during another halt");
   halt_bit_ = true;
+  if (obs::ptracing(ptrace_)) ptrace_->onHaltBegin(node_, sim_.now());
   quiesce_mode_ = true;      // shares the local-drain machinery
   ack_quiesce_mode_ = true;  // ...plus the outstanding-traffic condition
   quiesce_complete_ = false;
@@ -450,6 +461,7 @@ void Nic::endLocalQuiesce() {
   quiesce_mode_ = false;
   quiesce_complete_ = false;
   halt_bit_ = false;
+  if (obs::ptracing(ptrace_)) ptrace_->onHaltEnd(node_, sim_.now());
   if (verify::active(verify_))
     verify_->onSwitchStage(node_, verify::SwitchStage::kReleaseComplete);
   scheduleSendScan();
@@ -557,6 +569,10 @@ void Nic::deliverData(const Packet& pkt) {
     if (verify::active(verify_))
       verify_->onNicDrop(node_, pkt,
                          discard_wrong_job_ ? "wrong_job" : "no_ctx");
+    if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+      ptrace_->onDrop(pkt.trace_id, node_,
+                      discard_wrong_job_ ? "drop:wrong_job" : "drop:no_ctx",
+                      sim_.now());
     return;
   }
   if (cfg_.enforce_fifo) {
@@ -626,6 +642,8 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
       if (verify::active(verify_))
         verify_->onNicDrop(node_, pkt, "quiesce_shed");
+      if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+        ptrace_->onDrop(pkt.trace_id, node_, "drop:quiesce_shed", sim_.now());
       return;
     }
     if (c->job != pkt.job) {
@@ -640,6 +658,8 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
       if (verify::active(verify_))
         verify_->onNicDrop(node_, pkt, "wrong_job");
+      if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+        ptrace_->onDrop(pkt.trace_id, node_, "drop:wrong_job", sim_.now());
       maybeCompleteFlush();
       maybeCompleteQuiesce();
       return;
@@ -654,11 +674,16 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
                          {"seq", static_cast<std::int64_t>(pkt.seq)}});
       if (verify::active(verify_))
         verify_->onNicDrop(node_, pkt, "recv_overflow");
+      if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+        ptrace_->onDrop(pkt.trace_id, node_, "drop:recv_overflow",
+                        sim_.now());
       maybeCompleteFlush();
       maybeCompleteQuiesce();
       return;
     }
     ++c->pkts_received;
+    if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+      ptrace_->onRxQueued(pkt.trace_id, sim_.now());
     if (verify::active(verify_)) verify_->onRecvLanded(node_, pkt);
     if (c->on_arrival) {
       auto cb = std::move(c->on_arrival);

@@ -38,6 +38,10 @@
 #include "util/status.hpp"
 #include "verify/sink.hpp"
 
+namespace gangcomm::obs {
+class PacketTracer;
+}
+
 namespace gangcomm::net {
 
 struct NicConfig {
@@ -219,6 +223,11 @@ class Nic {
   void setTrace(obs::TraceRecorder* t) { trace_ = t; }
   void publishMetrics(obs::MetricsRegistry& reg) const;
 
+  /// gctrace hook (may be null).  Stamps send-queue entry/exit and
+  /// receive-queue landing for traced packets, reports drops, and feeds the
+  /// halted-time accumulator behind switch-stall attribution.
+  void setPacketTracer(obs::PacketTracer* p) { ptrace_ = p; }
+
   /// Attach the verification sink (gcverify; may be null).  Hooks report
   /// refill applications, drops, landings, and flush-FSM stages; the sink
   /// only observes and the simulation is bit-identical without it.
@@ -284,6 +293,7 @@ class Nic {
 
   bool discard_wrong_job_ = false;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::PacketTracer* ptrace_ = nullptr;
   verify::VerifySink* verify_ = nullptr;
 
   // FIFO assertion state: last data (job, seq) seen per source node.

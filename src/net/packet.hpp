@@ -61,6 +61,7 @@ struct Packet {
 
   std::uint16_t handler = 0;        // receiver-side FM handler id
   std::uint16_t user_tag = 0;       // opaque to FM; MPI-layer message tag
+  std::uint32_t refill_credits = 0;  // piggybacked (kData) or carried (kRefill)
   std::uint64_t user_data = 0;      // opaque 64-bit user word (verification)
   std::uint32_t payload_bytes = 0;  // user bytes in this fragment
   std::uint32_t msg_bytes = 0;      // total bytes of the enclosing message
@@ -68,14 +69,18 @@ struct Packet {
   std::uint32_t frag_index = 0;     // fragment position within the message
   bool last_frag = true;
 
-  std::uint32_t refill_credits = 0;  // piggybacked (kData) or carried (kRefill)
-
   std::uint64_t seq = 0;   // per (src,dst,job) data sequence — FIFO check
   /// Cumulative acknowledgement: highest in-order data seq the sender of
   /// this packet has delivered from its destination.  Only meaningful when
   /// the optional retransmission layer is enabled (idempotent max-merge).
   std::uint64_t ack_seq = 0;
   std::uint64_t tag = 0;   // integrity tag over identifying fields
+  /// gctrace lifecycle id, minted in FmLib::send when packet tracing is on
+  /// (0 = untraced).  Rides in the header so every later stamping site can
+  /// key the side-table journey without growing the hot-path closures —
+  /// `refill_credits` above sits in what used to be padding, keeping
+  /// sizeof(Packet) at its pre-gctrace 96 bytes (see the static_assert).
+  std::uint64_t trace_id = 0;
 
   bool isControl() const { return type != PacketType::kData; }
 
@@ -106,5 +111,10 @@ struct Packet {
     return tag == makeTag(job, src_rank, dst_rank, msg_id, frag_index);
   }
 };
+
+// Packet-bearing closures must stay inside the simulator's 112-byte action
+// SBO (see sim::Simulator::Action); growing Packet past 96 bytes would
+// silently push them onto the heap on every scheduled hop.
+static_assert(sizeof(Packet) == 96, "Packet grew past the action SBO budget");
 
 }  // namespace gangcomm::net

@@ -90,6 +90,36 @@ void TraceRecorder::span(int node, const char* track, const char* name,
   events_.push_back(ev);
 }
 
+void TraceRecorder::flowStart(int node, const char* track, const char* name,
+                              sim::SimTime ts, std::uint64_t id,
+                              std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.track = track;
+  ev.phase = TracePhase::kFlowStart;
+  ev.node = node;
+  ev.ts = ts;
+  ev.flow_id = id;
+  fillArgs(ev, args);
+  events_.push_back(ev);
+}
+
+void TraceRecorder::flowFinish(int node, const char* track, const char* name,
+                               sim::SimTime ts, std::uint64_t id,
+                               std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.track = track;
+  ev.phase = TracePhase::kFlowFinish;
+  ev.node = node;
+  ev.ts = ts;
+  ev.flow_id = id;
+  fillArgs(ev, args);
+  events_.push_back(ev);
+}
+
 std::vector<const TraceEvent*> TraceRecorder::select(const char* track,
                                                      const char* name) const {
   std::vector<const TraceEvent*> out;
@@ -170,11 +200,23 @@ std::string TraceRecorder::chromeTraceJson() const {
     out += buf;
     out += ",\"ts\":";
     appendMicros(out, ev.ts);
-    if (ev.phase == TracePhase::kSpan) {
-      out += ",\"dur\":";
-      appendMicros(out, ev.dur);
-    } else {
-      out += ",\"s\":\"t\"";  // instant scope: thread
+    switch (ev.phase) {
+      case TracePhase::kSpan:
+        out += ",\"dur\":";
+        appendMicros(out, ev.dur);
+        break;
+      case TracePhase::kInstant:
+        out += ",\"s\":\"t\"";  // instant scope: thread
+        break;
+      case TracePhase::kFlowStart:
+      case TracePhase::kFlowFinish:
+        // Flow ids are strings in the trace-event format; "bp":"e" binds the
+        // finish to the enclosing slice so Perfetto draws the arrow.
+        std::snprintf(buf, sizeof(buf), ",\"id\":\"%llu\"",
+                      static_cast<unsigned long long>(ev.flow_id));
+        out += buf;
+        if (ev.phase == TracePhase::kFlowFinish) out += ",\"bp\":\"e\"";
+        break;
     }
     if (ev.args[0].key != nullptr) {
       out += ",\"args\":{";

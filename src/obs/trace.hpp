@@ -37,8 +37,10 @@ struct TraceArg {
 
 /// Event phases, mirroring the Chrome trace-event vocabulary.
 enum class TracePhase : char {
-  kSpan = 'X',     // complete event: [ts, ts+dur)
-  kInstant = 'i',  // point event at ts
+  kSpan = 'X',        // complete event: [ts, ts+dur)
+  kInstant = 'i',     // point event at ts
+  kFlowStart = 's',   // flow arrow origin (id links start to finish)
+  kFlowFinish = 'f',  // flow arrow destination
 };
 
 struct TraceEvent {
@@ -48,7 +50,8 @@ struct TraceEvent {
   int node = 0;            // cluster node id -> Chrome "process"
   sim::SimTime ts = 0;     // simulated ns
   sim::Duration dur = 0;   // span length (kSpan only)
-  std::array<TraceArg, 4> args{};  // terminated by the first null key
+  std::uint64_t flow_id = 0;       // links kFlowStart/kFlowFinish pairs
+  std::array<TraceArg, 8> args{};  // terminated by the first null key
 
   std::size_t argCount() const {
     std::size_t n = 0;
@@ -76,6 +79,15 @@ class TraceRecorder {
                std::initializer_list<TraceArg> args = {});
   void span(int node, const char* track, const char* name, sim::SimTime start,
             sim::SimTime end, std::initializer_list<TraceArg> args = {});
+  /// Flow arrows (`ph:"s"` / `ph:"f"`): Perfetto draws an arrow from the
+  /// start to the matching finish with the same id.  gctrace uses one flow
+  /// per data packet, so a packet's journey across nodes is clickable.
+  void flowStart(int node, const char* track, const char* name,
+                 sim::SimTime ts, std::uint64_t id,
+                 std::initializer_list<TraceArg> args = {});
+  void flowFinish(int node, const char* track, const char* name,
+                  sim::SimTime ts, std::uint64_t id,
+                  std::initializer_list<TraceArg> args = {});
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }

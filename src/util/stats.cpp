@@ -63,6 +63,7 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 
 void Histogram::add(double x) {
   ++total_;
+  sum_ += x;
   if (x < lo_) {
     ++under_;
     ++counts_.front();
@@ -76,6 +77,18 @@ void Histogram::add(double x) {
   auto idx = static_cast<std::size_t>((x - lo_) / width_);
   if (idx >= counts_.size()) idx = counts_.size() - 1;
   ++counts_[idx];
+}
+
+void Histogram::merge(const Histogram& other) {
+  GC_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                   counts_.size() == other.counts_.size(),
+               "histogram merge requires identical geometry");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  under_ += other.under_;
+  over_ += other.over_;
+  sum_ += other.sum_;
 }
 
 double Histogram::bucketLow(std::size_t i) const {

@@ -42,6 +42,11 @@ class Histogram {
 
   void add(double x);
   std::uint64_t total() const { return total_; }
+  /// Alias for total(): sample count, mirroring Stats::count().
+  std::uint64_t count() const { return total_; }
+  /// Exact running sum of every added sample (including clamped ones), so
+  /// per-stage totals survive the bucket quantization.
+  double sum() const { return sum_; }
   std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
   std::size_t buckets() const { return counts_.size(); }
   double bucketLow(std::size_t i) const;
@@ -49,12 +54,18 @@ class Histogram {
   std::uint64_t underflow() const { return under_; }
   std::uint64_t overflow() const { return over_; }
 
+  /// Combine another histogram of identical geometry (same lo/hi/buckets)
+  /// into this one.  Bucket counts are integers, so merging per-job partial
+  /// histograms in a fixed order reproduces the single-job result exactly.
+  void merge(const Histogram& other);
+
  private:
   double lo_, hi_, width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   std::uint64_t under_ = 0;
   std::uint64_t over_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace gangcomm::util

@@ -27,6 +27,9 @@ void InvariantEngine::report(const std::string& what) {
   if (mode_ == OnViolation::kAbort) {
     std::fprintf(stderr, "gcverify: %s (t=%llu ns)\n", what.c_str(),
                  static_cast<unsigned long long>(sim_.now()));
+    // Last-gasp diagnostics (e.g. the gctrace flight-recorder dump) run
+    // before the abort so the post-mortem file exists in the core/CI logs.
+    if (abort_hook_) abort_hook_();
     std::abort();
   }
   violations_.push_back({sim_.now(), what});

@@ -42,6 +42,7 @@
 #include "net/nic.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/sbo_function.hpp"
 #include "verify/sink.hpp"
 
 namespace gangcomm::verify {
@@ -65,6 +66,13 @@ class InvariantEngine : public VerifySink, public sim::EventObserver {
   /// flip a Cluster-created engine (which defaults to kAbort) into collect
   /// mode to assert on the recorded diagnostics.
   void setMode(OnViolation mode) { mode_ = mode; }
+
+  /// Hook invoked once, right before a kAbort-mode violation calls
+  /// std::abort().  The Cluster installs a gctrace flight-recorder dump
+  /// here so every gcverify abort leaves a post-mortem file behind.
+  void setAbortHook(util::SboFunction<void()> hook) {
+    abort_hook_ = std::move(hook);
+  }
 
   const std::vector<Violation>& violations() const { return violations_; }
 
@@ -144,6 +152,7 @@ class InvariantEngine : public VerifySink, public sim::EventObserver {
 
   sim::Simulator& sim_;
   OnViolation mode_;
+  util::SboFunction<void()> abort_hook_;
   std::vector<Violation> violations_;
 
   std::map<net::JobId, JobLedger> jobs_;

@@ -1,0 +1,207 @@
+// gctrace unit tests: the stage decomposition partitions end-to-end latency
+// exactly, the halt accumulator attributes switch stall, attribution merge
+// matches a combined stream, and the flight recorder is a true drop-oldest
+// ring.
+#include "obs/gctrace.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace gangcomm::obs {
+namespace {
+
+constexpr sim::Duration kUs = sim::kMicrosecond;
+
+/// A fully stamped journey with one distinct microsecond per stage.
+PacketJourney sampleJourney() {
+  PacketJourney j;
+  j.id = 1;
+  j.job = 1;
+  j.src_rank = 0;
+  j.dst_rank = 1;
+  j.seq = 5;
+  j.bytes = 256;
+  j.send_start = 100 * kUs;
+  j.credit_grant = 101 * kUs;  // 1 us credit wait
+  j.nicq_enter = 103 * kUs;    // 2 us host PIO
+  j.wire_enter = 110 * kUs;    // 7 us NIC residency...
+  j.switch_stall = 3 * kUs;    // ...3 of which were spent halted
+  j.rx_wire_done = 114 * kUs;  // 4 us wire
+  j.rxq_enter = 119 * kUs;     // 5 us DMA
+  j.dispatch = 125 * kUs;      // 6 us receive queue
+  return j;
+}
+
+TEST(PacketJourney, StagesPartitionEndToEndExactly) {
+  const PacketJourney j = sampleJourney();
+  EXPECT_EQ(j.stageNs(PacketStage::kCreditWait), 1 * kUs);
+  EXPECT_EQ(j.stageNs(PacketStage::kHostPio), 2 * kUs);
+  EXPECT_EQ(j.stageNs(PacketStage::kNicQueue), 4 * kUs);
+  EXPECT_EQ(j.stageNs(PacketStage::kSwitchStall), 3 * kUs);
+  EXPECT_EQ(j.stageNs(PacketStage::kWire), 4 * kUs);
+  EXPECT_EQ(j.stageNs(PacketStage::kRxDma), 5 * kUs);
+  EXPECT_EQ(j.stageNs(PacketStage::kRecvQueue), 6 * kUs);
+
+  sim::Duration sum = 0;
+  for (const PacketStage s : packetStages()) sum += j.stageNs(s);
+  EXPECT_EQ(sum, j.endToEndNs());
+  EXPECT_EQ(j.endToEndNs(), 25 * kUs);
+}
+
+TEST(PacketJourney, PartialStampsNeverUnderflow) {
+  PacketJourney j;  // everything still zero
+  for (const PacketStage s : packetStages()) EXPECT_EQ(j.stageNs(s), 0u);
+  // A stall longer than the recorded residency (a retransmission re-stamp
+  // mid-halt) clamps instead of wrapping.
+  j.nicq_enter = 10 * kUs;
+  j.wire_enter = 12 * kUs;
+  j.switch_stall = 5 * kUs;
+  EXPECT_EQ(j.stageNs(PacketStage::kNicQueue), 0u);
+}
+
+TEST(LatencyAttribution, MergeEqualsCombinedStream) {
+  LatencyAttribution a;
+  LatencyAttribution b;
+  LatencyAttribution combined;
+  for (int i = 0; i < 20; ++i) {
+    PacketJourney j = sampleJourney();
+    j.dispatch += static_cast<sim::Duration>(i) * kUs;  // vary recv_queue
+    ((i % 2) != 0 ? a : b).record(j);
+    combined.record(j);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.endToEndStats().count(), combined.endToEndStats().count());
+  EXPECT_DOUBLE_EQ(a.endToEndStats().sum(), combined.endToEndStats().sum());
+  for (const PacketStage s : packetStages()) {
+    EXPECT_DOUBLE_EQ(a.stageStats(s).sum(), combined.stageStats(s).sum());
+    for (std::size_t i = 0; i < a.stageHistogram(s).buckets(); ++i)
+      EXPECT_EQ(a.stageHistogram(s).bucketCount(i),
+                combined.stageHistogram(s).bucketCount(i));
+  }
+  // Same render, byte for byte — the sweep-runner determinism contract.
+  EXPECT_EQ(a.table().render(), combined.table().render());
+}
+
+TEST(FlightRecorder, DropOldestRing) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 10; ++i) {
+    FlightEvent ev;
+    ev.ts = static_cast<sim::SimTime>(i);
+    ev.kind = "send";
+    ev.id = static_cast<std::uint64_t>(i);
+    fr.record(ev);
+  }
+  EXPECT_EQ(fr.depth(), 4u);
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.recorded(), 10u);
+  for (std::size_t i = 0; i < fr.size(); ++i)
+    EXPECT_EQ(fr.at(i).id, 6u + i);  // only the newest four survive
+
+  const std::string json = fr.jsonString();
+  EXPECT_NE(json.find("\"gctrace_flight_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":10"), std::string::npos);
+}
+
+TEST(PacketTracer, HaltAccumulatorAttributesSwitchStall) {
+  PacketTracer tracer;  // no TraceRecorder: attribution still works
+  const std::uint64_t id =
+      tracer.onSend(0, 1, 1, 0, 1, 7, 128, 100 * kUs, 101 * kUs);
+  ASSERT_NE(id, 0u);
+  tracer.onNicQueued(id, 0, 103 * kUs);
+
+  // The NIC halts for 3 us while the packet sits in the send queue.
+  tracer.onHaltBegin(0, 105 * kUs);
+  tracer.onHaltEnd(0, 108 * kUs);
+
+  tracer.onNicDequeued(id, 0, 110 * kUs);
+  tracer.onWire(id, 110 * kUs, 114 * kUs);
+  tracer.onRxQueued(id, 119 * kUs);
+  EXPECT_EQ(tracer.openJourneys(), 1u);
+  tracer.onDispatch(id, 125 * kUs);
+  EXPECT_EQ(tracer.openJourneys(), 0u);  // journey closed at dispatch
+
+  const LatencyAttribution& attr = tracer.attribution();
+  EXPECT_EQ(attr.endToEndStats().count(), 1u);
+  EXPECT_DOUBLE_EQ(attr.stageStats(PacketStage::kSwitchStall).sum(),
+                   static_cast<double>(3 * kUs));
+  // nic_queue is residency minus the halted time.
+  EXPECT_DOUBLE_EQ(attr.stageStats(PacketStage::kNicQueue).sum(),
+                   static_cast<double>(4 * kUs));
+  EXPECT_DOUBLE_EQ(attr.endToEndStats().sum(),
+                   static_cast<double>(25 * kUs));
+}
+
+TEST(PacketTracer, HaltBeforeEnqueueDoesNotCount) {
+  PacketTracer tracer;
+  // A halt that completed before the packet entered the queue must not
+  // leak into its stall attribution (the accumulator is snapshotted at
+  // enqueue).
+  tracer.onHaltBegin(0, 10 * kUs);
+  tracer.onHaltEnd(0, 20 * kUs);
+  const std::uint64_t id =
+      tracer.onSend(0, 1, 1, 0, 1, 1, 64, 30 * kUs, 30 * kUs);
+  tracer.onNicQueued(id, 0, 31 * kUs);
+  tracer.onNicDequeued(id, 0, 33 * kUs);
+  tracer.onWire(id, 33 * kUs, 35 * kUs);
+  tracer.onRxQueued(id, 36 * kUs);
+  tracer.onDispatch(id, 37 * kUs);
+  EXPECT_DOUBLE_EQ(
+      tracer.attribution().stageStats(PacketStage::kSwitchStall).sum(), 0.0);
+}
+
+TEST(PacketTracer, DropKeepsJourneyOpenForRetransmission) {
+  PacketTracer tracer;
+  tracer.enableFlightRecorder(16);
+  const std::uint64_t id =
+      tracer.onSend(0, 1, 1, 0, 1, 1, 64, 0, 0);
+  tracer.onNicQueued(id, 0, 1 * kUs);
+  tracer.onDrop(id, 0, "drop:fault", 2 * kUs);
+  EXPECT_EQ(tracer.openJourneys(), 1u);  // still waiting on a resend
+
+  // The retransmission re-stamps the same journey and completes it.
+  tracer.onNicQueued(id, 0, 10 * kUs);
+  tracer.onNicDequeued(id, 0, 11 * kUs);
+  tracer.onWire(id, 11 * kUs, 12 * kUs);
+  tracer.onRxQueued(id, 13 * kUs);
+  tracer.onDispatch(id, 14 * kUs);
+  EXPECT_EQ(tracer.openJourneys(), 0u);
+  EXPECT_EQ(tracer.attribution().endToEndStats().count(), 1u);
+
+  const std::string json = tracer.flight()->jsonString();
+  EXPECT_NE(json.find("\"kind\":\"drop:fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+}
+
+TEST(PacketTracer, FlowEventsPairUpInTheRecorder) {
+  TraceRecorder rec;
+  rec.setEnabled(true);
+  PacketTracer tracer(&rec);
+  const std::uint64_t id =
+      tracer.onSend(0, 1, 1, 0, 1, 1, 64, 100 * kUs, 101 * kUs);
+  tracer.onNicQueued(id, 0, 102 * kUs);
+  tracer.onNicDequeued(id, 0, 103 * kUs);
+  tracer.onWire(id, 103 * kUs, 104 * kUs);
+  tracer.onRxQueued(id, 105 * kUs);
+  tracer.onDispatch(id, 106 * kUs);
+
+  const auto starts = rec.select("gctrace", "pkt");
+  ASSERT_EQ(starts.size(), 2u);  // one "s", one "f"
+  EXPECT_EQ(starts[0]->phase, TracePhase::kFlowStart);
+  EXPECT_EQ(starts[1]->phase, TracePhase::kFlowFinish);
+  EXPECT_EQ(starts[0]->flow_id, id);
+  EXPECT_EQ(starts[1]->flow_id, id);
+  EXPECT_EQ(starts[0]->ts, 100 * kUs);  // anchored at send_start
+  EXPECT_EQ(starts[1]->ts, 106 * kUs);
+  EXPECT_EQ(rec.count("gctrace", "pkt:stages"), 1u);
+}
+
+}  // namespace
+}  // namespace gangcomm::obs

@@ -152,14 +152,23 @@ TEST(TraceRecorder, WriteChromeTraceFailsOnBadPath) {
 }
 
 TEST(TraceRecorder, ArgListTruncatesAtCapacity) {
+  // Capacity is 8: gctrace's pkt:stages instant carries id + 7 stage args.
   TraceRecorder r;
   r.setEnabled(true);
   r.instant(0, "t", "n", 1,
-            {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+            {{"a", 1},
+             {"b", 2},
+             {"c", 3},
+             {"d", 4},
+             {"e", 5},
+             {"f", 6},
+             {"g", 7},
+             {"h", 8},
+             {"i", 9}});
   const TraceEvent& ev = r.events()[0];
-  EXPECT_EQ(ev.argCount(), 4u);
-  EXPECT_EQ(ev.arg("d"), 4);
-  EXPECT_EQ(ev.arg("e", -1), -1);
+  EXPECT_EQ(ev.argCount(), 8u);
+  EXPECT_EQ(ev.arg("h"), 8);
+  EXPECT_EQ(ev.arg("i", -1), -1);
 }
 
 }  // namespace

@@ -149,8 +149,62 @@ TEST(Histogram, PercentileBoundsBracketTheData) {
   EXPECT_LE(h.percentile(75), h.percentile(100));
 }
 
+TEST(Histogram, SumAndCountTrackEverySample) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  h.add(2.5);
+  h.add(7.5);
+  h.add(-3.0);  // clamped into underflow, still summed
+  h.add(42.0);  // clamped into overflow, still summed
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5 + 7.5 - 3.0 + 42.0);
+  EXPECT_EQ(h.count(), h.total());
+}
+
+TEST(Histogram, MergeEqualsCombinedStream) {
+  // The property the sweep runner relies on: per-job partial histograms
+  // merged together are indistinguishable from one sequential stream —
+  // bucket for bucket, so percentiles and CSVs come out byte-identical.
+  Histogram a(0.0, 100.0, 50);
+  Histogram b(0.0, 100.0, 50);
+  Histogram combined(0.0, 100.0, 50);
+  for (int i = 0; i < 40; ++i) {
+    const double v = static_cast<double>((i * 37) % 120) - 5.0;
+    ((i % 2) != 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.underflow(), combined.underflow());
+  EXPECT_EQ(a.overflow(), combined.overflow());
+  for (std::size_t i = 0; i < a.buckets(); ++i)
+    EXPECT_EQ(a.bucketCount(i), combined.bucketCount(i)) << i;
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p)) << p;
+}
+
+TEST(Histogram, MergeWithEmptySides) {
+  Histogram empty(0.0, 10.0, 10);
+  Histogram full(0.0, 10.0, 10);
+  full.add(5.0);
+  full.merge(empty);
+  EXPECT_EQ(full.count(), 1u);
+  empty.merge(full);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.sum(), 5.0);
+  EXPECT_EQ(empty.bucketCount(5), 1u);
+}
+
 TEST(HistogramDeath, BadRangeAborts) {
   EXPECT_DEATH(Histogram(5.0, 5.0, 10), "bad histogram range");
+}
+
+TEST(HistogramDeath, MergeRequiresIdenticalGeometry) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 20.0, 10);
+  EXPECT_DEATH(a.merge(b), "identical geometry");
 }
 
 }  // namespace

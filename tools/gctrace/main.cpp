@@ -1,0 +1,104 @@
+// gctrace CLI.
+//
+// Usage:
+//   gctrace <trace.json | flight.json>
+//           [--slowest N] [--pair JOB:SRC:DST] [--csv PATH]
+//
+// Reads either a Chrome trace written with ClusterConfig::packet_trace +
+// trace_path, or a flight-recorder dump (the bounded ring the cluster
+// writes when gcverify aborts), and prints the per-stage latency
+// attribution, a per-pair summary (or one pair's packet timeline with
+// --pair), and the slowest-N packets.  --csv additionally writes the
+// attribution table as CSV for plotting.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report.hpp"
+
+namespace {
+
+std::uint64_t parseU64(const char* flag, const char* value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "gctrace: bad value for %s: %s\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// "JOB:SRC:DST" -> three ints; dies on malformed input.
+void parsePair(const char* value, gangcomm::gctrace_tool::ReportOptions& o) {
+  int job = -1;
+  int src = -1;
+  int dst = -1;
+  if (std::sscanf(value, "%d:%d:%d", &job, &src, &dst) != 3 || job < 0 ||
+      src < 0 || dst < 0) {
+    std::fprintf(stderr, "gctrace: --pair wants JOB:SRC:DST, got %s\n",
+                 value);
+    std::exit(2);
+  }
+  o.pair_job = job;
+  o.pair_src = src;
+  o.pair_dst = dst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  std::string csv;
+  gangcomm::gctrace_tool::ReportOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gctrace: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--slowest") == 0) {
+      opt.slowest = static_cast<std::size_t>(parseU64(arg, next()));
+    } else if (std::strcmp(arg, "--pair") == 0) {
+      parsePair(next(), opt);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      csv = next();
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "gctrace: unknown flag %s\n", arg);
+      return 2;
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::fprintf(stderr, "gctrace: more than one input file\n");
+      return 2;
+    }
+  }
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: gctrace <trace.json|flight.json> [--slowest N] "
+                 "[--pair JOB:SRC:DST] [--csv PATH]\n");
+    return 2;
+  }
+
+  const gangcomm::gctrace_tool::TraceReport report =
+      gangcomm::gctrace_tool::loadFile(input);
+  std::fputs(gangcomm::gctrace_tool::renderReport(report, opt).c_str(),
+             stdout);
+  if (!csv.empty()) {
+    const bool ok =
+        gangcomm::gctrace_tool::buildAttribution(report).table().writeCsv(
+            csv);
+    if (!ok) {
+      std::fprintf(stderr, "gctrace: failed to write %s\n", csv.c_str());
+      return 1;
+    }
+    std::printf("\nattribution CSV written to %s\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// tools/gctrace — offline reader for gctrace output.
+//
+// Ingests either of the two artefact formats the simulator writes:
+//
+//   * a Chrome trace-event JSON (ClusterConfig::trace_path) whose "gctrace"
+//     track carries one flow-start ("ph":"s") per packet at send time, one
+//     flow-finish ("ph":"f") at handler dispatch, and a "pkt:stages"
+//     instant with the exact per-stage nanoseconds; and
+//
+//   * a flight-recorder dump (ClusterConfig::flight_dump_path /
+//     Cluster::dumpFlightRecorder), the bounded ring of the last N packet
+//     and protocol events, whose "dispatch" entries carry the same stage
+//     vector.
+//
+// Both reduce to the same PacketRecord rows, so a flight dump replays to
+// the identical attribution a full trace yields over the same packets —
+// the replay-equality test in tests/integration/gctrace_integration_test.cpp
+// pins that.
+//
+// The parser is a tiny recursive-descent JSON reader (objects keep field
+// order in a vector — nothing here iterates an unordered container), and
+// everything is exact integer nanoseconds end to end: the recorder prints
+// microsecond timestamps with three decimals, so ns survive the round trip.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/gctrace.hpp"
+
+namespace gangcomm::gctrace_tool {
+
+/// One packet reconstructed from a trace or flight dump.
+struct PacketRecord {
+  std::uint64_t id = 0;
+  int job = -1;
+  int src_rank = -1;
+  int dst_rank = -1;
+  int src_node = -1;
+  int dst_node = -1;
+  std::uint64_t seq = 0;
+  std::int64_t bytes = 0;
+  std::int64_t switches = 0;
+  /// Flow endpoints in exact simulated ns (Chrome input only; -1 when the
+  /// event was absent, e.g. flight dumps or a finish whose start rolled off).
+  std::int64_t start_ns = -1;
+  std::int64_t finish_ns = -1;
+  std::array<std::int64_t, obs::kPacketStageCount> stages{};
+  bool has_stages = false;
+
+  /// Sum of the stage decomposition; equals finish_ns - start_ns whenever
+  /// both flow endpoints were seen (the lifecycle stages partition the
+  /// end-to-end latency exactly).
+  std::int64_t stageSumNs() const;
+  /// End-to-end latency: the stage sum when stages are present, else the
+  /// flow-endpoint difference.
+  std::int64_t endToEndNs() const;
+};
+
+/// Everything the reader recovered from one input file.
+struct TraceReport {
+  bool from_flight = false;
+  std::vector<PacketRecord> packets;  // dispatched packets, input order
+  /// Flow bookkeeping (Chrome input): ids seen as "s" without a matching
+  /// "f" and vice versa.  A well-formed finished run has both empty.
+  std::vector<std::uint64_t> unmatched_starts;
+  std::vector<std::uint64_t> unmatched_finishes;
+  /// Flight input: ring geometry and event-kind census, first-seen order.
+  std::uint64_t flight_depth = 0;
+  std::uint64_t flight_recorded = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> event_kinds;
+};
+
+/// Parse either format (auto-detected: a top-level "gctrace_flight" key
+/// marks a flight dump, "traceEvents" a Chrome trace).  Throws
+/// std::runtime_error on malformed JSON or an unrecognised layout.
+TraceReport parseJson(const std::string& text);
+
+/// Read and parse a file; dies with a diagnostic on I/O or parse errors.
+TraceReport loadFile(const std::string& path);
+
+/// Fold every stage-carrying packet into a LatencyAttribution — the same
+/// aggregate the simulator publishes, rebuilt offline.
+obs::LatencyAttribution buildAttribution(const TraceReport& report);
+
+struct ReportOptions {
+  std::size_t slowest = 10;  // rows in the slowest-packets table
+  /// When >= 0, restrict the timeline table to this (job, src, dst) pair;
+  /// job -1 means every pair gets a summary row instead.
+  int pair_job = -1;
+  int pair_src = -1;
+  int pair_dst = -1;
+};
+
+/// Render the human-readable report: header, stage-attribution table,
+/// per-pair summary (or one pair's packet timeline), slowest-N packets,
+/// and — for flight dumps — the event-kind census.
+std::string renderReport(const TraceReport& report, const ReportOptions& opt);
+
+}  // namespace gangcomm::gctrace_tool
