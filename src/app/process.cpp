@@ -51,7 +51,20 @@ void Process::runStep() {
   }
   pending_wake_ = false;
   batch_started_ = sim().now();
+  if (draining_) {
+    // The workload's state machine already completed; don't re-enter it.
+    drainServe();
+    return;
+  }
   step();
+}
+
+void Process::drainServe() {
+  // Keep the receive queue from silting up with duplicates while the
+  // retransmission layer waits for its last acks; the dup/ooo shed paths
+  // in extract() also generate the acks a still-running peer may need.
+  env_.fm->extract(64);
+  if (!finished_) waitArrival();
 }
 
 bool Process::batchExhausted() const {
@@ -69,8 +82,28 @@ void Process::waitArrival() {
 }
 
 void Process::finish() {
+  GC_CHECK(!finished_ && !draining_);
+  // FM_finalize must quiesce the retransmission layer before the process
+  // may exit: send() is asynchronous, so a workload can complete with
+  // packets a peer never received still sitting in the unacked windows.
+  // An *exited* process stops riding gang switches (the noded skips it),
+  // so its timers would fire against whichever job then owns the live
+  // context seat — or never fire again at all.  Draining first keeps the
+  // process a first-class gang member until every window empties, after
+  // which no timer can re-arm and the exit leaks no events.
+  if (!env_.fm->sendWindowsDrained()) {
+    draining_ = true;
+    env_.fm->onDrained([this] { completeFinish(); });
+    drainServe();
+    return;
+  }
+  completeFinish();
+}
+
+void Process::completeFinish() {
   GC_CHECK(!finished_);
   finished_ = true;
+  draining_ = false;
   finish_time_ = sim().now();
   if (on_finish) on_finish();
 }

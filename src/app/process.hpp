@@ -71,7 +71,10 @@ class Process : public parpar::ProcessHandle {
   void waitSendable();
   /// Re-run step() when a packet lands in the receive queue.
   void waitArrival();
-  /// Mark completion; notifies the noded.
+  /// Mark completion; notifies the noded.  FM_finalize semantics: if the
+  /// retransmission layer still holds unacked packets a peer needs, the
+  /// process enters a draining state — it keeps riding gang switches and
+  /// servicing its receive queue, and only exits once the windows drain.
   void finish();
 
   /// True once this step's charged CPU exceeds the batching budget; the
@@ -81,11 +84,14 @@ class Process : public parpar::ProcessHandle {
  private:
   void scheduleStep();
   void runStep();
+  void drainServe();
+  void completeFinish();
 
   Env env_;
   bool started_ = false;
   bool suspended_ = false;
   bool finished_ = false;
+  bool draining_ = false;
   bool step_scheduled_ = false;
   bool pending_wake_ = false;
   sim::SimTime batch_started_ = 0;

@@ -59,12 +59,24 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
     cfg_.nic.enforce_fifo = false;
     cfg_.nic.allow_recv_overflow_drop = cfg_.fm.enable_retransmit;
   }
+  // A lossy/jittery/fail-stop fabric also breaks per-route FIFO, and wire
+  // corruption needs the FM checksum path armed or the first poisoned tag
+  // aborts the receiver.
+  const bool lossy_fabric = cfg_.link_faults.any() || !cfg_.fail_stops.empty();
+  if (lossy_fabric) cfg_.nic.enforce_fifo = false;
+  if (cfg_.link_faults.corrupt > 0.0) cfg_.fm.checksum_shed = true;
 
   fabric_ = std::make_unique<net::Fabric>(
       sim_, net::RoutingTable::singleSwitch(cfg_.nodes), cfg_.fabric);
   fabric_->setTrace(&trace_);
   fabric_->setPacketTracer(ptracer_.get());
   fabric_->setVerify(verifier_.get());
+  if (lossy_fabric) {
+    fabric_->setFaultSeed(cfg_.fault_seed != 0 ? cfg_.fault_seed : cfg_.seed);
+    if (cfg_.link_faults.any()) fabric_->setAllLinkFaults(cfg_.link_faults);
+    for (const net::FailStopEvent& ev : cfg_.fail_stops)
+      fabric_->addFailStop(ev);
+  }
 
   // Control-network address space: nodes 0..p-1, masterd at address p.
   const int master_addr = cfg_.nodes;

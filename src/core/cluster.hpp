@@ -69,6 +69,19 @@ struct ClusterConfig {
   fm::FmConfig fm;
   net::NicConfig nic;
   net::FabricConfig fabric;
+  /// Per-link fault model, applied uniformly to every directed link of the
+  /// fabric (see net/fault.hpp).  Per-link overrides and drop-every-Nth go
+  /// through cluster.fabric() directly.  Arming corruption auto-enables
+  /// fm.checksum_shed; any fault relaxes nic.enforce_fifo (loss and reorder
+  /// legally break per-route FIFO delivery).
+  net::LinkFaults link_faults;
+  /// Seed for the per-link fault RNG streams (0 = derive from `seed`).  The
+  /// same fault seed regenerates the same per-link fault pattern at any
+  /// sweep-runner thread count.
+  std::uint64_t fault_seed = 0;
+  /// Scheduled fail-stop events: links, NICs, or whole nodes that go dark
+  /// at a simulated time (dead links drop control packets too).
+  std::vector<net::FailStopEvent> fail_stops;
   host::MemoryModelConfig mem;
   parpar::ControlNetConfig ctrl;
   glue::SwitcherConfig switcher;

@@ -48,11 +48,32 @@ struct FmConfig {
   ///   * out-of-order and duplicate packets are shed by the receiver.
   bool enable_retransmit = false;
   /// Base retransmit timeout.  Must exceed the drain time of a full credit
-  /// window (C0 packets x ~21 us service) or every deep burst produces
-  /// spurious retransmissions; consecutive timeouts back off exponentially
-  /// (x2 up to x8) and reset on ack progress.
+  /// window (C0 packets x ~21 us service, kFullSlotServiceNs) or every deep
+  /// burst produces spurious retransmissions; consecutive timeouts back off
+  /// exponentially (x2 up to x8) and reset on ack progress.  Enforced by
+  /// FmLib::validateConfig at construction.
   sim::Duration retransmit_timeout_ns = 10 * sim::kMillisecond;
+  /// Packets per host burst of a go-back-N sweep.  A timeout can owe a full
+  /// C0-deep window; pushing every PIO at one instant would book
+  /// milliseconds of host CPU in a single event and stall everything behind
+  /// it (notably the noded's halt flag write at a gang switch).  The sweep
+  /// instead issues this many packets, then continues when the CPU has
+  /// drained them — the serial cost is identical, but other host work
+  /// interleaves.  Must be >= 1 (validateConfig).
+  int rtx_burst_packets = 16;
+  /// Shed delivered packets whose integrity tag fails re-derivation at
+  /// extract() instead of treating them as a protocol bug (the FM checksum
+  /// path).  Required when the fabric's corruption faults are armed; the
+  /// Cluster turns it on automatically.  A shed packet never advances the
+  /// receive window and never earns a refill — without a retransmission
+  /// layer its credit is lost exactly like a wire drop.
+  bool checksum_shed = false;
 };
+
+/// Worst-case per-packet service time (wire serialization + DMA + extract
+/// of one full 1560-byte slot at the paper's constants, ~21 us) used to
+/// size retransmit timeouts against the drain time of a C0-deep window.
+inline constexpr sim::Duration kFullSlotServiceNs = 21'000;
 
 struct CreditMath {
   /// Receive-queue slots each context gets when the arena is divided among

@@ -33,13 +33,27 @@ FmLib::FmLib(sim::Simulator& s, host::HostCpu& cpu, net::Nic& nic,
       unacked_(params_.rank_to_node.size()),
       expected_from_(params_.rank_to_node.size(), 1),
       rtx_timer_(params_.rank_to_node.size()),
+      rtx_sweep_(params_.rank_to_node.size()),
       rtx_last_head_(params_.rank_to_node.size(), 0),
       rtx_stalled_rounds_(params_.rank_to_node.size(), 0),
       rtx_backoff_(params_.rank_to_node.size(), 1) {
   GC_CHECK_MSG(nic_.context(params_.ctx) != nullptr,
                "FmLib bound to a context that was never allocated");
+  GC_CHECK_MSG(util::ok(validateConfig(cfg_, params_.credits_c0)),
+               "retransmit_timeout_ns must exceed the drain time of a full "
+               "credit window (C0 x ~21 us per slot)");
   // Prompt per-packet acks keep the go-back-N window honest.
   if (cfg_.enable_retransmit) refill_threshold_ = 1;
+}
+
+Status FmLib::validateConfig(const FmConfig& cfg, int credits_c0) {
+  if (!cfg.enable_retransmit) return Status::kOk;
+  if (cfg.rtx_burst_packets < 1) return Status::kInvalid;
+  const sim::Duration window_drain =
+      static_cast<sim::Duration>(credits_c0 > 0 ? credits_c0 : 0) *
+      kFullSlotServiceNs;
+  if (cfg.retransmit_timeout_ns <= window_drain) return Status::kInvalid;
+  return Status::kOk;
 }
 
 net::ContextSlot& FmLib::slot() {
@@ -233,7 +247,21 @@ int FmLib::extract(int max_packets) {
   int n = 0;
   while (n < max_packets && !nic_.recvEmpty(params_.ctx)) {
     Packet p = nic_.hostDequeueRecv(params_.ctx);
-    GC_CHECK_MSG(p.tagValid(), "corrupt packet reached a handler");
+    if (!p.tagValid()) {
+      // FM checksum path: a wire-corrupted packet is shed before any
+      // protocol state moves — the receive window does not advance, no
+      // refill is earned, and (with the retransmission layer) the sender's
+      // timeout sweep supplies a clean copy.  Without the shed path a bad
+      // tag is what it always was: a protocol bug, caught loudly.
+      GC_CHECK_MSG(cfg_.checksum_shed, "corrupt packet reached a handler");
+      cpu_.acquire(sim_.now(), cfg_.extract_per_packet_ns);
+      ++n;
+      ++stats_.checksum_dropped;
+      if (verify::active(verify_)) verify_->onFmShed(nic_.node(), p);
+      if (obs::ptracing(ptrace_) && p.trace_id != 0)
+        ptrace_->onDrop(p.trace_id, nic_.node(), "drop:checksum", sim_.now());
+      continue;
+    }
     GC_CHECK_MSG(p.job == params_.job, "packet for another job in our queue");
     GC_CHECK_MSG(p.dst_rank == params_.rank, "misrouted packet");
 
@@ -320,7 +348,12 @@ void FmLib::onSendable(util::SboFunction<void()> cb) {
 
 void FmLib::trackUnacked(const net::Packet& p) {
   unacked_[static_cast<std::size_t>(p.dst_rank)].push_back(p);
-  armRtxTimer(p.dst_rank);
+  // Suspend semantics match purgeAcked: a gang-descheduled process must not
+  // hold an armed timer — a fuse lit mid-suspension would fire almost
+  // immediately after resume and duplicate packets that were never lost.
+  // setSuspended(false) arms a fresh full timeout for every non-empty
+  // window instead.
+  if (!suspended_) armRtxTimer(p.dst_rank);
 }
 
 void FmLib::purgeAcked(int peer) {
@@ -342,11 +375,35 @@ void FmLib::purgeAcked(int peer) {
     rtx_timer_[idx] = {};
   }
   if (!q.empty() && !suspended_) armRtxTimer(peer);
+  // purgeAcked is the only place windows shrink, so this is the one spot
+  // where a drain waiter (FM_finalize) can come due.
+  if (on_drained_ != nullptr && sendWindowsDrained()) {
+    auto cb = std::move(on_drained_);
+    on_drained_ = nullptr;
+    cb();
+  }
+}
+
+bool FmLib::sendWindowsDrained() const {
+  for (const auto& q : unacked_)
+    if (!q.empty()) return false;
+  return true;
+}
+
+void FmLib::onDrained(util::SboFunction<void()> cb) {
+  GC_CHECK_MSG(on_drained_ == nullptr, "one drain waiter at a time");
+  if (sendWindowsDrained()) {
+    sim_.schedule(0, std::move(cb));
+    return;
+  }
+  on_drained_ = std::move(cb);
 }
 
 void FmLib::armRtxTimer(int peer) {
   const auto idx = static_cast<std::size_t>(peer);
-  if (rtx_timer_[idx].valid()) return;
+  // A sweep in progress is itself the recovery action for this peer; it
+  // re-arms the timer when its last chunk goes out.
+  if (rtx_timer_[idx].valid() || rtx_sweep_[idx].valid()) return;
   const sim::Duration delay =
       cfg_.retransmit_timeout_ns *
       static_cast<sim::Duration>(rtx_backoff_[idx]);
@@ -357,13 +414,17 @@ void FmLib::armRtxTimer(int peer) {
 void FmLib::onRtxTimeout(int peer) {
   const auto idx = static_cast<std::size_t>(peer);
   rtx_timer_[idx] = {};
-  purgeAcked(peer);
-  if (unacked_[idx].empty()) return;
   if (suspended_) {
-    // Gang-descheduled (our context may be off the card); sweep on resume.
-    rtx_wake_pending_ = true;
+    // Gang-descheduled: under switched buffer policies the live context
+    // seat now holds *another job's* state, so even the acked_seq_from
+    // read behind purgeAcked would purge our window against a foreign
+    // job's ack marks (silently dropping packets that were never
+    // delivered).  Touch nothing; setSuspended's resume sweep purges
+    // against our restored marks and re-fires this burned-out fuse.
     return;
   }
+  purgeAcked(peer);
+  if (unacked_[idx].empty()) return;
   ++stats_.rtx_timeouts;
   if (obs::tracing(trace_))
     trace_->instant(nic_.node(), "fm", "rtx:timeout", sim_.now(),
@@ -399,30 +460,71 @@ void FmLib::retransmitPending(int peer) {
   // Go-back-N sweep: resend unacked packets, oldest first.  No fresh credit
   // is spent — the receiver-side slot reservation of the original
   // transmission still stands.  After repeated no-progress timeouts, only
-  // the head is resent (stop-and-wait fallback).
+  // the head is resent (stop-and-wait fallback).  Seqs in the window are
+  // contiguous, so the sweep is bounded by [head, head + limit - 1]; packets
+  // queued after the timeout are fresh, not timed out, and stay out of it.
+  if (unacked_[idx].empty()) {
+    armRtxTimer(peer);
+    return;
+  }
   const std::size_t limit =
       rtx_stalled_rounds_[idx] >= 2 ? 1 : unacked_[idx].size();
-  std::size_t sent = 0;
+  const std::uint64_t head = unacked_[idx].front().seq;
+  sweepResend(peer, head, head + static_cast<std::uint64_t>(limit) - 1);
+}
+
+void FmLib::sweepResend(int peer, std::uint64_t next_seq,
+                        std::uint64_t end_seq) {
+  const auto idx = static_cast<std::size_t>(peer);
+  rtx_sweep_[idx] = {};
+  // Gang-descheduled mid-sweep: abandon it — the live seat may hold another
+  // job's state (see onRtxTimeout), and the resume sweep restarts recovery.
+  if (suspended_) return;
+  purgeAcked(peer);
+  std::uint64_t last = 0;
+  int burst = 0;
   for (const net::Packet& p : unacked_[idx]) {
-    if (sent >= limit) break;
-    if (!nic_.reserveSendSlot(params_.ctx)) break;
+    if (p.seq < next_seq) continue;
+    if (p.seq > end_seq || burst >= cfg_.rtx_burst_packets) break;
+    if (!nic_.reserveSendSlot(params_.ctx)) break;  // full queue: timer retries
     pushPacketToNic(p);
     ++stats_.packets_retransmitted;
-    ++sent;
+    ++burst;
+    last = p.seq;
+  }
+  if (burst == cfg_.rtx_burst_packets && last < end_seq &&
+      !unacked_[idx].empty() && unacked_[idx].back().seq > last) {
+    // More of the window to go: continue once the host has drained this
+    // burst's PIOs, so the noded and the extract loop interleave instead of
+    // queueing behind one giant booking.
+    const sim::Duration gap = cpu_.availableAt(sim_.now()) - sim_.now();
+    rtx_sweep_[idx] = sim_.schedule(
+        gap, [this, peer, last, end_seq] { sweepResend(peer, last + 1, end_seq); });
+    return;
   }
   armRtxTimer(peer);
 }
 
 void FmLib::setSuspended(bool suspended) {
   suspended_ = suspended;
-  if (suspended || !rtx_wake_pending_) return;
-  rtx_wake_pending_ = false;
+  if (suspended || !cfg_.enable_retransmit) return;
+  // Resume sweep over every peer: purge what was acked while we were off
+  // the card (the gang switch flushed the network, so acked_seq_from is
+  // final), then deal with each still-unacked window.  A window whose
+  // pre-suspension fuse is still pending keeps it; purgeAcked re-armed a
+  // fresh one wherever the head advanced.  What remains is a fuse that
+  // burned out mid-suspension and was swallowed by onRtxTimeout: that head
+  // is already a full timeout old, so it fires now — re-arming another full
+  // backoff period instead would livelock once the period outgrows our gang
+  // residency (every timeout would land off the card, be swallowed, and be
+  // pushed another full period out on resume, forever).
   for (std::size_t peer = 0; peer < unacked_.size(); ++peer) {
     purgeAcked(static_cast<int>(peer));
-    // Re-arm a full timeout: the traffic saved across the switch is about
-    // to fly and be acked; an eager fuse here only produces spurious
-    // duplicates of packets that were never lost.
-    if (!unacked_[peer].empty()) armRtxTimer(static_cast<int>(peer));
+    if (unacked_[peer].empty() || rtx_timer_[peer].valid() ||
+        rtx_sweep_[peer].valid())
+      continue;
+    const int p = static_cast<int>(peer);
+    rtx_timer_[peer] = sim_.schedule(0, [this, p] { onRtxTimeout(p); });
   }
 }
 
@@ -452,6 +554,8 @@ void FmLib::publishMetrics(obs::MetricsRegistry& reg) const {
     reg.setCounter(p + "ooo_dropped", stats_.ooo_dropped);
     reg.setCounter(p + "dup_dropped", stats_.dup_dropped);
   }
+  if (cfg_.checksum_shed)
+    reg.setCounter(p + "checksum_dropped", stats_.checksum_dropped);
 }
 
 }  // namespace gangcomm::fm

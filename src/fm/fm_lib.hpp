@@ -55,6 +55,8 @@ struct FmStats {
   std::uint64_t rtx_timeouts = 0;
   std::uint64_t ooo_dropped = 0;  // out-of-order arrivals shed (go-back-N)
   std::uint64_t dup_dropped = 0;  // duplicates shed
+  // Checksum path (when FmConfig::checksum_shed):
+  std::uint64_t checksum_dropped = 0;  // corrupt packets shed at extract()
 };
 
 class FmLib {
@@ -70,6 +72,13 @@ class FmLib {
 
   FmLib(sim::Simulator& s, host::HostCpu& cpu, net::Nic& nic,
         const FmConfig& cfg, Params params);
+
+  /// Config validation, run by the constructor (which aborts on failure).
+  /// kInvalid when the retransmission layer is enabled with a timeout that
+  /// does not exceed the drain time of a full credit window
+  /// (credits_c0 x kFullSlotServiceNs) — such a timeout turns every deep
+  /// burst into a spurious go-back-N sweep.
+  static util::Status validateConfig(const FmConfig& cfg, int credits_c0);
 
   using Handler = util::SboFunction<void(const net::Packet&)>;
 
@@ -102,6 +111,16 @@ class FmLib {
   /// process must not fire retransmit timers (its context may be switched
   /// out).  Pending timeouts are honoured on resume.
   void setSuspended(bool suspended);
+
+  /// True when no sent packet is awaiting an ack (vacuously true without
+  /// the retransmission layer).  FM_finalize semantics: a process must not
+  /// exit while this is false — its peers may still need retransmissions
+  /// that only this library's timers can supply.
+  bool sendWindowsDrained() const;
+
+  /// One-shot callback fired when the last unacked window empties.  If the
+  /// windows are already drained it fires on the next simulator step.
+  void onDrained(util::SboFunction<void()> cb);
 
   bool recvQueueEmpty() const { return nic_.recvEmpty(params_.ctx); }
   int credits(int dst_rank) const;
@@ -142,6 +161,7 @@ class FmLib {
   void armRtxTimer(int peer);
   void onRtxTimeout(int peer);
   void retransmitPending(int peer);
+  void sweepResend(int peer, std::uint64_t next_seq, std::uint64_t end_seq);
   void pushPacketToNic(const net::Packet& p);
 
   sim::Simulator& sim_;
@@ -178,11 +198,12 @@ class FmLib {
   std::vector<std::deque<net::Packet>> unacked_;   // per peer, seq order
   std::vector<std::uint64_t> expected_from_;       // next in-order seq
   std::vector<sim::EventHandle> rtx_timer_;
+  std::vector<sim::EventHandle> rtx_sweep_;        // paced sweep continuation
   std::vector<std::uint64_t> rtx_last_head_;       // head seq at last timeout
   std::vector<int> rtx_stalled_rounds_;            // no-progress timeouts
   std::vector<int> rtx_backoff_;                   // timeout multiplier (1..8)
+  util::SboFunction<void()> on_drained_;           // FM_finalize drain wait
   bool suspended_ = false;
-  bool rtx_wake_pending_ = false;
   obs::TraceRecorder* trace_ = nullptr;
   obs::PacketTracer* ptrace_ = nullptr;
   verify::VerifySink* verify_ = nullptr;

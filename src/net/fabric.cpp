@@ -29,6 +29,113 @@ sim::SimTime Fabric::outLinkFreeAt(NodeId node) const {
   return busy > sim_.now() ? busy : sim_.now();
 }
 
+// ---- Fault injection --------------------------------------------------------
+
+Fabric::LinkFaultState& Fabric::link(NodeId src, NodeId dst) {
+  return links_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(routes_.nodeCount()) +
+                static_cast<std::size_t>(dst)];
+}
+
+std::uint64_t Fabric::linkSeed(NodeId src, NodeId dst) const {
+  // Two SplitMix64 passes decorrelate (seed, link) pairs.  A link's stream
+  // depends only on (fault_seed_, src, dst) — never on configuration order
+  // or on what other links carry.
+  sim::SplitMix64 outer(fault_seed_);
+  const std::uint64_t mixed =
+      outer.next() ^
+      ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+       static_cast<std::uint32_t>(dst));
+  sim::SplitMix64 inner(mixed);
+  return inner.next();
+}
+
+void Fabric::ensureLinks() {
+  if (!links_.empty()) return;
+  const auto p = static_cast<std::size_t>(routes_.nodeCount());
+  links_.resize(p * p);
+  node_dead_at_.assign(p, sim::kNever);
+  for (NodeId s = 0; s < routes_.nodeCount(); ++s)
+    for (NodeId d = 0; d < routes_.nodeCount(); ++d)
+      link(s, d).rng.reseed(linkSeed(s, d));
+}
+
+void Fabric::recomputeFaultsEnabled() {
+  faults_enabled_ = false;
+  for (const LinkFaultState& lf : links_) {
+    if (lf.drop_every != 0 || lf.cfg.any() || lf.dead_at != sim::kNever) {
+      faults_enabled_ = true;
+      return;
+    }
+  }
+  for (const sim::SimTime t : node_dead_at_) {
+    if (t != sim::kNever) {
+      faults_enabled_ = true;
+      return;
+    }
+  }
+}
+
+void Fabric::setDropEveryNth(std::uint64_t n) {
+  ensureLinks();
+  // Per-link counters: flipping the rate mid-run (the fault-injection
+  // experiments do) keeps each link's position in its own count.
+  for (LinkFaultState& lf : links_) lf.drop_every = n;
+  recomputeFaultsEnabled();
+}
+
+void Fabric::setFaultSeed(std::uint64_t seed) {
+  fault_seed_ = seed;
+  ensureLinks();
+  for (NodeId s = 0; s < routes_.nodeCount(); ++s)
+    for (NodeId d = 0; d < routes_.nodeCount(); ++d)
+      link(s, d).rng.reseed(linkSeed(s, d));
+}
+
+void Fabric::setLinkFaults(NodeId src, NodeId dst, const LinkFaults& f) {
+  GC_CHECK(routes_.valid(src) && routes_.valid(dst));
+  ensureLinks();
+  link(src, dst).cfg = f;
+  recomputeFaultsEnabled();
+}
+
+void Fabric::setAllLinkFaults(const LinkFaults& f) {
+  ensureLinks();
+  for (LinkFaultState& lf : links_) lf.cfg = f;
+  recomputeFaultsEnabled();
+}
+
+void Fabric::addFailStop(const FailStopEvent& ev) {
+  ensureLinks();
+  if (ev.kind == FailStopKind::kLink) {
+    GC_CHECK(routes_.valid(ev.src) && routes_.valid(ev.dst));
+    LinkFaultState& lf = link(ev.src, ev.dst);
+    if (ev.at < lf.dead_at) lf.dead_at = ev.at;
+  } else {
+    // kNic and kNode are the same thing on the SAN: the node goes silent in
+    // both directions (see net/fault.hpp).
+    GC_CHECK(routes_.valid(ev.src));
+    sim::SimTime& dead = node_dead_at_[static_cast<std::size_t>(ev.src)];
+    if (ev.at < dead) dead = ev.at;
+  }
+  recomputeFaultsEnabled();
+}
+
+void Fabric::dropPacket(const Packet& pkt, sim::SimTime at,
+                        const char* reason) {
+  ++dropped_;
+  GC_DEBUG(sim_, "fabric", "DROP %s pkt %d->%d seq=%llu (%s)",
+           packetTypeName(pkt.type), pkt.src_node, pkt.dst_node,
+           static_cast<unsigned long long>(pkt.seq), reason);
+  if (obs::tracing(trace_))
+    trace_->instant(pkt.src_node, "fabric", reason, at,
+                    {{"dst", pkt.dst_node},
+                     {"seq", static_cast<std::int64_t>(pkt.seq)}});
+  if (verify::active(verify_)) verify_->onWireDrop(pkt);
+  if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
+    ptrace_->onDrop(pkt.trace_id, pkt.src_node, reason, at);
+}
+
 sim::SimTime Fabric::inject(const Packet& pkt) {
   GC_CHECK(routes_.valid(pkt.src_node) && routes_.valid(pkt.dst_node));
   GC_CHECK_MSG(pkt.src_node != pkt.dst_node, "no loopback traffic on the SAN");
@@ -53,41 +160,90 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
     stats_.data_bytes += pkt.wireBytes();
   }
 
-  // Fault injection (data packets only).
-  if (drop_every_ != 0 && !pkt.isControl()) {
-    if (++data_seen_ % drop_every_ == 0) {
-      ++dropped_;
-      GC_DEBUG(sim_, "fabric", "DROP data pkt %d->%d seq=%llu", pkt.src_node,
-               pkt.dst_node, static_cast<unsigned long long>(pkt.seq));
-      if (obs::tracing(trace_))
-        trace_->instant(pkt.src_node, "fabric", "drop:fault", inj_done,
-                        {{"dst", pkt.dst_node},
-                         {"seq", static_cast<std::int64_t>(pkt.seq)}});
-      if (verify::active(verify_)) verify_->onWireDrop(pkt);
-      if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
-        ptrace_->onDrop(pkt.trace_id, pkt.src_node, "drop:fault", inj_done);
+  // Fault injection.  One flag test on the fault-free path; with faults
+  // configured, every decision draws from the (src, dst) link's own seeded
+  // stream, in a fixed order (loss, corrupt, jitter, reorder) and only for
+  // the knobs that are enabled — the determinism contract in net/fault.hpp.
+  sim::Duration jitter = 0;
+  bool corrupted = false;
+  bool reordered = false;
+  std::uint64_t poison = 0;
+  if (faults_enabled_) {
+    LinkFaultState& lf = link(pkt.src_node, pkt.dst_node);
+    // Fail-stop first: a dead link swallows everything, control included.
+    if (inj_start >= lf.dead_at ||
+        inj_start >= node_dead_at_[static_cast<std::size_t>(pkt.src_node)] ||
+        inj_start >= node_dead_at_[static_cast<std::size_t>(pkt.dst_node)]) {
+      ++fault_stats_.failstop_dropped;
+      dropPacket(pkt, inj_done, "drop:failstop");
       return inj_done;
+    }
+    if (!pkt.isControl()) {
+      if (lf.drop_every != 0 && ++lf.data_seen % lf.drop_every == 0) {
+        ++fault_stats_.counter_dropped;
+        dropPacket(pkt, inj_done, "drop:fault");
+        return inj_done;
+      }
+      if (lf.cfg.loss > 0.0 && lf.rng.nextDouble() < lf.cfg.loss) {
+        ++fault_stats_.lost;
+        dropPacket(pkt, inj_done, "drop:loss");
+        return inj_done;
+      }
+      if (lf.cfg.corrupt > 0.0 && lf.rng.nextDouble() < lf.cfg.corrupt) {
+        // Delivered-but-poisoned: payload damage flips the integrity tag;
+        // header routing/ack fields stay intact (the NIC still applies
+        // them) and the FM checksum path sheds the packet at extract().
+        ++fault_stats_.corrupted;
+        corrupted = true;
+        poison = lf.rng.next() | 1ULL;  // nonzero => tagValid() fails
+        if (obs::tracing(trace_))
+          trace_->instant(pkt.src_node, "fabric", "fault:corrupt", inj_done,
+                          {{"dst", pkt.dst_node},
+                           {"seq", static_cast<std::int64_t>(pkt.seq)}});
+      }
+      if (lf.cfg.max_jitter_ns > 0) {
+        jitter = static_cast<sim::Duration>(lf.rng.nextBelow(
+            static_cast<std::uint64_t>(lf.cfg.max_jitter_ns) + 1));
+        if (jitter > 0) ++fault_stats_.jittered;
+      }
+      if (lf.cfg.reorder > 0.0 && lf.rng.nextDouble() < lf.cfg.reorder) {
+        ++fault_stats_.reordered;
+        reordered = true;
+        if (lf.cfg.max_reorder_ns > 0)
+          jitter += static_cast<sim::Duration>(lf.rng.nextBelow(
+              static_cast<std::uint64_t>(lf.cfg.max_reorder_ns) + 1));
+      }
     }
   }
 
-  // Switch traversal, then destination input link.
+  // Switch traversal (plus any fault jitter), then destination input link.
   const sim::Duration fabric_lat =
       cfg_.hop_latency_ns *
-      static_cast<sim::Duration>(routes_.hops(pkt.src_node, pkt.dst_node));
+          static_cast<sim::Duration>(
+              routes_.hops(pkt.src_node, pkt.dst_node)) +
+      jitter;
   const sim::SimTime arrive = inj_done + fabric_lat;
-  sim::SimTime& in_busy = in_busy_[static_cast<std::size_t>(pkt.dst_node)];
-  const sim::SimTime rx_start = arrive > in_busy ? arrive : in_busy;
-  const sim::SimTime rx_done = rx_start + ser;
-  in_busy = rx_done;
+  sim::SimTime rx_done;
+  if (reordered) {
+    // The packet detours around the blocking input link (an alternate
+    // switch path), so it neither waits for nor extends the per-route FIFO
+    // chain — later traffic can overtake it and vice versa.
+    rx_done = arrive + ser;
+  } else {
+    sim::SimTime& in_busy = in_busy_[static_cast<std::size_t>(pkt.dst_node)];
+    const sim::SimTime rx_start = arrive > in_busy ? arrive : in_busy;
+    rx_done = rx_start + ser;
+    in_busy = rx_done;
 
-  // Wormhole back-pressure: Myrinet has almost no switch buffering, so a
-  // packet occupies its path until the destination drains it.  The source
-  // link therefore stays busy until the tail leaves it — incast congestion
-  // stalls the sending LANai, which is how send queues build up under
-  // all-to-all load (Figure 8).
-  const sim::SimTime tail_leaves_src = rx_done - fabric_lat;
-  if (tail_leaves_src > inj_done)
-    out_busy_[static_cast<std::size_t>(pkt.src_node)] = tail_leaves_src;
+    // Wormhole back-pressure: Myrinet has almost no switch buffering, so a
+    // packet occupies its path until the destination drains it.  The source
+    // link therefore stays busy until the tail leaves it — incast congestion
+    // stalls the sending LANai, which is how send queues build up under
+    // all-to-all load (Figure 8).
+    const sim::SimTime tail_leaves_src = rx_done - fabric_lat;
+    if (tail_leaves_src > inj_done)
+      out_busy_[static_cast<std::size_t>(pkt.src_node)] = tail_leaves_src;
+  }
 
   // One wire-occupancy span per packet: injection start to last byte off the
   // destination's input link.
@@ -101,10 +257,19 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
   if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
     ptrace_->onWire(pkt.trace_id, inj_start, rx_done);
 
-  sim_.scheduleAt(rx_done, [this, pkt] {
-    if (verify::active(verify_)) verify_->onWireDeliver(pkt);
-    deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt);
-  });
+  if (corrupted) {
+    Packet poisoned = pkt;
+    poisoned.tag ^= poison;
+    sim_.scheduleAt(rx_done, [this, poisoned] {
+      if (verify::active(verify_)) verify_->onWireDeliver(poisoned);
+      deliver_[static_cast<std::size_t>(poisoned.dst_node)](poisoned);
+    });
+  } else {
+    sim_.scheduleAt(rx_done, [this, pkt] {
+      if (verify::active(verify_)) verify_->onWireDeliver(pkt);
+      deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt);
+    });
+  }
   return out_busy_[static_cast<std::size_t>(pkt.src_node)];
 }
 
@@ -116,6 +281,18 @@ void Fabric::publishMetrics(obs::MetricsRegistry& reg) const {
   reg.setCounter("fabric.data_bytes", stats_.data_bytes);
   reg.setCounter("fabric.control_bytes", stats_.control_bytes);
   reg.setCounter("fabric.dropped_packets", dropped_);
+  // Fault-cause breakdown only when a fault model is armed, so lossless
+  // bench metric sets (and their CSVs) are unchanged.
+  if (faults_enabled_) {
+    reg.setCounter("fabric.fault.lost", fault_stats_.lost);
+    reg.setCounter("fabric.fault.corrupted", fault_stats_.corrupted);
+    reg.setCounter("fabric.fault.jittered", fault_stats_.jittered);
+    reg.setCounter("fabric.fault.reordered", fault_stats_.reordered);
+    reg.setCounter("fabric.fault.failstop_dropped",
+                   fault_stats_.failstop_dropped);
+    reg.setCounter("fabric.fault.counter_dropped",
+                   fault_stats_.counter_dropped);
+  }
 }
 
 }  // namespace gangcomm::net

@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "obs/metrics.hpp"
+#include "sim/random.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/sbo_function.hpp"
@@ -74,11 +76,31 @@ class Fabric {
 
   const FabricStats& stats() const { return stats_; }
 
-  /// Fault injection for the packet-loss experiments: drop every `1/rate`-th
-  /// data packet (0 disables).  Control packets are never dropped (they are
-  /// hardware-level in the paper's design).
-  void setDropEveryNth(std::uint64_t n) { drop_every_ = n; }
+  // ---- Fault injection (see net/fault.hpp) --------------------------------
+  //
+  // All fault state is per directed (src, dst) link: each link owns its own
+  // drop counter and its own RNG stream seeded from (fault seed, src, dst),
+  // so one flow's fault pattern never shifts when unrelated traffic joins
+  // and results are identical at any sweep-runner thread count.  The hot
+  // path pays a single flag test when no fault is configured.
+
+  /// Deterministic counter faults for the packet-loss experiments: drop
+  /// every n-th data packet *per link* (0 disables).  Control packets are
+  /// only ever dropped by fail-stop (they are hardware-level in the paper's
+  /// design).
+  void setDropEveryNth(std::uint64_t n);
   std::uint64_t droppedPackets() const { return dropped_; }
+
+  /// Seed for the per-link fault streams; reseeds every link.  Call before
+  /// traffic flows (mid-run reseeding restarts every stream).
+  void setFaultSeed(std::uint64_t seed);
+  /// Probabilistic faults on one directed link / on every link.
+  void setLinkFaults(NodeId src, NodeId dst, const LinkFaults& f);
+  void setAllLinkFaults(const LinkFaults& f);
+  /// Schedule a fail-stop: packets injected at or after `ev.at` on the dead
+  /// link(s) are dropped, control packets included.
+  void addFailStop(const FailStopEvent& ev);
+  const FaultStats& faultStats() const { return fault_stats_; }
 
   /// Observability hooks (gc_obs).  The recorder may be null; tracing is
   /// zero-cost when absent or disabled and never perturbs simulation state.
@@ -94,6 +116,24 @@ class Fabric {
   void setVerify(verify::VerifySink* v) { verify_ = v; }
 
  private:
+  /// Fault state for one directed link.  Materialized (for every link at
+  /// once) only when some fault API is first used, so fault-free fabrics
+  /// pay nothing beyond the `faults_enabled_` flag test.
+  struct LinkFaultState {
+    LinkFaults cfg;
+    sim::Xoshiro256 rng;
+    std::uint64_t drop_every = 0;
+    std::uint64_t data_seen = 0;
+    sim::SimTime dead_at = sim::kNever;
+  };
+
+  void ensureLinks();
+  void recomputeFaultsEnabled();
+  std::uint64_t linkSeed(NodeId src, NodeId dst) const;
+  LinkFaultState& link(NodeId src, NodeId dst);
+  /// Wire-drop bookkeeping shared by every drop cause.
+  void dropPacket(const Packet& pkt, sim::SimTime at, const char* reason);
+
   sim::Simulator& sim_;
   RoutingTable routes_;
   FabricConfig cfg_;
@@ -104,9 +144,12 @@ class Fabric {
   obs::TraceRecorder* trace_ = nullptr;
   obs::PacketTracer* ptrace_ = nullptr;
   verify::VerifySink* verify_ = nullptr;
-  std::uint64_t drop_every_ = 0;
-  std::uint64_t data_seen_ = 0;
-  std::uint64_t dropped_ = 0;
+  bool faults_enabled_ = false;  // single hot-path guard for all faults
+  std::uint64_t fault_seed_ = 0;
+  std::vector<LinkFaultState> links_;      // p*p, row-major src*p + dst
+  std::vector<sim::SimTime> node_dead_at_;  // kNic/kNode fail-stops
+  FaultStats fault_stats_;
+  std::uint64_t dropped_ = 0;  // total wire drops, all causes
 };
 
 }  // namespace gangcomm::net

@@ -131,6 +131,9 @@ util::Status Nic::hostEnqueueSend(ContextId id, const Packet& pkt) {
   if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
     ptrace_->onNicQueued(pkt.trace_id, node_, sim_.now());
   scheduleSendScan();
+  // A flush may be blocked solely on this PIO completing (the packet
+  // itself legally rides the switch parked in sendq).
+  if (ctx->reserved_send_slots == 0) maybeCompleteFlush();
   return util::Status::kOk;
 }
 
@@ -299,6 +302,11 @@ void Nic::maybeCompleteFlush() {
   if (flush_complete_ || !halt_bit_ || !halt_broadcast_done_) return;
   if (halts_rx_ - halts_consumed_ < peers) return;
   if (dma_in_flight_ != 0 || send_busy_ || !control_queue_.empty()) return;
+  // A retransmit timer may start a host PIO in the gap between the
+  // master's switch decision and this node's SIGSTOP; the flush must
+  // outwait that write-combining copy or copyOut would see a reserved
+  // send slot with its packet still in flight.
+  if (!hostPioIdle()) return;
   flush_complete_ = true;
   halts_consumed_ += peers;
   ++stats_.flushes;
@@ -390,6 +398,9 @@ void Nic::maybeCompleteQuiesce() {
   // under incast would stall the switch indefinitely.
   if (!quiesce_mode_ || quiesce_complete_) return;
   if (send_busy_ || !control_queue_.empty()) return;
+  // No hostPioIdle() wait here: local quiesce never copies a context out
+  // (SHARE and PM retag in place), so a PIO landing late is harmless —
+  // and other jobs' still-running processes would make it a moving target.
   if (ack_quiesce_mode_ && !allTrafficAcked()) return;
   quiesce_complete_ = true;
   GC_DEBUG(sim_, "nic", "node %d: locally quiesced", node_);
@@ -428,6 +439,12 @@ void Nic::endAckQuiesce() {
   GC_CHECK_MSG(ack_quiesce_mode_, "endAckQuiesce outside ack-quiesce");
   ack_quiesce_mode_ = false;
   endLocalQuiesce();
+}
+
+bool Nic::hostPioIdle() const {
+  for (const auto& c : contexts_)
+    if (c->reserved_send_slots != 0) return false;
+  return true;
 }
 
 bool Nic::allTrafficAcked() const {

@@ -244,6 +244,7 @@ class Nic {
   void maybeCompleteQuiesce();
   void maybeCompleteAckQuiesce();
   bool allTrafficAcked() const;
+  bool hostPioIdle() const;
   void emitNicAck(const Packet& data_pkt);
   void deliverData(const Packet& pkt);
   void dmaDeliver(const Packet& pkt, ContextSlot& ctx);

@@ -158,6 +158,21 @@ void InvariantEngine::onNicDrop(net::NodeId node, const net::Packet& p,
   accountDroppedPacket(p, reason);
 }
 
+void InvariantEngine::onFmShed(net::NodeId node, const net::Packet& p) {
+  (void)node;
+  // The packet landed (it is part of `landed_` already) and the NIC applied
+  // any piggybacked refill before DMA, so this is NOT accountDroppedPacket:
+  // only the data packet's own credit can be lost, and only when no
+  // retransmission layer exists to deliver a clean copy later.
+  ++drop_reasons_["fm_checksum"];
+  auto it = jobs_.find(p.job);
+  if (it == jobs_.end()) return;
+  JobLedger& jl = it->second;
+  if (jl.retransmit) return;  // the original reservation stands
+  PairLedger& pl = pair(jl, p.src_rank, p.dst_rank);
+  if (pl.outstanding.erase(p.seq) != 0) ++pl.lost;
+}
+
 void InvariantEngine::accountDroppedPacket(const net::Packet& p,
                                            const char* reason) {
   (void)reason;

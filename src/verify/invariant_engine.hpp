@@ -108,6 +108,7 @@ class InvariantEngine : public VerifySink, public sim::EventObserver {
   void onRecvLanded(net::NodeId node, const net::Packet& p) override;
   void onNicDrop(net::NodeId node, const net::Packet& p,
                  const char* reason) override;
+  void onFmShed(net::NodeId node, const net::Packet& p) override;
   void onBufferAcquire(net::NodeId node, BufferOwner who) override;
   void onBufferRelease(net::NodeId node, BufferOwner who) override;
   void onSwitchStage(net::NodeId node, SwitchStage stage) override;

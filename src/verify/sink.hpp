@@ -70,7 +70,9 @@ class VerifySink {
 
   virtual void onWireInject(const net::Packet& p) = 0;
   virtual void onWireDeliver(const net::Packet& p) = 0;
-  /// Fabric-level fault-injection drop (never a control packet).
+  /// Fabric-level fault-injection drop.  Probabilistic/counter faults only
+  /// ever drop data packets; fail-stop (dead link/NIC/node) drops control
+  /// packets too.
   virtual void onWireDrop(const net::Packet& p) = 0;
   /// A data packet landed in the destination context's receive queue.
   virtual void onRecvLanded(net::NodeId node, const net::Packet& p) = 0;
@@ -78,6 +80,12 @@ class VerifySink {
   /// string: "no_ctx", "wrong_job", "recv_overflow", or "quiesce_shed".
   virtual void onNicDrop(net::NodeId node, const net::Packet& p,
                          const char* reason) = 0;
+  /// The FM library shed a delivered-but-corrupt packet at extract() (its
+  /// integrity tag failed the checksum re-derivation).  The packet *did*
+  /// land — any piggybacked refill was already applied by the NIC — so only
+  /// the packet's own credit is written off (and only without a
+  /// retransmission layer, where no later copy will ever be accepted).
+  virtual void onFmShed(net::NodeId node, const net::Packet& p) = 0;
 
   // ---- Buffer ownership ---------------------------------------------------
 

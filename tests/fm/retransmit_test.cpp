@@ -160,6 +160,144 @@ TEST_F(RetransmitTest, SuspendedSenderDefersTimeoutSweep) {
   EXPECT_GT(lib(0).stats().packets_retransmitted, 0u);
 }
 
+TEST_F(RetransmitTest, SendWhileSuspendedArmsNoTimer) {
+  // SIGSTOP can land between a send() call and the gang switch: the PIO
+  // completes (the packet flies) but the process is already suspended, so
+  // trackUnacked must not light a retransmit fuse — recovery belongs to the
+  // resume sweep, which fires the overdue timeout the moment we are back.
+  fabric_.setDropEveryNth(1);
+  lib(0).setSuspended(true);
+  ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  sim_.runUntil(100 * sim::kMicrosecond);
+  ASSERT_GE(fabric_.droppedPackets(), 1u);
+  fabric_.setDropEveryNth(0);
+  lib(0).setSuspended(false);
+  const sim::SimTime resumed = sim_.now();
+  while (delivered_.empty() && sim_.now() < resumed + sim::msToNs(5.0)) {
+    sim_.runUntil(sim_.now() + 20 * sim::kMicrosecond);
+    libs_[1]->extract(1024);
+  }
+  ASSERT_EQ(delivered_.size(), 1u);
+  // Recovery started at resume time.  Had the suspended send armed a timer,
+  // the resume sweep would have deferred to it and the first retransmit
+  // could not fly before a full 500 us timeout after the send.
+  EXPECT_LT(sim_.now(), resumed + 400 * sim::kMicrosecond);
+  EXPECT_EQ(lib(0).stats().packets_retransmitted, 1u);
+}
+
+TEST_F(RetransmitTest, OnDrainedWaitsForTheLastAck) {
+  fabric_.setDropEveryNth(1);  // originals all die: windows stay occupied
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);
+  sim_.runUntil(200 * sim::kMicrosecond);
+  ASSERT_GE(fabric_.droppedPackets(), 3u);
+  fabric_.setDropEveryNth(0);
+  EXPECT_FALSE(lib(0).sendWindowsDrained());
+  bool drained = false;
+  lib(0).onDrained([&drained] { drained = true; });
+  sim_.runUntil(sim_.now() + 50 * sim::kMicrosecond);
+  EXPECT_FALSE(drained);  // nothing delivered yet, nothing acked
+  pumpUntilDelivered(3);
+  ASSERT_EQ(delivered_.size(), 3u);
+  EXPECT_TRUE(drained);
+  EXPECT_TRUE(lib(0).sendWindowsDrained());
+}
+
+TEST_F(RetransmitTest, OnDrainedFiresImmediatelyWhenIdle) {
+  bool drained = false;
+  EXPECT_TRUE(lib(0).sendWindowsDrained());
+  lib(0).onDrained([&drained] { drained = true; });
+  EXPECT_FALSE(drained);  // deferred to the next simulator step, not inline
+  sim_.runUntil(1);
+  EXPECT_TRUE(drained);
+}
+
+TEST(RetransmitConfig, ValidateConfigEnforcesBounds) {
+  FmConfig cfg;
+  // Layer off: anything goes (the knobs are dormant).
+  cfg.retransmit_timeout_ns = 0;
+  EXPECT_EQ(FmLib::validateConfig(cfg, 1000), Status::kOk);
+  cfg.enable_retransmit = true;
+  // The timeout must *exceed* the drain time of a full C0 window.
+  cfg.retransmit_timeout_ns = 8 * kFullSlotServiceNs;
+  EXPECT_EQ(FmLib::validateConfig(cfg, 8), Status::kInvalid);
+  cfg.retransmit_timeout_ns = 8 * kFullSlotServiceNs + 1;
+  EXPECT_EQ(FmLib::validateConfig(cfg, 8), Status::kOk);
+  // Sweep pacing needs at least one packet per burst to make progress.
+  cfg.rtx_burst_packets = 0;
+  EXPECT_EQ(FmLib::validateConfig(cfg, 8), Status::kInvalid);
+}
+
+TEST(RetransmitConfigDeathTest, ConstructionAbortsOnUndersizedTimeout) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::RoutingTable::singleSwitch(2));
+  host::HostCpu cpu;
+  net::Nic nic(sim, fabric, 0, net::NicConfig{});
+  ASSERT_TRUE(util::ok(nic.allocContext(0, 1, 0, 32, 64, 8, 2)));
+  FmConfig cfg;
+  cfg.enable_retransmit = true;
+  cfg.retransmit_timeout_ns = sim::kMicrosecond;  // << 8 slots' drain time
+  FmLib::Params p;
+  p.ctx = 0;
+  p.job = 1;
+  p.rank = 0;
+  p.rank_to_node = {0, 1};
+  p.credits_c0 = 8;
+  EXPECT_DEATH(FmLib(sim, cpu, nic, cfg, p), "retransmit_timeout_ns");
+}
+
+TEST(RetransmitSweep, ChunkedSweepRecoversDeepWindow) {
+  // A timeout that owes a deep window is paced rtx_burst_packets per event.
+  // With a 2-packet burst a 10-packet window needs five chained continuation
+  // events — all of which must survive ack purges happening in between.
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::RoutingTable::singleSwitch(2));
+  net::NicConfig nic_cfg;
+  nic_cfg.enforce_fifo = false;
+  nic_cfg.allow_recv_overflow_drop = true;
+  host::HostCpu cpus[2];
+  std::vector<std::unique_ptr<net::Nic>> nics;
+  constexpr int kDeepCredits = 12;
+  for (net::NodeId n = 0; n < 2; ++n) {
+    nics.push_back(std::make_unique<net::Nic>(sim, fabric, n, nic_cfg));
+    ASSERT_TRUE(
+        util::ok(nics.back()->allocContext(0, 1, n, 32, 64, kDeepCredits, 2)));
+  }
+  FmConfig cfg;
+  cfg.enable_retransmit = true;
+  cfg.retransmit_timeout_ns = 500 * sim::kMicrosecond;
+  cfg.rtx_burst_packets = 2;
+  std::vector<std::unique_ptr<FmLib>> libs;
+  for (int r = 0; r < 2; ++r) {
+    FmLib::Params p;
+    p.ctx = 0;
+    p.job = 1;
+    p.rank = r;
+    p.rank_to_node = {0, 1};
+    p.credits_c0 = kDeepCredits;
+    libs.push_back(
+        std::make_unique<FmLib>(sim, cpus[r], *nics[r], cfg, p));
+  }
+  std::vector<std::uint64_t> delivered;
+  libs[1]->setHandler(7, [&delivered](const Packet& p) {
+    delivered.push_back(p.seq);
+  });
+  fabric.setDropEveryNth(1);  // the whole burst dies on the wire
+  for (int i = 0; i < 10; ++i)
+    ASSERT_EQ(libs[0]->send(1, 7, 100), Status::kOk);
+  sim.runUntil(300 * sim::kMicrosecond);
+  ASSERT_GE(fabric.droppedPackets(), 10u);
+  fabric.setDropEveryNth(0);
+  const sim::SimTime deadline = sim::secToNs(2.0);
+  while (delivered.size() < 10 && sim.now() < deadline) {
+    sim.runUntil(sim.now() + 50 * sim::kMicrosecond);
+    libs[1]->extract(1024);
+  }
+  ASSERT_EQ(delivered.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(delivered[i], i + 1);
+  EXPECT_GE(libs[0]->stats().packets_retransmitted, 10u);
+}
+
 TEST_F(RetransmitTest, AcksPurgeTheUnackedWindow) {
   for (int i = 0; i < 5; ++i)
     ASSERT_EQ(lib(0).send(1, 7, 100), Status::kOk);

@@ -34,6 +34,18 @@ class CommNodeTest : public testing::Test {
     }
   }
 
+  /// Enqueue `p` for node 0's context 0 once that NIC's halt bit is up.
+  /// COMM_halt_network raises the bit asynchronously (a PIO flag write), so
+  /// a fixed delay races it; polling is deterministic because the caller's
+  /// outstanding send-slot reservation holds the flush open indefinitely.
+  void enqueueOnceHalted(net::Packet p) {
+    if (!nics_[0]->halted()) {
+      sim_.schedule(100, [this, p] { enqueueOnceHalted(p); });
+      return;
+    }
+    ASSERT_TRUE(util::ok(nics_[0]->hostEnqueueSend(0, p)));
+  }
+
   /// Run a full three-stage switch on both nodes toward `to_job`.
   std::vector<parpar::SwitchReport> switchBoth(net::JobId to_job) {
     std::vector<parpar::SwitchReport> reports(kNodes);
@@ -141,18 +153,18 @@ TEST_F(CommNodeTest, SwitchPreservesQueuedPackets) {
   p.seq = 1;
   p.tag = net::Packet::makeTag(1, 0, 1, 5, 0);
   ASSERT_TRUE(nics_[0]->reserveSendSlot(0));
-  // Enqueue while halted so it cannot leave before the switch.
   int released = 0;
   for (int n = 0; n < kNodes; ++n)
-    comms_[n]->COMM_halt_network([this, n, &released, p] {
-      if (n == 0) {
-        ASSERT_TRUE(util::ok(nics_[0]->hostEnqueueSend(0, p)));
-      }
+    comms_[n]->COMM_halt_network([this, n, &released] {
       comms_[n]->COMM_context_switch(2, [this, n, &released](
                                             const parpar::SwitchReport&) {
         comms_[n]->COMM_release_network([&released] { ++released; });
       });
     });
+  // The PIO completes mid-flush: the flush must outwait it (the outstanding
+  // reservation holds it open), and the enqueued packet — parked behind the
+  // halt bit — then rides the switch in sendq.
+  enqueueOnceHalted(p);
   sim_.run();
   ASSERT_EQ(released, kNodes);
   EXPECT_TRUE(nics_[0]->context(0)->sendq.empty());  // job 2 live, clean
@@ -185,14 +197,15 @@ TEST_F(CommNodeTest, SwitchReportsOccupancyOfOutgoingJob) {
   p.tag = net::Packet::makeTag(1, 0, 1, 0, 0);
   ASSERT_TRUE(nics_[0]->reserveSendSlot(0));
   for (int n = 0; n < kNodes; ++n)
-    comms_[n]->COMM_halt_network([this, n, &released, &report0, p] {
-      if (n == 0) ASSERT_TRUE(util::ok(nics_[0]->hostEnqueueSend(0, p)));
+    comms_[n]->COMM_halt_network([this, n, &released, &report0] {
       comms_[n]->COMM_context_switch(
           2, [this, n, &released, &report0](const parpar::SwitchReport& r) {
             if (n == 0) report0 = r;
             comms_[n]->COMM_release_network([&released] { ++released; });
           });
     });
+  // Lands mid-flush; the outstanding reservation holds the flush open.
+  enqueueOnceHalted(p);
   sim_.run();
   ASSERT_EQ(released, kNodes);
   EXPECT_EQ(report0.valid_send_pkts, 1u);

@@ -1,0 +1,252 @@
+// Per-link fault model (net/fault.hpp): seeded loss/corrupt/jitter/reorder
+// streams and fail-stop events, with the determinism contract the campaign
+// driver depends on — a link's fault pattern is a pure function of
+// (fault seed, link, that link's traffic).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::net {
+namespace {
+
+Packet dataPacket(NodeId src, NodeId dst, std::uint64_t seq,
+                  std::uint32_t payload = 1536) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.src_node = src;
+  p.dst_node = dst;
+  p.seq = seq;
+  p.payload_bytes = payload;
+  p.tag = Packet::makeTag(p.job, p.src_rank, p.dst_rank, p.msg_id,
+                          p.frag_index);
+  return p;
+}
+
+Packet haltPacket(NodeId src, NodeId dst) {
+  Packet p;
+  p.type = PacketType::kHalt;
+  p.src_node = src;
+  p.dst_node = dst;
+  return p;
+}
+
+class FaultModelTest : public testing::Test {
+ protected:
+  FaultModelTest() : fabric_(sim_, RoutingTable::singleSwitch(4)) {
+    for (NodeId n = 0; n < 4; ++n) {
+      fabric_.attach(n, [this, n](const Packet& p) {
+        received_[static_cast<std::size_t>(n)].push_back(p);
+      });
+    }
+  }
+
+  std::set<std::uint64_t> seqsAt(NodeId n) const {
+    std::set<std::uint64_t> s;
+    for (const Packet& p : received_[static_cast<std::size_t>(n)])
+      if (!p.isControl()) s.insert(p.seq);
+    return s;
+  }
+
+  sim::Simulator sim_;
+  Fabric fabric_;
+  std::vector<Packet> received_[4];
+};
+
+// Regression for the global data_seen_ counter: the drop-every-Nth decision
+// is per directed link, so which of flow A's packets die cannot shift when
+// an unrelated flow's traffic interleaves with it.
+TEST_F(FaultModelTest, DropEveryNthCountsPerLink) {
+  std::set<std::uint64_t> alone;
+  {
+    sim::Simulator s;
+    Fabric f(s, RoutingTable::singleSwitch(4));
+    std::set<std::uint64_t> got;
+    f.attach(1, [&got](const Packet& p) { got.insert(p.seq); });
+    f.setDropEveryNth(3);
+    for (std::uint64_t i = 1; i <= 9; ++i) f.inject(dataPacket(0, 1, i));
+    s.run();
+    alone = got;
+  }
+  // Same flow, but now every A packet is bracketed by B traffic on 2->3.
+  fabric_.setDropEveryNth(3);
+  for (std::uint64_t i = 1; i <= 9; ++i) {
+    fabric_.inject(dataPacket(2, 3, 100 + i));
+    fabric_.inject(dataPacket(0, 1, i));
+  }
+  sim_.run();
+  EXPECT_EQ(seqsAt(1), alone);
+  // And B observes its own independent counter: every 3rd of *its* packets.
+  EXPECT_EQ(seqsAt(3).size(), 6u);
+}
+
+TEST_F(FaultModelTest, SeededLossIsReproducible) {
+  auto survivors = [](std::uint64_t seed) {
+    sim::Simulator s;
+    Fabric f(s, RoutingTable::singleSwitch(2));
+    std::set<std::uint64_t> got;
+    f.attach(0, [](const Packet&) {});
+    f.attach(1, [&got](const Packet& p) { got.insert(p.seq); });
+    f.setFaultSeed(seed);
+    LinkFaults lf;
+    lf.loss = 0.3;
+    f.setAllLinkFaults(lf);
+    for (std::uint64_t i = 1; i <= 200; ++i) f.inject(dataPacket(0, 1, i));
+    s.run();
+    return got;
+  };
+  const auto a = survivors(42);
+  EXPECT_EQ(a, survivors(42));
+  EXPECT_LT(a.size(), 200u);  // some packets actually died
+  EXPECT_GT(a.size(), 100u);  // ...but nowhere near all of them
+}
+
+// The determinism contract itself: traffic on other links draws from other
+// RNG streams, so it can never perturb which of this link's packets die.
+TEST_F(FaultModelTest, LossStreamsArePerLinkIndependent) {
+  std::set<std::uint64_t> alone;
+  {
+    sim::Simulator s;
+    Fabric f(s, RoutingTable::singleSwitch(4));
+    std::set<std::uint64_t> got;
+    for (NodeId n = 0; n < 4; ++n) f.attach(n, [](const Packet&) {});
+    f.attach(1, [&got](const Packet& p) { got.insert(p.seq); });
+    f.setFaultSeed(7);
+    LinkFaults lf;
+    lf.loss = 0.25;
+    f.setAllLinkFaults(lf);
+    for (std::uint64_t i = 1; i <= 100; ++i) f.inject(dataPacket(0, 1, i));
+    s.run();
+    alone = got;
+  }
+  fabric_.setFaultSeed(7);
+  LinkFaults lf;
+  lf.loss = 0.25;
+  fabric_.setAllLinkFaults(lf);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    fabric_.inject(dataPacket(2, 1, 1000 + i));  // same destination, even
+    fabric_.inject(dataPacket(3, 2, 2000 + i));
+    fabric_.inject(dataPacket(0, 1, i));
+  }
+  sim_.run();
+  std::set<std::uint64_t> flow_a;
+  for (const std::uint64_t s : seqsAt(1))
+    if (s <= 100) flow_a.insert(s);
+  EXPECT_EQ(flow_a, alone);
+}
+
+TEST_F(FaultModelTest, CorruptionDeliversPoisonedPackets) {
+  fabric_.setFaultSeed(3);
+  LinkFaults lf;
+  lf.corrupt = 1.0;
+  fabric_.setLinkFaults(0, 1, lf);
+  for (std::uint64_t i = 1; i <= 10; ++i) fabric_.inject(dataPacket(0, 1, i));
+  sim_.run();
+  // Everything arrives — corruption is payload damage, not loss — but no
+  // packet's integrity tag re-derives; routing/header fields stay usable.
+  ASSERT_EQ(received_[1].size(), 10u);
+  for (const Packet& p : received_[1]) {
+    EXPECT_FALSE(p.tagValid());
+    EXPECT_EQ(p.dst_node, 1);
+  }
+  EXPECT_EQ(fabric_.faultStats().corrupted, 10u);
+  EXPECT_EQ(fabric_.droppedPackets(), 0u);
+}
+
+TEST_F(FaultModelTest, JitterDelaysButNeverDrops) {
+  sim::SimTime base;
+  {
+    sim::Simulator s;
+    Fabric f(s, RoutingTable::singleSwitch(2));
+    f.attach(0, [](const Packet&) {});
+    f.attach(1, [](const Packet&) {});
+    f.inject(dataPacket(0, 1, 1));
+    s.run();
+    base = s.now();
+  }
+  fabric_.setFaultSeed(5);
+  LinkFaults lf;
+  lf.max_jitter_ns = 50'000;
+  fabric_.setAllLinkFaults(lf);
+  for (std::uint64_t i = 1; i <= 20; ++i) fabric_.inject(dataPacket(0, 1, i));
+  sim_.run();
+  EXPECT_EQ(received_[1].size(), 20u);
+  EXPECT_GT(fabric_.faultStats().jittered, 0u);
+  EXPECT_GT(sim_.now(), base);  // the tail delivery carried extra latency
+}
+
+TEST_F(FaultModelTest, ControlPacketsExemptFromProbabilisticFaults) {
+  fabric_.setFaultSeed(11);
+  LinkFaults lf;
+  lf.loss = 1.0;
+  lf.corrupt = 1.0;
+  fabric_.setAllLinkFaults(lf);
+  fabric_.inject(haltPacket(0, 1));
+  Packet refill;
+  refill.type = PacketType::kRefill;
+  refill.src_node = 0;
+  refill.dst_node = 1;
+  refill.refill_credits = 3;
+  fabric_.inject(refill);
+  fabric_.inject(dataPacket(0, 1, 1));
+  sim_.run();
+  // Data all died; both control packets made it through untouched.
+  ASSERT_EQ(received_[1].size(), 2u);
+  for (const Packet& p : received_[1]) EXPECT_TRUE(p.isControl());
+  EXPECT_EQ(fabric_.faultStats().lost, 1u);
+}
+
+TEST_F(FaultModelTest, LinkFailStopKillsControlOneDirectionOnly) {
+  FailStopEvent ev;
+  ev.kind = FailStopKind::kLink;
+  ev.src = 0;
+  ev.dst = 1;
+  ev.at = 0;
+  fabric_.addFailStop(ev);
+  fabric_.inject(dataPacket(0, 1, 1));
+  fabric_.inject(haltPacket(0, 1));  // fail-stop swallows control too
+  fabric_.inject(dataPacket(1, 0, 2));  // reverse direction still alive
+  sim_.run();
+  EXPECT_TRUE(received_[1].empty());
+  ASSERT_EQ(received_[0].size(), 1u);
+  EXPECT_EQ(fabric_.faultStats().failstop_dropped, 2u);
+}
+
+TEST_F(FaultModelTest, NicFailStopSilencesBothDirections) {
+  FailStopEvent ev;
+  ev.kind = FailStopKind::kNic;
+  ev.src = 1;
+  ev.at = 0;
+  fabric_.addFailStop(ev);
+  fabric_.inject(dataPacket(0, 1, 1));
+  fabric_.inject(dataPacket(1, 2, 2));
+  fabric_.inject(dataPacket(0, 2, 3));  // uninvolved link unaffected
+  sim_.run();
+  EXPECT_TRUE(received_[1].empty());
+  ASSERT_EQ(received_[2].size(), 1u);
+  EXPECT_EQ(received_[2][0].seq, 3u);
+}
+
+TEST_F(FaultModelTest, FailStopTakesEffectAtItsTime) {
+  FailStopEvent ev;
+  ev.kind = FailStopKind::kLink;
+  ev.src = 0;
+  ev.dst = 1;
+  ev.at = sim::kMillisecond;
+  fabric_.addFailStop(ev);
+  fabric_.inject(dataPacket(0, 1, 1));  // injected live, survives
+  sim_.runUntil(sim::kMillisecond);
+  fabric_.inject(dataPacket(0, 1, 2));  // injected on a dead link
+  sim_.run();
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[1][0].seq, 1u);
+}
+
+}  // namespace
+}  // namespace gangcomm::net

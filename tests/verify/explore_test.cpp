@@ -47,6 +47,28 @@ TEST(Explore, PermutedOrderIsItselfDeterministic) {
   EXPECT_EQ(a.data_packets, b.data_packets);
 }
 
+TEST(Explore, LossyCellsAgreeOnAppOutcomes) {
+  // Under per-link loss the wire totals differ cell to cell (each loss seed
+  // draws a different drop pattern, each salt consumes a link's stream in a
+  // different order), but the retransmission layer must hand every
+  // application the same completed result in every cell.
+  ExploreConfig cfg = smallConfig();
+  cfg.rounds = 6;
+  cfg.salts = {0, 1, 2};
+  cfg.loss = 0.1;
+  cfg.loss_seeds = {1, 2};
+  const ExploreResult res = explore(cfg);
+  ASSERT_EQ(res.runs.size(), 6u);  // seeds x salts
+  EXPECT_FALSE(res.diverged) << (res.detail.empty() ? "" : res.detail[0]);
+  for (const RunMetrics& run : res.runs) {
+    EXPECT_EQ(run.jobs_done, 2);
+    for (const ProcessOutcome& p : run.processes) {
+      EXPECT_EQ(p.messages_received, 6u);
+      EXPECT_EQ(p.payload_bytes_received, 6u * 4096u);
+    }
+  }
+}
+
 TEST(Explore, ComparatorFlagsDivergentOutcomes) {
   RunMetrics a;
   a.salt = 0;

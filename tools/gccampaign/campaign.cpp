@@ -1,0 +1,221 @@
+#include "campaign.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "app/workloads.hpp"
+#include "bench/sweep_runner.hpp"
+#include "core/cluster.hpp"
+#include "net/fault.hpp"
+#include "obs/gctrace.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gangcomm::campaign {
+namespace {
+
+net::FailStopEvent failStopFor(const CampaignConfig& cfg,
+                               const std::string& name) {
+  net::FailStopEvent ev;
+  ev.at = cfg.failstop_at_ns;
+  if (name == "link") {
+    ev.kind = net::FailStopKind::kLink;
+    ev.src = 0;
+    ev.dst = 1;
+  } else if (name == "nic") {
+    ev.kind = net::FailStopKind::kNic;
+    ev.src = 1;
+  } else if (name == "node") {
+    ev.kind = net::FailStopKind::kNode;
+    ev.src = cfg.nodes - 1;
+  } else {
+    GC_CHECK_MSG(false, "unknown fail-stop schedule name");
+  }
+  return ev;
+}
+
+double meanUs(const obs::LatencyAttribution& a, obs::PacketStage s) {
+  return a.stageStats(s).mean() / 1000.0;
+}
+
+}  // namespace
+
+std::vector<CellSpec> cells(const CampaignConfig& cfg) {
+  std::vector<CellSpec> out;
+  for (const double loss : cfg.loss_rates)
+    for (const sim::Duration jitter : cfg.jitters_ns)
+      for (const double corrupt : cfg.corrupt_rates)
+        for (const std::string& fs : cfg.fail_stops)
+          for (const std::uint64_t seed : cfg.seeds) {
+            CellSpec c;
+            c.loss = loss;
+            c.jitter_ns = jitter;
+            c.corrupt = corrupt;
+            c.fail_stop = fs;
+            c.seed = seed;
+            out.push_back(std::move(c));
+          }
+  return out;
+}
+
+CellResult runCell(const CampaignConfig& cfg, const CellSpec& cell) {
+  core::ClusterConfig cc;
+  cc.nodes = cfg.nodes;
+  cc.quantum = static_cast<sim::Duration>(cfg.quantum_ms) * sim::kMillisecond;
+  cc.verify = true;  // invariant violations abort the campaign loudly
+  cc.packet_trace = true;
+  cc.fm.enable_retransmit = true;
+  cc.seed = cell.seed;
+  cc.fault_seed = cell.seed;
+  cc.link_faults.loss = cell.loss;
+  cc.link_faults.corrupt = cell.corrupt;
+  cc.link_faults.max_jitter_ns = cell.jitter_ns;
+  const bool fail_stop = cell.fail_stop != "none";
+  if (fail_stop) cc.fail_stops.push_back(failStopFor(cfg, cell.fail_stop));
+  core::Cluster cluster(cc);
+
+  // The explorer's workload: `jobs` identical all-to-all jobs pinned to the
+  // same nodes, gang-sharing one time slot.
+  std::vector<net::NodeId> all_nodes(static_cast<std::size_t>(cfg.nodes));
+  for (int n = 0; n < cfg.nodes; ++n)
+    all_nodes[static_cast<std::size_t>(n)] = n;
+
+  std::vector<net::JobId> jobs;
+  for (int j = 0; j < cfg.jobs; ++j) {
+    const net::JobId id = cluster.submit(
+        cfg.nodes,
+        [&cfg](app::Process::Env env) -> std::unique_ptr<app::Process> {
+          return std::make_unique<app::AllToAllWorker>(
+              std::move(env), cfg.msg_bytes, cfg.rounds);
+        },
+        all_nodes);
+    GC_CHECK_MSG(id != net::kNoJob, "campaign job rejected by the masterd");
+    jobs.push_back(id);
+  }
+
+  // A dead node never acks: its senders retransmit forever and the masterd
+  // never sees the job exit, so fail-stop cells run to a horizon instead of
+  // draining.  The drained-state finalCheck only applies to cells that
+  // actually drain; per-event invariants held throughout either way.
+  if (fail_stop) {
+    cluster.runUntil(cfg.failstop_horizon_ns);
+  } else {
+    cluster.run();
+    GC_CHECK(cluster.verifier() != nullptr);
+    cluster.verifier()->finalCheck();
+  }
+
+  CellResult r;
+  r.spec = cell;
+  r.jobs_done = cluster.jobsDone();
+
+  const net::FaultStats& fs = cluster.fabric().faultStats();
+  r.wire_dropped = cluster.fabric().droppedPackets();
+  r.lost = fs.lost;
+  r.corrupted = fs.corrupted;
+  r.jittered = fs.jittered;
+  r.reordered = fs.reordered;
+  r.failstop_dropped = fs.failstop_dropped;
+
+  for (const net::JobId job : jobs) {
+    for (const app::Process* proc : cluster.processes(job)) {
+      const fm::FmStats& st = proc->fm().stats();
+      r.retransmitted += st.packets_retransmitted;
+      r.rtx_timeouts += st.rtx_timeouts;
+      r.checksum_dropped += st.checksum_dropped;
+      r.ooo_dropped += st.ooo_dropped;
+      r.dup_dropped += st.dup_dropped;
+    }
+  }
+
+  r.lost_credits = cluster.verifier()->lostCredits();
+
+  obs::MetricsRegistry reg;
+  cluster.collectMetrics(reg);
+  r.data_packets = reg.counter("fabric.data_packets");
+
+  const obs::LatencyAttribution& attr = cluster.packetTracer()->attribution();
+  r.traced_packets = attr.packets();
+  r.credit_wait_us = meanUs(attr, obs::PacketStage::kCreditWait);
+  r.host_pio_us = meanUs(attr, obs::PacketStage::kHostPio);
+  r.nic_queue_us = meanUs(attr, obs::PacketStage::kNicQueue);
+  r.switch_stall_us = meanUs(attr, obs::PacketStage::kSwitchStall);
+  r.wire_us = meanUs(attr, obs::PacketStage::kWire);
+  r.rx_dma_us = meanUs(attr, obs::PacketStage::kRxDma);
+  r.recv_queue_us = meanUs(attr, obs::PacketStage::kRecvQueue);
+  r.end_to_end_us = attr.endToEndStats().mean() / 1000.0;
+  return r;
+}
+
+std::vector<CellResult> runCampaign(const CampaignConfig& cfg) {
+  const std::vector<CellSpec> specs = cells(cfg);
+  GC_CHECK_MSG(!specs.empty(), "campaign needs at least one cell");
+  return bench::parallelMap<CellResult>(
+      specs.size(), [&](std::size_t i) { return runCell(cfg, specs[i]); });
+}
+
+std::string csvHeader() {
+  return "loss,jitter_ns,corrupt,fail_stop,seed,jobs_done,data_packets,"
+         "wire_dropped,lost,corrupted,jittered,reordered,failstop_dropped,"
+         "retransmitted,rtx_timeouts,checksum_dropped,ooo_dropped,"
+         "dup_dropped,lost_credits,traced_packets,credit_wait_us,"
+         "host_pio_us,nic_queue_us,switch_stall_us,wire_us,rx_dma_us,"
+         "recv_queue_us,end_to_end_us";
+}
+
+std::string csvRow(const CellResult& r) {
+  std::string row;
+  row += util::formatDouble(r.spec.loss, 3);
+  row += ',' + std::to_string(r.spec.jitter_ns);
+  row += ',' + util::formatDouble(r.spec.corrupt, 3);
+  row += ',' + r.spec.fail_stop;
+  row += ',' + std::to_string(r.spec.seed);
+  row += ',' + std::to_string(r.jobs_done);
+  row += ',' + std::to_string(r.data_packets);
+  row += ',' + std::to_string(r.wire_dropped);
+  row += ',' + std::to_string(r.lost);
+  row += ',' + std::to_string(r.corrupted);
+  row += ',' + std::to_string(r.jittered);
+  row += ',' + std::to_string(r.reordered);
+  row += ',' + std::to_string(r.failstop_dropped);
+  row += ',' + std::to_string(r.retransmitted);
+  row += ',' + std::to_string(r.rtx_timeouts);
+  row += ',' + std::to_string(r.checksum_dropped);
+  row += ',' + std::to_string(r.ooo_dropped);
+  row += ',' + std::to_string(r.dup_dropped);
+  row += ',' + std::to_string(r.lost_credits);
+  row += ',' + std::to_string(r.traced_packets);
+  row += ',' + util::formatDouble(r.credit_wait_us, 3);
+  row += ',' + util::formatDouble(r.host_pio_us, 3);
+  row += ',' + util::formatDouble(r.nic_queue_us, 3);
+  row += ',' + util::formatDouble(r.switch_stall_us, 3);
+  row += ',' + util::formatDouble(r.wire_us, 3);
+  row += ',' + util::formatDouble(r.rx_dma_us, 3);
+  row += ',' + util::formatDouble(r.recv_queue_us, 3);
+  row += ',' + util::formatDouble(r.end_to_end_us, 3);
+  return row;
+}
+
+std::string renderCsv(const std::vector<CellResult>& results) {
+  std::string csv = csvHeader() + '\n';
+  for (const CellResult& r : results) csv += csvRow(r) + '\n';
+  return csv;
+}
+
+std::string summarize(const CellResult& r) {
+  return "loss=" + util::formatDouble(r.spec.loss, 3) +
+         " jitter=" + std::to_string(r.spec.jitter_ns) +
+         " corrupt=" + util::formatDouble(r.spec.corrupt, 3) +
+         " fail_stop=" + r.spec.fail_stop +
+         " seed=" + std::to_string(r.spec.seed) +
+         " jobs_done=" + std::to_string(r.jobs_done) +
+         " lost=" + std::to_string(r.lost) +
+         " corrupted=" + std::to_string(r.corrupted) +
+         " failstop_dropped=" + std::to_string(r.failstop_dropped) +
+         " rtx=" + std::to_string(r.retransmitted) +
+         " e2e_us=" + util::formatDouble(r.end_to_end_us, 3);
+}
+
+}  // namespace gangcomm::campaign

@@ -1,0 +1,117 @@
+// gccampaign — deterministic fault campaigns over the gang-scheduled runtime.
+//
+// A campaign is the cross product of fault-model cells
+//
+//   (loss rate) x (jitter bound) x (corruption rate) x (fail-stop schedule)
+//                x (fault seed)
+//
+// where each cell runs one self-contained multiprogrammed workload (several
+// all-to-all jobs gang-sharing the same nodes) on a lossy fabric with:
+//
+//   * gcverify armed in abort mode — credit conservation, including the
+//     write-offs for lost and corrupt packets, must hold at every event
+//     boundary or the campaign dies loudly;
+//   * gctrace on — the per-stage latency attribution shows where recovery
+//     cost (retransmit timeouts, go-back-N sweeps, checksum sheds) lands.
+//
+// Cells share no mutable state, so the sweep runs on bench::parallelMap and
+// the campaign CSV is byte-identical at GANGCOMM_JOBS=1 vs N and across
+// reruns of the same seeds: every stochastic choice draws from the cell's
+// seeded per-link sim:: streams.
+//
+// Fail-stop cells run to a fixed horizon instead of completion (a dead node
+// never acks, so its senders retransmit forever) and skip the drained-state
+// finalCheck; all per-event invariants still apply throughout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gangcomm::campaign {
+
+struct CampaignConfig {
+  int nodes = 4;
+  int jobs = 2;  // gang-stacked on the same nodes
+  std::uint32_t msg_bytes = 2048;
+  std::uint64_t rounds = 12;  // all-to-all rounds per process
+  std::uint64_t quantum_ms = 20;
+
+  std::vector<double> loss_rates = {0.0, 0.1};
+  std::vector<sim::Duration> jitters_ns = {0, 20'000};
+  std::vector<double> corrupt_rates = {0.0, 0.05};
+  /// Fail-stop schedules by name: "none", "link" (0->1 dies), "nic"
+  /// (node 1's NIC dies), "node" (the last node dies).
+  std::vector<std::string> fail_stops = {"none", "nic"};
+  std::vector<std::uint64_t> seeds = {1};
+
+  /// When the scheduled fail-stop strikes, and how long fail-stop cells run
+  /// before the campaign stops them (they never drain on their own).
+  sim::SimTime failstop_at_ns = sim::msToNs(3.0);
+  sim::SimTime failstop_horizon_ns = sim::msToNs(200.0);
+};
+
+/// One point of the cross product.
+struct CellSpec {
+  double loss = 0.0;
+  sim::Duration jitter_ns = 0;
+  double corrupt = 0.0;
+  std::string fail_stop = "none";
+  std::uint64_t seed = 1;
+};
+
+/// Everything one cell reports into the campaign CSV.
+struct CellResult {
+  CellSpec spec;
+  int jobs_done = 0;
+  // Fabric-level fault outcomes.
+  std::uint64_t data_packets = 0;
+  std::uint64_t wire_dropped = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t jittered = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t failstop_dropped = 0;
+  // FM-level recovery work (summed over every process of every job).
+  std::uint64_t retransmitted = 0;
+  std::uint64_t rtx_timeouts = 0;
+  std::uint64_t checksum_dropped = 0;
+  std::uint64_t ooo_dropped = 0;
+  std::uint64_t dup_dropped = 0;
+  // gcverify ledger: credits written off to drops (conservation holds with
+  // these on the books).
+  long lost_credits = 0;
+  // gctrace attribution: mean per-stage latency of completed journeys.
+  std::uint64_t traced_packets = 0;
+  double credit_wait_us = 0.0;
+  double host_pio_us = 0.0;
+  double nic_queue_us = 0.0;
+  double switch_stall_us = 0.0;
+  double wire_us = 0.0;
+  double rx_dma_us = 0.0;
+  double recv_queue_us = 0.0;
+  double end_to_end_us = 0.0;
+};
+
+/// Expand the cross product in deterministic order (loss outermost, seed
+/// innermost).
+std::vector<CellSpec> cells(const CampaignConfig& cfg);
+
+/// Run one cell (self-contained Cluster; gcverify abort mode + gctrace).
+CellResult runCell(const CampaignConfig& cfg, const CellSpec& cell);
+
+/// Run every cell via bench::parallelMap, results in cell order.
+std::vector<CellResult> runCampaign(const CampaignConfig& cfg);
+
+/// Campaign CSV (schema documented in DESIGN.md §12): header + one row per
+/// cell, fixed-precision floats — byte-identical across job counts.
+std::string csvHeader();
+std::string csvRow(const CellResult& r);
+std::string renderCsv(const std::vector<CellResult>& results);
+
+/// One-line human summary of a cell.
+std::string summarize(const CellResult& r);
+
+}  // namespace gangcomm::campaign

@@ -1,0 +1,149 @@
+// gccampaign CLI.
+//
+// Usage:
+//   gccampaign [--nodes N] [--jobs J] [--rounds R] [--msg-bytes B]
+//              [--quantum-ms Q] [--loss r1,r2,...] [--jitter-ns j1,j2,...]
+//              [--corrupt c1,c2,...] [--fail-stop none,link,nic,node]
+//              [--seeds s1,s2,...] [--out FILE]
+//
+// Runs the fault campaign (the cross product of the fault lists) with the
+// gcverify invariant engine armed in abort mode and gctrace attributing
+// recovery cost per stage, then writes the campaign CSV to --out (or
+// stdout).  Cells run on GANGCOMM_JOBS worker threads; the CSV is
+// byte-identical at any thread count and across reruns of the same seeds.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign.hpp"
+#include "sim/log.hpp"
+
+namespace {
+
+std::uint64_t parseU64(const char* flag, const char* value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "gccampaign: bad value for %s: %s\n", flag, value);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<std::string> splitList(const char* value) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += *p;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<double> parseDoubles(const char* flag, const char* value) {
+  std::vector<double> out;
+  for (const std::string& s : splitList(value)) {
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0') {
+      std::fprintf(stderr, "gccampaign: bad value for %s: %s\n", flag,
+                   s.c_str());
+      std::exit(2);
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> parseU64s(const char* flag, const char* value) {
+  std::vector<std::uint64_t> out;
+  for (const std::string& s : splitList(value))
+    out.push_back(parseU64(flag, s.c_str()));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gangcomm::sim::Log::initFromEnv();  // GANGCOMM_TRACE=1..3 for debugging
+  gangcomm::campaign::CampaignConfig cfg;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gccampaign: %s needs a value\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--nodes") == 0) {
+      cfg.nodes = static_cast<int>(parseU64(arg, next()));
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      cfg.jobs = static_cast<int>(parseU64(arg, next()));
+    } else if (std::strcmp(arg, "--rounds") == 0) {
+      cfg.rounds = parseU64(arg, next());
+    } else if (std::strcmp(arg, "--msg-bytes") == 0) {
+      cfg.msg_bytes = static_cast<std::uint32_t>(parseU64(arg, next()));
+    } else if (std::strcmp(arg, "--quantum-ms") == 0) {
+      cfg.quantum_ms = parseU64(arg, next());
+    } else if (std::strcmp(arg, "--loss") == 0) {
+      cfg.loss_rates = parseDoubles(arg, next());
+    } else if (std::strcmp(arg, "--jitter-ns") == 0) {
+      cfg.jitters_ns.clear();
+      for (const std::uint64_t j : parseU64s(arg, next()))
+        cfg.jitters_ns.push_back(static_cast<gangcomm::sim::Duration>(j));
+    } else if (std::strcmp(arg, "--corrupt") == 0) {
+      cfg.corrupt_rates = parseDoubles(arg, next());
+    } else if (std::strcmp(arg, "--fail-stop") == 0) {
+      cfg.fail_stops = splitList(next());
+    } else if (std::strcmp(arg, "--seeds") == 0) {
+      cfg.seeds = parseU64s(arg, next());
+    } else if (std::strcmp(arg, "--out") == 0) {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "gccampaign: unknown flag %s\n", arg);
+      return 2;
+    }
+  }
+  if (cfg.nodes < 2 || cfg.jobs < 1) {
+    std::fprintf(stderr, "gccampaign: need >=2 nodes and >=1 job\n");
+    return 2;
+  }
+
+  const std::vector<gangcomm::campaign::CellSpec> specs =
+      gangcomm::campaign::cells(cfg);
+  std::fprintf(stderr,
+               "gccampaign: %zu cells (%d jobs x %d nodes, %llu rounds of "
+               "%u B each)\n",
+               specs.size(), cfg.jobs, cfg.nodes,
+               static_cast<unsigned long long>(cfg.rounds), cfg.msg_bytes);
+
+  const std::vector<gangcomm::campaign::CellResult> results =
+      gangcomm::campaign::runCampaign(cfg);
+  for (const auto& r : results)
+    std::fprintf(stderr, "  %s\n", gangcomm::campaign::summarize(r).c_str());
+
+  const std::string csv = gangcomm::campaign::renderCsv(results);
+  if (out_path.empty()) {
+    std::fputs(csv.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "gccampaign: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(csv.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "gccampaign: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -12,12 +12,18 @@
 
 namespace gangcomm::explore {
 
-RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt) {
+RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt,
+                   std::uint64_t loss_seed) {
   core::ClusterConfig cc;
   cc.nodes = cfg.nodes;
   cc.quantum = static_cast<sim::Duration>(cfg.quantum_ms) * sim::kMillisecond;
   cc.verify = true;  // invariant violations abort the explorer loudly
   cc.tie_salt = salt;
+  if (cfg.loss > 0.0) {
+    cc.link_faults.loss = cfg.loss;
+    cc.fault_seed = loss_seed;
+    cc.fm.enable_retransmit = true;  // nothing completes under loss without it
+  }
   core::Cluster cluster(cc);
 
   // `jobs` identical all-to-all jobs pinned to the same nodes, so they
@@ -46,6 +52,7 @@ RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt) {
 
   RunMetrics m;
   m.salt = salt;
+  m.loss_seed = loss_seed;
   m.jobs_done = cluster.jobsDone();
   for (const net::JobId job : jobs) {
     for (const app::Process* proc : cluster.processes(job)) {
@@ -80,6 +87,7 @@ std::string summarize(const RunMetrics& m) {
     bytes += p.payload_bytes_received;
   }
   return "salt=" + std::to_string(m.salt) +
+         " loss_seed=" + std::to_string(m.loss_seed) +
          " jobs_done=" + std::to_string(m.jobs_done) +
          " data_pkts=" + std::to_string(m.data_packets) +
          " data_bytes=" + std::to_string(m.data_bytes) +
@@ -90,23 +98,39 @@ std::string summarize(const RunMetrics& m) {
 ExploreResult explore(const ExploreConfig& cfg) {
   ExploreResult res;
   GC_CHECK_MSG(!cfg.salts.empty(), "explorer needs at least one salt");
-  for (const std::uint64_t salt : cfg.salts)
-    res.runs.push_back(runOnce(cfg, salt));
+  GC_CHECK_MSG(!cfg.loss_seeds.empty(), "explorer needs at least one seed");
+  const bool lossy = cfg.loss > 0.0;
+  if (lossy) {
+    for (const std::uint64_t seed : cfg.loss_seeds)
+      for (const std::uint64_t salt : cfg.salts)
+        res.runs.push_back(runOnce(cfg, salt, seed));
+  } else {
+    for (const std::uint64_t salt : cfg.salts)
+      res.runs.push_back(runOnce(cfg, salt));
+  }
 
   const RunMetrics& base = res.runs.front();
   for (std::size_t i = 1; i < res.runs.size(); ++i) {
     const RunMetrics& run = res.runs[i];
-    if (run.sameOutcome(base)) continue;
+    // Lossy sweeps compare only what the application observed: retransmission
+    // makes wire totals a function of the drawn loss pattern, which is the
+    // point of varying the seed.
+    if (lossy ? run.sameAppOutcome(base) : run.sameOutcome(base)) continue;
     res.diverged = true;
     std::string d = "salt " + std::to_string(run.salt) +
-                    " diverges from salt " + std::to_string(base.salt) + ": ";
+                    (lossy ? " loss_seed " + std::to_string(run.loss_seed)
+                           : std::string()) +
+                    " diverges from salt " + std::to_string(base.salt) +
+                    (lossy ? " loss_seed " + std::to_string(base.loss_seed)
+                           : std::string()) +
+                    ": ";
     if (run.jobs_done != base.jobs_done)
       d += "jobs_done " + std::to_string(run.jobs_done) + " vs " +
            std::to_string(base.jobs_done) + "; ";
-    if (run.data_packets != base.data_packets)
+    if (!lossy && run.data_packets != base.data_packets)
       d += "data_packets " + std::to_string(run.data_packets) + " vs " +
            std::to_string(base.data_packets) + "; ";
-    if (run.data_bytes != base.data_bytes)
+    if (!lossy && run.data_bytes != base.data_bytes)
       d += "data_bytes " + std::to_string(run.data_bytes) + " vs " +
            std::to_string(base.data_bytes) + "; ";
     for (std::size_t p = 0;

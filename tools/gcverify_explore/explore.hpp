@@ -33,6 +33,15 @@ struct ExploreConfig {
   std::uint64_t rounds = 20;  // all-to-all rounds per process (fixed work)
   std::uint64_t quantum_ms = 20;  // short quantum => many gang switches
   std::vector<std::uint64_t> salts = {0, 1, 2, 3, 4, 5, 6, 7};
+  /// When > 0, every run gets a lossy fabric (per-link probabilistic loss at
+  /// this rate, retransmission layer armed) and the sweep becomes the cross
+  /// product tie salts x `loss_seeds`.  Wire-level totals then legitimately
+  /// vary run to run (different interleavings consume a link's fault stream
+  /// in a different order), so only application-visible outcomes are
+  /// compared — the reliability layer must mask *every* loss pattern under
+  /// *every* serialization.
+  double loss = 0.0;
+  std::vector<std::uint64_t> loss_seeds = {1};
 };
 
 /// What one process observed by the end of the run.
@@ -50,6 +59,7 @@ struct ProcessOutcome {
 /// The serialization-invariant fingerprint of one run.
 struct RunMetrics {
   std::uint64_t salt = 0;
+  std::uint64_t loss_seed = 0;  // fault-stream seed (lossy sweeps only)
   int jobs_done = 0;
   std::uint64_t data_packets = 0;
   std::uint64_t data_bytes = 0;
@@ -57,15 +67,22 @@ struct RunMetrics {
 
   /// Equality ignoring the salt itself.
   bool sameOutcome(const RunMetrics& other) const {
-    return jobs_done == other.jobs_done &&
-           data_packets == other.data_packets &&
-           data_bytes == other.data_bytes && processes == other.processes;
+    return sameAppOutcome(other) && data_packets == other.data_packets &&
+           data_bytes == other.data_bytes;
+  }
+
+  /// Application-visible subset only: what lossy sweeps compare (wire totals
+  /// include retransmissions, which depend on the loss pattern drawn).
+  bool sameAppOutcome(const RunMetrics& other) const {
+    return jobs_done == other.jobs_done && processes == other.processes;
   }
 };
 
 /// Run the workload once under `salt` with the invariant engine armed
 /// (violations abort).  Also runs the engine's drained-state finalCheck.
-RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt);
+/// `loss_seed` seeds the per-link fault streams when cfg.loss > 0.
+RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt,
+                   std::uint64_t loss_seed = 1);
 
 struct ExploreResult {
   bool diverged = false;

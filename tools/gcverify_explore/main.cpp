@@ -3,12 +3,17 @@
 // Usage:
 //   gcverify_explore [--nodes N] [--jobs J] [--rounds R] [--msg-bytes B]
 //                    [--quantum-ms Q] [--salts K]
+//                    [--loss P] [--loss-seeds S]
 //
 // Runs the fixed-work gang-scheduled workload under K tie salts (0..K-1)
 // with the invariant engine armed and exits 1 if any serialization-invariant
 // metric diverges across interleavings (or aborts on the first invariant
 // violation).  CI runs `--nodes 2 --jobs 2`; the acceptance sweep adds
 // `--nodes 4`.
+//
+// With --loss > 0 every link drops data packets at rate P, retransmission is
+// armed, and the sweep becomes salts x loss seeds (1..S); only
+// application-visible outcomes are compared across cells.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +39,7 @@ std::uint64_t parseU64(const char* flag, const char* value) {
 int main(int argc, char** argv) {
   gangcomm::explore::ExploreConfig cfg;
   std::uint64_t salt_count = cfg.salts.size();
+  std::uint64_t seed_count = cfg.loss_seeds.size();
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -56,24 +62,38 @@ int main(int argc, char** argv) {
       cfg.quantum_ms = parseU64(arg, next());
     } else if (std::strcmp(arg, "--salts") == 0) {
       salt_count = parseU64(arg, next());
+    } else if (std::strcmp(arg, "--loss") == 0) {
+      const char* value = next();
+      char* end = nullptr;
+      cfg.loss = std::strtod(value, &end);
+      if (end == value || *end != '\0' || cfg.loss < 0.0 || cfg.loss >= 1.0) {
+        std::fprintf(stderr, "gcverify_explore: bad value for --loss: %s\n",
+                     value);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--loss-seeds") == 0) {
+      seed_count = parseU64(arg, next());
     } else {
       std::fprintf(stderr, "gcverify_explore: unknown flag %s\n", arg);
       return 2;
     }
   }
-  if (cfg.nodes < 2 || cfg.jobs < 1 || salt_count < 1) {
+  if (cfg.nodes < 2 || cfg.jobs < 1 || salt_count < 1 || seed_count < 1) {
     std::fprintf(stderr, "gcverify_explore: need >=2 nodes, >=1 job, "
-                         ">=1 salt\n");
+                         ">=1 salt, >=1 loss seed\n");
     return 2;
   }
   cfg.salts.clear();
   for (std::uint64_t s = 0; s < salt_count; ++s) cfg.salts.push_back(s);
+  cfg.loss_seeds.clear();
+  for (std::uint64_t s = 1; s <= seed_count; ++s) cfg.loss_seeds.push_back(s);
 
   std::printf("gcverify_explore: %d jobs x %d nodes, %llu rounds of %u B, "
-              "%llu salts\n",
+              "%llu salts, loss=%g x %llu seeds\n",
               cfg.jobs, cfg.nodes,
               static_cast<unsigned long long>(cfg.rounds), cfg.msg_bytes,
-              static_cast<unsigned long long>(salt_count));
+              static_cast<unsigned long long>(salt_count), cfg.loss,
+              static_cast<unsigned long long>(seed_count));
 
   const gangcomm::explore::ExploreResult res = gangcomm::explore::explore(cfg);
   for (const auto& run : res.runs)
