@@ -101,15 +101,25 @@ inline bool writeBenchJson(const std::string& name, int jobs = jobCount()) {
   const std::string path = outPath("BENCH_" + name + ".json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
+#ifdef NDEBUG
+  const char* build = "Release (-DNDEBUG)";
+#else
+  const char* build = "Debug";
+#endif
   std::fprintf(f,
                "{\n"
                "  \"name\": \"%s\",\n"
+               "  \"compiler\": \"%s\",\n"
+               "  \"build\": \"%s\",\n"
+               "  \"caveat\": \"events/s is machine- and flag-dependent; "
+               "compare only against baselines from the same pinned-flags "
+               "Release build on the same machine\",\n"
                "  \"wall_s\": %.6f,\n"
                "  \"events_fired\": %llu,\n"
                "  \"events_per_sec\": %.1f,\n"
                "  \"jobs\": %d\n"
                "}\n",
-               name.c_str(), wall,
+               name.c_str(), __VERSION__, build, wall,
                static_cast<unsigned long long>(events),
                wall > 0 ? static_cast<double>(events) / wall : 0.0, jobs);
   std::fclose(f);

@@ -16,8 +16,10 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   GC_CHECK_MSG(cfg_.nodes >= 1, "cluster needs nodes");
   GC_CHECK_MSG(cfg_.max_contexts >= 1, "max_contexts must be positive");
 
-  // Before anything can schedule: the tie salt requires an empty queue.
+  // Before anything can schedule: the tie salt and queue structure both
+  // require an empty queue.
   sim_.setTieSalt(cfg_.tie_salt);
+  sim_.setQueueKind(cfg_.event_queue);
 
   // A non-empty trace_path implies tracing.  The recorder exists either way;
   // subsystem hooks check enabled() and are zero-cost when it is off.
@@ -65,6 +67,16 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
   const bool lossy_fabric = cfg_.link_faults.any() || !cfg_.fail_stops.empty();
   if (lossy_fabric) cfg_.nic.enforce_fifo = false;
   if (cfg_.link_faults.corrupt > 0.0) cfg_.fm.checksum_shed = true;
+  // Delivery batching may hand a pure data packet to the NIC before its
+  // wire arrival time (timestamps are derived from the passed arrival, so
+  // plain receive processing is unaffected).  Protocol modes whose receive
+  // side is sensitive to *when* the handoff happens — NIC-level acks,
+  // retransmission timers, and the discard-wrong-job check against the
+  // currently-loaded context — must see arrivals at their exact times.
+  // Faults, tracing, and verification are handled by the fabric's own
+  // runtime guard.
+  if (cfg_.fm.enable_retransmit || cfg_.nic.nic_level_acks || no_flush)
+    cfg_.fabric.batch_delivery = false;
 
   fabric_ = std::make_unique<net::Fabric>(
       sim_, net::RoutingTable::singleSwitch(cfg_.nodes), cfg_.fabric);

@@ -125,6 +125,12 @@ struct ClusterConfig {
   /// The interleaving explorer (tools/gcverify_explore) sweeps this to
   /// exercise alternative legal orderings of logically concurrent events.
   std::uint64_t tie_salt = 0;
+  /// Event-queue structure (sim::Simulator::setQueueKind).  The ladder queue
+  /// amortizes bursty schedules to O(1) per event and fires in exactly the
+  /// same order as the heap at any tie salt; kHeap remains available as the
+  /// reference structure (and is what the randomized cross-check tests pit
+  /// the ladder against).
+  sim::QueueKind event_queue = sim::QueueKind::kLadder;
 };
 
 /// One node's switch measurement, tagged with its origin.

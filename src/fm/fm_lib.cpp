@@ -127,19 +127,23 @@ Status FmLib::send(int dst_rank, std::uint16_t handler,
       pending_.frag_start = sim_.now();
       pending_.frag_start_valid = true;
     }
-    if (s.send_credits[static_cast<std::size_t>(dst_rank)] <= 0) {
-      ++stats_.send_blocks_on_credit;
+    // Branchless credit + slot admission: the credit test folds into the
+    // NIC's masked reservation, and the debit is the reservation result —
+    // the happy path clears both gates with no unpredictable branch.  The
+    // single cold branch below unpacks which gate refused.
+    int& credit = s.send_credits[static_cast<std::size_t>(dst_rank)];
+    const bool have_credit = credit > 0;
+    const int go = nic_.reserveSendSlotIf(params_.ctx, have_credit);
+    credit -= go;
+    if (go == 0) {
+      if (have_credit)
+        ++stats_.send_blocks_on_queue;
+      else
+        ++stats_.send_blocks_on_credit;
       if (obs::tracing(trace_))
-        trace_->instant(nic_.node(), "fm", "block:credit", sim_.now(),
-                        {{"dst_rank", dst_rank},
-                         {"frag", static_cast<std::int64_t>(
-                                      pending_.next_frag)}});
-      return Status::kWouldBlock;
-    }
-    if (!nic_.reserveSendSlot(params_.ctx)) {
-      ++stats_.send_blocks_on_queue;
-      if (obs::tracing(trace_))
-        trace_->instant(nic_.node(), "fm", "block:queue", sim_.now(),
+        trace_->instant(nic_.node(), "fm",
+                        have_credit ? "block:queue" : "block:credit",
+                        sim_.now(),
                         {{"dst_rank", dst_rank},
                          {"frag", static_cast<std::int64_t>(
                                       pending_.next_frag)}});
@@ -149,7 +153,6 @@ Status FmLib::send(int dst_rank, std::uint16_t handler,
     const std::uint32_t payload =
         pending_.bytes_left < net::kMaxPayloadBytes ? pending_.bytes_left
                                                     : net::kMaxPayloadBytes;
-    --s.send_credits[static_cast<std::size_t>(dst_rank)];
     if (obs::tracing(trace_))
       trace_->instant(nic_.node(), "fm", "credit:debit", sim_.now(),
                       {{"dst_rank", dst_rank},

@@ -16,7 +16,8 @@ Fabric::Fabric(sim::Simulator& s, RoutingTable routes, FabricConfig cfg)
       cfg_(cfg),
       deliver_(static_cast<std::size_t>(routes_.nodeCount())),
       out_busy_(static_cast<std::size_t>(routes_.nodeCount()), 0),
-      in_busy_(static_cast<std::size_t>(routes_.nodeCount()), 0) {}
+      in_busy_(static_cast<std::size_t>(routes_.nodeCount()), 0),
+      rings_(static_cast<std::size_t>(routes_.nodeCount())) {}
 
 void Fabric::attach(NodeId node, DeliverFn deliver) {
   GC_CHECK(routes_.valid(node));
@@ -257,20 +258,73 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
   if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
     ptrace_->onWire(pkt.trace_id, inj_start, rx_done);
 
-  if (corrupted) {
+  // Delivery.  The batched path follows the gctrace pattern — one pointer
+  // test per observer — and engages only when nothing needs a per-packet
+  // delivery event: no faults (reorder breaks the per-destination FIFO the
+  // rings rely on), no trace/ptrace sinks (they stamp delivery instants),
+  // no verify sink (it audits per-delivery, in exact order and time).
+  //
+  // Within a destination, arrival times are strictly increasing (input-link
+  // serialization), so delivery order equals injection order.  A data
+  // packet's receive processing derives every timestamp from the `at`
+  // argument — the DMA completion lands at the identical instant whether
+  // fromWire runs at arrival or early — so data may be handed over
+  // immediately, with zero events, as long as no arrival-time-sensitive
+  // packet (control, piggybacked refill: they fire wakeups and flush-FSM
+  // transitions *now*) is still queued ahead of it.  Those "exact" packets
+  // park in the destination's ring behind one drain event; data arriving
+  // behind them queues too, preserving total per-destination order.
+  if (cfg_.batch_delivery && !faults_enabled_ && !obs::tracing(trace_) &&
+      !obs::ptracing(ptrace_) && !verify::active(verify_)) {
+    const auto dst = static_cast<std::size_t>(pkt.dst_node);
+    DeliveryRing& ring = rings_[dst];
+    const bool exact = pkt.isControl() || pkt.refill_credits > 0;
+    if (!exact && ring.head == ring.q.size()) {
+      deliver_[dst](pkt, rx_done);
+    } else {
+      ring.q.push_back(PendingDelivery{pkt, rx_done, exact});
+      if (!ring.drain_scheduled) {
+        ring.drain_scheduled = true;
+        const NodeId d = pkt.dst_node;
+        sim_.scheduleAt(rx_done, [this, d] { drainRing(d); });
+      }
+    }
+  } else if (corrupted) {
     Packet poisoned = pkt;
     poisoned.tag ^= poison;
-    sim_.scheduleAt(rx_done, [this, poisoned] {
+    sim_.scheduleAt(rx_done, [this, poisoned, rx_done] {
       if (verify::active(verify_)) verify_->onWireDeliver(poisoned);
-      deliver_[static_cast<std::size_t>(poisoned.dst_node)](poisoned);
+      deliver_[static_cast<std::size_t>(poisoned.dst_node)](poisoned, rx_done);
     });
   } else {
-    sim_.scheduleAt(rx_done, [this, pkt] {
+    sim_.scheduleAt(rx_done, [this, pkt, rx_done] {
       if (verify::active(verify_)) verify_->onWireDeliver(pkt);
-      deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt);
+      deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt, rx_done);
     });
   }
   return out_busy_[static_cast<std::size_t>(pkt.src_node)];
+}
+
+void Fabric::drainRing(NodeId dst) {
+  DeliveryRing& ring = rings_[static_cast<std::size_t>(dst)];
+  // Index-based: a delivery can re-enter inject() and grow this ring.
+  while (ring.head < ring.q.size()) {
+    const PendingDelivery& e = ring.q[ring.head];
+    if (e.exact && e.at > sim_.now()) {
+      // The next arrival-time-sensitive packet is still on the wire; come
+      // back exactly then.  Everything behind it stays queued.
+      const sim::SimTime at = e.at;
+      sim_.scheduleAt(at, [this, dst] { drainRing(dst); });
+      return;
+    }
+    const Packet pkt = e.pkt;  // copy out: deliver may reallocate the ring
+    const sim::SimTime at = e.at;
+    ++ring.head;
+    deliver_[static_cast<std::size_t>(dst)](pkt, at);
+  }
+  ring.q.clear();
+  ring.head = 0;
+  ring.drain_scheduled = false;
 }
 
 void Fabric::publishMetrics(obs::MetricsRegistry& reg) const {

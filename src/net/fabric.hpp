@@ -16,6 +16,7 @@
 // input-link serialization.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -38,6 +39,14 @@ namespace gangcomm::net {
 struct FabricConfig {
   double link_mbps = 160.0;       // 1.28 Gb/s Myrinet
   sim::Duration hop_latency_ns = 500;  // per switch hop (wormhole cut-through)
+  /// Coalesce per-packet wire-delivery events into per-destination bursts
+  /// (see the delivery-batching comment in fabric.cpp).  Only engages while
+  /// faults, tracing, packet tracing, and the verify sink are all off; the
+  /// cluster additionally clears it for protocol modes whose receive path
+  /// is arrival-time sensitive (core/cluster.cpp).  Timing of everything
+  /// observable (DMA completions, control handling, credit refills) is
+  /// unchanged; only the event count drops.
+  bool batch_delivery = true;
 };
 
 struct FabricStats {
@@ -55,7 +64,11 @@ struct FabricStats {
 
 class Fabric {
  public:
-  using DeliverFn = util::SboFunction<void(const Packet&)>;
+  /// Wire-side receiver: `at` is the packet's arrival time (last byte off
+  /// the destination input link).  With delivery batching the callback may
+  /// run *before* `at` (never after, and never out of per-destination
+  /// order); receivers must derive every timestamp from `at`, not now().
+  using DeliverFn = util::SboFunction<void(const Packet&, sim::SimTime)>;
 
   Fabric(sim::Simulator& s, RoutingTable routes, FabricConfig cfg = {});
 
@@ -127,6 +140,25 @@ class Fabric {
     sim::SimTime dead_at = sim::kNever;
   };
 
+  /// One queued (not yet handed to the NIC) delivery.  `exact` marks
+  /// packets whose receive processing is arrival-time sensitive (control,
+  /// piggybacked refills): they are never delivered early.
+  struct PendingDelivery {
+    Packet pkt;
+    sim::SimTime at;
+    bool exact;
+  };
+  /// Per-destination delivery ring (batch_delivery).  Invariants: entries
+  /// are sorted by `at` (input-link serialization makes arrival times
+  /// strictly increasing per destination), the head entry is always exact,
+  /// and a drain event is pending whenever the ring is non-empty.
+  struct DeliveryRing {
+    std::vector<PendingDelivery> q;
+    std::size_t head = 0;
+    bool drain_scheduled = false;
+  };
+
+  void drainRing(NodeId dst);
   void ensureLinks();
   void recomputeFaultsEnabled();
   std::uint64_t linkSeed(NodeId src, NodeId dst) const;
@@ -140,6 +172,7 @@ class Fabric {
   std::vector<DeliverFn> deliver_;
   std::vector<sim::SimTime> out_busy_;
   std::vector<sim::SimTime> in_busy_;
+  std::vector<DeliveryRing> rings_;  // indexed by destination node
   FabricStats stats_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::PacketTracer* ptrace_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <utility>
@@ -25,7 +26,8 @@ Nic::Nic(sim::Simulator& s, Fabric& fabric, NodeId node, NicConfig cfg)
   // The LANai control program and context table occupy the front of SRAM.
   GC_CHECK(sram_.allocate(cfg_.sram_reserved_bytes) !=
            host::RegionAllocator::kNoSpace);
-  fabric_.attach(node_, [this](const Packet& p) { fromWire(p); });
+  fabric_.attach(node_,
+                 [this](const Packet& p, sim::SimTime at) { fromWire(p, at); });
   last_job_from_.assign(static_cast<std::size_t>(fabric.nodeCount()), kNoJob);
 }
 
@@ -58,6 +60,7 @@ util::Status Nic::allocContext(ContextId id, JobId job, int rank,
   slot->sent_hwm.assign(static_cast<std::size_t>(num_peers), 0);
   slot->nic_acked_hwm.assign(static_cast<std::size_t>(num_peers), 0);
   contexts_.push_back(std::move(slot));
+  sendq_depth_.push_back(0);
   GC_DEBUG(sim_, "nic", "node %d: ctx %d job %d rank %d sq=%zu rq=%zu C0=%d",
            node_, id, job, rank, sendq_slots, recvq_slots, initial_credits);
   return util::Status::kOk;
@@ -66,12 +69,20 @@ util::Status Nic::allocContext(ContextId id, JobId job, int rank,
 util::Status Nic::freeContext(ContextId id) {
   for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
     if ((*it)->id == id) {
+      reserved_total_ -= (*it)->reserved_send_slots;
+      sendq_depth_.erase(sendq_depth_.begin() + (it - contexts_.begin()));
       contexts_.erase(it);
       if (scan_cursor_ >= contexts_.size()) scan_cursor_ = 0;
       return util::Status::kOk;
     }
   }
   return util::Status::kNotFound;
+}
+
+std::size_t Nic::contextIndex(ContextId id) const {
+  for (std::size_t i = 0; i < contexts_.size(); ++i)
+    if (contexts_[i]->id == id) return i;
+  return contexts_.size();
 }
 
 ContextSlot* Nic::context(ContextId id) {
@@ -93,37 +104,52 @@ ContextSlot* Nic::contextForJob(JobId job) {
 }
 
 void Nic::retagContext(ContextId id, JobId job, int rank) {
-  ContextSlot* ctx = context(id);
-  GC_CHECK_MSG(ctx != nullptr, "retag of unknown context");
+  const std::size_t idx = contextIndex(id);
+  GC_CHECK_MSG(idx < contexts_.size(), "retag of unknown context");
+  ContextSlot* ctx = contexts_[idx].get();
   GC_CHECK_MSG(flush_complete_ || quiesce_complete_ ||
                    (ctx->sendq.empty() && ctx->recvq.empty() &&
                     dma_in_flight_ == 0),
                "retag requires a flushed/quiesced card or a virgin context");
   ctx->job = job;
   ctx->rank = rank;
+  // The buffer switcher drained or refilled this slot's rings directly;
+  // bring the send-scan column back in step.
+  sendq_depth_[idx] = static_cast<std::uint32_t>(ctx->sendq.size());
 }
 
 // ---- Host-side datapath -----------------------------------------------------
 
 bool Nic::reserveSendSlot(ContextId id) {
+  return reserveSendSlotIf(id, true) != 0;
+}
+
+int Nic::reserveSendSlotIf(ContextId id, bool want) {
   ContextSlot* ctx = context(id);
   GC_CHECK(ctx != nullptr);
-  if (ctx->sendFree() == 0) return false;
-  ++ctx->reserved_send_slots;
-  return true;
+  // Branchless: both the caller's predicate (its credit check) and the
+  // free-slot test fold into one 0/1 reservation delta.
+  const int go =
+      static_cast<int>(want) & static_cast<int>(ctx->sendFree() != 0);
+  ctx->reserved_send_slots += go;
+  reserved_total_ += go;
+  return go;
 }
 
 util::Status Nic::hostEnqueueSend(ContextId id, const Packet& pkt) {
-  ContextSlot* ctx = context(id);
-  if (ctx == nullptr) return util::Status::kNotFound;
+  const std::size_t idx = contextIndex(id);
+  if (idx == contexts_.size()) return util::Status::kNotFound;
+  ContextSlot* ctx = contexts_[idx].get();
   GC_CHECK_MSG(ctx->reserved_send_slots > 0,
                "hostEnqueueSend without a prior reservation");
   --ctx->reserved_send_slots;
+  --reserved_total_;
+  ++sendq_depth_[idx];
   if (cfg_.nic_level_acks && pkt.type == PacketType::kData &&
       pkt.dst_rank >= 0 &&
       static_cast<std::size_t>(pkt.dst_rank) < ctx->sent_hwm.size()) {
     auto& hwm = ctx->sent_hwm[static_cast<std::size_t>(pkt.dst_rank)];
-    if (pkt.seq > hwm) hwm = pkt.seq;
+    hwm = std::max(hwm, pkt.seq);
   }
   GC_CHECK_MSG(ctx->sendq.push(pkt), "send ring overflow despite reservation");
   // gctrace: the packet is now in NIC SRAM; the halted-time accumulator is
@@ -219,8 +245,12 @@ bool Nic::trySendDataPacket() {
   if (contexts_.empty()) return false;
   for (std::size_t i = 0; i < contexts_.size(); ++i) {
     const std::size_t idx = (scan_cursor_ + i) % contexts_.size();
+    // The occupancy column keeps the empty-queue common case inside one
+    // packed vector — no per-context pointer chase.
+    if (sendq_depth_[idx] == 0) continue;
     ContextSlot& ctx = *contexts_[idx];
-    if (ctx.sendq.empty()) continue;
+    GC_CHECK_MSG(!ctx.sendq.empty(), "send-scan column out of step");
+    --sendq_depth_[idx];
     scan_cursor_ = (idx + 1) % contexts_.size();
     Packet pkt = ctx.sendq.pop();
     if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
@@ -441,12 +471,6 @@ void Nic::endAckQuiesce() {
   endLocalQuiesce();
 }
 
-bool Nic::hostPioIdle() const {
-  for (const auto& c : contexts_)
-    if (c->reserved_send_slots != 0) return false;
-  return true;
-}
-
 bool Nic::allTrafficAcked() const {
   for (const auto& c : contexts_)
     for (std::size_t peer = 0; peer < c->sent_hwm.size(); ++peer)
@@ -486,7 +510,7 @@ void Nic::endLocalQuiesce() {
 
 // ---- Receive context --------------------------------------------------------
 
-void Nic::fromWire(const Packet& pkt) {
+void Nic::fromWire(const Packet& pkt, sim::SimTime at) {
   switch (pkt.type) {
     case PacketType::kHalt:
       ++stats_.control_received;
@@ -494,16 +518,14 @@ void Nic::fromWire(const Packet& pkt) {
       GC_TRACE(sim_, "nic", "node %d: halt from %d ('ah')", node_,
                pkt.src_node);
       if (obs::tracing(trace_))
-        trace_->instant(node_, "nic", "rx:halt", sim_.now(),
-                        {{"src", pkt.src_node}});
+        trace_->instant(node_, "nic", "rx:halt", at, {{"src", pkt.src_node}});
       maybeCompleteFlush();
       return;
     case PacketType::kReady:
       ++stats_.control_received;
       ++readies_rx_;
       if (obs::tracing(trace_))
-        trace_->instant(node_, "nic", "rx:ready", sim_.now(),
-                        {{"src", pkt.src_node}});
+        trace_->instant(node_, "nic", "rx:ready", at, {{"src", pkt.src_node}});
       maybeCompleteRelease();
       return;
     case PacketType::kRefill: {
@@ -512,13 +534,13 @@ void Nic::fromWire(const Packet& pkt) {
       if (ctx == nullptr) {
         ++stats_.drops_no_context;
         if (obs::tracing(trace_))
-          trace_->instant(node_, "nic", "drop:no_ctx", sim_.now(),
+          trace_->instant(node_, "nic", "drop:no_ctx", at,
                           {{"src", pkt.src_node}, {"job", pkt.job}});
         if (verify::active(verify_)) verify_->onNicDrop(node_, pkt, "no_ctx");
         return;
       }
       if (obs::tracing(trace_))
-        trace_->instant(node_, "nic", "credit:refill", sim_.now(),
+        trace_->instant(node_, "nic", "credit:refill", at,
                         {{"src_rank", pkt.src_rank},
                          {"credits", static_cast<std::int64_t>(
                                          pkt.refill_credits)}});
@@ -532,7 +554,7 @@ void Nic::fromWire(const Packet& pkt) {
                                  pkt.refill_credits);
       auto& acked =
           ctx->acked_seq_from[static_cast<std::size_t>(pkt.src_rank)];
-      if (pkt.ack_seq > acked) acked = pkt.ack_seq;
+      acked = std::max(acked, pkt.ack_seq);
       stats_.refill_credits_received += pkt.refill_credits;
       fireSendable(*ctx);
       return;
@@ -550,18 +572,18 @@ void Nic::fromWire(const Packet& pkt) {
           static_cast<std::size_t>(pkt.src_rank) <
               ctx->nic_acked_hwm.size()) {
         auto& hwm = ctx->nic_acked_hwm[static_cast<std::size_t>(pkt.src_rank)];
-        if (pkt.ack_seq > hwm) hwm = pkt.ack_seq;
+        hwm = std::max(hwm, pkt.ack_seq);
       }
       maybeCompleteQuiesce();
       return;
     }
     case PacketType::kData:
-      deliverData(pkt);
+      deliverData(pkt, at);
       return;
   }
 }
 
-void Nic::deliverData(const Packet& pkt) {
+void Nic::deliverData(const Packet& pkt, sim::SimTime at) {
   ContextSlot* ctx = contextForJob(pkt.job);
   if (ctx == nullptr) {
     // A packet for a job with no live context: either the init-protocol
@@ -579,7 +601,7 @@ void Nic::deliverData(const Packet& pkt) {
     if (obs::tracing(trace_))
       trace_->instant(node_, "nic",
                       discard_wrong_job_ ? "drop:wrong_job" : "drop:no_ctx",
-                      sim_.now(),
+                      at,
                       {{"src", pkt.src_node},
                        {"job", pkt.job},
                        {"seq", static_cast<std::int64_t>(pkt.seq)}});
@@ -589,7 +611,7 @@ void Nic::deliverData(const Packet& pkt) {
     if (obs::ptracing(ptrace_) && pkt.trace_id != 0)
       ptrace_->onDrop(pkt.trace_id, node_,
                       discard_wrong_job_ ? "drop:wrong_job" : "drop:no_ctx",
-                      sim_.now());
+                      at);
     return;
   }
   if (cfg_.enforce_fifo) {
@@ -604,7 +626,7 @@ void Nic::deliverData(const Packet& pkt) {
   if (pkt.src_rank >= 0 &&
       static_cast<std::size_t>(pkt.src_rank) < ctx->acked_seq_from.size()) {
     auto& acked = ctx->acked_seq_from[static_cast<std::size_t>(pkt.src_rank)];
-    if (pkt.ack_seq > acked) acked = pkt.ack_seq;
+    acked = std::max(acked, pkt.ack_seq);
   }
   // Piggybacked credit refill (paper §2.2).
   if (pkt.refill_credits > 0) {
@@ -620,14 +642,17 @@ void Nic::deliverData(const Packet& pkt) {
     fireSendable(*ctx);
   }
   ++stats_.data_received;
-  dmaDeliver(pkt, *ctx);
+  dmaDeliver(pkt, *ctx, at);
 }
 
-void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx) {
+void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx, sim::SimTime at) {
   // Receive-context processing, then a serialized DMA into the pinned
   // receive queue.  Flush completion waits for dma_in_flight_ to reach zero
   // so no packet can land after the buffer switch copied the queue out.
-  const sim::SimTime start_min = sim_.now() + cfg_.lanai_recv_ns;
+  // Every time here derives from the wire arrival `at`: under delivery
+  // batching this runs before the packet's last byte is off the input link,
+  // and the DMA completion must land at the identical instant either way.
+  const sim::SimTime start_min = at + cfg_.lanai_recv_ns;
   const sim::SimTime start =
       start_min > dma_busy_until_ ? start_min : dma_busy_until_;
   const sim::SimTime done = start + cfg_.dma_setup_ns +

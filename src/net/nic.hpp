@@ -147,7 +147,9 @@ class Nic {
 
   /// Re-tag a context slot to a different job/rank (buffer switch installs
   /// the next job's identity into the live slot).  Only legal while the
-  /// network is flushed — enforced.
+  /// network is flushed — enforced.  Also resynchronizes the send-scan
+  /// occupancy column: the buffer switcher drains/refills the slot's send
+  /// ring directly, and every switch path retags afterwards.
   void retagContext(ContextId id, JobId job, int rank);
 
   // ---- Host-side datapath (called by the FM library) ---------------------
@@ -155,6 +157,12 @@ class Nic {
   /// Reserve one send-queue slot for a host PIO copy about to start; returns
   /// false when no slot is free.  hostEnqueueSend consumes the reservation.
   bool reserveSendSlot(ContextId id);
+
+  /// Branchless form for the FM send hot path: reserve a slot iff `want`
+  /// (the caller's credit check) and a slot is free, as one arithmetic
+  /// step.  Returns 1 when the reservation was taken, else 0 — the caller
+  /// folds it straight into its credit arithmetic.
+  int reserveSendSlotIf(ContextId id, bool want);
 
   /// Post a fully formed packet into the context's send queue (the host's
   /// PIO copy cost has already elapsed; the caller schedules this at copy
@@ -206,7 +214,10 @@ class Nic {
 
   // ---- Wire side (called by the Fabric) -----------------------------------
 
-  void fromWire(const Packet& pkt);
+  /// `at` is the packet's wire arrival time.  With delivery batching the
+  /// call may run before `at` (see Fabric::DeliverFn); every timestamp on
+  /// the receive path is therefore derived from `at`, never from now().
+  void fromWire(const Packet& pkt, sim::SimTime at);
 
   // ---- Ablation hooks -----------------------------------------------------
 
@@ -244,11 +255,12 @@ class Nic {
   void maybeCompleteQuiesce();
   void maybeCompleteAckQuiesce();
   bool allTrafficAcked() const;
-  bool hostPioIdle() const;
+  bool hostPioIdle() const { return reserved_total_ == 0; }
   void emitNicAck(const Packet& data_pkt);
-  void deliverData(const Packet& pkt);
-  void dmaDeliver(const Packet& pkt, ContextSlot& ctx);
+  void deliverData(const Packet& pkt, sim::SimTime at);
+  void dmaDeliver(const Packet& pkt, ContextSlot& ctx, sim::SimTime at);
   void fireSendable(ContextSlot& ctx);
+  std::size_t contextIndex(ContextId id) const;
 
   sim::Simulator& sim_;
   Fabric& fabric_;
@@ -258,7 +270,16 @@ class Nic {
   host::RegionAllocator pinned_;
 
   std::vector<std::unique_ptr<ContextSlot>> contexts_;
+  // Send-scan occupancy column (structure of arrays, parallel to
+  // contexts_): the round-robin send scan reads this packed vector instead
+  // of chasing one heap pointer per context just to test sendq.empty().
+  // Maintained at every NIC-side push/pop and resynced by retagContext
+  // (the buffer switcher moves ring contents behind the NIC's back).
+  std::vector<std::uint32_t> sendq_depth_;
   std::size_t scan_cursor_ = 0;  // round-robin position of the send context
+  // Sum of every context's reserved_send_slots, so the flush FSM's
+  // host-PIO-idle test is one load instead of a per-context sweep.
+  int reserved_total_ = 0;
 
   std::deque<Packet> control_queue_;
 

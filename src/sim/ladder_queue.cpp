@@ -1,0 +1,117 @@
+#include "sim/ladder_queue.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace gangcomm::sim {
+
+void LadderQueue::insert(SimTime t, std::uint64_t seq, std::uint32_t slot) {
+  ++entries_;
+  if (rung_active_) {
+    const SimTime rung_end =
+        rung_start_ + bucket_width_ * static_cast<SimTime>(buckets_.size());
+    if (t < rung_end) {
+      // t >= bottomLimit() = rung_start_ + cur_bucket_*width, so the index
+      // can never land on an already-drained bucket.
+      const std::size_t idx =
+          static_cast<std::size_t>((t - rung_start_) / bucket_width_);
+      buckets_[idx].push_back(LadderEntry{t, seq, slot});
+      return;
+    }
+  }
+  top_.push_back(LadderEntry{t, seq, slot});
+  if (t < top_min_) top_min_ = t;
+  if (t > top_max_) top_max_ = t;
+}
+
+bool LadderQueue::transferNext(std::vector<LadderEntry>& out) {
+  for (;;) {
+    while (rung_active_) {
+      if (cur_bucket_ == buckets_.size()) {
+        for (auto& b : buckets_) pool_.push_back(std::move(b));
+        buckets_.clear();
+        rung_active_ = false;
+        break;
+      }
+      std::vector<LadderEntry>& b = buckets_[cur_bucket_];
+      ++cur_bucket_;
+      bottom_limit_ =
+          rung_start_ + bucket_width_ * static_cast<SimTime>(cur_bucket_);
+      if (b.empty()) continue;
+      entries_ -= b.size();
+      out.insert(out.end(), b.begin(), b.end());
+      b.clear();
+      return true;
+    }
+    if (top_.empty()) return false;
+    // Degenerate or small bands go straight to the heap: one timestamp
+    // needs no partitioning, a handful of entries heapify faster than they
+    // bucket, and a band butting against the far end of the time axis
+    // cannot be given a rung without overflowing the bucket arithmetic.
+    if (top_.size() <= kSmallTop || top_min_ == top_max_ ||
+        top_max_ >= kNever - kMaxBuckets) {
+      entries_ -= top_.size();
+      out.insert(out.end(), top_.begin(), top_.end());
+      top_.clear();
+      bottom_limit_ = top_max_ >= kNever - 1 ? kNever : top_max_ + 1;
+      top_min_ = kNever;
+      top_max_ = 0;
+      return true;
+    }
+    buildRungFromTop();
+  }
+}
+
+void LadderQueue::buildRungFromTop() {
+  const SimTime span = top_max_ - top_min_;  // > 0 (checked by the caller)
+  std::size_t nb = top_.size();
+  if (nb > kMaxBuckets) nb = kMaxBuckets;
+  // width*nb >= span + nb > span, so top_max_ falls strictly inside the
+  // rung and every band entry has a bucket.
+  rung_start_ = top_min_;
+  bucket_width_ = span / static_cast<SimTime>(nb) + 1;
+  GC_CHECK(buckets_.empty());
+  buckets_.reserve(nb);
+  while (buckets_.size() < nb) {
+    if (!pool_.empty()) {
+      buckets_.push_back(std::move(pool_.back()));
+      pool_.pop_back();
+      buckets_.back().clear();
+    } else {
+      buckets_.emplace_back();
+    }
+  }
+  cur_bucket_ = 0;
+  rung_active_ = true;
+  // top_min_ >= the old limit (every band entry was inserted at or beyond
+  // the rung active at the time, or at or beyond the limit itself), so the
+  // limit still never moves backwards.
+  bottom_limit_ = rung_start_;
+  for (const LadderEntry& e : top_) {
+    const std::size_t idx =
+        static_cast<std::size_t>((e.time - rung_start_) / bucket_width_);
+    buckets_[idx].push_back(e);
+  }
+  top_.clear();
+  top_min_ = kNever;
+  top_max_ = 0;
+}
+
+void LadderQueue::clear() {
+  for (auto& b : buckets_) {
+    b.clear();
+    pool_.push_back(std::move(b));
+  }
+  buckets_.clear();
+  rung_active_ = false;
+  top_.clear();
+  top_min_ = kNever;
+  top_max_ = 0;
+  entries_ = 0;
+}
+
+}  // namespace gangcomm::sim

@@ -9,9 +9,17 @@
 namespace gangcomm::sim {
 
 void Simulator::setTieSalt(std::uint64_t salt) {
-  GC_CHECK_MSG(heap_.empty(),
+  GC_CHECK_MSG(empty(),
                "tie salt must be set while the event queue is empty");
   tie_salt_ = salt;
+}
+
+void Simulator::setQueueKind(QueueKind kind) {
+  GC_CHECK_MSG(empty(),
+               "queue kind must be selected while the event queue is empty");
+  // Any entries still parked in the ladder are stale (live count is zero).
+  if (ladder_.hasEntries()) ladder_.clear();
+  kind_ = kind;
 }
 
 EventHandle Simulator::scheduleAt(SimTime t, Action fn) {
@@ -23,49 +31,66 @@ EventHandle Simulator::scheduleAt(SimTime t, Action fn) {
   std::uint32_t slot;
   if (free_head_ != kNil) {
     slot = free_head_;
-    free_head_ = slab_[slot].next_free;
+    free_head_ = links_[slot];
   } else {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
+    slot = static_cast<std::uint32_t>(times_.size());
+    times_.emplace_back();
+    seqs_.emplace_back();
+    links_.emplace_back();
+    actions_.emplace_back();
   }
-  Node& n = slab_[slot];
-  n.time = t;
-  n.seq = seq;
-  n.fn = std::move(fn);
-  n.next_free = kNil;
-  heap_.push_back(slot);
-  siftUp(heap_.size() - 1);
+  times_[slot] = t;
+  seqs_[slot] = seq;
+  actions_[slot] = std::move(fn);
+  if (kind_ == QueueKind::kLadder && t >= ladder_.bottomLimit()) {
+    // A ladder holding only stale entries (every resident was cancelled)
+    // can be dropped wholesale; this bounds the garbage a schedule-then-
+    // cancel workload can accumulate.
+    if (ladder_live_ == 0 && ladder_.hasEntries()) ladder_.clear();
+    links_[slot] = kInLadder;
+    ladder_.insert(t, seq, slot);
+    ++ladder_live_;
+  } else {
+    heap_.push_back(HeapEntry{t, slot});
+    siftUp(heap_.size() - 1);
+  }
   return EventHandle{seq, slot};
 }
 
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  // A handle is live exactly when the slab node it points at still carries
+  // A handle is live exactly when the slab slot it points at still carries
   // its sequence number: a fired or cancelled event's slot has seq 0 (or a
   // later event's seq once recycled), so stale cancels are exact no-ops.
-  if (h.slot >= slab_.size()) return false;
-  Node& n = slab_[h.slot];
-  if (n.seq != h.id) return false;
-  removeAt(n.heap_pos);
+  if (h.slot >= seqs_.size()) return false;
+  if (seqs_[h.slot] != h.id) return false;
+  const std::uint32_t link = links_[h.slot];
+  if (link == kInLadder) {
+    // Lazy cancel: free the slot now; the ladder entry goes stale (its seq
+    // no longer matches) and is filtered out at transfer time.
+    --ladder_live_;
+  } else {
+    removeAt(link);
+  }
   freeSlot(h.slot);
   return true;
 }
 
 void Simulator::siftUp(std::size_t i) {
-  const std::uint32_t slot = heap_[i];
+  const HeapEntry e = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 4;
-    if (!before(slot, heap_[parent])) break;
+    if (!before(e, heap_[parent])) break;
     heap_[i] = heap_[parent];
-    slab_[heap_[i]].heap_pos = static_cast<std::uint32_t>(i);
+    links_[heap_[i].slot] = static_cast<std::uint32_t>(i);
     i = parent;
   }
-  heap_[i] = slot;
-  slab_[slot].heap_pos = static_cast<std::uint32_t>(i);
+  heap_[i] = e;
+  links_[e.slot] = static_cast<std::uint32_t>(i);
 }
 
 void Simulator::siftDown(std::size_t i) {
-  const std::uint32_t slot = heap_[i];
+  const HeapEntry e = heap_[i];
   const std::size_t n = heap_.size();
   for (;;) {
     const std::size_t first = i * 4 + 1;
@@ -74,46 +99,72 @@ void Simulator::siftDown(std::size_t i) {
     const std::size_t last = first + 4 < n ? first + 4 : n;
     for (std::size_t c = first + 1; c < last; ++c)
       if (before(heap_[c], heap_[best])) best = c;
-    if (!before(heap_[best], slot)) break;
+    if (!before(heap_[best], e)) break;
     heap_[i] = heap_[best];
-    slab_[heap_[i]].heap_pos = static_cast<std::uint32_t>(i);
+    links_[heap_[i].slot] = static_cast<std::uint32_t>(i);
     i = best;
   }
-  heap_[i] = slot;
-  slab_[slot].heap_pos = static_cast<std::uint32_t>(i);
+  heap_[i] = e;
+  links_[e.slot] = static_cast<std::uint32_t>(i);
 }
 
 void Simulator::removeAt(std::size_t pos) {
-  const std::uint32_t last = heap_.back();
+  const HeapEntry last = heap_.back();
   heap_.pop_back();
   if (pos < heap_.size()) {
     heap_[pos] = last;
-    slab_[last].heap_pos = static_cast<std::uint32_t>(pos);
+    links_[last.slot] = static_cast<std::uint32_t>(pos);
     // The displaced tail entry may belong above or below `pos`.
     siftDown(pos);
-    if (heap_[pos] == last) siftUp(pos);
+    if (heap_[pos].slot == last.slot) siftUp(pos);
   }
 }
 
 void Simulator::freeSlot(std::uint32_t slot) {
-  Node& n = slab_[slot];
-  n.seq = 0;
-  n.fn.reset();
-  n.heap_pos = kNil;
-  n.next_free = free_head_;
+  seqs_[slot] = 0;
+  actions_[slot].reset();
+  links_[slot] = free_head_;
   free_head_ = slot;
 }
 
+void Simulator::refillBottom() {
+  while (heap_.empty()) {
+    scratch_.clear();
+    const bool moved = ladder_.transferNext(scratch_);
+    GC_CHECK_MSG(moved, "ladder live count out of sync with its contents");
+    for (const LadderEntry& e : scratch_) {
+      if (seqs_[e.slot] != e.seq) continue;  // lazily-cancelled resident
+      links_[e.slot] = static_cast<std::uint32_t>(heap_.size());
+      heap_.push_back(HeapEntry{e.time, e.slot});
+      --ladder_live_;
+    }
+  }
+  // The span arrived unsorted and the heap held nothing else, so a bottom-up
+  // heapify (O(n)) beats n sift-up passes; links_ positions were seeded at
+  // push and siftDown rewrites the ones it moves.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) siftDown(i);
+  }
+}
+
+SimTime Simulator::nextEventTime() {
+  if (heap_.empty()) {
+    if (ladder_live_ == 0) return kNever;
+    refillBottom();
+  }
+  return heap_[0].time;
+}
+
 void Simulator::fireNext() {
-  const std::uint32_t slot = heap_[0];
-  Node& n = slab_[slot];
-  now_ = n.time;
-  // Move the action out and recycle the node before invoking: the callback
+  if (heap_.empty()) refillBottom();
+  const HeapEntry top = heap_[0];
+  now_ = top.time;
+  // Move the action out and recycle the slot before invoking: the callback
   // may schedule (growing the slab) or cancel, and must observe its own
   // event as already fired.
-  Action fn = std::move(n.fn);
+  Action fn = std::move(actions_[top.slot]);
   removeAt(0);
-  freeSlot(slot);
+  freeSlot(top.slot);
   ++fired_;
   fn();
   // Event boundary: the action (and everything it ran synchronously) is
@@ -124,7 +175,7 @@ void Simulator::fireNext() {
 std::uint64_t Simulator::run() {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (!heap_.empty() && !stop_requested_) {
+  while (!empty() && !stop_requested_) {
     fireNext();
     ++n;
   }
@@ -134,7 +185,7 @@ std::uint64_t Simulator::run() {
 std::uint64_t Simulator::runUntil(SimTime t) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (!heap_.empty() && !stop_requested_ && slab_[heap_[0]].time <= t) {
+  while (!empty() && !stop_requested_ && nextEventTime() <= t) {
     fireNext();
     ++n;
   }
@@ -145,7 +196,7 @@ std::uint64_t Simulator::runUntil(SimTime t) {
 std::uint64_t Simulator::runSteps(std::uint64_t steps) {
   stop_requested_ = false;
   std::uint64_t n = 0;
-  while (n < steps && !heap_.empty() && !stop_requested_) {
+  while (n < steps && !empty() && !stop_requested_) {
     fireNext();
     ++n;
   }

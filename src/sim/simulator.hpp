@@ -6,15 +6,26 @@
 // deterministic.  Events may be cancelled via the EventHandle returned at
 // scheduling time.
 //
-// Engine layout: event nodes live in a slab (recycled through a free list,
-// so steady-state scheduling performs no allocation) and an indexed 4-ary
-// min-heap of slab slots orders them by (time, seq).  Each node remembers
-// its heap position, so cancel() removes its entry in place in O(log n) —
-// no tombstones and no hash lookups on the firing path — and a handle is
-// live exactly when the slab node it points at still carries its sequence
-// number, an O(1) check.  Actions are stored in a small-buffer-optimized
-// callable (util::SboFunction), keeping packet-forwarding closures inline
-// in the node instead of behind a per-event heap allocation.
+// Engine layout: event state lives in a structure-of-arrays slab — parallel
+// times/seqs/links/actions columns indexed by slot, recycled through a free
+// list threaded across the links column, so steady-state scheduling performs
+// no allocation.  The firing and sifting loops touch only the packed
+// (time, slot) heap entries plus the seqs column on timestamp ties; the
+// action bodies (the wide column) are read once per fire.  Each live slot's
+// links entry remembers its heap position, so cancel() removes its entry in
+// place in O(log n) — no tombstones and no hash lookups on the firing path —
+// and a handle is live exactly when the slot it points at still carries its
+// sequence number, an O(1) check.  Actions are stored in a small-buffer-
+// optimized callable (util::SboFunction), keeping packet-forwarding closures
+// inline in the slab instead of behind a per-event heap allocation.
+//
+// Two queue disciplines order the slots (setQueueKind):
+//   * kHeap    — one indexed 4-ary min-heap over every pending event.
+//   * kLadder  — a ladder queue (sim/ladder_queue.hpp): far-future events
+//     take an O(1) bucket append and only reach the 4-ary heap when their
+//     time bucket becomes imminent.  Buckets partition integer timestamps,
+//     so the heap comparator still decides every same-time ordering and the
+//     firing sequence is bit-identical to kHeap at any tie salt.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/ladder_queue.hpp"
 #include "sim/time.hpp"
 #include "util/sbo_function.hpp"
 
@@ -48,6 +60,11 @@ class EventObserver {
   /// total number of events fired so far (including this one).
   virtual void onEventBoundary(SimTime now, std::uint64_t fired) = 0;
 };
+
+/// Event-queue discipline; see the header comment.  Either kind fires any
+/// workload in the identical order — kLadder is purely a performance choice
+/// for bursty arrival distributions.
+enum class QueueKind : std::uint8_t { kHeap, kLadder };
 
 class Simulator {
  public:
@@ -89,10 +106,10 @@ class Simulator {
   std::uint64_t runSteps(std::uint64_t n);
 
   /// True if no live events are pending.
-  bool empty() const { return heap_.empty(); }
+  bool empty() const { return heap_.empty() && ladder_live_ == 0; }
 
   /// Number of pending (non-cancelled) events.
-  std::uint64_t pendingEvents() const { return heap_.size(); }
+  std::uint64_t pendingEvents() const { return heap_.size() + ladder_live_; }
 
   /// Total events fired since construction.
   std::uint64_t firedEvents() const { return fired_; }
@@ -122,32 +139,41 @@ class Simulator {
   /// The active same-timestamp permutation salt (0 = natural FIFO order).
   std::uint64_t tieSalt() const { return tie_salt_; }
 
+  /// Select the event-queue discipline.  Must be called while the queue is
+  /// empty (events already placed under one discipline cannot be re-homed).
+  /// The default is kHeap; core::Cluster selects via ClusterConfig.
+  void setQueueKind(QueueKind kind);
+
+  /// The active queue discipline.
+  QueueKind queueKind() const { return kind_; }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
+  // links_ sentinel for "parked in the ladder, not in the heap".
+  static constexpr std::uint32_t kInLadder = 0xfffffffeu;
 
-  struct Node {
-    SimTime time = 0;
-    std::uint64_t seq = 0;  // 0 marks a free slot; doubles as the handle id
-    Action fn;
-    std::uint32_t heap_pos = kNil;
-    std::uint32_t next_free = kNil;
+  // Packed heap entry: the sift loops compare times without touching the
+  // slab; the slot is dereferenced (seqs column) only on a timestamp tie.
+  struct HeapEntry {
+    SimTime time;
+    std::uint32_t slot;
   };
 
-  // (time, seq) strict weak order between slab slots; seq is unique, so
+  // (time, seq) strict weak order between heap entries; seq is unique, so
   // this is a total order and the firing sequence is fully deterministic.
   // With a non-zero tie salt, same-time events order by a salted hash of
   // seq instead (seq as the final tie), which is still total — see
   // setTieSalt().
-  bool before(std::uint32_t a, std::uint32_t b) const {
-    const Node& na = slab_[a];
-    const Node& nb = slab_[b];
-    if (na.time != nb.time) return na.time < nb.time;
+  bool before(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    const std::uint64_t sa = seqs_[a.slot];
+    const std::uint64_t sb = seqs_[b.slot];
     if (tie_salt_ != 0) {
-      const std::uint64_t ka = mixSeq(na.seq);
-      const std::uint64_t kb = mixSeq(nb.seq);
+      const std::uint64_t ka = mixSeq(sa);
+      const std::uint64_t kb = mixSeq(sb);
       if (ka != kb) return ka < kb;
     }
-    return na.seq < nb.seq;
+    return sa < sb;
   }
 
   // splitmix64 finalizer over (seq ^ salt): a cheap bijective mixer, so
@@ -166,11 +192,29 @@ class Simulator {
   void removeAt(std::size_t pos);
   // Return a slot to the free list and release its action.
   void freeSlot(std::uint32_t slot);
+  // Transfer the imminent ladder span into the (empty) heap, filtering
+  // lazily-cancelled entries.  Precondition: heap empty, ladder_live_ > 0.
+  void refillBottom();
+  // Earliest pending event time (kNever when drained); refills the heap
+  // from the ladder as a side effect.
+  SimTime nextEventTime();
   // Fires the earliest live event.  Precondition: !empty().
   void fireNext();
 
-  std::vector<Node> slab_;
-  std::vector<std::uint32_t> heap_;  // slab slots, 4-ary min-heap by before()
+  // Slab columns (structure-of-arrays), indexed by slot.  seqs_[s] == 0
+  // marks a free slot.  links_[s] is the slot's heap position while queued
+  // in the heap, kInLadder while parked in the ladder, and the next free
+  // slot index while on the free list.
+  std::vector<SimTime> times_;
+  std::vector<std::uint64_t> seqs_;
+  std::vector<std::uint32_t> links_;
+  std::vector<Action> actions_;
+
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap by before()
+  LadderQueue ladder_;
+  std::uint64_t ladder_live_ = 0;        // non-cancelled ladder residents
+  std::vector<LadderEntry> scratch_;     // transfer staging, reused
+  QueueKind kind_ = QueueKind::kHeap;
   std::uint32_t free_head_ = kNil;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;

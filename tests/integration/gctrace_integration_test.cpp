@@ -143,7 +143,13 @@ TEST(GctraceIntegration, PacketTracingIsBehaviourallyInvisible) {
     bool operator==(const RunDigest&) const = default;
   };
   auto digest = [](bool packet_trace) {
-    Cluster cluster(tracedConfig(packet_trace));
+    ClusterConfig cfg = tracedConfig(packet_trace);
+    // Pin the fabric onto the exact per-packet delivery path in both runs:
+    // an installed tracer disables delivery batching, which changes the raw
+    // event count without changing behaviour (covered separately by
+    // Observability.BatchedDeliveryIsBehaviourallyInvisible).
+    cfg.fabric.batch_delivery = false;
+    Cluster cluster(std::move(cfg));
     cluster.submit(4, allToAll(20));
     cluster.submit(4, allToAll(20));
     cluster.run();

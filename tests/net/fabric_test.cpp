@@ -27,8 +27,9 @@ class FabricTest : public testing::Test {
  protected:
   FabricTest() : fabric_(sim_, RoutingTable::singleSwitch(4)) {
     for (NodeId n = 0; n < 4; ++n) {
-      fabric_.attach(n, [this, n](const Packet& p) {
+      fabric_.attach(n, [this, n](const Packet& p, sim::SimTime at) {
         received_[static_cast<std::size_t>(n)].push_back(p);
+        arrived_[static_cast<std::size_t>(n)].push_back(at);
       });
     }
   }
@@ -36,6 +37,10 @@ class FabricTest : public testing::Test {
   sim::Simulator sim_;
   Fabric fabric_;
   std::vector<Packet> received_[4];
+  // Wire arrival times as reported to the receiver.  With delivery batching
+  // the callback may run before this time; assertions about *when* a packet
+  // arrived must use these, not sim_.now().
+  std::vector<sim::SimTime> arrived_[4];
 };
 
 TEST_F(FabricTest, DeliversPacketWithLatency) {
@@ -45,7 +50,7 @@ TEST_F(FabricTest, DeliversPacketWithLatency) {
   EXPECT_EQ(received_[1][0].seq, 1u);
   // 1560 wire bytes at 160 MB/s = 9.75 us serialization, twice (out + in),
   // plus 2 hops x 0.5 us.
-  EXPECT_NEAR(sim::nsToUs(sim_.now()), 2 * 9.75 + 1.0, 0.1);
+  EXPECT_NEAR(sim::nsToUs(arrived_[1][0]), 2 * 9.75 + 1.0, 0.1);
 }
 
 TEST_F(FabricTest, PerRouteFifoUnderLoad) {
@@ -83,9 +88,12 @@ TEST_F(FabricTest, IncastSerializesOnInputLink) {
   fabric_.inject(dataPacket(2, 0, 1));
   fabric_.inject(dataPacket(3, 0, 1));
   sim_.run();
-  EXPECT_EQ(received_[0].size(), 3u);
+  ASSERT_EQ(received_[0].size(), 3u);
   // One injection (9.75us) + hops (1us) + three back-to-back receptions.
-  EXPECT_NEAR(sim::nsToUs(sim_.now()), 9.75 + 1.0 + 3 * 9.75, 0.2);
+  EXPECT_NEAR(sim::nsToUs(arrived_[0][2]), 9.75 + 1.0 + 3 * 9.75, 0.2);
+  // Input-link serialization: arrivals are strictly increasing.
+  EXPECT_LT(arrived_[0][0], arrived_[0][1]);
+  EXPECT_LT(arrived_[0][1], arrived_[0][2]);
 }
 
 TEST_F(FabricTest, StatsCountPacketsAndBytes) {
@@ -157,15 +165,15 @@ TEST_F(FabricTest, DistinctRoutesDoNotBlockEachOther) {
 TEST(FabricDeath, LoopbackRejected) {
   sim::Simulator s;
   Fabric f(s, RoutingTable::singleSwitch(2));
-  f.attach(0, [](const Packet&) {});
-  f.attach(1, [](const Packet&) {});
+  f.attach(0, [](const Packet&, sim::SimTime) {});
+  f.attach(1, [](const Packet&, sim::SimTime) {});
   EXPECT_DEATH(f.inject(dataPacket(0, 0, 1)), "loopback");
 }
 
 TEST(FabricDeath, UnattachedDestinationRejected) {
   sim::Simulator s;
   Fabric f(s, RoutingTable::singleSwitch(2));
-  f.attach(0, [](const Packet&) {});
+  f.attach(0, [](const Packet&, sim::SimTime) {});
   EXPECT_DEATH(f.inject(dataPacket(0, 1, 1)), "not attached");
 }
 

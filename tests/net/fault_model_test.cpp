@@ -41,7 +41,7 @@ class FaultModelTest : public testing::Test {
  protected:
   FaultModelTest() : fabric_(sim_, RoutingTable::singleSwitch(4)) {
     for (NodeId n = 0; n < 4; ++n) {
-      fabric_.attach(n, [this, n](const Packet& p) {
+      fabric_.attach(n, [this, n](const Packet& p, sim::SimTime) {
         received_[static_cast<std::size_t>(n)].push_back(p);
       });
     }
@@ -68,7 +68,7 @@ TEST_F(FaultModelTest, DropEveryNthCountsPerLink) {
     sim::Simulator s;
     Fabric f(s, RoutingTable::singleSwitch(4));
     std::set<std::uint64_t> got;
-    f.attach(1, [&got](const Packet& p) { got.insert(p.seq); });
+    f.attach(1, [&got](const Packet& p, sim::SimTime) { got.insert(p.seq); });
     f.setDropEveryNth(3);
     for (std::uint64_t i = 1; i <= 9; ++i) f.inject(dataPacket(0, 1, i));
     s.run();
@@ -91,8 +91,8 @@ TEST_F(FaultModelTest, SeededLossIsReproducible) {
     sim::Simulator s;
     Fabric f(s, RoutingTable::singleSwitch(2));
     std::set<std::uint64_t> got;
-    f.attach(0, [](const Packet&) {});
-    f.attach(1, [&got](const Packet& p) { got.insert(p.seq); });
+    f.attach(0, [](const Packet&, sim::SimTime) {});
+    f.attach(1, [&got](const Packet& p, sim::SimTime) { got.insert(p.seq); });
     f.setFaultSeed(seed);
     LinkFaults lf;
     lf.loss = 0.3;
@@ -115,8 +115,9 @@ TEST_F(FaultModelTest, LossStreamsArePerLinkIndependent) {
     sim::Simulator s;
     Fabric f(s, RoutingTable::singleSwitch(4));
     std::set<std::uint64_t> got;
-    for (NodeId n = 0; n < 4; ++n) f.attach(n, [](const Packet&) {});
-    f.attach(1, [&got](const Packet& p) { got.insert(p.seq); });
+    for (NodeId n = 0; n < 4; ++n)
+      f.attach(n, [](const Packet&, sim::SimTime) {});
+    f.attach(1, [&got](const Packet& p, sim::SimTime) { got.insert(p.seq); });
     f.setFaultSeed(7);
     LinkFaults lf;
     lf.loss = 0.25;
@@ -164,8 +165,8 @@ TEST_F(FaultModelTest, JitterDelaysButNeverDrops) {
   {
     sim::Simulator s;
     Fabric f(s, RoutingTable::singleSwitch(2));
-    f.attach(0, [](const Packet&) {});
-    f.attach(1, [](const Packet&) {});
+    f.attach(0, [](const Packet&, sim::SimTime) {});
+    f.attach(1, [](const Packet&, sim::SimTime) {});
     f.inject(dataPacket(0, 1, 1));
     s.run();
     base = s.now();

@@ -206,13 +206,14 @@ TEST(Simulator, FiredEventCountAccumulates) {
 // cancel (live, fired, and stale handles) / runSteps / runUntil / run and
 // asserts the firing order, clock, live count, and every cancel() verdict
 // match exactly.
-TEST(Simulator, RandomizedStressMatchesReferenceModel) {
+void randomizedStressMatchesReferenceModel(QueueKind kind) {
   struct RefEvent {
     SimTime time;
     std::uint64_t seq;
   };
   std::mt19937_64 rng(0xC0FFEE);
   Simulator s;
+  s.setQueueKind(kind);
   std::vector<RefEvent> ref;  // reference pending set
   SimTime ref_now = 0;
   std::uint64_t ref_seq = 1, ref_clamps = 0;
@@ -312,6 +313,14 @@ TEST(Simulator, RandomizedStressMatchesReferenceModel) {
   EXPECT_EQ(s.pastScheduleClamps(), ref_clamps);
 }
 
+TEST(Simulator, RandomizedStressMatchesReferenceModel) {
+  randomizedStressMatchesReferenceModel(QueueKind::kHeap);
+}
+
+TEST(Simulator, RandomizedStressMatchesReferenceModelLadder) {
+  randomizedStressMatchesReferenceModel(QueueKind::kLadder);
+}
+
 // Slab recycling: cancelling and firing must return nodes to the free list,
 // so a schedule/fire steady state never grows the slab (no leak of slots),
 // and a handle to a recycled slot is stale, not live.
@@ -403,6 +412,153 @@ TEST(SimulatorDeathTest, TieSaltRejectsPopulatedQueue) {
   Simulator s;
   s.schedule(5, [] {});
   EXPECT_DEATH(s.setTieSalt(1), "tie salt must be set");
+}
+
+// ---- Ladder queue vs. heap equivalence (setQueueKind) -----------------------
+//
+// The ladder queue must fire *exactly* the order the reference 4-ary heap
+// fires, at every tie salt, for any workload — the buckets only partition
+// integer timestamps, so the heap comparator still decides every
+// same-timestamp tie.  These tests replay one deterministic workload on both
+// structures and require the full observable log to match bit for bit.
+
+namespace {
+
+/// Everything a workload can observe: fire order, every cancel() verdict,
+/// and the final clock.
+struct WorkloadLog {
+  std::vector<std::uint64_t> fired;
+  std::vector<bool> cancels;
+  SimTime end = 0;
+
+  bool operator==(const WorkloadLog& o) const {
+    return fired == o.fired && cancels == o.cancels && end == o.end;
+  }
+};
+
+/// Replays a deterministic schedule/cancel/fire mix on the given queue
+/// structure.  `cancel_pct` steers how cancel-heavy the mix is; `time_span`
+/// bounds the scheduling horizon (a small span makes same-timestamp ties
+/// the common case, a huge span exercises rung rebuilds and the top band).
+WorkloadLog replayWorkload(QueueKind kind, std::uint64_t salt,
+                           std::uint64_t seed, int cancel_pct,
+                           std::uint64_t time_span) {
+  std::mt19937_64 rng(seed);
+  Simulator s;
+  s.setQueueKind(kind);
+  s.setTieSalt(salt);
+  WorkloadLog log;
+  std::vector<EventHandle> handles;  // live, fired, and cancelled alike
+  for (int round = 0; round < 4000; ++round) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < cancel_pct) {
+      if (!handles.empty())
+        log.cancels.push_back(s.cancel(
+            handles[static_cast<std::size_t>(rng() % handles.size())]));
+    } else if (op < 88) {
+      const SimTime t =
+          s.now() + (time_span > 0 ? rng() % (time_span + 1) : 0);
+      const std::uint64_t label = static_cast<std::uint64_t>(handles.size());
+      handles.push_back(
+          s.scheduleAt(t, [&log, label] { log.fired.push_back(label); }));
+    } else if (op < 96) {
+      s.runSteps(rng() % 8);
+    } else {
+      s.runUntil(s.now() + rng() % (time_span + 1));
+    }
+  }
+  s.run();
+  log.end = s.now();
+  EXPECT_TRUE(s.empty());
+  return log;
+}
+
+}  // namespace
+
+TEST(Simulator, LadderMatchesHeapOnRandomWorkloads) {
+  for (std::uint64_t seed : {1ull, 2ull, 0xBADC0DEull}) {
+    EXPECT_EQ(replayWorkload(QueueKind::kHeap, 0, seed, 20, 5000),
+              replayWorkload(QueueKind::kLadder, 0, seed, 20, 5000))
+        << "seed " << seed;
+  }
+}
+
+TEST(Simulator, LadderMatchesHeapUnderCancelHeavyLoad) {
+  for (std::uint64_t seed : {7ull, 0xFEEDull}) {
+    EXPECT_EQ(replayWorkload(QueueKind::kHeap, 0, seed, 60, 2000),
+              replayWorkload(QueueKind::kLadder, 0, seed, 60, 2000))
+        << "seed " << seed;
+  }
+}
+
+TEST(Simulator, LadderMatchesHeapOnSameTimestampBursts) {
+  // time_span 2 makes nearly every event a same-instant tie: the tiebreak
+  // path (salted or FIFO) must come out of the ladder untouched.
+  for (std::uint64_t salt : {0ull, 1ull, 0xDEADBEEFull}) {
+    EXPECT_EQ(replayWorkload(QueueKind::kHeap, salt, 11, 25, 2),
+              replayWorkload(QueueKind::kLadder, salt, 11, 25, 2))
+        << "salt " << salt;
+  }
+}
+
+TEST(Simulator, LadderMatchesHeapAcrossTieSalts) {
+  for (std::uint64_t salt : {0ull, 1ull, 2ull, 42ull, 0x5a5a5a5aull}) {
+    EXPECT_EQ(replayWorkload(QueueKind::kHeap, salt, 3, 20, 300),
+              replayWorkload(QueueKind::kLadder, salt, 3, 20, 300))
+        << "salt " << salt;
+  }
+}
+
+TEST(Simulator, LadderMatchesHeapOnWideTimeSpans) {
+  // A huge horizon forces events through the unsorted top band and repeated
+  // rung rebuilds (and near-kNever guards) rather than the current rung.
+  EXPECT_EQ(replayWorkload(QueueKind::kHeap, 0, 5, 15,
+                           std::uint64_t{1} << 40),
+            replayWorkload(QueueKind::kLadder, 0, 5, 15,
+                           std::uint64_t{1} << 40));
+}
+
+TEST(Simulator, LadderFiresBurstyBacklogInOrder) {
+  // The ladder's home turf: a deep backlog scheduled up front, drained in
+  // one pass.  Order must be (time, seq) exactly.
+  Simulator s;
+  s.setQueueKind(QueueKind::kLadder);
+  std::mt19937_64 rng(99);
+  std::vector<std::pair<SimTime, int>> expect;
+  std::vector<int> fired;
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime t = rng() % 1000;
+    expect.emplace_back(t, i);
+    s.scheduleAt(t, [&fired, i] { fired.push_back(i); });
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  s.run();
+  ASSERT_EQ(fired.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(fired[i], expect[i].second) << "position " << i;
+}
+
+TEST(Simulator, QueueKindDefaultsToHeapAndIsSwitchable) {
+  Simulator s;
+  EXPECT_EQ(s.queueKind(), QueueKind::kHeap);
+  s.setQueueKind(QueueKind::kLadder);
+  EXPECT_EQ(s.queueKind(), QueueKind::kLadder);
+  int fired = 0;
+  s.schedule(1, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  // Empty again: switching back is legal.
+  s.setQueueKind(QueueKind::kHeap);
+  EXPECT_EQ(s.queueKind(), QueueKind::kHeap);
+}
+
+TEST(SimulatorDeathTest, QueueKindRejectsPopulatedQueue) {
+  Simulator s;
+  s.schedule(5, [] {});
+  EXPECT_DEATH(s.setQueueKind(QueueKind::kLadder), "queue");
 }
 
 TEST(SimTime, CycleConversionsMatch200MHz) {

@@ -19,6 +19,7 @@ RunMetrics runOnce(const ExploreConfig& cfg, std::uint64_t salt,
   cc.quantum = static_cast<sim::Duration>(cfg.quantum_ms) * sim::kMillisecond;
   cc.verify = true;  // invariant violations abort the explorer loudly
   cc.tie_salt = salt;
+  cc.event_queue = cfg.queue;
   if (cfg.loss > 0.0) {
     cc.link_faults.loss = cfg.loss;
     cc.fault_seed = loss_seed;

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/simulator.hpp"
+
 namespace gangcomm::explore {
 
 struct ExploreConfig {
@@ -33,6 +35,11 @@ struct ExploreConfig {
   std::uint64_t rounds = 20;  // all-to-all rounds per process (fixed work)
   std::uint64_t quantum_ms = 20;  // short quantum => many gang switches
   std::vector<std::uint64_t> salts = {0, 1, 2, 3, 4, 5, 6, 7};
+  /// Event-queue structure for every run in the sweep.  The ladder must
+  /// fire bit-identically to the reference heap at every salt, so sweeping
+  /// the same salts under both kinds and diffing the summaries is the
+  /// cluster-level equivalence check (the sim-level one is in tests/sim).
+  sim::QueueKind queue = sim::QueueKind::kLadder;
   /// When > 0, every run gets a lossy fabric (per-link probabilistic loss at
   /// this rate, retransmission layer armed) and the sweep becomes the cross
   /// product tie salts x `loss_seeds`.  Wire-level totals then legitimately

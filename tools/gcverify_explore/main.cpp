@@ -2,7 +2,7 @@
 //
 // Usage:
 //   gcverify_explore [--nodes N] [--jobs J] [--rounds R] [--msg-bytes B]
-//                    [--quantum-ms Q] [--salts K]
+//                    [--quantum-ms Q] [--salts K] [--queue ladder|heap]
 //                    [--loss P] [--loss-seeds S]
 //
 // Runs the fixed-work gang-scheduled workload under K tie salts (0..K-1)
@@ -62,6 +62,17 @@ int main(int argc, char** argv) {
       cfg.quantum_ms = parseU64(arg, next());
     } else if (std::strcmp(arg, "--salts") == 0) {
       salt_count = parseU64(arg, next());
+    } else if (std::strcmp(arg, "--queue") == 0) {
+      const char* value = next();
+      if (std::strcmp(value, "heap") == 0) {
+        cfg.queue = gangcomm::sim::QueueKind::kHeap;
+      } else if (std::strcmp(value, "ladder") == 0) {
+        cfg.queue = gangcomm::sim::QueueKind::kLadder;
+      } else {
+        std::fprintf(stderr, "gcverify_explore: bad value for --queue: %s\n",
+                     value);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--loss") == 0) {
       const char* value = next();
       char* end = nullptr;
@@ -89,11 +100,13 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = 1; s <= seed_count; ++s) cfg.loss_seeds.push_back(s);
 
   std::printf("gcverify_explore: %d jobs x %d nodes, %llu rounds of %u B, "
-              "%llu salts, loss=%g x %llu seeds\n",
+              "%llu salts, loss=%g x %llu seeds, %s queue\n",
               cfg.jobs, cfg.nodes,
               static_cast<unsigned long long>(cfg.rounds), cfg.msg_bytes,
               static_cast<unsigned long long>(salt_count), cfg.loss,
-              static_cast<unsigned long long>(seed_count));
+              static_cast<unsigned long long>(seed_count),
+              cfg.queue == gangcomm::sim::QueueKind::kHeap ? "heap"
+                                                           : "ladder");
 
   const gangcomm::explore::ExploreResult res = gangcomm::explore::explore(cfg);
   for (const auto& run : res.runs)
