@@ -39,6 +39,7 @@ void Process::scheduleStep() {
   }
   step_scheduled_ = true;
   const sim::SimTime at = cpu().availableAt(sim().now());
+  // gclint: crossing(process step is an event on this node LP's queue)
   sim().scheduleAt(at, [this] { runStep(); });
 }
 

@@ -22,6 +22,7 @@
 
 namespace gangcomm::app {
 
+// gclint: domain(node)
 class Process : public parpar::ProcessHandle {
  public:
   struct Env {

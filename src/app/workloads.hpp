@@ -23,6 +23,7 @@ inline constexpr std::uint16_t kFinishHandler = 2;
 inline constexpr std::uint16_t kPingHandler = 3;
 inline constexpr std::uint16_t kPongHandler = 4;
 
+// gclint: domain(node)
 class BandwidthSender final : public Process {
  public:
   BandwidthSender(Env env, int peer_rank, std::uint32_t msg_bytes,
@@ -46,6 +47,7 @@ class BandwidthSender final : public Process {
   bool deadlock_ = false;
 };
 
+// gclint: domain(node)
 class BandwidthReceiver final : public Process {
  public:
   BandwidthReceiver(Env env, int peer_rank, std::uint64_t msg_count);
@@ -63,6 +65,7 @@ class BandwidthReceiver final : public Process {
   bool finish_pending_ = false;
 };
 
+// gclint: domain(node)
 class AllToAllWorker final : public Process {
  public:
   /// Every process sends `msg_bytes` to every peer, `rounds` times
@@ -87,6 +90,7 @@ class AllToAllWorker final : public Process {
   std::uint64_t received_ = 0;
 };
 
+// gclint: domain(node)
 class PingPongWorker final : public Process {
  public:
   PingPongWorker(Env env, std::uint32_t msg_bytes, std::uint64_t reps);

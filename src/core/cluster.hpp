@@ -139,6 +139,7 @@ struct SwitchRecord {
   parpar::SwitchReport report;
 };
 
+// gclint: domain(global)
 class Cluster {
  public:
   using ProcessFactory =

@@ -27,6 +27,7 @@ void ThroughputTimeline::tick() {
   samples_.push_back(s);
   // Self-terminate once the machine is idle so Cluster::run() can drain.
   if (stopped_ || cluster_.master().jobCount() == 0) return;
+  // gclint: crossing(observer tick runs in the serialized PDES phase)
   cluster_.sim().schedule(bucket_, [this] { tick(); });
 }
 

@@ -59,6 +59,7 @@ struct FmStats {
   std::uint64_t checksum_dropped = 0;  // corrupt packets shed at extract()
 };
 
+// gclint: domain(node)
 class FmLib {
  public:
   struct Params {

@@ -14,6 +14,7 @@
 
 namespace gangcomm::glue {
 
+// gclint: domain(node)
 struct SavedContext {
   int rank = -1;
   int job_size = 0;

@@ -38,6 +38,7 @@ struct CopyOutcome {
   std::uint64_t bytes = 0;
 };
 
+// gclint: domain(node)
 class BufferSwitcher {
  public:
   explicit BufferSwitcher(const host::MemoryModel& mem, SwitcherConfig cfg = {})

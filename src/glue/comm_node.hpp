@@ -73,6 +73,7 @@ struct CommNodeConfig {
   FlushProtocol flush = FlushProtocol::kBroadcast;
 };
 
+// gclint: domain(node)
 class CommNode final : public parpar::CommManager {
  public:
   CommNode(sim::Simulator& s, host::HostCpu& cpu,

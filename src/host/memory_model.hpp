@@ -37,6 +37,7 @@ struct MemoryModelConfig {
   double nic_read_mbps = 14.0;
 };
 
+// gclint: domain(node)
 class MemoryModel {
  public:
   MemoryModel() = default;

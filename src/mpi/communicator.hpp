@@ -42,6 +42,7 @@ struct Message {
 
 inline constexpr int kAnySource = -1;
 
+// gclint: domain(node)
 class Communicator {
  public:
   explicit Communicator(fm::FmLib& fmlib);

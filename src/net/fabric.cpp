@@ -286,17 +286,20 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
       if (!ring.drain_scheduled) {
         ring.drain_scheduled = true;
         const NodeId d = pkt.dst_node;
+        // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
         sim_.scheduleAt(rx_done, [this, d] { drainRing(d); });
       }
     }
   } else if (corrupted) {
     Packet poisoned = pkt;
     poisoned.tag ^= poison;
+    // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
     sim_.scheduleAt(rx_done, [this, poisoned, rx_done] {
       if (verify::active(verify_)) verify_->onWireDeliver(poisoned);
       deliver_[static_cast<std::size_t>(poisoned.dst_node)](poisoned, rx_done);
     });
   } else {
+    // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
     sim_.scheduleAt(rx_done, [this, pkt, rx_done] {
       if (verify::active(verify_)) verify_->onWireDeliver(pkt);
       deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt, rx_done);
@@ -314,6 +317,7 @@ void Fabric::drainRing(NodeId dst) {
       // The next arrival-time-sensitive packet is still on the wire; come
       // back exactly then.  Everything behind it stays queued.
       const sim::SimTime at = e.at;
+      // gclint: crossing(ladder drain reschedules on the link LP's queue)
       sim_.scheduleAt(at, [this, dst] { drainRing(dst); });
       return;
     }

@@ -62,6 +62,7 @@ struct FabricStats {
   std::uint64_t control_bytes = 0;
 };
 
+// gclint: domain(link)
 class Fabric {
  public:
   /// Wire-side receiver: `at` is the packet's arrival time (last byte off

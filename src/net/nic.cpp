@@ -185,6 +185,7 @@ Packet Nic::hostDequeueRecv(ContextId id) {
 void Nic::scheduleSendScan() {
   if (send_busy_ || scan_scheduled_) return;
   scan_scheduled_ = true;
+  // gclint: crossing(send scan is an event on the NIC LP's own queue)
   sim_.schedule(0, [this] {
     scan_scheduled_ = false;
     sendScan();
@@ -216,8 +217,11 @@ bool Nic::trySendControlPacket() {
   Packet pkt = control_queue_.front();
   control_queue_.pop_front();
   send_busy_ = true;
+  // gclint: crossing(LANai send occupancy on the NIC LP's own queue)
   sim_.schedule(cfg_.lanai_send_ns, [this, pkt] {
+    // gclint: crossing(inject is the cross-LP send; latency = lookahead)
     const sim::SimTime done = fabric_.inject(pkt);
+    // gclint: crossing(send completion event on the NIC LP's own queue)
     sim_.scheduleAt(done, [this, pkt] {
       send_busy_ = false;
       ++stats_.control_sent;
@@ -257,8 +261,11 @@ bool Nic::trySendDataPacket() {
       ptrace_->onNicDequeued(pkt.trace_id, node_, sim_.now());
     const ContextId cid = ctx.id;
     send_busy_ = true;
+    // gclint: crossing(LANai send occupancy on the NIC LP's own queue)
     sim_.schedule(cfg_.lanai_send_ns, [this, pkt, cid] {
+      // gclint: crossing(inject is the cross-LP send; latency = lookahead)
       const sim::SimTime done = fabric_.inject(pkt);
+      // gclint: crossing(send completion event on the NIC LP's own queue)
       sim_.scheduleAt(done, [this, cid] {
         send_busy_ = false;
         ++stats_.data_sent;
@@ -665,6 +672,7 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx, sim::SimTime at) {
                   {"bytes", pkt.wireBytes()},
                   {"seq", static_cast<std::int64_t>(pkt.seq)}});
   const ContextId cid = ctx.id;
+  // gclint: crossing(DMA completion event on the NIC LP's own queue)
   sim_.scheduleAt(done, [this, pkt, cid] {
     --dma_in_flight_;
     ContextSlot* c = context(cid);

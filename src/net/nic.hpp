@@ -64,6 +64,7 @@ struct NicConfig {
 };
 
 /// One FM communication context resident on the card (Figure 1).
+// gclint: domain(nic)
 struct ContextSlot {
   ContextId id = kNoContext;
   JobId job = kNoJob;
@@ -121,6 +122,7 @@ struct NicStats {
   std::uint64_t flushes = 0;
 };
 
+// gclint: domain(nic)
 class Nic {
  public:
   Nic(sim::Simulator& s, Fabric& fabric, NodeId node, NicConfig cfg = {});

@@ -17,6 +17,7 @@
 
 namespace gangcomm::net {
 
+// gclint: domain(link)
 class RoutingTable {
  public:
   /// Single-switch topology: every distinct pair is `hops` apart (default 2:

@@ -45,6 +45,7 @@ void ControlNetwork::send(int from, int to, CtrlMsg msg) {
   if (deliver <= last) deliver = last + 1;
   last = deliver;
 
+  // gclint: crossing(control delivery runs in the serialized PDES phase)
   sim_.scheduleAt(deliver, [this, to, msg = std::move(msg)] {
     ++delivered_;
     endpoints_[static_cast<std::size_t>(to)](msg);

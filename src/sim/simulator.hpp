@@ -66,6 +66,7 @@ class EventObserver {
 /// for bursty arrival distributions.
 enum class QueueKind : std::uint8_t { kHeap, kLadder };
 
+// gclint: domain(sim)
 class Simulator {
  public:
   // Sized so the dominant hot-path closure — `this` plus a net::Packet by

@@ -36,12 +36,28 @@ FileResult lintFixture(const std::string& name) {
   return lintPath(fixtureOptions(), name);
 }
 
+// The part-* rules come out of the gcpart tree pass, not lintFile: run one
+// fixture through lintTree with partitioning on and no prefix filter.
+TreeResult lintPartFixture(const std::string& name) {
+  LintOptions opts = fixtureOptions();
+  opts.part = true;
+  opts.part_prefixes.clear();
+  return lintTree(opts, {name});
+}
+
+std::set<std::string> rulesFired(const TreeResult& r) {
+  std::set<std::string> out;
+  for (const Diagnostic& d : r.diagnostics) out.insert(d.rule);
+  return out;
+}
+
 // ---- rule coverage ----------------------------------------------------------
 
 struct RuleCase {
   const char* rule;
   const char* fail_fixture;
   const char* pass_fixture;
+  bool part = false;  // lint through the gcpart tree pass instead of lintFile
 };
 
 const RuleCase kRuleCases[] = {
@@ -67,27 +83,51 @@ const RuleCase kRuleCases[] = {
      "flow_switch_order_pass.cc"},
     {"bad-allow", "bad_allow_fail.cc", nullptr},
     {"unused-allow", "unused_allow_fail.cc", nullptr},
+    {"det-pdes-hazard", "det_pdes_hazard_fail.cc", "det_pdes_hazard_pass.cc"},
+    {"part-cross-write", "part_cross_write_fail.cc", "part_cross_write_pass.cc",
+     true},
+    {"part-global-mut", "part_global_mut_fail.cc", "part_global_mut_pass.cc",
+     true},
+    {"part-ambiguous-callback", "part_ambiguous_callback_fail.cc",
+     "part_ambiguous_callback_pass.cc", true},
+    {"part-bad-domain", "part_bad_domain_fail.cc", "part_bad_domain_pass.cc",
+     true},
+    {"part-unused-crossing", "part_unused_crossing_fail.cc",
+     "part_unused_crossing_pass.cc", true},
 };
 
 TEST(GclintRules, EveryRuleHasAFiringFailFixture) {
   for (const RuleCase& c : kRuleCases) {
-    const FileResult r = lintFixture(c.fail_fixture);
-    const std::set<std::string> fired = rulesFired(r);
+    const std::set<std::string> fired =
+        c.part ? rulesFired(lintPartFixture(c.fail_fixture))
+               : rulesFired(lintFixture(c.fail_fixture));
     EXPECT_EQ(fired, std::set<std::string>{c.rule})
         << c.fail_fixture << " must fire exactly " << c.rule;
-    EXPECT_FALSE(r.diagnostics.empty()) << c.fail_fixture;
+    EXPECT_FALSE(fired.empty()) << c.fail_fixture;
   }
 }
 
 TEST(GclintRules, EveryRuleHasACleanPassFixture) {
   for (const RuleCase& c : kRuleCases) {
     if (c.pass_fixture == nullptr) continue;
-    const FileResult r = lintFixture(c.pass_fixture);
-    EXPECT_TRUE(r.diagnostics.empty())
+    const std::vector<Diagnostic> diags =
+        c.part ? lintPartFixture(c.pass_fixture).diagnostics
+               : lintFixture(c.pass_fixture).diagnostics;
+    EXPECT_TRUE(diags.empty())
         << c.pass_fixture << " first: "
-        << (r.diagnostics.empty() ? ""
-                                  : formatDiagnostic(r.diagnostics.front()));
+        << (diags.empty() ? "" : formatDiagnostic(diags.front()));
   }
+}
+
+TEST(GclintRules, PdesHazardRuleIsQuietWithoutTheMarker) {
+  // The same hazard text outside a pdes file is not det-pdes-hazard's
+  // business; the rule is scoped to the future parallel core.
+  FileInput in;
+  in.path = "cold.cc";
+  in.source = "thread_local int t = 0;\n";
+  EXPECT_TRUE(lintFile(in).diagnostics.empty());
+  in.pdes = true;
+  EXPECT_EQ(lintFile(in).diagnostics.size(), 1u);
 }
 
 TEST(GclintRules, RuleCasesCoverEveryRegisteredRuleId) {

@@ -1,0 +1,326 @@
+// gcpart's own suite: call-graph construction over lambda and SboFunction
+// registration, the ownership-domain walk, the machine-readable report, and
+// the repository gate — the tree must carry zero unexplained cross-domain
+// writes, and the checked-in ownership map must match what the tree
+// actually produces.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/gclint/callgraph.hpp"
+#include "tools/gclint/domains.hpp"
+#include "tools/gclint/driver.hpp"
+#include "tools/gclint/rules.hpp"
+
+namespace gclint {
+namespace {
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::set<std::string> rulesFired(const PartResult& r) {
+  std::set<std::string> out;
+  for (const Diagnostic& d : r.diagnostics) out.insert(d.rule);
+  return out;
+}
+
+// A minimal SboFunction lookalike so the fixtures exercise the alias
+// fixpoint the real tree relies on (util::SboFunction behind `using`).
+const char* kSboHeader =
+    "template <typename Sig, int Cap = 48>\n"
+    "class SboFunction {\n"
+    " public:\n"
+    "  void operator()();\n"
+    "};\n"
+    "using Action = SboFunction<void()>;\n";
+
+// ---- call-graph construction ------------------------------------------------
+
+TEST(GcpartCallGraph, LambdaRegisteredThroughSboAliasBecomesARoot) {
+  // Engine::schedule stores its callable parameter: it is a registration
+  // API, and the lambda literal passed to it in Host::start is a root
+  // owned by Host's domain.
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back({"tree.cc",
+                   "// gclint: domain(sim)\n"
+                   "struct Engine {\n"
+                   "  Action pending;\n"
+                   "  void schedule(Action a) { pending = a; }\n"
+                   "};\n"
+                   "// gclint: domain(node)\n"
+                   "struct Host {\n"
+                   "  Engine* engine = nullptr;\n"
+                   "  int steps = 0;\n"
+                   "  void start();\n"
+                   "};\n"
+                   "void Host::start() {\n"
+                   "  engine->schedule([this] { steps = steps + 1; });\n"
+                   "}\n"});
+  const PartResult r = analyzeParts(files);
+  ASSERT_EQ(r.roots.size(), 1u);
+  EXPECT_EQ(r.roots[0].registered_by, "Host::start");
+  EXPECT_EQ(r.roots[0].domain, Domain::kNode);
+  EXPECT_EQ(r.roots[0].slot, "pending");
+  // The lambda mutates only its own class state: no crossing.
+  EXPECT_TRUE(r.crossings.empty());
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(GcpartCallGraph, CallableForwardingResolvesToTheFinalSlot) {
+  // post() forwards its callable to schedule(), which stores it; the
+  // registration site still resolves through the forwarding hop.
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back({"tree.cc",
+                   "struct Engine {\n"
+                   "  Action pending;\n"
+                   "  void schedule(Action a) { pending = a; }\n"
+                   "  void post(Action fn) { schedule(fn); }\n"
+                   "};\n"
+                   "// gclint: domain(node)\n"
+                   "struct Host {\n"
+                   "  Engine* engine = nullptr;\n"
+                   "  int steps = 0;\n"
+                   "  void start() {\n"
+                   "    engine->post([this] { steps = steps + 1; });\n"
+                   "  }\n"
+                   "};\n"});
+  const PartResult r = analyzeParts(files);
+  ASSERT_EQ(r.roots.size(), 1u);
+  EXPECT_EQ(r.roots[0].registered_by, "Host::start");
+}
+
+TEST(GcpartCallGraph, DirectSlotAssignmentBindsWithoutARegistrationApi) {
+  // `cluster.on_done = [...]` binds straight into a callable member; the
+  // walk must still see the binding and not call the slot ambiguous.
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back({"tree.cc",
+                   "// gclint: domain(global)\n"
+                   "struct Master {\n"
+                   "  Action on_done;\n"
+                   "  Action tick;\n"
+                   "  int jobs = 0;\n"
+                   "  void reg(Action t) { tick = t; }\n"
+                   "  void finish() { on_done(); }\n"
+                   "  void start() {\n"
+                   "    reg([this] { finish(); });\n"
+                   "    on_done = [this] { jobs = jobs + 1; };\n"
+                   "  }\n"
+                   "};\n"});
+  const PartResult r = analyzeParts(files);
+  EXPECT_TRUE(r.ambiguous.empty())
+      << "direct assignment must count as a binding";
+  ASSERT_EQ(r.roots.size(), 2u);
+  std::set<std::string> slots;
+  for (const PartRoot& root : r.roots) slots.insert(root.slot);
+  EXPECT_EQ(slots, (std::set<std::string>{"tick", "on_done"}));
+}
+
+TEST(GcpartCallGraph, UnboundSlotInvocationIsAmbiguous) {
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back({"tree.cc",
+                   "// gclint: domain(global)\n"
+                   "struct Master {\n"
+                   "  Action on_done;\n"
+                   "  Action tick;\n"
+                   "  void reg(Action t) { tick = t; }\n"
+                   "  void finish() { on_done(); }\n"
+                   "  void start() { reg([this] { finish(); }); }\n"
+                   "};\n"});
+  const PartResult r = analyzeParts(files);
+  ASSERT_EQ(r.ambiguous.size(), 1u);
+  EXPECT_EQ(r.ambiguous[0].slot, "on_done");
+  EXPECT_EQ(rulesFired(r), std::set<std::string>{"part-ambiguous-callback"});
+}
+
+// ---- the domain walk --------------------------------------------------------
+
+TEST(GcpartWalk, CrossDomainMutationThroughACallChainIsReported) {
+  // The crossing happens two hops from the root: lambda -> pump() ->
+  // wire->push().  The walk must carry the node domain down the chain.
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back({"tree.cc",
+                   "// gclint: domain(link)\n"
+                   "struct Wire {\n"
+                   "  int depth = 0;\n"
+                   "  void push() { depth = depth + 1; }\n"
+                   "};\n"
+                   "// gclint: domain(node)\n"
+                   "struct Host {\n"
+                   "  Action tick;\n"
+                   "  Wire* wire = nullptr;\n"
+                   "  void reg(Action t) { tick = t; }\n"
+                   "  void pump() { wire->push(); }\n"
+                   "  void start() { reg([this] { pump(); }); }\n"
+                   "};\n"});
+  const PartResult r = analyzeParts(files);
+  ASSERT_EQ(r.crossings.size(), 1u);
+  EXPECT_EQ(r.crossings[0].from, Domain::kNode);
+  EXPECT_EQ(r.crossings[0].to, Domain::kLink);
+  EXPECT_FALSE(r.crossings[0].waived);
+  EXPECT_EQ(rulesFired(r), std::set<std::string>{"part-cross-write"});
+}
+
+TEST(GcpartWalk, WaivedCrossingIsASuppressionAndLandsInTheMap) {
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back(
+      {"tree.cc",
+       "// gclint: domain(sim)\n"
+       "struct Engine {\n"
+       "  int pending = 0;\n"
+       "  void bump() { pending = pending + 1; }\n"
+       "};\n"
+       "// gclint: domain(node)\n"
+       "struct Host {\n"
+       "  Action tick;\n"
+       "  Engine* engine = nullptr;\n"
+       "  void reg(Action t) { tick = t; }\n"
+       "  void start() {\n"
+       "    reg([this] { engine->bump(); });  // gclint: crossing(queue op)\n"
+       "  }\n"
+       "};\n"});
+  const PartResult r = analyzeParts(files);
+  EXPECT_TRUE(r.diagnostics.empty());
+  ASSERT_EQ(r.crossings.size(), 1u);
+  EXPECT_TRUE(r.crossings[0].waived);
+  EXPECT_EQ(r.crossings[0].reason, "queue op");
+  EXPECT_EQ(r.crossings[0].rule, "part-global-mut");
+  ASSERT_EQ(r.suppressions.size(), 1u);
+}
+
+// ---- report and dot ---------------------------------------------------------
+
+TEST(GcpartReport, JsonCarriesTheSchemaAndAllSections) {
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back({"tree.cc",
+                   "// gclint: domain(nic)\n"
+                   "struct Card {\n"
+                   "  Action scan;\n"
+                   "  int sends = 0;\n"
+                   "  void reg(Action t) { scan = t; }\n"
+                   "  void start() { reg([this] { sends = sends + 1; }); }\n"
+                   "};\n"});
+  const PartResult r = analyzeParts(files);
+  const std::string json = partReportJson(r);
+  for (const char* key :
+       {"\"schema\": \"gcpart-v1\"", "\"summary\":", "\"domains\":",
+        "\"roots\":", "\"crossings\":", "\"ambiguous\":", "\"edges\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  const std::string dot = partDot(r);
+  EXPECT_NE(dot.find("digraph gcpart"), std::string::npos);
+  EXPECT_NE(dot.find("Card"), std::string::npos);
+}
+
+TEST(GcpartReport, OutputIsDeterministicAcrossRuns) {
+  std::vector<PartFile> files;
+  files.push_back({"sbo.hpp", kSboHeader});
+  files.push_back({"tree.cc",
+                   "// gclint: domain(node)\n"
+                   "struct Host {\n"
+                   "  Action tick;\n"
+                   "  int steps = 0;\n"
+                   "  void reg(Action t) { tick = t; }\n"
+                   "  void start() { reg([this] { steps = steps + 1; }); }\n"
+                   "};\n"});
+  EXPECT_EQ(partReportJson(analyzeParts(files)),
+            partReportJson(analyzeParts(files)));
+}
+
+// ---- the repository gate ----------------------------------------------------
+
+TreeResult lintRepoParts() {
+  LintOptions opts;
+  opts.root = GCLINT_REPO_ROOT;
+  opts.part = true;
+  const std::vector<std::string> files = collectFiles(opts, {"src"});
+  return lintTree(opts, files);
+}
+
+TEST(GcpartTree, RepositoryHasNoUnexplainedCrossDomainWrites) {
+  const TreeResult result = lintRepoParts();
+  ASSERT_TRUE(result.part_ran);
+  for (const Diagnostic& d : result.diagnostics)
+    ADD_FAILURE() << formatDiagnostic(d);
+  for (const PartCrossing& c : result.part.crossings)
+    EXPECT_TRUE(c.waived) << c.file << ":" << c.line << " " << c.detail;
+}
+
+TEST(GcpartTree, OwnershipMapCoversTheEventHandlerSubsystems) {
+  const TreeResult result = lintRepoParts();
+  const auto roots_under = [&](const char* prefix) {
+    return std::any_of(result.part.roots.begin(), result.part.roots.end(),
+                       [&](const PartRoot& r) {
+                         return r.file.rfind(prefix, 0) == 0;
+                       });
+  };
+  // Every subsystem that registers event handlers must contribute roots.
+  EXPECT_TRUE(roots_under("src/net"));
+  EXPECT_TRUE(roots_under("src/fm"));
+  EXPECT_TRUE(roots_under("src/glue"));
+  EXPECT_TRUE(roots_under("src/app"));
+  EXPECT_TRUE(roots_under("src/core"));
+  // All five partitions are populated (src/sim contributes the serialized
+  // `sim` domain; the engine owns slots rather than registering into them).
+  std::set<Domain> domains;
+  for (const PartDomainEntry& d : result.part.domains) domains.insert(d.domain);
+  EXPECT_EQ(domains.size(), 5u);
+  EXPECT_GE(result.part.roots.size(), 40u);
+  EXPECT_GE(result.part.edges.size(), 300u);
+}
+
+TEST(GcpartTree, CheckedInReportMatchesWhatTheTreeProduces) {
+  // gcpart_report.json is the artifact the PDES PR consumes; it must never
+  // drift from the tree.  Regenerate with:
+  //   gclint --root . --part --part-report gcpart_report.json src
+  const TreeResult result = lintRepoParts();
+  const std::string expected =
+      readWholeFile(std::string(GCLINT_REPO_ROOT) + "/gcpart_report.json");
+  ASSERT_FALSE(expected.empty()) << "gcpart_report.json missing from repo";
+  EXPECT_EQ(partReportJson(result.part), expected)
+      << "checked-in gcpart_report.json is stale; regenerate it";
+}
+
+TEST(GcpartTree, InjectedCrossPartitionWriteFailsTheGate) {
+  // The acceptance probe: appending an unwaived handler to src/net that
+  // scribbles on another partition must turn the gate red.
+  LintOptions opts;
+  opts.root = GCLINT_REPO_ROOT;
+  const std::vector<std::string> rels = collectFiles(opts, {"src"});
+  std::vector<PartFile> files;
+  for (const std::string& rel : rels) {
+    PartFile f;
+    f.path = rel;
+    f.source = readWholeFile(std::string(GCLINT_REPO_ROOT) + "/" + rel);
+    if (rel == "src/net/nic.cpp") {
+      f.source +=
+          "\nvoid Nic::gcpartInjectedProbe() {\n"
+          "  sim_.schedule(0, [this] { fabric_.inject(Packet{}); });\n"
+          "}\n";
+    }
+    files.push_back(std::move(f));
+  }
+  const PartResult r = analyzeParts(files);
+  const std::set<std::string> fired = rulesFired(r);
+  EXPECT_TRUE(fired.count("part-global-mut") > 0 ||
+              fired.count("part-cross-write") > 0)
+      << "injected unwaived cross-partition write did not fail the gate";
+}
+
+}  // namespace
+}  // namespace gclint

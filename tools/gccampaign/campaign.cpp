@@ -1,8 +1,11 @@
 #include "campaign.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "app/workloads.hpp"
 #include "bench/sweep_runner.hpp"

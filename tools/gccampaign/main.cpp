@@ -11,6 +11,7 @@
 // recovery cost per stage, then writes the campaign CSV to --out (or
 // stdout).  Cells run on GANGCOMM_JOBS worker threads; the CSV is
 // byte-identical at any thread count and across reruns of the same seeds.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

@@ -1,0 +1,1713 @@
+#include "tools/gclint/callgraph.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/gclint/cfg.hpp"
+#include "tools/gclint/tokenizer.hpp"
+
+namespace gclint {
+namespace {
+
+constexpr const char* kPartCrossWrite = "part-cross-write";
+constexpr const char* kPartGlobalMut = "part-global-mut";
+constexpr const char* kPartAmbiguous = "part-ambiguous-callback";
+constexpr const char* kPartUnusedCrossing = "part-unused-crossing";
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+using Tokens = std::vector<Token>;
+
+bool isIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+bool identIs(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+bool punctIs(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// Index just past the group opened at `open` (one of ( [ {), counting all
+/// three bracket kinds.  Returns toks.size() when unbalanced.
+std::size_t skipGroup(const Tokens& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+/// Index of the opener matching the closer at `close`, or kNpos.
+std::size_t openerOf(const Tokens& toks, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    const std::string& t = toks[i].text;
+    if (t == ")" || t == "]" || t == "}") ++depth;
+    if (t == "(" || t == "[" || t == "{") {
+      if (--depth == 0) return i;
+    }
+  }
+  return kNpos;
+}
+
+/// A lone `=` that is an assignment, not part of ==, !=, <=, >= (the
+/// tokenizer splits compounds, so `+=` appears as `+` `=` and still counts).
+bool isAssignEq(const Tokens& toks, std::size_t i) {
+  if (!punctIs(toks[i], "=")) return false;
+  if (i + 1 < toks.size() && punctIs(toks[i + 1], "=")) return false;
+  if (i == 0) return false;
+  const Token& p = toks[i - 1];
+  if (p.kind == TokKind::kPunct &&
+      (p.text == "=" || p.text == "!" || p.text == "<" || p.text == ">"))
+    return false;
+  return true;
+}
+
+bool isCompoundOp(const Token& t) {
+  return t.kind == TokKind::kPunct &&
+         (t.text == "+" || t.text == "-" || t.text == "*" || t.text == "/" ||
+          t.text == "%" || t.text == "&" || t.text == "|" || t.text == "^");
+}
+
+const std::set<std::string>& controlKeywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",   "while",    "switch", "return", "catch",
+      "sizeof", "throw", "decltype", "new",    "delete", "alignof"};
+  return kw;
+}
+
+const std::set<std::string>& typeKeywords() {
+  static const std::set<std::string> kw = {
+      "const",    "constexpr", "static", "mutable",  "inline",  "volatile",
+      "unsigned", "signed",    "long",   "short",    "int",     "char",
+      "bool",     "float",     "double", "void",     "auto",    "virtual",
+      "explicit", "typename",  "std",    "override", "final",   "noexcept",
+      "default",  "delete",    "size_t", "uint32_t", "int64_t", "uint64_t",
+      "int32_t",  "uint8_t",   "struct", "class"};
+  return kw;
+}
+
+/// Container/handle method names treated as mutations when called on state
+/// whose class the index cannot see inside (std containers and the like).
+const std::set<std::string>& mutatorNames() {
+  static const std::set<std::string> m = {
+      "push",    "push_back", "pop",    "pop_back", "emplace", "emplace_back",
+      "clear",   "erase",     "insert", "resize",   "assign",  "reset",
+      "swap",    "store",     "fetch_add"};
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Index structures
+// ---------------------------------------------------------------------------
+
+struct MemberVar {
+  std::vector<std::string> type_idents;  // raw, in source order
+  std::string type_class;                // resolved indexed class ("" if none)
+  bool callable = false;                 // SboFunction / std::function / alias
+};
+
+struct ClassRec {
+  std::string name;
+  Domain domain = Domain::kNone;
+  std::string file;  // file of the domain annotation (or first definition)
+  int line = 0;
+  std::map<std::string, MemberVar> members;
+  std::set<std::string> methods;
+  std::set<std::string> mutating_methods;
+};
+
+struct ParamRec {
+  std::string name;
+  std::vector<std::string> type_idents;
+  std::string type_class;
+  bool callable = false;
+};
+
+struct LambdaRec {
+  std::size_t file_idx = 0;
+  int line = 0;
+  std::size_t intro = 0;        // '[' token
+  std::size_t intro_close = 0;  // matching ']'
+  std::size_t body_begin = 0;   // first token inside the body braces
+  std::size_t body_end = 0;     // token index of the closing body brace
+  std::string id;               // "lambda@<file>:<line>"
+  int enclosing_fn = -1;        // index into fns_
+};
+
+struct FnRec {
+  std::size_t file_idx = 0;
+  std::string name;
+  std::string cls;   // owning class ("" for free functions)
+  std::string qual;  // "Class::name" or "name"
+  int line = 0;
+  std::size_t name_tok = 0, params_open = 0, params_close = 0;
+  std::size_t body_begin = 0, body_end = 0;
+  std::vector<ParamRec> params;
+  std::vector<std::string> ret_idents;
+  std::string ret_class;
+  std::set<std::string> reg_slots;  // slots callable params are stored into
+  bool invokes_param = false;       // invokes a callable param inline
+  bool is_ctor = false;
+  bool mutating = false;  // writes own members (directly or transitively)
+};
+
+struct ClassSpan {
+  std::string name;
+  std::size_t open = 0;   // '{' token
+  std::size_t close = 0;  // matching '}' token
+  int line = 0;
+};
+
+struct FileCtx {
+  std::string path;
+  TokenStream ts;
+  DomainDirectives dirs;
+  std::vector<ClassSpan> spans;
+  std::vector<LambdaRec> lambdas;  // sorted by intro token
+  std::vector<int> fn_ids;         // indices into fns_
+  std::map<std::size_t, std::size_t> lambda_skip;  // intro -> body_end
+  std::map<std::size_t, std::size_t> capture_skip; // intro -> intro_close
+};
+
+/// What a chain element between dots looks like: `x`, `x(...)`, `x[...]`.
+struct ChainElem {
+  std::string name;
+  bool is_call = false;
+};
+
+/// Resolution of a local variable declaration inside one function body.
+struct LocalInfo {
+  std::string cls;         // declared class ("" when not an indexed class)
+  std::string slot_alias;  // callable slot this local was moved out of
+};
+
+// ---------------------------------------------------------------------------
+// The analyzer
+// ---------------------------------------------------------------------------
+
+class PartAnalyzer {
+ public:
+  explicit PartAnalyzer(const std::vector<PartFile>& inputs) {
+    for (const PartFile& f : inputs) {
+      FileCtx fc;
+      fc.path = f.path;
+      fc.ts = tokenize(f.source);
+      fc.dirs = parseDomainDirectives(f.path, fc.ts);
+      files_.push_back(std::move(fc));
+    }
+  }
+
+  PartResult run() {
+    indexFiles();
+    mergeClasses();
+    resolveTypes();
+    computeRegApis();
+    computeMutating();
+    bindRoots();
+    walkRoots();
+    return finish();
+  }
+
+ private:
+  std::vector<FileCtx> files_;
+  std::vector<FnRec> fns_;
+  std::map<std::string, ClassRec> classes_;
+  std::set<std::string> callable_types_;  // SboFunction, function, aliases
+  std::map<std::string, std::vector<std::string>> alias_deps_;
+  std::multimap<std::string, int> by_name_;              // fn name -> fn idx
+  std::map<std::string, std::vector<int>> by_method_;    // "C::m" -> fn idxs
+  std::map<std::string, std::pair<std::size_t, std::size_t>> lambda_by_id_;
+  std::vector<PartRoot> roots_;
+  std::map<std::string, std::set<std::string>> slot_bindings_;
+  std::set<std::pair<std::string, std::string>> edges_;
+  std::map<std::string, PartCrossing> crossings_;  // keyed for dedup
+  std::map<std::string, PartAmbiguity> ambiguous_;
+  std::set<std::string> visited_;  // "<unit>#<domain>"
+  std::vector<Diagnostic> diags_;
+
+  // ---- Phase 0: per-file indexing ----------------------------------------
+
+  void indexFiles() {
+    callable_types_.insert("SboFunction");
+    callable_types_.insert("function");
+    for (std::size_t fi = 0; fi < files_.size(); ++fi) {
+      FileCtx& fc = files_[fi];
+      for (const Diagnostic& d : fc.dirs.errors) diags_.push_back(d);
+      findClassSpans(fc);
+      findLambdas(fi);
+      harvestFunctions(fi);
+      harvestFileAliases(fc);
+      for (const ClassSpan& sp : fc.spans) harvestMembers(fc, sp);
+    }
+    for (int i = 0; i < static_cast<int>(fns_.size()); ++i) {
+      by_name_.emplace(fns_[i].name, i);
+      if (!fns_[i].cls.empty()) by_method_[fns_[i].qual].push_back(i);
+    }
+    // Attribute each lambda to the innermost named function containing it.
+    for (FileCtx& fc : files_) {
+      for (LambdaRec& lr : fc.lambdas) {
+        std::size_t best_span = kNpos;
+        for (int fid : fc.fn_ids) {
+          const FnRec& fn = fns_[static_cast<std::size_t>(fid)];
+          if (fn.body_begin <= lr.intro && lr.intro < fn.body_end) {
+            const std::size_t span = fn.body_end - fn.body_begin;
+            if (span < best_span) {
+              best_span = span;
+              lr.enclosing_fn = fid;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void findClassSpans(FileCtx& fc) {
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!identIs(toks[i], "class") && !identIs(toks[i], "struct")) continue;
+      if (i > 0 && (identIs(toks[i - 1], "enum") || punctIs(toks[i - 1], "<") ||
+                    punctIs(toks[i - 1], ",")))
+        continue;  // enum class, template parameters
+      if (!isIdent(toks[i + 1])) continue;
+      // A definition has `{` before the statement ends.
+      std::size_t open = kNpos;
+      for (std::size_t j = i + 2; j < toks.size(); ++j) {
+        if (punctIs(toks[j], "{")) {
+          open = j;
+          break;
+        }
+        if (punctIs(toks[j], ";") || punctIs(toks[j], ")")) break;
+      }
+      if (open == kNpos) continue;
+      ClassSpan sp;
+      sp.name = toks[i + 1].text;
+      sp.open = open;
+      sp.close = skipGroup(toks, open) - 1;
+      sp.line = toks[i + 1].line;
+      fc.spans.push_back(sp);
+    }
+  }
+
+  void findLambdas(std::size_t fi) {
+    FileCtx& fc = files_[fi];
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!punctIs(toks[i], "[")) continue;
+      if (i + 1 < toks.size() && punctIs(toks[i + 1], "[")) continue;
+      if (i > 0) {
+        const Token& p = toks[i - 1];
+        const bool subscript =
+            (p.kind == TokKind::kIdent && p.text != "return") ||
+            punctIs(p, "]") || punctIs(p, ")") || punctIs(p, "[");
+        if (subscript) continue;
+      }
+      const std::size_t close = skipGroup(toks, i) - 1;
+      if (close >= toks.size()) continue;
+      // After the capture list: optional params, optional specifiers, `{`.
+      std::size_t j = close + 1;
+      if (j < toks.size() && punctIs(toks[j], "(")) j = skipGroup(toks, j);
+      std::size_t brace = kNpos;
+      for (; j < toks.size(); ++j) {
+        if (punctIs(toks[j], "{")) {
+          brace = j;
+          break;
+        }
+        if (punctIs(toks[j], ";") || punctIs(toks[j], ",") ||
+            punctIs(toks[j], ")") || punctIs(toks[j], "}"))
+          break;
+      }
+      if (brace == kNpos) continue;
+      LambdaRec lr;
+      lr.file_idx = fi;
+      lr.line = toks[i].line;
+      lr.intro = i;
+      lr.intro_close = close;
+      lr.body_begin = brace + 1;
+      lr.body_end = skipGroup(toks, brace) - 1;
+      lr.id = "lambda@" + fc.path + ":" + std::to_string(lr.line);
+      fc.lambda_skip[lr.intro] = lr.body_end;
+      fc.capture_skip[lr.intro] = lr.intro_close;
+      fc.lambdas.push_back(lr);
+    }
+    for (std::size_t li = 0; li < fc.lambdas.size(); ++li)
+      lambda_by_id_[fc.lambdas[li].id] = {fi, li};
+  }
+
+  void harvestFunctions(std::size_t fi) {
+    FileCtx& fc = files_[fi];
+    const Tokens& toks = fc.ts.tokens;
+    for (const FunctionCfg& cfg : buildFunctionCfgs(toks)) {
+      FnRec fn;
+      fn.file_idx = fi;
+      fn.name = cfg.name;
+      fn.line = cfg.line;
+      fn.name_tok = cfg.name_tok;
+      fn.params_open = cfg.params_open;
+      fn.params_close = skipGroup(toks, cfg.params_open) - 1;
+      fn.body_begin = cfg.body_begin;
+      fn.body_end = cfg.body_end;
+      // Class attribution: `Class::name` qualifier wins, else the innermost
+      // enclosing class span.
+      if (fn.name_tok >= 2 && punctIs(toks[fn.name_tok - 1], "::") &&
+          isIdent(toks[fn.name_tok - 2])) {
+        fn.cls = toks[fn.name_tok - 2].text;
+      } else {
+        std::size_t best = kNpos;
+        for (const ClassSpan& sp : fc.spans) {
+          if (sp.open < fn.name_tok && fn.name_tok < sp.close &&
+              sp.close - sp.open < best) {
+            best = sp.close - sp.open;
+            fn.cls = sp.name;
+          }
+        }
+      }
+      fn.qual = fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name;
+      fn.is_ctor = (fn.name == fn.cls);
+      harvestParams(toks, fn);
+      harvestReturn(toks, fn);
+      fc.fn_ids.push_back(static_cast<int>(fns_.size()));
+      fns_.push_back(std::move(fn));
+    }
+  }
+
+  void harvestParams(const Tokens& toks, FnRec& fn) {
+    std::size_t i = fn.params_open + 1;
+    while (i < fn.params_close) {
+      // One parameter: up to the next top-level comma.
+      std::size_t end = i;
+      int depth = 0;
+      for (; end < fn.params_close; ++end) {
+        if (toks[end].kind != TokKind::kPunct) continue;
+        const std::string& t = toks[end].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<") ++depth;
+        if (t == ")" || t == "]" || t == "}" || t == ">") --depth;
+        if (t == "," && depth == 0) break;
+      }
+      ParamRec p;
+      std::size_t stop = end;  // default argument: name sits before `=`
+      for (std::size_t j = i; j < end; ++j)
+        if (isAssignEq(toks, j)) {
+          stop = j;
+          break;
+        }
+      for (std::size_t j = i; j < stop; ++j)
+        if (isIdent(toks[j])) p.type_idents.push_back(toks[j].text);
+      if (!p.type_idents.empty()) {
+        p.name = p.type_idents.back();
+        p.type_idents.pop_back();
+      }
+      if (!p.name.empty()) fn.params.push_back(std::move(p));
+      i = end + 1;
+    }
+  }
+
+  void harvestReturn(const Tokens& toks, FnRec& fn) {
+    std::size_t j = fn.name_tok;
+    if (j >= 2 && punctIs(toks[j - 1], "::")) j -= 2;  // skip Class:: qualifier
+    while (j-- > 0) {
+      const Token& t = toks[j];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ":"))
+        break;
+      if (isIdent(t)) fn.ret_idents.insert(fn.ret_idents.begin(), t.text);
+      if (fn.ret_idents.size() > 8) break;
+    }
+  }
+
+  /// Harvests `using X = ...;` aliases anywhere in the file (namespace scope
+  /// included), so file-level callable aliases feed the same fixpoint as the
+  /// class-scope ones.  `using namespace ...` never matches the `=` shape.
+  void harvestFileAliases(const FileCtx& fc) {
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!identIs(toks[i], "using")) continue;
+      if (!isIdent(toks[i + 1]) || !isAssignEq(toks, i + 2)) continue;
+      std::vector<std::string> deps;
+      for (std::size_t k = i + 3; k < toks.size() && !punctIs(toks[k], ";");
+           ++k)
+        if (isIdent(toks[k])) deps.push_back(toks[k].text);
+      alias_deps_[toks[i + 1].text] = std::move(deps);
+    }
+  }
+
+  /// Harvests member variables and `using X = <callable>` aliases declared at
+  /// the top level of one class span.
+  void harvestMembers(FileCtx& fc, const ClassSpan& sp) {
+    const Tokens& toks = fc.ts.tokens;
+    ClassRec& cls = classes_[sp.name];
+    if (cls.name.empty()) {
+      cls.name = sp.name;
+      cls.file = fc.path;
+      cls.line = sp.line;
+    }
+    // Entries of the current statement: top-level token indices; skipped
+    // groups contribute only their opening token.
+    std::vector<std::size_t> stmt;
+    std::size_t i = sp.open + 1;
+    while (i < sp.close) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct &&
+          (t.text == "(" || t.text == "[" || t.text == "{")) {
+        stmt.push_back(i);
+        i = skipGroup(toks, i);
+        if (punctIs(toks[i - 1], "}")) stmt.clear();  // method body ends stmt
+        continue;
+      }
+      if (punctIs(t, ";")) {
+        processMemberStmt(fc, cls, stmt);
+        stmt.clear();
+        ++i;
+        continue;
+      }
+      if (punctIs(t, ":") && !stmt.empty() && stmt.size() == 1 &&
+          isIdent(toks[stmt[0]]) &&
+          (toks[stmt[0]].text == "public" || toks[stmt[0]].text == "private" ||
+           toks[stmt[0]].text == "protected")) {
+        stmt.clear();
+        ++i;
+        continue;
+      }
+      stmt.push_back(i);
+      ++i;
+    }
+  }
+
+  void processMemberStmt(const FileCtx& fc, ClassRec& cls,
+                         const std::vector<std::size_t>& stmt) {
+    const Tokens& toks = fc.ts.tokens;
+    if (stmt.empty()) return;
+    const std::string& first = toks[stmt[0]].text;
+    if (identIs(toks[stmt[0]], "using")) {
+      // `using X = ...`: record the alias and what it refers to.
+      if (stmt.size() >= 3 && isIdent(toks[stmt[1]]) &&
+          isAssignEq(toks, stmt[2])) {
+        std::vector<std::string> deps;
+        for (std::size_t k = 3; k < stmt.size(); ++k)
+          if (isIdent(toks[stmt[k]])) deps.push_back(toks[stmt[k]].text);
+        alias_deps_[toks[stmt[1]].text] = std::move(deps);
+      }
+      return;
+    }
+    if (first == "typedef" || first == "friend" || first == "static_assert" ||
+        first == "enum" || first == "template" || first == "operator" ||
+        first == "class" || first == "struct" || first == "public" ||
+        first == "private" || first == "protected")
+      return;
+    // Name: last ident before the initializer (`=` or `{`) or terminator,
+    // backing over array extents.
+    std::size_t limit = stmt.size();
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const Token& t = toks[stmt[k]];
+      if (isAssignEq(toks, stmt[k]) || punctIs(t, "{")) {
+        limit = k;
+        break;
+      }
+    }
+    std::size_t k = limit;
+    while (k > 0 && punctIs(toks[stmt[k - 1]], "[")) --k;  // array extents
+    while (k > 0 && isIdent(toks[stmt[k - 1]]) &&
+           typeKeywords().count(toks[stmt[k - 1]].text) &&
+           toks[stmt[k - 1]].text != "std")
+      --k;  // trailing const/override/etc. are not names
+    if (k == 0 || !isIdent(toks[stmt[k - 1]])) return;
+    const std::size_t name_pos = k - 1;
+    // `name(` is a method declaration, not a member variable.
+    if (name_pos + 1 < limit && punctIs(toks[stmt[name_pos + 1]], "(")) {
+      cls.methods.insert(toks[stmt[name_pos]].text);
+      return;
+    }
+    MemberVar mv;
+    for (std::size_t j = 0; j < name_pos; ++j)
+      if (isIdent(toks[stmt[j]])) mv.type_idents.push_back(toks[stmt[j]].text);
+    if (mv.type_idents.empty()) return;  // `return`-less oddities, labels
+    cls.members[toks[stmt[name_pos]].text] = std::move(mv);
+  }
+
+  // ---- Phase 1: merge and resolve ----------------------------------------
+
+  void mergeClasses() {
+    for (FileCtx& fc : files_) {
+      for (const DomainAnnotation& a : fc.dirs.annotations) {
+        ClassRec& cls = classes_[a.cls];
+        if (cls.name.empty()) cls.name = a.cls;
+        if (cls.domain != Domain::kNone && cls.domain != a.domain) {
+          diags_.push_back({fc.path, a.line, "part-bad-domain",
+                            "class " + a.cls + " annotated both domain(" +
+                                domainName(cls.domain) + ") and domain(" +
+                                std::string(domainName(a.domain)) + ")"});
+          continue;
+        }
+        cls.domain = a.domain;
+        cls.file = fc.path;
+        cls.line = a.line;
+      }
+    }
+    // Callable aliases: fixpoint over `using X = ...` chains.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& kv : alias_deps_) {
+        if (callable_types_.count(kv.first)) continue;
+        for (const std::string& dep : kv.second) {
+          if (callable_types_.count(dep)) {
+            callable_types_.insert(kv.first);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  std::string resolveClassFromIdents(const std::vector<std::string>& idents) {
+    std::string found;
+    for (const std::string& id : idents)
+      if (classes_.count(id)) found = id;
+    return found;
+  }
+
+  bool anyCallable(const std::vector<std::string>& idents) {
+    for (const std::string& id : idents)
+      if (callable_types_.count(id)) return true;
+    return false;
+  }
+
+  void resolveTypes() {
+    for (auto& kv : classes_) {
+      for (auto& mkv : kv.second.members) {
+        mkv.second.type_class = resolveClassFromIdents(mkv.second.type_idents);
+        mkv.second.callable = anyCallable(mkv.second.type_idents);
+      }
+    }
+    for (FnRec& fn : fns_) {
+      for (ParamRec& p : fn.params) {
+        p.type_class = resolveClassFromIdents(p.type_idents);
+        p.callable = anyCallable(p.type_idents);
+      }
+      fn.ret_class = resolveClassFromIdents(fn.ret_idents);
+      if (!fn.cls.empty()) {
+        ClassRec& cls = classes_[fn.cls];
+        if (cls.name.empty()) cls.name = fn.cls;
+        cls.methods.insert(fn.name);
+      }
+    }
+  }
+
+  // ---- Phase 2: registration APIs ----------------------------------------
+
+  /// True when the bare identifier `name` appears at statement level between
+  /// [from, to) of the token stream (capture lists skipped).
+  bool mentionsIdent(const FileCtx& fc, std::size_t from, std::size_t to,
+                     const std::string& name) {
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = from; i < to; ++i) {
+      auto cap = fc.capture_skip.find(i);
+      if (cap != fc.capture_skip.end()) {
+        i = cap->second;
+        continue;
+      }
+      if (isIdent(toks[i]) && toks[i].text == name &&
+          !(i > 0 && (punctIs(toks[i - 1], ".") ||
+                      punctIs(toks[i - 1], "->") ||
+                      punctIs(toks[i - 1], "::"))))
+        return true;
+    }
+    return false;
+  }
+
+  void computeRegApis() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (FnRec& fn : fns_) {
+        std::set<std::string> names;
+        for (const ParamRec& p : fn.params)
+          if (p.callable) names.insert(p.name);
+        if (names.empty()) continue;
+        if (scanRegBody(fn, names)) changed = true;
+      }
+    }
+  }
+
+  /// Scans fn's body (lambdas included, capture lists excluded) for stores,
+  /// forwards, and invocations of the callable params in `names`.  Returns
+  /// true when fn's reg_slots or invokes_param changed.
+  bool scanRegBody(FnRec& fn, std::set<std::string> names) {
+    const FileCtx& fc = files_[fn.file_idx];
+    const Tokens& toks = fc.ts.tokens;
+    const std::set<std::string> before = fn.reg_slots;
+    const bool before_inv = fn.invokes_param;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      auto cap = fc.capture_skip.find(i);
+      if (cap != fc.capture_skip.end()) {
+        i = cap->second;
+        continue;
+      }
+      // `<target> = ... p ...;` — a store into a slot, or a local alias.
+      if (isAssignEq(toks, i)) {
+        std::size_t end = i + 1;
+        while (end < fn.body_end && !punctIs(toks[end], ";")) ++end;
+        bool has_param = false;
+        for (const std::string& n : names)
+          if (mentionsIdent(fc, i + 1, end, n)) has_param = true;
+        if (!has_param) {
+          i = end;
+          continue;
+        }
+        std::size_t j = i;  // token after the target's final ident
+        if (j > 0 && isCompoundOp(toks[j - 1])) --j;
+        if (j > 0 && punctIs(toks[j - 1], "]")) j = openerOf(toks, j - 1);
+        if (j == 0 || !isIdent(toks[j - 1])) {
+          i = end;
+          continue;
+        }
+        const std::string target = toks[j - 1].text;
+        const Token* prev = j >= 2 ? &toks[j - 2] : nullptr;
+        const bool is_decl =
+            prev && (isIdent(*prev) || punctIs(*prev, "*") ||
+                     punctIs(*prev, "&")) &&
+            !punctIs(*prev, ".") && !punctIs(*prev, "->");
+        if (is_decl) {
+          names.insert(target);  // local alias of the param
+        } else {
+          fn.reg_slots.insert(target);
+        }
+        i = end;
+        continue;
+      }
+      if (!isIdent(toks[i])) continue;
+      const std::string& id = toks[i].text;
+      if (i + 1 >= fn.body_end || !punctIs(toks[i + 1], "(")) continue;
+      if (controlKeywords().count(id)) continue;
+      // Bare invocation of the param itself.
+      if (names.count(id) &&
+          !(i > 0 && (punctIs(toks[i - 1], ".") || punctIs(toks[i - 1], "->") ||
+                      punctIs(toks[i - 1], "::")))) {
+        fn.invokes_param = true;
+        continue;
+      }
+      const std::size_t close = skipGroup(toks, i + 1) - 1;
+      bool has_param = false;
+      for (const std::string& n : names)
+        if (mentionsIdent(fc, i + 2, close, n)) has_param = true;
+      if (!has_param) continue;
+      if (id == "push_back" || id == "emplace_back" || id == "insert" ||
+          id == "emplace") {
+        // `container.push_back(p)` — the container is the slot.
+        std::size_t j = i;
+        if (j >= 2 && (punctIs(toks[j - 1], ".") || punctIs(toks[j - 1], "->")))
+          j -= 1;
+        if (j >= 1 && punctIs(toks[j - 1], "]")) j = openerOf(toks, j - 1);
+        if (j >= 1 && isIdent(toks[j - 1]))
+          fn.reg_slots.insert(toks[j - 1].text);
+        continue;
+      }
+      if (id == "move" || id == "forward") continue;
+      // Forwarding to another function with callable params: inherit.
+      for (auto it = by_name_.lower_bound(id); it != by_name_.upper_bound(id);
+           ++it) {
+        const FnRec& callee = fns_[static_cast<std::size_t>(it->second)];
+        if (&callee == &fn) continue;
+        bool callee_callable = false;
+        for (const ParamRec& p : callee.params)
+          if (p.callable) callee_callable = true;
+        if (!callee_callable) continue;
+        fn.reg_slots.insert(callee.reg_slots.begin(), callee.reg_slots.end());
+        if (callee.invokes_param) fn.invokes_param = true;
+      }
+    }
+    return fn.reg_slots != before || fn.invokes_param != before_inv;
+  }
+
+  // ---- Phase 4: mutating closure -----------------------------------------
+
+  void computeMutating() {
+    for (FnRec& fn : fns_)
+      if (fn.is_ctor || hasDirectSelfWrite(fn)) fn.mutating = true;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (FnRec& fn : fns_) {
+        if (fn.mutating || fn.cls.empty()) continue;
+        if (callsMutatingSibling(fn)) {
+          fn.mutating = true;
+          changed = true;
+        }
+      }
+    }
+    for (const FnRec& fn : fns_)
+      if (fn.mutating && !fn.cls.empty())
+        classes_[fn.cls].mutating_methods.insert(fn.name);
+  }
+
+  bool isMemberOf(const std::string& cls, const std::string& name) {
+    auto it = classes_.find(cls);
+    return it != classes_.end() && it->second.members.count(name) > 0;
+  }
+
+  /// Direct writes to the function's own class members, nested lambda bodies
+  /// excluded (a lambda's writes belong to the handler it becomes).
+  bool hasDirectSelfWrite(const FnRec& fn) {
+    if (fn.cls.empty()) return false;
+    const FileCtx& fc = files_[fn.file_idx];
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      auto lam = fc.lambda_skip.find(i);
+      if (lam != fc.lambda_skip.end()) {
+        i = lam->second;
+        continue;
+      }
+      if (isAssignEq(toks, i)) {
+        std::size_t j = i;
+        if (j > 0 && isCompoundOp(toks[j - 1])) --j;
+        if (j > 0 && punctIs(toks[j - 1], "]")) j = openerOf(toks, j - 1);
+        if (j > 0 && isIdent(toks[j - 1])) {
+          const std::string& name = toks[j - 1].text;
+          const bool plain = j < 2 || (!punctIs(toks[j - 2], ".") &&
+                                       !punctIs(toks[j - 2], "::"));
+          const bool via_this = j >= 3 && punctIs(toks[j - 2], "->") &&
+                                identIs(toks[j - 3], "this");
+          if ((plain || via_this) && isMemberOf(fn.cls, name)) return true;
+        }
+        continue;
+      }
+      // ++m / m++ / --m / m--
+      if (i + 1 < fn.body_end && toks[i].kind == TokKind::kPunct &&
+          toks[i + 1].kind == TokKind::kPunct &&
+          ((toks[i].text == "+" && toks[i + 1].text == "+") ||
+           (toks[i].text == "-" && toks[i + 1].text == "-"))) {
+        std::string operand;
+        if (i + 2 < fn.body_end && isIdent(toks[i + 2]))
+          operand = toks[i + 2].text;
+        else if (i > 0 && isIdent(toks[i - 1]))
+          operand = toks[i - 1].text;
+        if (!operand.empty() && isMemberOf(fn.cls, operand)) return true;
+        ++i;
+        continue;
+      }
+      // own_member.push_back(...) and friends.
+      if (isIdent(toks[i]) && mutatorNames().count(toks[i].text) &&
+          i + 1 < fn.body_end && punctIs(toks[i + 1], "(") && i >= 2 &&
+          (punctIs(toks[i - 1], ".") || punctIs(toks[i - 1], "->"))) {
+        std::size_t j = i - 1;
+        if (j > 0 && punctIs(toks[j - 1], "]")) j = openerOf(toks, j - 1);
+        if (j > 0 && isIdent(toks[j - 1]) &&
+            isMemberOf(fn.cls, toks[j - 1].text))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  bool callsMutatingSibling(const FnRec& fn) {
+    const FileCtx& fc = files_[fn.file_idx];
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      auto lam = fc.lambda_skip.find(i);
+      if (lam != fc.lambda_skip.end()) {
+        i = lam->second;
+        continue;
+      }
+      if (!isIdent(toks[i]) || i + 1 >= fn.body_end ||
+          !punctIs(toks[i + 1], "("))
+        continue;
+      const bool bare = i == 0 || (!punctIs(toks[i - 1], ".") &&
+                                   !punctIs(toks[i - 1], "->") &&
+                                   !punctIs(toks[i - 1], "::"));
+      const bool via_this =
+          i >= 2 && punctIs(toks[i - 1], "->") && identIs(toks[i - 2], "this");
+      if (!bare && !via_this) continue;
+      auto it = by_method_.find(fn.cls + "::" + toks[i].text);
+      if (it == by_method_.end()) continue;
+      for (int fid : it->second)
+        if (fns_[static_cast<std::size_t>(fid)].mutating) return true;
+    }
+    return false;
+  }
+
+  // ---- Phase 3: roots and slot bindings ----------------------------------
+
+  Domain classDomain(const std::string& cls) {
+    auto it = classes_.find(cls);
+    return it == classes_.end() ? Domain::kNone : it->second.domain;
+  }
+
+  /// True when any indexed class has a callable member with this name
+  /// (slots are keyed by bare member name project-wide).
+  bool isCallableMemberName(const std::string& name) {
+    for (const auto& kv : classes_) {
+      auto m = kv.second.members.find(name);
+      if (m != kv.second.members.end() && m->second.callable) return true;
+    }
+    return false;
+  }
+
+  void bindRoots() {
+    std::set<std::string> seen;  // root id + "#" + slot
+    for (const FnRec& fn : fns_) {
+      const FileCtx& fc = files_[fn.file_idx];
+      const Tokens& toks = fc.ts.tokens;
+      for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+        auto cap = fc.capture_skip.find(i);
+        if (cap != fc.capture_skip.end()) {
+          i = cap->second;
+          continue;
+        }
+        // Direct binding: `obj.slot = [..]{...};` assigns a lambda literal
+        // straight into a callable member, no registration API involved.
+        if (isAssignEq(toks, i) && i + 1 < fn.body_end &&
+            punctIs(toks[i + 1], "[") && fc.lambda_skip.count(i + 1)) {
+          std::size_t j = i;
+          if (j > 0 && punctIs(toks[j - 1], "]")) j = openerOf(toks, j - 1);
+          if (j > 0 && isIdent(toks[j - 1]) &&
+              isCallableMemberName(toks[j - 1].text)) {
+            for (const LambdaRec& lr : fc.lambdas) {
+              if (lr.intro != i + 1) continue;
+              const std::string slot = toks[j - 1].text;
+              if (!seen.insert(lr.id + "#" + slot).second) break;
+              PartRoot r;
+              r.id = lr.id;
+              r.slot = slot;
+              r.registered_by = fn.qual;
+              r.domain = classDomain(fn.cls);
+              r.file = fc.path;
+              r.line = lr.line;
+              roots_.push_back(r);
+              slot_bindings_[slot].insert(lr.id);
+              break;
+            }
+          }
+          continue;
+        }
+        if (!isIdent(toks[i]) || i + 1 >= fn.body_end ||
+            !punctIs(toks[i + 1], "("))
+          continue;
+        if (controlKeywords().count(toks[i].text)) continue;
+        // Union reg-API view of every function with this name.
+        std::set<std::string> slots;
+        bool invokes = false, is_reg = false;
+        for (auto it = by_name_.lower_bound(toks[i].text);
+             it != by_name_.upper_bound(toks[i].text); ++it) {
+          const FnRec& callee = fns_[static_cast<std::size_t>(it->second)];
+          bool callable = false;
+          for (const ParamRec& p : callee.params)
+            if (p.callable) callable = true;
+          if (!callable) continue;
+          is_reg = true;
+          slots.insert(callee.reg_slots.begin(), callee.reg_slots.end());
+          if (callee.invokes_param) invokes = true;
+        }
+        if (!is_reg) continue;
+        if (slots.empty() && invokes) slots.insert("(inline)");
+        if (slots.empty()) continue;
+        bindArgs(fn, i, slots, seen);
+      }
+    }
+    std::sort(roots_.begin(), roots_.end(),
+              [](const PartRoot& a, const PartRoot& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.slot < b.slot;
+              });
+  }
+
+  void bindArgs(const FnRec& fn, std::size_t call_tok,
+                const std::set<std::string>& slots,
+                std::set<std::string>& seen) {
+    const FileCtx& fc = files_[fn.file_idx];
+    const Tokens& toks = fc.ts.tokens;
+    const std::size_t open = call_tok + 1;
+    const std::size_t close = skipGroup(toks, open) - 1;
+    std::size_t arg = open + 1;
+    int depth = 0;
+    for (std::size_t i = open + 1; i <= close && i < toks.size(); ++i) {
+      const bool at_end = (i == close);
+      bool at_comma = false;
+      if (toks[i].kind == TokKind::kPunct) {
+        const std::string& t = toks[i].text;
+        if (t == "(" || t == "[" || t == "{") {
+          i = skipGroup(toks, i) - 1;
+          continue;
+        }
+        at_comma = (t == "," && depth == 0);
+      }
+      if (!at_end && !at_comma) continue;
+      const std::size_t arg_end = i;
+      if (arg < arg_end) {
+        std::string root_id, root_file;
+        int root_line = 0;
+        if (punctIs(toks[arg], "[") && fc.lambda_skip.count(arg)) {
+          for (const LambdaRec& lr : fc.lambdas)
+            if (lr.intro == arg) {
+              root_id = lr.id;
+              root_file = fc.path;
+              root_line = lr.line;
+            }
+        } else if (arg + 1 == arg_end && isIdent(toks[arg]) &&
+                   by_name_.count(toks[arg].text)) {
+          const FnRec& target = fns_[static_cast<std::size_t>(
+              by_name_.lower_bound(toks[arg].text)->second)];
+          root_id = target.qual;
+          root_file = files_[target.file_idx].path;
+          root_line = target.line;
+        }
+        if (!root_id.empty()) {
+          for (const std::string& s : slots) {
+            if (!seen.insert(root_id + "#" + s).second) continue;
+            PartRoot r;
+            r.id = root_id;
+            r.slot = s;
+            r.registered_by = fn.qual;
+            r.domain = classDomain(fn.cls);
+            r.file = root_file;
+            r.line = root_line;
+            roots_.push_back(r);
+            slot_bindings_[s].insert(root_id);
+          }
+        }
+      }
+      arg = arg_end + 1;
+    }
+  }
+
+  // ---- Phase 5: the domain walk ------------------------------------------
+
+  void walkRoots() {
+    for (const PartRoot& r : roots_) {
+      auto lam = lambda_by_id_.find(r.id);
+      if (lam != lambda_by_id_.end()) {
+        const LambdaRec& lr =
+            files_[lam->second.first].lambdas[lam->second.second];
+        const std::string cls =
+            lr.enclosing_fn >= 0
+                ? fns_[static_cast<std::size_t>(lr.enclosing_fn)].cls
+                : std::string();
+        walkBody(lam->second.first, r.id, cls,
+                 lr.enclosing_fn >= 0 ? lr.enclosing_fn : -1, lr.body_begin,
+                 lr.body_end, r.domain, r.id, 0);
+      } else {
+        for (auto it = by_name_.begin(); it != by_name_.end(); ++it) {
+          const FnRec& fn = fns_[static_cast<std::size_t>(it->second)];
+          if (fn.qual == r.id)
+            walkFn(it->second, r.domain, r.id, 0);
+        }
+      }
+    }
+  }
+
+  void walkFn(int fid, Domain ctx, const std::string& root, int depth) {
+    const FnRec& fn = fns_[static_cast<std::size_t>(fid)];
+    const std::string key =
+        fn.qual + "@" + files_[fn.file_idx].path + ":" +
+        std::to_string(fn.line) + "#" + domainName(ctx) + "#" + root;
+    if (!visited_.insert(key).second) return;
+    walkBody(fn.file_idx, fn.qual, fn.cls, fid, fn.body_begin, fn.body_end,
+             ctx, root, depth);
+  }
+
+  /// Walks one unit body (function or lambda), in domain `ctx`, attributing
+  /// findings to `root`.  `fid` indexes the function whose params/locals are
+  /// in scope (for a lambda, its enclosing function: captures see them).
+  void walkBody(std::size_t file_idx, const std::string& unit,
+                const std::string& cls, int fid, std::size_t begin,
+                std::size_t end, Domain ctx, const std::string& root,
+                int depth) {
+    if (depth > 40) return;
+    const FileCtx& fc = files_[file_idx];
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = begin; i < end; ++i) {
+      auto lam = fc.lambda_skip.find(i);
+      if (lam != fc.lambda_skip.end() && lam->second < end) {
+        i = lam->second;
+        continue;
+      }
+      if (isAssignEq(toks, i)) {
+        checkWrite(fc, unit, cls, fid, i, ctx, root);
+        continue;
+      }
+      if (i + 1 < end && toks[i].kind == TokKind::kPunct &&
+          toks[i + 1].kind == TokKind::kPunct &&
+          ((toks[i].text == "+" && toks[i + 1].text == "+") ||
+           (toks[i].text == "-" && toks[i + 1].text == "-"))) {
+        checkIncrement(fc, unit, cls, fid, i, ctx, root);
+        ++i;
+        continue;
+      }
+      if (!isIdent(toks[i])) continue;
+      // Callable-slot invocation through an index: `slot_[k](args)`.
+      std::size_t call_ident = kNpos, after = kNpos;
+      if (i + 1 < end && punctIs(toks[i + 1], "[")) {
+        const std::size_t past = skipGroup(toks, i + 1);
+        if (past < end && punctIs(toks[past], "(")) {
+          call_ident = i;
+          after = past;
+        }
+      } else if (i + 1 < end && punctIs(toks[i + 1], "(")) {
+        call_ident = i;
+        after = i + 1;
+      }
+      if (call_ident == kNpos) continue;
+      if (controlKeywords().count(toks[i].text)) continue;
+      handleCall(fc, unit, cls, fid, call_ident, ctx, root, depth);
+      (void)after;
+    }
+  }
+
+  // -- receiver-chain resolution --
+
+  /// Elements left of token `pos` (exclusive), when `pos` is reached through
+  /// `.`/`->` chains.  Returns false when the chain is unresolvable.
+  bool collectChain(const Tokens& toks, std::size_t pos,
+                    std::vector<ChainElem>* out, bool* base_is_this) {
+    *base_is_this = false;
+    std::size_t j = pos;
+    while (j >= 1 &&
+           (punctIs(toks[j - 1], ".") || punctIs(toks[j - 1], "->"))) {
+      std::size_t k = j - 2;
+      ChainElem e;
+      if (k < toks.size() && punctIs(toks[k], "]")) {
+        const std::size_t op = openerOf(toks, k);
+        if (op == kNpos || op == 0) return false;
+        k = op - 1;
+      }
+      if (k < toks.size() && punctIs(toks[k], ")")) {
+        const std::size_t op = openerOf(toks, k);
+        if (op == kNpos || op == 0 || !isIdent(toks[op - 1])) return false;
+        e.is_call = true;
+        k = op - 1;
+      }
+      if (!isIdent(toks[k])) return false;
+      e.name = toks[k].text;
+      if (e.name == "this") {
+        *base_is_this = true;
+        return true;
+      }
+      out->insert(out->begin(), e);
+      // Skip namespace qualifiers on the base: `net::Nic` resolves by `Nic`.
+      j = k;
+      while (j >= 2 && punctIs(toks[j - 1], "::") && isIdent(toks[j - 2]))
+        j -= 2;
+      if (j != k) break;  // qualified base: stop at the qualified ident
+    }
+    return true;
+  }
+
+  /// Declared class (and slot alias, for `auto cb = std::move(slot_)`) of a
+  /// local variable in fn's body.  Lazy linear scan; "" fields when unknown.
+  LocalInfo resolveLocal(int fid, const std::string& name) {
+    LocalInfo out;
+    if (fid < 0) return out;
+    const FnRec& fn = fns_[static_cast<std::size_t>(fid)];
+    for (const ParamRec& p : fn.params)
+      if (p.name == name) {
+        out.cls = p.type_class;
+        return out;
+      }
+    const FileCtx& fc = files_[fn.file_idx];
+    const Tokens& toks = fc.ts.tokens;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      if (!isIdent(toks[i]) || toks[i].text != name) continue;
+      if (i + 1 >= fn.body_end) break;
+      const Token& nx = toks[i + 1];
+      const bool decl_tail = punctIs(nx, ";") || isAssignEq(toks, i + 1) ||
+                             punctIs(nx, "{") || punctIs(nx, ":");
+      if (!decl_tail) continue;
+      // Walk back over */& to the type ident.
+      std::size_t j = i;
+      while (j >= 1 && (punctIs(toks[j - 1], "*") || punctIs(toks[j - 1], "&")))
+        --j;
+      if (j >= 1 && isIdent(toks[j - 1])) {
+        const std::string& ty = toks[j - 1].text;
+        if (classes_.count(ty)) {
+          out.cls = ty;
+          return out;
+        }
+        if (ty == "auto" && isAssignEq(toks, i + 1)) {
+          // `auto cb = std::move(chain.slot)` — alias of a callable slot.
+          std::size_t e = i + 2;
+          std::string last;
+          while (e < fn.body_end && !punctIs(toks[e], ";")) {
+            if (isIdent(toks[e]) && toks[e].text != "std" &&
+                toks[e].text != "move")
+              last = toks[e].text;
+            ++e;
+          }
+          if (!last.empty()) {
+            for (const auto& kv : classes_) {
+              auto m = kv.second.members.find(last);
+              if (m != kv.second.members.end() && m->second.callable) {
+                out.slot_alias = last;
+                return out;
+              }
+            }
+          }
+          return out;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Resolves a chain (base → members) to (final class, last annotated class
+  /// along the way).  Empty strings when unknown.
+  void resolveChain(const std::vector<ChainElem>& chain, bool base_is_this,
+                    const std::string& cur_cls, int fid, std::string* final_cls,
+                    std::string* owner_cls) {
+    std::string cur;
+    std::size_t start = 0;
+    if (base_is_this || chain.empty()) {
+      cur = cur_cls;
+    } else {
+      const std::string& base = chain[0].name;
+      start = 1;
+      LocalInfo li = resolveLocal(fid, base);
+      if (!li.cls.empty()) {
+        cur = li.cls;
+      } else if (!cur_cls.empty() && classes_.count(cur_cls) &&
+                 classes_[cur_cls].members.count(base)) {
+        cur = classes_[cur_cls].members[base].type_class;
+      } else if (classes_.count(base)) {
+        cur = base;  // static access Class::member
+      } else if (chain[0].is_call) {
+        // base(): a call — method of the current class or a free function.
+        cur = methodRetClass(cur_cls, base);
+      }
+    }
+    std::string owner;
+    auto note = [&](const std::string& c) {
+      if (!c.empty() && classDomain(c) != Domain::kNone) owner = c;
+    };
+    note(cur);
+    for (std::size_t k = start; k < chain.size(); ++k) {
+      if (cur.empty()) break;
+      if (chain[k].is_call) {
+        cur = methodRetClass(cur, chain[k].name);
+      } else {
+        auto it = classes_.find(cur);
+        cur = "";
+        if (it != classes_.end()) {
+          auto m = it->second.members.find(chain[k].name);
+          if (m != it->second.members.end()) cur = m->second.type_class;
+        }
+      }
+      note(cur);
+    }
+    *final_cls = cur;
+    *owner_cls = owner;
+  }
+
+  std::string methodRetClass(const std::string& cls, const std::string& name) {
+    if (!cls.empty()) {
+      auto it = by_method_.find(cls + "::" + name);
+      if (it != by_method_.end()) {
+        for (int fid : it->second) {
+          const std::string& rc =
+              fns_[static_cast<std::size_t>(fid)].ret_class;
+          if (!rc.empty()) return rc;
+        }
+      }
+      return "";
+    }
+    for (auto it = by_name_.lower_bound(name); it != by_name_.upper_bound(name);
+         ++it) {
+      const FnRec& fn = fns_[static_cast<std::size_t>(it->second)];
+      if (fn.cls.empty() && !fn.ret_class.empty()) return fn.ret_class;
+    }
+    return "";
+  }
+
+  // -- findings --
+
+  void recordCrossing(const FileCtx& fc, int line, Domain from, Domain to,
+                      const std::string& detail, const std::string& root) {
+    const char* rule =
+        isSerializedDomain(to) ? kPartGlobalMut : kPartCrossWrite;
+    const std::string key = fc.path + "#" + std::to_string(line) + "#" +
+                            domainName(from) + "#" + domainName(to) + "#" +
+                            detail;
+    auto it = crossings_.find(key);
+    if (it == crossings_.end()) {
+      PartCrossing c;
+      c.file = fc.path;
+      c.line = line;
+      c.from = from;
+      c.to = to;
+      c.detail = detail;
+      c.rule = rule;
+      for (const CrossingWaiver& w : fc.dirs.waivers) {
+        if (w.target_line == line) {
+          c.waived = true;
+          c.reason = w.reason;
+          const_cast<CrossingWaiver&>(w).used = true;
+          break;
+        }
+      }
+      it = crossings_.emplace(key, std::move(c)).first;
+    }
+    if (std::find(it->second.roots.begin(), it->second.roots.end(), root) ==
+        it->second.roots.end())
+      it->second.roots.push_back(root);
+  }
+
+  void maybeCrossWrite(const FileCtx& fc, const std::string& unit,
+                       const std::string& owner, const std::string& member,
+                       int line, Domain ctx, const std::string& root) {
+    if (owner.empty() || ctx == Domain::kNone) return;
+    const Domain to = classDomain(owner);
+    if (to == Domain::kNone || to == ctx) return;
+    recordCrossing(fc, line, ctx, to,
+                   unit + " writes " + owner + "::" + member, root);
+  }
+
+  void checkWrite(const FileCtx& fc, const std::string& unit,
+                  const std::string& cls, int fid, std::size_t eq, Domain ctx,
+                  const std::string& root) {
+    const Tokens& toks = fc.ts.tokens;
+    std::size_t j = eq;
+    if (j > 0 && isCompoundOp(toks[j - 1])) --j;
+    if (j > 0 && punctIs(toks[j - 1], "]")) {
+      const std::size_t op = openerOf(toks, j - 1);
+      if (op == kNpos) return;
+      j = op;
+    }
+    if (j == 0 || !isIdent(toks[j - 1])) return;
+    const std::size_t name_pos = j - 1;
+    std::vector<ChainElem> chain;
+    bool via_this = false;
+    if (!collectChain(toks, name_pos, &chain, &via_this)) return;
+    std::string final_cls, owner;
+    resolveChain(chain, via_this, cls, fid, &final_cls, &owner);
+    if (chain.empty() && !via_this) {
+      // Bare `x = ...`: a member write only if x is a member of `cls`.
+      if (cls.empty() || !isMemberOf(cls, toks[name_pos].text)) return;
+      final_cls = cls;
+      if (classDomain(cls) != Domain::kNone) owner = cls;
+    } else if (!final_cls.empty() && classDomain(final_cls) != Domain::kNone) {
+      owner = final_cls;
+    }
+    maybeCrossWrite(fc, unit, owner, toks[name_pos].text, toks[name_pos].line,
+                    ctx, root);
+  }
+
+  void checkIncrement(const FileCtx& fc, const std::string& unit,
+                      const std::string& cls, int fid, std::size_t i,
+                      Domain ctx, const std::string& root) {
+    const Tokens& toks = fc.ts.tokens;
+    std::size_t name_pos = kNpos;
+    if (i + 2 < toks.size() && isIdent(toks[i + 2])) {
+      // Prefix: ++chain.member — final ident of the forward chain.
+      std::size_t k = i + 2;
+      while (k + 2 < toks.size() &&
+             (punctIs(toks[k + 1], ".") || punctIs(toks[k + 1], "->")) &&
+             isIdent(toks[k + 2]))
+        k += 2;
+      name_pos = k;
+    } else if (i >= 1 && isIdent(toks[i - 1])) {
+      name_pos = i - 1;
+    }
+    if (name_pos == kNpos) return;
+    std::vector<ChainElem> chain;
+    bool via_this = false;
+    if (!collectChain(toks, name_pos, &chain, &via_this)) return;
+    std::string final_cls, owner;
+    resolveChain(chain, via_this, cls, fid, &final_cls, &owner);
+    if (chain.empty() && !via_this) {
+      if (cls.empty() || !isMemberOf(cls, toks[name_pos].text)) return;
+      if (classDomain(cls) != Domain::kNone) owner = cls;
+    } else if (!final_cls.empty() && classDomain(final_cls) != Domain::kNone) {
+      owner = final_cls;
+    }
+    maybeCrossWrite(fc, unit, owner, toks[name_pos].text, toks[name_pos].line,
+                    ctx, root);
+  }
+
+  void handleCall(const FileCtx& fc, const std::string& unit,
+                  const std::string& cls, int fid, std::size_t ci, Domain ctx,
+                  const std::string& root, int depth) {
+    const Tokens& toks = fc.ts.tokens;
+    const std::string name = toks[ci].text;
+    const int line = toks[ci].line;
+    const bool has_recv =
+        ci >= 1 && (punctIs(toks[ci - 1], ".") || punctIs(toks[ci - 1], "->"));
+    const bool qualified = ci >= 2 && punctIs(toks[ci - 1], "::");
+
+    if (!has_recv && !qualified) {
+      // Slot invocation on the current class: `slot_()` / `slot_[k]()`.
+      if (!cls.empty() && classes_.count(cls)) {
+        auto m = classes_[cls].members.find(name);
+        if (m != classes_[cls].members.end() && m->second.callable) {
+          dispatchSlot(fc, unit, name, line);
+          return;
+        }
+      }
+      LocalInfo li = resolveLocal(fid, name);
+      if (!li.slot_alias.empty()) {
+        dispatchSlot(fc, unit, li.slot_alias, line);
+        return;
+      }
+      // Callable parameter invoked inline: runs in the registrant's context.
+      if (fid >= 0) {
+        for (const ParamRec& p : fns_[static_cast<std::size_t>(fid)].params)
+          if (p.callable && p.name == name) {
+            edges_.emplace(unit, "param:" + name);
+            return;
+          }
+      }
+      if (!cls.empty() && by_method_.count(cls + "::" + name)) {
+        recurseInto(cls, name, unit, ctx, root, fc, line, depth);
+        return;
+      }
+      // Free function (or a constructor call `Foo(...)`).
+      if (by_name_.count(name)) {
+        recurseInto("", name, unit, ctx, root, fc, line, depth);
+      }
+      return;
+    }
+
+    if (qualified) {
+      const std::string& qual = toks[ci - 2].text;
+      if (classes_.count(qual)) {
+        recurseInto(qual, name, unit, ctx, root, fc, line, depth);
+      } else if (qual != "std" && by_name_.count(name)) {
+        recurseInto("", name, unit, ctx, root, fc, line, depth);
+      }
+      return;
+    }
+
+    // Receiver chain: resolve the object the method is called on.
+    std::vector<ChainElem> chain;
+    bool via_this = false;
+    if (!collectChain(toks, ci, &chain, &via_this)) return;
+    std::string target, owner;
+    resolveChain(chain, via_this, cls, fid, &target, &owner);
+    if (!target.empty() && classes_.count(target)) {
+      auto m = classes_[target].members.find(name);
+      if (m != classes_[target].members.end() && m->second.callable) {
+        dispatchSlot(fc, unit, name, line);
+        return;
+      }
+      recurseInto(target, name, unit, ctx, root, fc, line, depth, owner);
+      return;
+    }
+    // Unknown receiver class (std container etc.): mutator-name heuristic
+    // against the last annotated owner on the chain.
+    if (!owner.empty() && mutatorNames().count(name) && ctx != Domain::kNone) {
+      const Domain to = classDomain(owner);
+      if (to != Domain::kNone && to != ctx)
+        recordCrossing(fc, line, ctx, to,
+                       unit + " -> " + owner + " state ." + name + "()", root);
+    }
+  }
+
+  void dispatchSlot(const FileCtx& fc, const std::string& unit,
+                    const std::string& slot, int line) {
+    edges_.emplace(unit, "slot:" + slot);
+    if (!slot_bindings_.count(slot) || slot_bindings_[slot].empty()) {
+      const std::string key = fc.path + "#" + std::to_string(line) + "#" + slot;
+      if (!ambiguous_.count(key)) {
+        PartAmbiguity a;
+        a.file = fc.path;
+        a.line = line;
+        a.slot = slot;
+        ambiguous_.emplace(key, a);
+      }
+    }
+  }
+
+  void recurseInto(const std::string& target_cls, const std::string& name,
+                   const std::string& unit, Domain ctx, const std::string& root,
+                   const FileCtx& call_fc, int line, int depth,
+                   const std::string& chain_owner = "") {
+    std::vector<int> callees;
+    if (!target_cls.empty()) {
+      auto it = by_method_.find(target_cls + "::" + name);
+      if (it != by_method_.end()) callees = it->second;
+    } else {
+      for (auto it = by_name_.lower_bound(name);
+           it != by_name_.upper_bound(name); ++it)
+        if (fns_[static_cast<std::size_t>(it->second)].cls.empty())
+          callees.push_back(it->second);
+    }
+    // Crossing check before descent: calling into an annotated class from
+    // another domain, or mutating an annotated owner's nested state.
+    std::string eff_cls = target_cls;
+    Domain to = classDomain(target_cls);
+    bool is_mut = !target_cls.empty() && classes_.count(target_cls) &&
+                  classes_[target_cls].mutating_methods.count(name) > 0;
+    if (to == Domain::kNone && !chain_owner.empty()) {
+      // Transparent class reached through an annotated owner: the mutation
+      // still belongs to the owner's partition (e.g. ContextSlot's rings).
+      if (is_mut || mutatorNames().count(name)) {
+        const Domain od = classDomain(chain_owner);
+        if (od != Domain::kNone && od != ctx && ctx != Domain::kNone)
+          recordCrossing(call_fc, line, ctx, od,
+                         unit + " -> " + target_cls + "::" + name + " [" +
+                             chain_owner + " state]",
+                         root);
+      }
+    }
+    if (to != Domain::kNone && ctx != Domain::kNone && to != ctx && is_mut) {
+      recordCrossing(call_fc, line, ctx, to,
+                     unit + " -> " + target_cls + "::" + name, root);
+    }
+    const Domain next = to != Domain::kNone ? to : ctx;
+    if (callees.empty() && !target_cls.empty()) {
+      edges_.emplace(unit, target_cls + "::" + name);
+      return;
+    }
+    for (int fid : callees) {
+      const FnRec& fn = fns_[static_cast<std::size_t>(fid)];
+      edges_.emplace(unit, fn.qual);
+      const Domain callee_dom =
+          classDomain(fn.cls) != Domain::kNone ? classDomain(fn.cls) : next;
+      walkFn(fid, callee_dom, root, depth + 1);
+    }
+    (void)eff_cls;
+  }
+
+  // ---- Final assembly ----------------------------------------------------
+
+  PartResult finish() {
+    PartResult out;
+    out.diagnostics = std::move(diags_);
+    for (const auto& kv : classes_) {
+      if (kv.second.domain == Domain::kNone) continue;
+      PartDomainEntry e;
+      e.cls = kv.first;
+      e.domain = kv.second.domain;
+      e.file = kv.second.file;
+      e.line = kv.second.line;
+      out.domains.push_back(e);
+    }
+    out.roots = roots_;
+    for (auto& kv : crossings_) {
+      std::sort(kv.second.roots.begin(), kv.second.roots.end());
+      out.crossings.push_back(kv.second);
+      const PartCrossing& c = kv.second;
+      if (c.waived) {
+        out.suppressions.push_back({c.file, c.line, c.rule, c.reason});
+      } else {
+        out.diagnostics.push_back(
+            {c.file, c.line, c.rule,
+             "handler in domain '" + std::string(domainName(c.from)) +
+                 "' mutates '" + domainName(c.to) + "' state: " + c.detail +
+                 " (refactor, or waive with '// gclint: crossing(<reason>)')"});
+      }
+    }
+    for (const auto& kv : ambiguous_) {
+      out.ambiguous.push_back(kv.second);
+      // allow(part-ambiguous-callback) on the invocation line acknowledges a
+      // slot that is only bound outside the analyzed scope (tests, harness).
+      bool allowed = false;
+      for (FileCtx& fc : files_) {
+        if (fc.path != kv.second.file) continue;
+        for (PartAllow& a : fc.dirs.allows) {
+          if (a.rule == kPartAmbiguous && a.target_line == kv.second.line) {
+            a.used = true;
+            allowed = true;
+            out.suppressions.push_back(
+                {kv.second.file, kv.second.line, kPartAmbiguous, a.reason});
+            break;
+          }
+        }
+      }
+      if (allowed) continue;
+      out.diagnostics.push_back(
+          {kv.second.file, kv.second.line, kPartAmbiguous,
+           "callback slot '" + kv.second.slot +
+               "' has no registration the analysis can see; the partition "
+               "walk is unsound here"});
+    }
+    for (const FileCtx& fc : files_) {
+      for (const CrossingWaiver& w : fc.dirs.waivers) {
+        if (w.used) continue;
+        out.diagnostics.push_back(
+            {fc.path, w.directive_line, kPartUnusedCrossing,
+             "crossing(" + w.reason + ") matches no cross-domain access"});
+      }
+      for (const PartAllow& a : fc.dirs.allows) {
+        if (a.used) continue;
+        out.diagnostics.push_back(
+            {fc.path, a.directive_line, "unused-allow",
+             "allow(" + a.rule + ") suppresses nothing on line " +
+                 std::to_string(a.target_line) +
+                 "; remove the stale directive"});
+      }
+    }
+    for (const auto& e : edges_) out.edges.push_back({e.first, e.second});
+    std::sort(out.crossings.begin(), out.crossings.end(),
+              [](const PartCrossing& a, const PartCrossing& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.detail < b.detail;
+              });
+    std::sort(out.ambiguous.begin(), out.ambiguous.end(),
+              [](const PartAmbiguity& a, const PartAmbiguity& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.slot < b.slot;
+              });
+    std::sort(out.diagnostics.begin(), out.diagnostics.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    return out;
+  }
+};
+
+std::string jsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+PartResult analyzeParts(const std::vector<PartFile>& files) {
+  PartAnalyzer analyzer(files);
+  return analyzer.run();
+}
+
+std::string partReportJson(const PartResult& r) {
+  std::string o = "{\n  \"schema\": \"gcpart-v1\",\n";
+  std::size_t waived = 0;
+  for (const PartCrossing& c : r.crossings)
+    if (c.waived) ++waived;
+  o += "  \"summary\": {\"domains\": " + std::to_string(r.domains.size()) +
+       ", \"roots\": " + std::to_string(r.roots.size()) +
+       ", \"edges\": " + std::to_string(r.edges.size()) +
+       ", \"crossings\": " + std::to_string(r.crossings.size()) +
+       ", \"waived\": " + std::to_string(waived) + ", \"unwaived\": " +
+       std::to_string(r.crossings.size() - waived) + ", \"ambiguous\": " +
+       std::to_string(r.ambiguous.size()) + "},\n";
+  o += "  \"domains\": [\n";
+  for (std::size_t i = 0; i < r.domains.size(); ++i) {
+    const PartDomainEntry& d = r.domains[i];
+    o += "    {\"class\": " + jsonStr(d.cls) + ", \"domain\": " +
+         jsonStr(domainName(d.domain)) + ", \"file\": " + jsonStr(d.file) +
+         ", \"line\": " + std::to_string(d.line) + "}";
+    o += (i + 1 < r.domains.size()) ? ",\n" : "\n";
+  }
+  o += "  ],\n  \"roots\": [\n";
+  for (std::size_t i = 0; i < r.roots.size(); ++i) {
+    const PartRoot& t = r.roots[i];
+    o += "    {\"id\": " + jsonStr(t.id) + ", \"slot\": " + jsonStr(t.slot) +
+         ", \"registered_by\": " + jsonStr(t.registered_by) +
+         ", \"domain\": " + jsonStr(domainName(t.domain)) +
+         ", \"file\": " + jsonStr(t.file) +
+         ", \"line\": " + std::to_string(t.line) + "}";
+    o += (i + 1 < r.roots.size()) ? ",\n" : "\n";
+  }
+  o += "  ],\n  \"crossings\": [\n";
+  for (std::size_t i = 0; i < r.crossings.size(); ++i) {
+    const PartCrossing& c = r.crossings[i];
+    o += "    {\"file\": " + jsonStr(c.file) + ", \"line\": " +
+         std::to_string(c.line) + ", \"from\": " +
+         jsonStr(domainName(c.from)) + ", \"to\": " +
+         jsonStr(domainName(c.to)) + ", \"rule\": " + jsonStr(c.rule) +
+         ", \"detail\": " + jsonStr(c.detail) + ", \"waived\": " +
+         (c.waived ? "true" : "false") + ", \"reason\": " + jsonStr(c.reason) +
+         ", \"roots\": [";
+    for (std::size_t j = 0; j < c.roots.size(); ++j) {
+      o += jsonStr(c.roots[j]);
+      if (j + 1 < c.roots.size()) o += ", ";
+    }
+    o += "]}";
+    o += (i + 1 < r.crossings.size()) ? ",\n" : "\n";
+  }
+  o += "  ],\n  \"ambiguous\": [\n";
+  for (std::size_t i = 0; i < r.ambiguous.size(); ++i) {
+    const PartAmbiguity& a = r.ambiguous[i];
+    o += "    {\"file\": " + jsonStr(a.file) + ", \"line\": " +
+         std::to_string(a.line) + ", \"slot\": " + jsonStr(a.slot) + "}";
+    o += (i + 1 < r.ambiguous.size()) ? ",\n" : "\n";
+  }
+  o += "  ],\n  \"edges\": [\n";
+  for (std::size_t i = 0; i < r.edges.size(); ++i) {
+    o += "    {\"caller\": " + jsonStr(r.edges[i].caller) + ", \"callee\": " +
+         jsonStr(r.edges[i].callee) + "}";
+    o += (i + 1 < r.edges.size()) ? ",\n" : "\n";
+  }
+  o += "  ]\n}\n";
+  return o;
+}
+
+std::string partDot(const PartResult& r) {
+  std::string o = "digraph gcpart {\n  rankdir=LR;\n  node [shape=box];\n";
+  std::map<std::string, std::vector<std::string>> by_domain;
+  std::map<std::string, std::string> cls_domain;
+  for (const PartDomainEntry& d : r.domains) {
+    by_domain[domainName(d.domain)].push_back(d.cls);
+    cls_domain[d.cls] = domainName(d.domain);
+  }
+  for (const auto& kv : by_domain) {
+    o += "  subgraph \"cluster_" + kv.first + "\" {\n    label=\"domain " +
+         kv.first + "\";\n";
+    for (const std::string& c : kv.second) o += "    \"" + c + "\";\n";
+    o += "  }\n";
+  }
+  // Class-level call edges: strip the member part of each endpoint.
+  auto clsOf = [](const std::string& q) {
+    const std::size_t at = q.find("::");
+    return at == std::string::npos ? q : q.substr(0, at);
+  };
+  std::set<std::pair<std::string, std::string>> drawn;
+  for (const PartEdge& e : r.edges) {
+    const std::string a = clsOf(e.caller);
+    const std::string b = clsOf(e.callee);
+    if (a == b || b.rfind("slot:", 0) == 0 || b.rfind("param:", 0) == 0 ||
+        a.rfind("lambda@", 0) == 0)
+      continue;
+    if (!cls_domain.count(a) || !cls_domain.count(b)) continue;
+    if (drawn.emplace(a, b).second)
+      o += "  \"" + a + "\" -> \"" + b + "\";\n";
+  }
+  for (const PartCrossing& c : r.crossings) {
+    o += "  \"" + std::string(domainName(c.from)) + "\" -> \"" +
+         domainName(c.to) + "\" [color=red" +
+         (c.waived ? ", style=dashed" : "") + ", label=\"" +
+         std::to_string(c.line) + "\"];\n";
+  }
+  o += "}\n";
+  return o;
+}
+
+}  // namespace gclint

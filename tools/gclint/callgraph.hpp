@@ -1,0 +1,136 @@
+// gcpart: interprocedural call graph + partition-ownership analysis.
+//
+// This is the layer the PDES refactor consumes (ROADMAP "parallel
+// discrete-event core").  It builds, from gclint's token streams alone:
+//
+//   1. A project index: every class (with its `// gclint: domain(...)`
+//      annotation, member-variable type bindings, and callable members),
+//      every function definition (class-attributed, with parameter and
+//      return-type bindings), and every lambda literal nested in a body.
+//
+//   2. A callback-registration model.  The tree never calls handlers
+//      directly — it stores `util::SboFunction`s in *slots* (Simulator's
+//      `actions_`, Fabric's `deliver_`, ContextSlot's `on_sendable` /
+//      `on_arrival`, Nic's flush continuations, FmLib's `handlers_`) and
+//      invokes the slot later.  A *registration API* is any function with a
+//      callable parameter that stores it in a member slot, forwards it to
+//      another registration API, or invokes it inline.  Every lambda passed
+//      to a registration API binds to that API's slots; every slot
+//      invocation site dispatches to its bound lambdas.
+//
+//   3. A domain-context walk.  Each bound lambda is an event-handler
+//      *root*; it starts in the domain of the class that registered it and
+//      the walk follows calls, switching domain whenever it enters an
+//      annotated class.  Unannotated classes are transparent (keep the
+//      caller's domain).  At every boundary where context domain A reaches
+//      a mutation of domain-B state — a call into a mutating method of an
+//      annotated class, or a direct write through a cross-class receiver —
+//      the analysis reports:
+//
+//        part-cross-write  A != B, B is a partitioned domain (node/nic/link)
+//        part-global-mut   B is sim or global (state the PDES core must
+//                          serialize or re-route, whatever A is)
+//
+//      unless the line carries a `// gclint: crossing(<reason>)` waiver, in
+//      which case the crossing is recorded (with its justification) in the
+//      report instead.  Slot invocations with zero registered bindings are
+//      `part-ambiguous-callback` (the analysis is unsound there); waivers
+//      that match no crossing are `part-unused-crossing`.
+//
+// Deliberate approximations (documented in DESIGN.md): receivers are
+// resolved through declared types (members, parameters, locals, return
+// types), not through aliasing; slots are keyed by member name project-wide
+// (a collision merges the slots, which is conservative); direct container
+// manipulation of a foreign object's public member is only caught for a
+// known set of mutator method names.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/gclint/domains.hpp"
+#include "tools/gclint/rules.hpp"
+
+namespace gclint {
+
+/// One source file handed to the analysis (repo-relative path + contents).
+struct PartFile {
+  std::string path;
+  std::string source;
+};
+
+/// A class with an ownership domain (only annotated classes are listed; the
+/// index itself also tracks unannotated ones for receiver resolution).
+struct PartDomainEntry {
+  std::string cls;
+  Domain domain = Domain::kNone;
+  std::string file;
+  int line = 0;
+};
+
+/// One event-handler root: a lambda (or named function) bound to a callback
+/// slot at a registration site.
+struct PartRoot {
+  std::string id;          // "lambda@<file>:<line>" or a function name
+  std::string slot;        // slot member it is bound to ("actions_", ...)
+  std::string registered_by;  // function containing the registration call
+  Domain domain = Domain::kNone;  // domain the handler runs in
+  std::string file;
+  int line = 0;
+};
+
+/// One cross-domain access discovered by the walk.  Waived crossings are the
+/// checked-in ownership map; unwaived ones are diagnostics.
+struct PartCrossing {
+  std::string file;
+  int line = 0;
+  Domain from = Domain::kNone;
+  Domain to = Domain::kNone;
+  std::string detail;  // "Nic::fromWire -> Simulator::scheduleAt" or a write
+  std::string rule;    // part-cross-write | part-global-mut
+  bool waived = false;
+  std::string reason;  // waiver justification when waived
+  std::vector<std::string> roots;  // root ids reaching this boundary
+};
+
+/// One slot invocation the analysis could not resolve to any handler.
+struct PartAmbiguity {
+  std::string file;
+  int line = 0;
+  std::string slot;
+};
+
+/// A deduplicated caller -> callee edge of the walked call graph.
+struct PartEdge {
+  std::string caller;
+  std::string callee;
+};
+
+struct PartResult {
+  /// part-* findings that must fail the build (unwaived crossings, ambiguous
+  /// callbacks, malformed annotations, unused waivers).
+  std::vector<Diagnostic> diagnostics;
+  /// Used crossing waivers, reported like allow() uses.
+  std::vector<SuppressionUse> suppressions;
+  std::vector<PartDomainEntry> domains;
+  std::vector<PartRoot> roots;
+  std::vector<PartCrossing> crossings;  // waived and unwaived alike
+  std::vector<PartAmbiguity> ambiguous;
+  std::vector<PartEdge> edges;
+};
+
+/// Run the interprocedural analysis over the given files (normally every
+/// source under src/; fixtures pass a single self-contained file).  All
+/// output vectors are deterministically ordered.
+PartResult analyzeParts(const std::vector<PartFile>& files);
+
+/// Serialize the result as the gcpart_report.json schema ("gcpart-v1").
+std::string partReportJson(const PartResult& result);
+
+/// Graphviz view: one cluster per domain listing its classes, call edges
+/// between classes, crossings in red (dashed when waived).
+std::string partDot(const PartResult& result);
+
+}  // namespace gclint

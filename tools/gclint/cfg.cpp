@@ -422,6 +422,8 @@ std::vector<FunctionCfg> buildFunctionCfgs(const std::vector<Token>& toks) {
     CfgBuilder builder(toks);
     out.push_back(
         builder.build(toks[i].text, toks[i].line, brace + 1, body_close));
+    out.back().name_tok = i;
+    out.back().params_open = i + 1;
     i = body_close;  // nested constructs belong to this body
   }
   return out;

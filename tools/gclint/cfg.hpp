@@ -41,6 +41,8 @@ struct CfgNode {
 struct FunctionCfg {
   std::string name;            // the identifier before the parameter list
   int line = 0;                // line of that identifier
+  std::size_t name_tok = 0;    // token index of that identifier
+  std::size_t params_open = 0;  // token index of the parameter-list `(`
   std::size_t body_begin = 0;  // first token index inside the body braces
   std::size_t body_end = 0;    // token index of the closing body brace
   std::vector<CfgNode> nodes;

@@ -1,0 +1,232 @@
+#include "tools/gclint/domains.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gclint {
+namespace {
+
+constexpr const char* kPartBadDomain = "part-bad-domain";
+
+std::string trimWs(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+bool identIs(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+bool punctIs(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// Finds the class/struct *definition* that starts at or after token `start`
+/// on the annotation's target line.  Returns the class name, or "" when the
+/// next statement is not a class definition (forward declarations, enums,
+/// and plain code all fail to attach).
+std::string attachToClass(const std::vector<Token>& toks, std::size_t start,
+                          int* def_line) {
+  std::size_t i = start;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (identIs(t, "template")) {
+      // Skip the parameter list so `template <class T>` cannot match.
+      std::size_t j = i + 1;
+      if (j < toks.size() && punctIs(toks[j], "<")) {
+        int depth = 0;
+        for (; j < toks.size(); ++j) {
+          if (punctIs(toks[j], "<")) ++depth;
+          if (punctIs(toks[j], ">") && --depth == 0) break;
+        }
+      }
+      i = j + 1;
+      continue;
+    }
+    if ((identIs(t, "class") || identIs(t, "struct")) &&
+        !(i > 0 && identIs(toks[i - 1], "enum"))) {
+      std::size_t j = i + 1;
+      if (j >= toks.size() || toks[j].kind != TokKind::kIdent) return "";
+      const std::string name = toks[j].text;
+      // A definition has a `{` before the statement ends; `class Foo;` is a
+      // forward declaration and does not carry the domain.
+      for (std::size_t k = j + 1; k < toks.size(); ++k) {
+        if (punctIs(toks[k], "{")) {
+          *def_line = toks[j].line;
+          return name;
+        }
+        if (punctIs(toks[k], ";")) return "";
+      }
+      return "";
+    }
+    if (punctIs(t, ";") || punctIs(t, "{")) return "";  // some other statement
+    ++i;
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* domainName(Domain d) {
+  switch (d) {
+    case Domain::kNode:
+      return "node";
+    case Domain::kNic:
+      return "nic";
+    case Domain::kLink:
+      return "link";
+    case Domain::kSim:
+      return "sim";
+    case Domain::kGlobal:
+      return "global";
+    case Domain::kNone:
+      break;
+  }
+  return "none";
+}
+
+Domain parseDomain(const std::string& name) {
+  if (name == "node") return Domain::kNode;
+  if (name == "nic") return Domain::kNic;
+  if (name == "link") return Domain::kLink;
+  if (name == "sim") return Domain::kSim;
+  if (name == "global") return Domain::kGlobal;
+  return Domain::kNone;
+}
+
+bool isSerializedDomain(Domain d) {
+  return d == Domain::kSim || d == Domain::kGlobal;
+}
+
+DomainDirectives parseDomainDirectives(const std::string& file,
+                                       const TokenStream& ts) {
+  DomainDirectives out;
+  // Comment-only line spans, so own-line directives can skip the rest of a
+  // wrapped comment block (same rule as allow() in rules.cpp).
+  std::map<int, int> own_comment_end;
+  for (const Comment& c : ts.comments)
+    if (c.own_line) own_comment_end[c.line] = c.end_line;
+  auto targetLine = [&](const Comment& c) {
+    if (!c.own_line) return c.line;
+    int target = c.end_line + 1;
+    for (auto it = own_comment_end.find(target); it != own_comment_end.end();
+         it = own_comment_end.find(target)) {
+      target = it->second + 1;
+    }
+    return target;
+  };
+
+  for (const Comment& c : ts.comments) {
+    const std::size_t at = c.text.find("gclint:");
+    if (at == std::string::npos) continue;
+    std::string rest = trimWs(c.text.substr(at + 7));
+
+    if (rest.rfind("domain", 0) == 0) {
+      rest = trimWs(rest.substr(6));
+      if (rest.empty() || rest[0] != '(') {
+        out.errors.push_back({file, c.line, kPartBadDomain,
+                              "domain needs a name: domain(<node|nic|link|"
+                              "sim|global>)"});
+        continue;
+      }
+      const std::size_t close = rest.find(')');
+      if (close == std::string::npos) {
+        out.errors.push_back(
+            {file, c.line, kPartBadDomain, "unterminated domain(<name>)"});
+        continue;
+      }
+      const std::string name = trimWs(rest.substr(1, close - 1));
+      const Domain d = parseDomain(name);
+      if (d == Domain::kNone) {
+        out.errors.push_back({file, c.line, kPartBadDomain,
+                              "unknown domain '" + name +
+                                  "' (expected node, nic, link, sim, or "
+                                  "global)"});
+        continue;
+      }
+      // Attach to the class definition on the directive's target line.
+      const int target = targetLine(c);
+      std::size_t start = 0;
+      while (start < ts.tokens.size() && ts.tokens[start].line < target)
+        ++start;
+      int def_line = 0;
+      const std::string cls = attachToClass(ts.tokens, start, &def_line);
+      if (cls.empty()) {
+        out.errors.push_back({file, c.line, kPartBadDomain,
+                              "domain(" + name +
+                                  ") does not attach to a class/struct "
+                                  "definition"});
+        continue;
+      }
+      out.annotations.push_back({cls, d, def_line});
+      continue;
+    }
+
+    if (rest.rfind("crossing", 0) == 0) {
+      rest = trimWs(rest.substr(8));
+      if (rest.empty() || rest[0] != '(') {
+        out.errors.push_back({file, c.line, kPartBadDomain,
+                              "crossing needs a reason: crossing(<why this "
+                              "cross-domain access is deliberate>)"});
+        continue;
+      }
+      const std::size_t close = rest.rfind(')');
+      if (close == std::string::npos || close == 0) {
+        out.errors.push_back(
+            {file, c.line, kPartBadDomain, "unterminated crossing(<reason>)"});
+        continue;
+      }
+      const std::string reason = trimWs(rest.substr(1, close - 1));
+      if (reason.empty()) {
+        out.errors.push_back({file, c.line, kPartBadDomain,
+                              "crossing() needs a non-empty reason"});
+        continue;
+      }
+      CrossingWaiver w;
+      w.directive_line = c.line;
+      w.target_line = targetLine(c);
+      w.reason = reason;
+      out.waivers.push_back(std::move(w));
+      continue;
+    }
+
+    if (rest.rfind("allow", 0) == 0) {
+      // Syntax errors are reported by lintFile's allow parser; here we only
+      // pick up well-formed allows naming part-* rules.
+      rest = trimWs(rest.substr(5));
+      if (rest.empty() || rest[0] != '(') continue;
+      const std::size_t close = rest.find(')');
+      if (close == std::string::npos) continue;
+      const std::string rule = trimWs(rest.substr(1, close - 1));
+      if (rule.rfind("part-", 0) != 0) continue;
+      std::string reason = trimWs(rest.substr(close + 1));
+      if (!reason.empty() && (reason[0] == ':' || reason[0] == '-'))
+        reason = trimWs(reason.substr(1));
+      if (reason.empty()) continue;
+      if (rule != "part-ambiguous-callback") {
+        out.errors.push_back(
+            {file, c.line, kPartBadDomain,
+             "allow(" + rule +
+                 ") is not a valid waiver; cross-domain accesses are waived "
+                 "with '// gclint: crossing(<reason>)'"});
+        continue;
+      }
+      PartAllow a;
+      a.rule = rule;
+      a.reason = reason;
+      a.directive_line = c.line;
+      a.target_line = targetLine(c);
+      out.allows.push_back(std::move(a));
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace gclint

@@ -1,0 +1,118 @@
+// Ownership domains for the gcpart interprocedural analysis.
+//
+// The parallel-DES refactor (ROADMAP "parallel discrete-event core") wants to
+// shard the simulation into logical processes — one per node/NIC, with the
+// fabric's links as the message-passing boundary between them.  That shard
+// is only sound if every event handler mutates state *owned by its own
+// partition*; anything else must become an explicit cross-LP message or a
+// serialized global.  gcpart makes that ownership structure a checked,
+// machine-readable artifact instead of tribal knowledge.
+//
+// A *domain* names an ownership partition:
+//
+//   node    host-side per-node state: the FM library, glueFM, buffer
+//           switcher, host CPU/memory models, application processes.
+//   nic     the simulated LANai card: context table, send/recv rings,
+//           flush FSM.  Separate from `node` because the PDES design may
+//           give the NIC its own LP (the paper's NIC runs asynchronously).
+//   link    the wire: fabric serialization state, routing, per-link fault
+//           streams.  Link latency is the PDES lookahead, so link state is
+//           the natural LP boundary.
+//   sim     the event engine itself (Simulator, ladder queue).  Writes here
+//           from other domains are exactly the operations a PDES core must
+//           re-route to the owning LP's queue.
+//   global  genuinely unpartitioned state: the cluster harness, the gang
+//           master, out-of-band control.  Every hot-path write here must be
+//           serialized or eliminated before the shard.
+//
+// Classes opt in with an annotation comment on (or directly above) their
+// definition:
+//
+//   // gclint: domain(nic)
+//   class Nic { ... };
+//
+// Unannotated classes are *domain-transparent*: calls into them keep the
+// caller's domain (value types, containers, observability sinks).  A
+// cross-domain boundary that is understood and deliberate carries a waiver
+// on the boundary line:
+//
+//   // gclint: crossing(<reason>)
+//
+// and becomes part of the checked-in ownership map (gcpart_report.json)
+// rather than a diagnostic.  Unused waivers and malformed annotations are
+// diagnostics themselves, so the map cannot rot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/gclint/rules.hpp"
+#include "tools/gclint/tokenizer.hpp"
+
+namespace gclint {
+
+enum class Domain {
+  kNone = 0,  // unannotated: transparent, inherits the caller's domain
+  kNode,
+  kNic,
+  kLink,
+  kSim,
+  kGlobal,
+};
+
+/// Stable lower-case name ("node", "nic", ...; "none" for kNone).
+const char* domainName(Domain d);
+
+/// Parse a domain name; kNone when the name is not a known domain.
+Domain parseDomain(const std::string& name);
+
+/// True for the domains whose mutation from another domain is reported as
+/// part-global-mut rather than part-cross-write (state the PDES core must
+/// serialize, not message).
+bool isSerializedDomain(Domain d);
+
+/// One `// gclint: domain(<d>)` annotation resolved to the class definition
+/// it marks.
+struct DomainAnnotation {
+  std::string cls;  // class/struct name the annotation attaches to
+  Domain domain = Domain::kNone;
+  int line = 0;  // line of the class definition
+};
+
+/// One `// gclint: crossing(<reason>)` waiver.  Same attachment rules as
+/// allow(): a trailing comment waives its own line, an own-line comment
+/// waives the next code line.
+struct CrossingWaiver {
+  int directive_line = 0;
+  int target_line = 0;
+  std::string reason;
+  bool used = false;
+};
+
+/// An `// gclint: allow(part-...)` suppression, handled by the gcpart pass
+/// rather than lintFile.  Only part-ambiguous-callback may be allowed this
+/// way — cross-domain writes must use crossing(<reason>) so the waiver lands
+/// in the checked-in ownership map.
+struct PartAllow {
+  std::string rule;
+  std::string reason;
+  int directive_line = 0;
+  int target_line = 0;
+  bool used = false;
+};
+
+struct DomainDirectives {
+  std::vector<DomainAnnotation> annotations;
+  std::vector<CrossingWaiver> waivers;
+  std::vector<PartAllow> allows;
+  /// Malformed domain()/crossing() directives (rule part-bad-domain).
+  std::vector<Diagnostic> errors;
+};
+
+/// Extract domain annotations and crossing waivers from one file's comments
+/// and tokens.  `file` is used for diagnostics only.  Annotations that do
+/// not attach to a class definition are errors.
+DomainDirectives parseDomainDirectives(const std::string& file,
+                                       const TokenStream& ts);
+
+}  // namespace gclint

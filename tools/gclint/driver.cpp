@@ -49,6 +49,13 @@ bool hotByPath(const LintOptions& opts, const std::string& rel) {
   return false;
 }
 
+bool matchesPrefixes(const std::vector<std::string>& prefixes,
+                     const std::string& rel) {
+  for (const std::string& prefix : prefixes)
+    if (rel.rfind(prefix, 0) == 0) return true;
+  return false;
+}
+
 void jsonEscape(std::string& out, const std::string& s) {
   for (const char c : s) {
     switch (c) {
@@ -104,6 +111,7 @@ FileResult lintPath(const LintOptions& opts, const std::string& rel_path) {
     return r;
   }
   input.hot_by_path = hotByPath(opts, rel_path);
+  input.pdes = matchesPrefixes(opts.pdes_prefixes, rel_path);
 
   // Seed the unordered-container symbol table from the paired header so a
   // member declared in foo.hpp and iterated in foo.cpp is still caught.
@@ -133,6 +141,24 @@ TreeResult lintTree(const LintOptions& opts,
       out.diagnostics.push_back(std::move(d));
     for (SuppressionUse& s : r.suppressions)
       out.suppressions.push_back(std::move(s));
+  }
+  if (opts.part) {
+    std::vector<PartFile> part_files;
+    for (const std::string& rel : rel_paths) {
+      if (!opts.part_prefixes.empty() &&
+          !matchesPrefixes(opts.part_prefixes, rel))
+        continue;
+      PartFile pf;
+      pf.path = rel;
+      if (!readFile(resolve(opts, rel), pf.source)) continue;
+      part_files.push_back(std::move(pf));
+    }
+    out.part = analyzeParts(part_files);
+    out.part_ran = true;
+    for (const Diagnostic& d : out.part.diagnostics)
+      out.diagnostics.push_back(d);
+    for (const SuppressionUse& s : out.part.suppressions)
+      out.suppressions.push_back(s);
   }
   return out;
 }
@@ -180,6 +206,52 @@ bool writeJsonReport(const TreeResult& result, const std::string& path) {
   if (f == nullptr) return false;
   const bool ok = std::fwrite(j.data(), 1, j.size(), f) == j.size();
   return std::fclose(f) == 0 && ok;
+}
+
+bool writeTextFile(const std::string& content, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool writeSarif(const TreeResult& result, const std::string& path) {
+  std::string j;
+  j += "{\n";
+  j += "  \"version\": \"2.1.0\",\n";
+  j += "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+       "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n";
+  j += "  \"runs\": [\n    {\n";
+  j += "      \"tool\": {\n        \"driver\": {\n";
+  j += "          \"name\": \"gclint\",\n";
+  j += "          \"informationUri\": \"tools/gclint\",\n";
+  j += "          \"rules\": [";
+  const std::vector<std::string>& ids = allRuleIds();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    j += i == 0 ? "\n" : ",\n";
+    j += "            {\"id\": \"";
+    jsonEscape(j, ids[i]);
+    j += "\"}";
+  }
+  j += "\n          ]\n        }\n      },\n";
+  j += "      \"results\": [";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "        {\"ruleId\": \"";
+    jsonEscape(j, d.rule);
+    j += "\", \"level\": \"error\", \"message\": {\"text\": \"";
+    jsonEscape(j, d.message);
+    j += "\"}, \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": \"";
+    jsonEscape(j, d.file);
+    j += "\"}, \"region\": {\"startLine\": " +
+         std::to_string(d.line > 0 ? d.line : 1) + "}}}]}";
+  }
+  j += result.diagnostics.empty() ? "]\n" : "\n      ]\n";
+  j += "    }\n  ]\n}\n";
+  return writeTextFile(j, path);
 }
 
 }  // namespace gclint

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/gclint/callgraph.hpp"
 #include "tools/gclint/rules.hpp"
 
 namespace gclint {
@@ -14,6 +15,14 @@ struct LintOptions {
   std::string root;  // paths in diagnostics are reported relative to this
   /// A file whose root-relative path starts with one of these is hot.
   std::vector<std::string> hot_prefixes = {"src/sim", "src/net", "src/fm"};
+  /// Files under these prefixes get the pre-PDES hazard rule
+  /// (det-pdes-hazard); a `// gclint: pdes` marker opts a file in anywhere.
+  std::vector<std::string> pdes_prefixes = {"src/"};
+  /// Run the interprocedural gcpart partition analysis over the linted
+  /// files matching part_prefixes (empty = every collected file, which is
+  /// what the single-file fixtures use).
+  bool part = false;
+  std::vector<std::string> part_prefixes = {"src/"};
 };
 
 struct TreeResult {
@@ -21,6 +30,8 @@ struct TreeResult {
   std::vector<SuppressionUse> suppressions;
   int files_scanned = 0;
   std::vector<std::string> hot_files;  // root-relative, sorted
+  bool part_ran = false;
+  PartResult part;  // populated when LintOptions.part is set
 };
 
 /// Recursively collect .hpp/.h/.hh/.cpp/.cc files under each path (a path
@@ -43,5 +54,12 @@ std::string formatDiagnostic(const Diagnostic& d);
 /// diagnostics[], suppressions[]).  Returns false when the file cannot be
 /// written.
 bool writeJsonReport(const TreeResult& result, const std::string& path);
+
+/// SARIF 2.1.0 log of the diagnostics, for PR annotation uploads.  Returns
+/// false when the file cannot be written.
+bool writeSarif(const TreeResult& result, const std::string& path);
+
+/// Write `content` to `path` (gcpart report / dot output helpers).
+bool writeTextFile(const std::string& content, const std::string& path);
 
 }  // namespace gclint

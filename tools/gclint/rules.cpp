@@ -31,6 +31,15 @@ constexpr const char* kFlowStatusIgnored = "flow-status-ignored";
 constexpr const char* kFlowSwitchOrder = "flow-switch-order";
 constexpr const char* kBadAllow = "bad-allow";
 constexpr const char* kUnusedAllow = "unused-allow";
+constexpr const char* kDetPdesHazard = "det-pdes-hazard";
+// The part-* rules are emitted by the interprocedural gcpart pass (see
+// tools/gclint/callgraph.cpp); they are registered here so allow() validation
+// and the fixture coverage suite know about them.
+constexpr const char* kPartCrossWrite = "part-cross-write";
+constexpr const char* kPartGlobalMut = "part-global-mut";
+constexpr const char* kPartAmbiguous = "part-ambiguous-callback";
+constexpr const char* kPartBadDomain = "part-bad-domain";
+constexpr const char* kPartUnusedCrossing = "part-unused-crossing";
 
 bool isHeaderPath(const std::string& path) {
   auto ends = [&](const char* suf) {
@@ -55,6 +64,7 @@ struct Directives {
   std::vector<Diagnostic> errors;  // malformed allow comments
   bool hot_marker = false;
   bool cold_marker = false;
+  bool pdes_marker = false;
 };
 
 std::string trim(const std::string& s) {
@@ -86,6 +96,14 @@ Directives parseDirectives(const std::string& file,
       out.cold_marker = true;
       continue;
     }
+    if (rest == "pdes") {
+      out.pdes_marker = true;
+      continue;
+    }
+    // domain(...) and crossing(...) belong to the gcpart pass; parsed (and
+    // validated) by parseDomainDirectives in tools/gclint/domains.cpp.
+    if (rest.rfind("domain", 0) == 0 || rest.rfind("crossing", 0) == 0)
+      continue;
     if (rest.rfind("allow", 0) != 0) {
       out.errors.push_back({file, c.line, kBadAllow,
                             "unrecognized gclint directive: '" + rest + "'"});
@@ -119,6 +137,10 @@ Directives parseDirectives(const std::string& file,
                                 "): <why this site is exempt>"});
       continue;
     }
+    // part-* diagnostics come from the interprocedural gcpart pass, which
+    // does its own allow matching (see tools/gclint/domains.cpp); skipping
+    // them here keeps lintFile from flagging those allows as unused.
+    if (rule.rfind("part-", 0) == 0) continue;
     Allow a;
     a.rule = rule;
     a.reason = std::move(reason);
@@ -250,6 +272,48 @@ void ruleDetTime(const std::string& file, const Tokens& toks,
     out.push_back({file, t.line, kDetTime,
                    "time() reads the wall clock; simulation state must "
                    "derive time from sim::Simulator::now()"});
+  }
+}
+
+/// Pre-PDES hazards: constructs that give different results at different
+/// thread counts, which would break "same results at any thread count" the
+/// moment the event core is sharded (see DESIGN.md "Ownership domains").
+/// Runs only on files inside the configured pdes prefixes (src/ by default)
+/// or carrying a `// gclint: pdes` marker.
+void ruleDetPdesHazard(const std::string& file, const Tokens& toks,
+                       std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "thread_local") {
+      out.push_back({file, t.line, kDetPdesHazard,
+                     "thread_local state diverges across worker threads; "
+                     "partition the state by logical process instead"});
+      continue;
+    }
+    if (t.text == "volatile") {
+      out.push_back({file, t.line, kDetPdesHazard,
+                     "volatile is not a synchronization primitive and hides "
+                     "data races from the PDES refactor; model the hardware "
+                     "register explicitly"});
+      continue;
+    }
+    if (t.text == "this_thread" && stdOrUnqualified(toks, i)) {
+      out.push_back({file, t.line, kDetPdesHazard,
+                     "std::this_thread makes behavior depend on the hosting "
+                     "thread; simulation code must be thread-agnostic"});
+      continue;
+    }
+    const bool atomic_tmpl = t.text == "atomic" && i + 1 < toks.size() &&
+                             isPunct(toks[i + 1], "<");
+    const bool atomic_alias = t.text.rfind("atomic_", 0) == 0;
+    if ((atomic_tmpl || atomic_alias) && !memberAccess(toks, i) &&
+        stdOrUnqualified(toks, i)) {
+      out.push_back({file, t.line, kDetPdesHazard,
+                     "raw std::atomic invites cross-partition sharing; "
+                     "ownership must be explicit before the event core is "
+                     "sharded (wrap it behind a domain-owned API)"});
+    }
   }
 }
 
@@ -1026,10 +1090,12 @@ void ruleFlowStatusIgnored(const std::string& file, const Tokens& toks,
 const std::vector<std::string>& allRuleIds() {
   static const std::vector<std::string> kIds = {
       kDetRand,        kDetClock,          kDetTime,
-      kDetUnorderedIter, kHotStdFunction,  kHotNewDelete,
-      kHotMakeShared,  kHygUsingNamespace, kHygExplicitCtor,
-      kHygIwyu,        kFlowHaltRelease,   kFlowStatusIgnored,
-      kFlowSwitchOrder, kBadAllow,         kUnusedAllow,
+      kDetUnorderedIter, kDetPdesHazard,   kHotStdFunction,
+      kHotNewDelete,   kHotMakeShared,     kHygUsingNamespace,
+      kHygExplicitCtor, kHygIwyu,          kFlowHaltRelease,
+      kFlowStatusIgnored, kFlowSwitchOrder, kBadAllow,
+      kUnusedAllow,    kPartCrossWrite,    kPartGlobalMut,
+      kPartAmbiguous,  kPartBadDomain,     kPartUnusedCrossing,
   };
   return kIds;
 }
@@ -1056,6 +1122,8 @@ FileResult lintFile(const FileInput& input) {
                        input.paired_header != nullptr ? &paired.tokens
                                                       : nullptr,
                        raw);
+  if (input.pdes || dir.pdes_marker)
+    ruleDetPdesHazard(input.path, ts.tokens, raw);
   if (result.hot) {
     ruleHotStdFunction(input.path, ts.tokens, raw);
     ruleHotNewDelete(input.path, ts.tokens, raw);

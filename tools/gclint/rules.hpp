@@ -59,6 +59,8 @@ struct FileInput {
   std::string path;        // repo-relative; used in diagnostics
   std::string source;      // file contents
   bool hot_by_path = false;  // path matched a configured hot prefix
+  bool pdes = false;         // path matched a pdes prefix: pre-PDES hazard
+                             // rule (det-pdes-hazard) runs on this file
   /// Paired header source (when linting foo.cpp and foo.hpp exists): its
   /// member declarations seed the unordered-container symbol table so
   /// iteration over a member declared in the header is caught in the .cpp.

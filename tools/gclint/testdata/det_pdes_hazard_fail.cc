@@ -1,0 +1,13 @@
+// gclint: pdes
+// Wall-clock threading constructs that a parallel-DES core cannot keep
+// deterministic: per-OS-thread state, compiler-invisible loads, raw atomics.
+#include <atomic>
+
+thread_local int tls_counter = 0;
+volatile int spin_flag = 0;
+
+void hazard() {
+  std::atomic<int> seq{0};
+  seq.store(1);
+  std::this_thread::yield();
+}

@@ -1,0 +1,8 @@
+// gclint: pdes
+// Simulated time and plain members stay deterministic under PDES; accessing
+// a member that merely *sounds* atomic (s.atomic_hits) is not a hazard.
+struct Clock {
+  long now_ns = 0;
+  void advance(long d) { now_ns = now_ns + d; }
+};
+int read(const Clock& c, int base) { return base + c.atomic_hits; }

@@ -1,0 +1,16 @@
+// A callback slot invoked by a handler but never bound anywhere the
+// analysis can see: the partition walk cannot prove who runs it.
+#include <functional>
+
+// gclint: domain(node)
+struct Host {
+  std::function<void()> tick;
+  std::function<void()> on_done;
+  void onTick(std::function<void()> fn) { tick = fn; }
+  void finish() {
+    if (on_done) on_done();
+  }
+  void start() {
+    onTick([this] { finish(); });
+  }
+};

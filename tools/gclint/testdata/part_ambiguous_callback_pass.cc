@@ -1,0 +1,16 @@
+// The same unbound slot, acknowledged: it is bound by a harness outside
+// the analyzed tree.
+#include <functional>
+
+// gclint: domain(node)
+struct Host {
+  std::function<void()> tick;
+  std::function<void()> on_done;
+  void onTick(std::function<void()> fn) { tick = fn; }
+  void finish() {
+    if (on_done) on_done();  // gclint: allow(part-ambiguous-callback): bound by the test harness
+  }
+  void start() {
+    onTick([this] { finish(); });
+  }
+};

@@ -1,0 +1,16 @@
+// Malformed ownership annotations: an unknown domain name, an annotation
+// that attaches to nothing, and an allow() of a rule that must be waived
+// with crossing() instead.
+
+// gclint: domain(warp)
+struct Thing {
+  int x = 0;
+};
+
+// gclint: domain(node)
+int freestanding();
+
+struct Other {
+  int y = 0;
+  void bump() { y = y + 1; }  // gclint: allow(part-cross-write): not the waiver syntax for this rule
+};

@@ -1,0 +1,12 @@
+// Well-formed ownership annotations attach to class definitions.
+
+// gclint: domain(node)
+struct Thing {
+  int x = 0;
+};
+
+// gclint: domain(link)
+class Other {
+ public:
+  int y = 0;
+};

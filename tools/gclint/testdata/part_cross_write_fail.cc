@@ -1,0 +1,19 @@
+// A node-domain handler reaches across the partition boundary and mutates
+// link-owned state without a crossing() waiver.
+#include <functional>
+
+// gclint: domain(link)
+struct Wire {
+  int inflight = 0;
+  void inject() { inflight = inflight + 1; }
+};
+
+// gclint: domain(node)
+struct Host {
+  std::function<void()> tick;
+  Wire* wire = nullptr;
+  void onTick(std::function<void()> fn) { tick = fn; }
+  void start() {
+    onTick([this] { wire->inject(); });
+  }
+};

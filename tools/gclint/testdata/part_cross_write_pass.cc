@@ -1,0 +1,19 @@
+// The same cross-partition write, but waived: the boundary is understood
+// and recorded in the ownership map.
+#include <functional>
+
+// gclint: domain(link)
+struct Wire {
+  int inflight = 0;
+  void inject() { inflight = inflight + 1; }
+};
+
+// gclint: domain(node)
+struct Host {
+  std::function<void()> tick;
+  Wire* wire = nullptr;
+  void onTick(std::function<void()> fn) { tick = fn; }
+  void start() {
+    onTick([this] { wire->inject(); });  // gclint: crossing(wire handoff is the cross-LP send)
+  }
+};

@@ -1,0 +1,18 @@
+// A node-domain handler mutates the serialized event engine directly.
+#include <functional>
+
+// gclint: domain(sim)
+struct Engine {
+  int pending = 0;
+  void schedule() { pending = pending + 1; }
+};
+
+// gclint: domain(node)
+struct Host {
+  std::function<void()> tick;
+  Engine* engine = nullptr;
+  void onTick(std::function<void()> fn) { tick = fn; }
+  void start() {
+    onTick([this] { engine->schedule(); });
+  }
+};

@@ -1,0 +1,18 @@
+// The same write into the event engine, waived as a per-LP queue insert.
+#include <functional>
+
+// gclint: domain(sim)
+struct Engine {
+  int pending = 0;
+  void schedule() { pending = pending + 1; }
+};
+
+// gclint: domain(node)
+struct Host {
+  std::function<void()> tick;
+  Engine* engine = nullptr;
+  void onTick(std::function<void()> fn) { tick = fn; }
+  void start() {
+    onTick([this] { engine->schedule(); });  // gclint: crossing(event insert lands on this LP's own queue)
+  }
+};

@@ -1,0 +1,8 @@
+// A crossing() waiver on a line with no cross-domain access: stale waivers
+// rot the ownership map and are diagnostics themselves.
+
+// gclint: domain(node)
+struct Plain {
+  int x = 0;
+  void bump() { x = x + 1; }  // gclint: crossing(nothing actually crosses here)
+};
