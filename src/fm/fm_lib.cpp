@@ -495,6 +495,8 @@ void FmLib::sweepResend(int peer, std::uint64_t next_seq,
     if (p.seq < next_seq) continue;
     if (p.seq > end_seq || burst >= cfg_.rtx_burst_packets) break;
     // gclint: crossing(send-queue probe is host PIO on NIC SRAM)
+    // gclint: lookahead(100): the probe's outcome reaches the NIC no
+    // earlier than the PIO push it gates, and host_per_packet_ns >= 100
     if (!nic_.reserveSendSlot(params_.ctx)) break;  // full queue: timer retries
     pushPacketToNic(p);
     ++stats_.packets_retransmitted;
@@ -540,6 +542,8 @@ void FmLib::setSuspended(bool suspended) {
 
 void FmLib::onArrival(util::SboFunction<void()> cb) {
   // gclint: crossing(handler install is a host PIO write to the NIC slot)
+  // gclint: lookahead(100): the installed handler only runs from a later
+  // NIC-side delivery, never sooner than the 100 ns host-floor away
   slot().on_arrival = std::move(cb);
 }
 

@@ -32,6 +32,7 @@ struct SwitcherConfig {
 };
 
 struct CopyOutcome {
+  // gclint: range(0, inf) — copy costs never run the clock backwards
   sim::Duration cost_ns = 0;
   std::uint32_t send_pkts = 0;
   std::uint32_t recv_pkts = 0;

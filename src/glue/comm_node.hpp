@@ -56,6 +56,7 @@ struct CommNodeConfig {
   fm::FmConfig fm;
   SwitcherConfig switcher;
   /// Host cost to flip the LANai halt/resume flags over PIO.
+  // gclint: range(100, 100000000)
   sim::Duration pio_flag_ns = 2 * sim::kMicrosecond;
   /// Host cost of COMM_init_node: loading the ~100 KB LANai control program
   /// over the WC-mapped SRAM plus routing-table setup.

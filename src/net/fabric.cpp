@@ -287,6 +287,7 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
         ring.drain_scheduled = true;
         const NodeId d = pkt.dst_node;
         // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
+        // gclint: edge(link, nic)
         sim_.scheduleAt(rx_done, [this, d] { drainRing(d); });
       }
     }
@@ -294,12 +295,14 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
     Packet poisoned = pkt;
     poisoned.tag ^= poison;
     // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
+    // gclint: edge(link, nic)
     sim_.scheduleAt(rx_done, [this, poisoned, rx_done] {
       if (verify::active(verify_)) verify_->onWireDeliver(poisoned);
       deliver_[static_cast<std::size_t>(poisoned.dst_node)](poisoned, rx_done);
     });
   } else {
     // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
+    // gclint: edge(link, nic)
     sim_.scheduleAt(rx_done, [this, pkt, rx_done] {
       if (verify::active(verify_)) verify_->onWireDeliver(pkt);
       deliver_[static_cast<std::size_t>(pkt.dst_node)](pkt, rx_done);
@@ -318,6 +321,8 @@ void Fabric::drainRing(NodeId dst) {
       // back exactly then.  Everything behind it stays queued.
       const sim::SimTime at = e.at;
       // gclint: crossing(ladder drain reschedules on the link LP's queue)
+      // gclint: allow(flow-time-monotonic): the guard two lines up proves
+      // e.at > now; gcflow does not refine intervals through if-branches
       sim_.scheduleAt(at, [this, dst] { drainRing(dst); });
       return;
     }

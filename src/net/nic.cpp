@@ -69,6 +69,10 @@ util::Status Nic::allocContext(ContextId id, JobId job, int rank,
 util::Status Nic::freeContext(ContextId id) {
   for (auto it = contexts_.begin(); it != contexts_.end(); ++it) {
     if ((*it)->id == id) {
+      // gclint: allow(flow-credit-underflow): reserved_total_ is by
+      // construction the sum of every context's reserved_send_slots, so
+      // removing one context's share cannot go below zero (a relational
+      // invariant across objects, outside the interval domain)
       reserved_total_ -= (*it)->reserved_send_slots;
       sendq_depth_.erase(sendq_depth_.begin() + (it - contexts_.begin()));
       contexts_.erase(it);
@@ -143,6 +147,9 @@ util::Status Nic::hostEnqueueSend(ContextId id, const Packet& pkt) {
   GC_CHECK_MSG(ctx->reserved_send_slots > 0,
                "hostEnqueueSend without a prior reservation");
   --ctx->reserved_send_slots;
+  // gclint: allow(flow-credit-underflow): the GC_CHECK above proves this
+  // context's share is >= 1 and reserved_total_ is the sum of all shares;
+  // the cross-object sum is outside the interval domain
   --reserved_total_;
   ++sendq_depth_[idx];
   if (cfg_.nic_level_acks && pkt.type == PacketType::kData &&
@@ -673,6 +680,9 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx, sim::SimTime at) {
                   {"seq", static_cast<std::int64_t>(pkt.seq)}});
   const ContextId cid = ctx.id;
   // gclint: crossing(DMA completion event on the NIC LP's own queue)
+  // gclint: allow(flow-time-monotonic): every input derives from the wire
+  // arrival argument `at`, which the fabric computed as now-or-later when
+  // it scheduled the delivery; the chain is not visible interprocedurally
   sim_.scheduleAt(done, [this, pkt, cid] {
     --dma_in_flight_;
     ContextSlot* c = context(cid);

@@ -31,6 +31,8 @@ class RoutingTable {
   int nodeCount() const { return nodes_; }
 
   /// Number of switch hops on the precomputed src->dst route.
+  // gclint: range(1, 1000) — every SAN route crosses a switch; the src==dst
+  // zero applies only to loopback, which Fabric::inject() asserts away
   int hops(NodeId src, NodeId dst) const {
     GC_CHECK(valid(src) && valid(dst));
     if (src == dst) return 0;

@@ -46,6 +46,9 @@ void ControlNetwork::send(int from, int to, CtrlMsg msg) {
   last = deliver;
 
   // gclint: crossing(control delivery runs in the serialized PDES phase)
+  // gclint: allow(flow-time-monotonic): deliver = tx_done + base latency +
+  // jitter, then clamped forward by the per-pair FIFO branch above; gcflow
+  // does not refine intervals through if-branches
   sim_.scheduleAt(deliver, [this, to, msg = std::move(msg)] {
     ++delivered_;
     endpoints_[static_cast<std::size_t>(to)](msg);

@@ -217,6 +217,7 @@ class Simulator {
   std::vector<LadderEntry> scratch_;     // transfer staging, reused
   QueueKind kind_ = QueueKind::kHeap;
   std::uint32_t free_head_ = kNil;
+  // gclint: range(now, now)
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;

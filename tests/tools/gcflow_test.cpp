@@ -1,0 +1,287 @@
+// gcflow's own suite: the interval lattice, the worklist solver's
+// termination on widening loops, the determinism of the lookahead map, the
+// acceptance probes (a past-time schedule and a zero-latency cross-LP link
+// must both turn the PDES gate red), and the repository gate — the tree
+// passes --flow clean and the checked-in gcflow_lookahead.json gives every
+// waived cross-partition crossing a strictly positive lookahead.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/gclint/callgraph.hpp"
+#include "tools/gclint/dataflow.hpp"
+#include "tools/gclint/domains.hpp"
+#include "tools/gclint/driver.hpp"
+#include "tools/gclint/intervals.hpp"
+#include "tools/gclint/rules.hpp"
+
+namespace gclint {
+namespace {
+
+constexpr std::int64_t kNegInf = Interval::kNegInf;
+constexpr std::int64_t kPosInf = Interval::kPosInf;
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::set<std::string> rulesFired(const FlowResult& r) {
+  std::set<std::string> out;
+  for (const Diagnostic& d : r.diagnostics) out.insert(d.rule);
+  return out;
+}
+
+// ---- the interval lattice ---------------------------------------------------
+
+TEST(GcflowIntervals, JoinAndMeetAreHullAndIntersection) {
+  const Interval a = Interval::range(2, 5);
+  const Interval b = Interval::range(4, 9);
+  EXPECT_EQ(join(a, b), Interval::range(2, 9));
+  EXPECT_EQ(meet(a, b), Interval::range(4, 5));
+  EXPECT_TRUE(meet(Interval::range(0, 1), Interval::range(3, 4)).empty);
+  EXPECT_EQ(join(Interval::bottom(), a), a);
+  EXPECT_TRUE(meet(Interval::bottom(), a).empty);
+}
+
+TEST(GcflowIntervals, WideningUsesZeroAsTheOnlyThreshold) {
+  // An unstable lower bound first drops to 0 (counts and durations live
+  // there), only then to -inf; an unstable upper bound goes straight up.
+  EXPECT_EQ(widen(Interval::range(5, 5), Interval::range(3, 5)),
+            Interval::range(0, 5));
+  EXPECT_EQ(widen(Interval::range(0, 5), Interval::range(-1, 5)),
+            Interval::range(kNegInf, 5));
+  EXPECT_EQ(widen(Interval::range(0, 5), Interval::range(0, 9)),
+            Interval::range(0, kPosInf));
+  // Stable bounds are kept exactly.
+  EXPECT_EQ(widen(Interval::range(1, 8), Interval::range(2, 7)),
+            Interval::range(1, 8));
+}
+
+TEST(GcflowIntervals, NarrowingRefinesOnlySentinelBounds) {
+  EXPECT_EQ(narrow(Interval::range(0, kPosInf), Interval::range(0, 64)),
+            Interval::range(0, 64));
+  EXPECT_EQ(narrow(Interval::range(kNegInf, 9), Interval::range(3, 9)),
+            Interval::range(3, 9));
+  // A finite fixpoint bound is never loosened by a wilder re-evaluation.
+  EXPECT_EQ(narrow(Interval::range(2, 6), Interval::range(0, 99)),
+            Interval::range(2, 6));
+}
+
+TEST(GcflowIntervals, ArithmeticSaturatesAndFlagsProvableWraps) {
+  ArithFlags f;
+  const Interval big = Interval::range(4000000000ll, 5000000000ll);
+  const Interval p = mulI(big, big, &f);
+  EXPECT_TRUE(f.overflow_u64) << "2.5e19 left the u64 range";
+  EXPECT_EQ(p.hi, kPosInf) << "saturated, not wrapped";
+
+  ArithFlags g;
+  const Interval d = subI(Interval::range(0, 10), Interval::range(2, 2), &g);
+  EXPECT_EQ(d, Interval::range(-2, 8));
+  EXPECT_TRUE(g.overflow_u64) << "a negative bound escapes u64";
+  EXPECT_FALSE(g.overflow_i64);
+
+  // Sentinel bounds never set flags: unknown is not a provable wrap.
+  ArithFlags h;
+  addI(Interval::nonneg(), Interval::nonneg(), &h);
+  EXPECT_FALSE(h.overflow_u64);
+}
+
+TEST(GcflowIntervals, BitwiseAndModelsTheBranchlessGate) {
+  EXPECT_EQ(andI(Interval::boolean(), Interval::boolean()),
+            Interval::boolean());
+  EXPECT_EQ(andI(Interval::range(0, 7), Interval::range(0, 300)),
+            Interval::range(0, 7));
+  EXPECT_TRUE(andI(Interval::range(-1, 1), Interval::boolean()).isTop());
+}
+
+TEST(GcflowIntervals, U64MaxSaturatesIntoTheSentinel) {
+  // Documented approximation: values beyond i64 max are indistinguishable
+  // from "huge", so u64's type range reads as [0, +inf] and a full-width
+  // unknown u64 always "fits".
+  EXPECT_EQ(typeMax(NumType::kU64), kPosInf);
+  EXPECT_TRUE(fitsIn(Interval::nonneg(), NumType::kU64));
+  EXPECT_FALSE(fitsIn(Interval::range(0, 5000000000ll), NumType::kU32));
+  EXPECT_EQ(clampToType(Interval::range(-5, 10), NumType::kU8),
+            Interval::range(0, 10));
+  EXPECT_EQ(seedForType(NumType::kU16), Interval::range(0, 65535));
+}
+
+// ---- solver fixpoint --------------------------------------------------------
+
+TEST(GcflowSolver, WideningLoopsReachAFixpointAndStayClean) {
+  // The fixture's loop bounds climb every iteration; the solver must widen
+  // to a fixpoint (this test hanging == no termination) with no findings.
+  LintOptions opts;
+  opts.root = GCLINT_FIXTURES;
+  opts.hot_prefixes.clear();
+  opts.flow = true;
+  opts.part_prefixes.clear();
+  const TreeResult r = lintTree(opts, {"flow_widen_loop_pass.cc"});
+  ASSERT_TRUE(r.flow_ran);
+  EXPECT_GE(r.flow.functions_analyzed, 2);
+  for (const Diagnostic& d : r.diagnostics) ADD_FAILURE() << formatDiagnostic(d);
+}
+
+// ---- inline probes ----------------------------------------------------------
+
+// A minimal annotated simulator the probes schedule against.
+const char* kSimHeader =
+    "struct Sim {\n"
+    "  // gclint: range(now, now)\n"
+    "  long now_ = 0;\n"
+    "  long now() const { return now_; }\n"
+    "  template <typename F>\n"
+    "  void schedule(long delay_ns, F fn);\n"
+    "  template <typename F>\n"
+    "  void scheduleAt(long at_ns, F fn);\n"
+    "};\n";
+
+FlowResult analyzeProbe(const std::string& body,
+                        const std::vector<PartCrossing>& crossings) {
+  std::vector<PartFile> files;
+  files.push_back({"probe.cc", std::string(kSimHeader) + body});
+  return analyzeFlow(files, crossings);
+}
+
+TEST(GcflowProbes, InjectedPastTimeScheduleTurnsTheGateRed) {
+  // The acceptance probe from the issue: scheduleAt(now() - 1) must be
+  // refused even though the expression is still now-anchored.
+  const FlowResult r = analyzeProbe(
+      "void rewind(Sim& s) {\n"
+      "  s.scheduleAt(s.now() - 1, [] {});\n"
+      "}\n",
+      {});
+  EXPECT_EQ(rulesFired(r), std::set<std::string>{"flow-time-monotonic"});
+}
+
+PartCrossing probeCrossing(int line) {
+  PartCrossing c;
+  c.file = "probe.cc";
+  c.line = line;
+  c.from = Domain::kNode;
+  c.to = Domain::kNic;
+  c.detail = "injected probe crossing";
+  c.rule = "part-cross-write";
+  c.waived = true;
+  c.reason = "probe";
+  return c;
+}
+
+TEST(GcflowProbes, ZeroLatencyCrossLpLinkTurnsTheGateRed) {
+  // kSimHeader is 9 lines; the schedule call sits on line 11 of probe.cc.
+  const FlowResult r = analyzeProbe(
+      "void push(Sim& s, int* q) {\n"
+      "  s.schedule(0, [q] { *q = 1; });\n"
+      "}\n",
+      {probeCrossing(11)});
+  ASSERT_EQ(rulesFired(r), std::set<std::string>{"flow-time-monotonic"});
+  ASSERT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.edges[0].min_lookahead_ns, 0);
+  bool red = false;
+  for (const Diagnostic& d : r.diagnostics)
+    if (d.message.find("PDES gate red") != std::string::npos) red = true;
+  EXPECT_TRUE(red) << "zero lookahead must be called out as a PDES blocker";
+}
+
+TEST(GcflowProbes, ProvenPositiveDelayBecomesTheEdgeLookahead) {
+  const FlowResult r = analyzeProbe(
+      "void push(Sim& s, int* q) {\n"
+      "  s.schedule(100, [q] { *q = 1; });\n"
+      "}\n",
+      {probeCrossing(11)});
+  EXPECT_TRUE(r.diagnostics.empty());
+  ASSERT_EQ(r.edges.size(), 1u);
+  EXPECT_EQ(r.edges[0].from, "node");
+  EXPECT_EQ(r.edges[0].to, "nic");
+  EXPECT_EQ(r.edges[0].min_lookahead_ns, 100);
+  ASSERT_EQ(r.edges[0].sites.size(), 1u);
+  EXPECT_EQ(r.edges[0].sites[0].via, "scheduled");
+}
+
+TEST(GcflowProbes, LookaheadMapIsIndependentOfInputFileOrder) {
+  std::vector<PartFile> files;
+  files.push_back({"b.cc",
+                   "void push(Sim& s, int* q) {\n"
+                   "  s.schedule(100, [q] { *q = 1; });\n"
+                   "}\n"});
+  files.push_back({"a.cc", kSimHeader});
+  PartCrossing c = probeCrossing(2);
+  c.file = "b.cc";
+  const std::string forward = flowLookaheadJson(analyzeFlow(files, {c}));
+  std::reverse(files.begin(), files.end());
+  const std::string reversed = flowLookaheadJson(analyzeFlow(files, {c}));
+  EXPECT_EQ(forward, reversed);
+  EXPECT_NE(forward.find("\"gcflow-v1\""), std::string::npos);
+}
+
+// ---- the repository gate ----------------------------------------------------
+
+TreeResult lintRepoFlow() {
+  LintOptions opts;
+  opts.root = GCLINT_REPO_ROOT;
+  opts.flow = true;
+  const std::vector<std::string> files = collectFiles(opts, {"src"});
+  return lintTree(opts, files);
+}
+
+TEST(GcflowTree, RepositoryPassesTheFlowGateClean) {
+  const TreeResult result = lintRepoFlow();
+  ASSERT_TRUE(result.flow_ran);
+  for (const Diagnostic& d : result.diagnostics)
+    ADD_FAILURE() << formatDiagnostic(d);
+  EXPECT_GT(result.flow.functions_analyzed, 400);
+  EXPECT_GT(result.flow.schedule_sites, 10);
+}
+
+TEST(GcflowTree, CheckedInLookaheadMapMatchesWhatTheTreeProves) {
+  // gcflow_lookahead.json is the artifact the PDES scheduler will consume;
+  // it must never drift from the tree.  Regenerate with:
+  //   gclint --root . --flow --lookahead-report gcflow_lookahead.json src
+  const TreeResult result = lintRepoFlow();
+  const std::string expected =
+      readWholeFile(std::string(GCLINT_REPO_ROOT) + "/gcflow_lookahead.json");
+  ASSERT_FALSE(expected.empty()) << "gcflow_lookahead.json missing from repo";
+  EXPECT_EQ(flowLookaheadJson(result.flow), expected)
+      << "checked-in gcflow_lookahead.json is stale; regenerate it";
+}
+
+TEST(GcflowTree, EveryWaivedCrossingCarriesStrictlyPositiveLookahead) {
+  // The PDES prerequisite: every waived part-cross-write crossing must be
+  // covered by a lookahead site with a strictly positive bound, and every
+  // edge minimum must be positive (zero lookahead deadlocks a conservative
+  // PDES scheduler).
+  const TreeResult result = lintRepoFlow();
+  ASSERT_FALSE(result.flow.edges.empty());
+  for (const LookaheadEdge& e : result.flow.edges) {
+    EXPECT_GT(e.min_lookahead_ns, 0) << e.from << " -> " << e.to;
+    for (const LookaheadSite& s : e.sites)
+      EXPECT_GT(s.lookahead_ns, 0) << s.file << ":" << s.line;
+  }
+  int waived_crossings = 0;
+  for (const PartCrossing& c : result.part.crossings) {
+    if (c.rule != "part-cross-write" || !c.waived) continue;
+    ++waived_crossings;
+    bool covered = false;
+    for (const LookaheadEdge& e : result.flow.edges)
+      for (const LookaheadSite& s : e.sites)
+        if (s.file == c.file && s.line == c.line && s.lookahead_ns > 0)
+          covered = true;
+    EXPECT_TRUE(covered) << "no positive lookahead for crossing " << c.file
+                         << ":" << c.line << " (" << c.detail << ")";
+  }
+  EXPECT_GE(waived_crossings, 10)
+      << "the cross-LP surface shrank suspiciously; check gcpart";
+}
+
+}  // namespace
+}  // namespace gclint

@@ -45,6 +45,16 @@ TreeResult lintPartFixture(const std::string& name) {
   return lintTree(opts, {name});
 }
 
+// The flow-* interval rules come out of the gcflow dataflow pass: run one
+// fixture through lintTree with flow on (gcpart runs silently underneath as
+// the cross-LP edge oracle).
+TreeResult lintFlowFixture(const std::string& name) {
+  LintOptions opts = fixtureOptions();
+  opts.flow = true;
+  opts.part_prefixes.clear();
+  return lintTree(opts, {name});
+}
+
 std::set<std::string> rulesFired(const TreeResult& r) {
   std::set<std::string> out;
   for (const Diagnostic& d : r.diagnostics) out.insert(d.rule);
@@ -58,6 +68,7 @@ struct RuleCase {
   const char* fail_fixture;
   const char* pass_fixture;
   bool part = false;  // lint through the gcpart tree pass instead of lintFile
+  bool flow = false;  // lint through the gcflow dataflow pass
 };
 
 const RuleCase kRuleCases[] = {
@@ -94,13 +105,24 @@ const RuleCase kRuleCases[] = {
      true},
     {"part-unused-crossing", "part_unused_crossing_fail.cc",
      "part_unused_crossing_pass.cc", true},
+    {"flow-time-monotonic", "flow_time_monotonic_fail.cc",
+     "flow_time_monotonic_pass.cc", false, true},
+    {"flow-int-narrow", "flow_int_narrow_fail.cc", "flow_int_narrow_pass.cc",
+     false, true},
+    {"flow-int-overflow", "flow_int_overflow_fail.cc",
+     "flow_int_overflow_pass.cc", false, true},
+    {"flow-credit-underflow", "flow_credit_underflow_fail.cc",
+     "flow_credit_underflow_pass.cc", false, true},
+    {"flow-bad-anno", "flow_bad_anno_fail.cc", "flow_bad_anno_pass.cc", false,
+     true},
 };
 
 TEST(GclintRules, EveryRuleHasAFiringFailFixture) {
   for (const RuleCase& c : kRuleCases) {
     const std::set<std::string> fired =
-        c.part ? rulesFired(lintPartFixture(c.fail_fixture))
-               : rulesFired(lintFixture(c.fail_fixture));
+        c.part   ? rulesFired(lintPartFixture(c.fail_fixture))
+        : c.flow ? rulesFired(lintFlowFixture(c.fail_fixture))
+                 : rulesFired(lintFixture(c.fail_fixture));
     EXPECT_EQ(fired, std::set<std::string>{c.rule})
         << c.fail_fixture << " must fire exactly " << c.rule;
     EXPECT_FALSE(fired.empty()) << c.fail_fixture;
@@ -111,8 +133,9 @@ TEST(GclintRules, EveryRuleHasACleanPassFixture) {
   for (const RuleCase& c : kRuleCases) {
     if (c.pass_fixture == nullptr) continue;
     const std::vector<Diagnostic> diags =
-        c.part ? lintPartFixture(c.pass_fixture).diagnostics
-               : lintFixture(c.pass_fixture).diagnostics;
+        c.part   ? lintPartFixture(c.pass_fixture).diagnostics
+        : c.flow ? lintFlowFixture(c.pass_fixture).diagnostics
+                 : lintFixture(c.pass_fixture).diagnostics;
     EXPECT_TRUE(diags.empty())
         << c.pass_fixture << " first: "
         << (diags.empty() ? "" : formatDiagnostic(diags.front()));

@@ -1,0 +1,2337 @@
+#include "tools/gclint/dataflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/gclint/cfg.hpp"
+#include "tools/gclint/intervals.hpp"
+#include "tools/gclint/tokenizer.hpp"
+
+namespace gclint {
+namespace {
+
+const char kFlowTimeMonotonic[] = "flow-time-monotonic";
+const char kFlowIntNarrow[] = "flow-int-narrow";
+const char kFlowIntOverflow[] = "flow-int-overflow";
+const char kFlowCreditUnderflow[] = "flow-credit-underflow";
+const char kFlowBadAnno[] = "flow-bad-anno";
+const char kUnusedAllow[] = "unused-allow";
+
+using Tokens = std::vector<Token>;
+
+bool isIdent(const Token& t, const char* s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+bool isPunct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+std::size_t skipBalanced(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) ++depth;
+    if (isPunct(t, ")") || isPunct(t, "]") || isPunct(t, "}")) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+std::size_t matchParen(const Tokens& toks, std::size_t open) {
+  const std::size_t past = skipBalanced(toks, open);
+  return past == toks.size() ? past : past - 1;
+}
+
+std::string trimWs(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+// ---- abstract value ---------------------------------------------------------
+
+/// An interval, optionally anchored at the (unknown but nonnegative) current
+/// simulated time: base kNow means "now + [lo, hi]".  `gates` carries the
+/// relational fact the branchless credit proof needs: the value lies in
+/// [0, 1] and, when it is 1, every named counter in `gates` is >= 1.
+struct AbsVal {
+  enum Base { kPlainBase, kNowBase };
+  Base base = kPlainBase;
+  Interval iv;
+  std::set<std::string> gates;
+
+  bool nowBased() const { return base == kNowBase; }
+};
+
+AbsVal plainVal(Interval iv) {
+  AbsVal v;
+  v.iv = iv;
+  return v;
+}
+AbsVal plainTop() { return plainVal(Interval::top()); }
+AbsVal nowVal(Interval iv) {
+  AbsVal v;
+  v.base = AbsVal::kNowBase;
+  v.iv = iv;
+  return v;
+}
+
+/// Forget the now-anchor: now >= 0, so now + [lo, hi] is at least lo (when
+/// lo is finite); the upper bound is gone.  Used when a value escapes into a
+/// deferred lambda (the clock moves before the body runs) and when joining
+/// values with different bases.
+AbsVal demoteNow(const AbsVal& v) {
+  if (!v.nowBased()) return v;
+  AbsVal p;
+  p.iv = Interval{v.iv.lo == Interval::kNegInf ? Interval::kNegInf : v.iv.lo,
+                  Interval::kPosInf, false};
+  p.gates = v.gates;
+  return p;
+}
+
+AbsVal joinVal(const AbsVal& a, const AbsVal& b) {
+  if (a.iv.empty) return b;
+  if (b.iv.empty) return a;
+  AbsVal ja = a;
+  AbsVal jb = b;
+  if (ja.base != jb.base) {
+    ja = demoteNow(ja);
+    jb = demoteNow(jb);
+  }
+  AbsVal r;
+  r.base = ja.base;
+  r.iv = join(ja.iv, jb.iv);
+  std::set_intersection(ja.gates.begin(), ja.gates.end(), jb.gates.begin(),
+                        jb.gates.end(), std::inserter(r.gates, r.gates.end()));
+  return r;
+}
+
+AbsVal widenVal(const AbsVal& prev, const AbsVal& next) {
+  AbsVal p = prev;
+  AbsVal n = next;
+  if (p.base != n.base) {
+    p = demoteNow(p);
+    n = demoteNow(n);
+  }
+  AbsVal r;
+  r.base = p.base;
+  r.iv = widen(p.iv, n.iv);
+  std::set_intersection(p.gates.begin(), p.gates.end(), n.gates.begin(),
+                        n.gates.end(), std::inserter(r.gates, r.gates.end()));
+  return r;
+}
+
+bool sameVal(const AbsVal& a, const AbsVal& b) {
+  return a.base == b.base && a.iv == b.iv && a.gates == b.gates;
+}
+
+/// flow-int-narrow requires positive evidence, not absence of proof: a value
+/// seeded at its declared type's full range (or pushed around by arithmetic
+/// while still spanning >= 2^32-1 values) is just "unknown int"; diagnosing
+/// every cast of an unknown would bury the signal.  A value is worth
+/// diagnosing when it is now-anchored (narrowing a simulation time is always
+/// a bug) or when its interval is genuinely constrained: both bounds finite
+/// and narrower than the u32 value range.
+bool narrowEvidence(const AbsVal& v) {
+  if (v.nowBased()) return true;
+  if (v.iv.lo == Interval::kNegInf || v.iv.hi == Interval::kPosInf)
+    return false;
+  const __int128 width =
+      static_cast<__int128>(v.iv.hi) - static_cast<__int128>(v.iv.lo);
+  return width < static_cast<__int128>(0xffffffffll);
+}
+
+/// max(a, b) keeps the now-anchor if either side has one (the result is at
+/// least the anchored side); this is what proves the ubiquitous
+/// `busy > now ? busy : now` pattern.
+AbsVal maxVal(const AbsVal& a, const AbsVal& b) {
+  AbsVal r;
+  if (a.nowBased() && b.nowBased()) {
+    r.base = AbsVal::kNowBase;
+    r.iv = Interval{std::max(a.iv.lo, b.iv.lo), std::max(a.iv.hi, b.iv.hi),
+                    false};
+  } else if (a.nowBased() || b.nowBased()) {
+    const AbsVal& nb = a.nowBased() ? a : b;
+    r.base = AbsVal::kNowBase;
+    r.iv = Interval{nb.iv.lo, Interval::kPosInf, false};
+  } else {
+    r.iv = Interval{std::max(a.iv.lo, b.iv.lo), std::max(a.iv.hi, b.iv.hi),
+                    false};
+  }
+  return r;
+}
+
+AbsVal minVal(const AbsVal& a, const AbsVal& b) {
+  AbsVal r;
+  if (a.nowBased() && b.nowBased()) {
+    r.base = AbsVal::kNowBase;
+    r.iv = Interval{std::min(a.iv.lo, b.iv.lo), std::min(a.iv.hi, b.iv.hi),
+                    false};
+  } else {
+    const AbsVal pa = demoteNow(a);
+    const AbsVal pb = demoteNow(b);
+    r.iv = Interval{std::min(pa.iv.lo, pb.iv.lo),
+                    std::min(pa.iv.hi, pb.iv.hi), false};
+  }
+  return r;
+}
+
+// ---- literals ---------------------------------------------------------------
+
+/// Parse one numeric token into an interval (floats round outward).  Returns
+/// top on anything unparseable.
+Interval literalInterval(const std::string& text) {
+  std::string s;
+  for (const char c : text)
+    if (c != '\'') s += c;
+  while (!s.empty()) {
+    const char c = s.back();
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' || c == 'Z')
+      s.pop_back();
+    else
+      break;
+  }
+  if (s.empty()) return Interval::top();
+  const bool hex = s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X');
+  const bool floaty =
+      !hex && (s.find('.') != std::string::npos ||
+               s.find('e') != std::string::npos ||
+               s.find('E') != std::string::npos || s.back() == 'f' ||
+               s.back() == 'F');
+  if (floaty) {
+    char* end = nullptr;
+    const double d = std::strtod(s.c_str(), &end);
+    if (end == s.c_str()) return Interval::top();
+    const double fl = std::floor(d);
+    const double ce = std::ceil(d);
+    const double lim = 9.0e18;
+    const std::int64_t lo =
+        fl <= -lim ? Interval::kNegInf : static_cast<std::int64_t>(fl);
+    const std::int64_t hi =
+        ce >= lim ? Interval::kPosInf : static_cast<std::int64_t>(ce);
+    return Interval::range(lo, hi);
+  }
+  char* end = nullptr;
+  const unsigned long long u = std::strtoull(s.c_str(), &end, 0);
+  if (end == s.c_str() || *end != '\0') return Interval::top();
+  const std::int64_t v = u >= static_cast<unsigned long long>(Interval::kPosInf)
+                             ? Interval::kPosInf
+                             : static_cast<std::int64_t>(u);
+  return Interval::constant(v);
+}
+
+// ---- flow annotations -------------------------------------------------------
+
+struct FlowAllow {
+  std::string rule;
+  std::string reason;
+  int directive_line = 0;
+  int target_line = 0;
+  bool used = false;
+};
+
+struct RangeAnno {
+  int directive_line = 0;
+  int target_line = 0;
+  std::string name;  // declared name the annotation attaches to
+  AbsVal val;
+};
+
+struct LookaheadAnno {
+  int directive_line = 0;
+  int target_line = 0;
+  long long ns = 0;
+  std::string reason;
+  bool used = false;
+};
+
+struct EdgeAnno {
+  int directive_line = 0;
+  int target_line = 0;
+  std::string from;
+  std::string to;
+  bool used = false;
+};
+
+struct FlowDirectives {
+  std::vector<RangeAnno> ranges;
+  std::vector<std::string> nonneg_names;
+  std::vector<LookaheadAnno> lookaheads;
+  std::vector<EdgeAnno> edges;
+  std::vector<FlowAllow> allows;
+  std::vector<Diagnostic> errors;  // flow-bad-anno
+};
+
+bool isGcflowRuleId(const std::string& rule) {
+  return rule == kFlowTimeMonotonic || rule == kFlowIntNarrow ||
+         rule == kFlowIntOverflow || rule == kFlowCreditUnderflow ||
+         rule == kFlowBadAnno;
+}
+
+/// Parse one range bound: integer (with ' separators), "inf"/"-inf",
+/// "now"/"now+N"/"now-N".  Returns false on garbage.
+bool parseBound(const std::string& raw, bool* is_now, std::int64_t* off) {
+  const std::string s = trimWs(raw);
+  if (s.empty()) return false;
+  *is_now = false;
+  if (s == "inf") {
+    *off = Interval::kPosInf;
+    return true;
+  }
+  if (s == "-inf") {
+    *off = Interval::kNegInf;
+    return true;
+  }
+  std::string num = s;
+  if (s.rfind("now", 0) == 0) {
+    *is_now = true;
+    num = trimWs(s.substr(3));
+    if (num.empty()) {
+      *off = 0;
+      return true;
+    }
+    if (num[0] != '+' && num[0] != '-') return false;
+  }
+  std::string digits;
+  for (const char c : num)
+    if (c != '\'') digits += c;
+  char* end = nullptr;
+  const long long v = std::strtoll(digits.c_str(), &end, 10);
+  if (end == digits.c_str() || *end != '\0') return false;
+  *off = v;
+  return true;
+}
+
+/// The name declared on `line`: scan that line's tokens forward to the first
+/// top-level `=`, `;`, `(` or `{` and take the identifier just before it.
+/// Returns "" when the line declares nothing recognizable.
+std::string declaredNameOnLine(const Tokens& toks, int line) {
+  std::size_t i = 0;
+  while (i < toks.size() && toks[i].line < line) ++i;
+  std::string last_ident;
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.line > line && depth == 0 && !last_ident.empty()) break;
+    if (isPunct(t, "<") || isPunct(t, "[")) ++depth;
+    if (isPunct(t, ">") || isPunct(t, "]")) --depth;
+    if (depth > 0) continue;
+    if (isPunct(t, "=") || isPunct(t, ";") || isPunct(t, "(") ||
+        isPunct(t, "{"))
+      return last_ident;
+    if (t.kind == TokKind::kIdent) last_ident = t.text;
+  }
+  return "";
+}
+
+/// Extract gcflow directives (range/nonneg/lookahead/edge + allow(flow-*))
+/// from one file's comments, using the same attachment rules as allow():
+/// trailing comments bind their own line, own-line comments bind the next
+/// code line (skipping further comment-only lines).
+FlowDirectives parseFlowDirectives(const std::string& file,
+                                   const TokenStream& ts) {
+  FlowDirectives out;
+  std::map<int, int> own_comment_end;
+  for (const Comment& c : ts.comments)
+    if (c.own_line) own_comment_end[c.line] = c.end_line;
+  const auto targetLine = [&](const Comment& c) {
+    if (!c.own_line) return c.line;
+    int target = c.end_line + 1;
+    for (auto it = own_comment_end.find(target); it != own_comment_end.end();
+         it = own_comment_end.find(target))
+      target = it->second + 1;
+    return target;
+  };
+  const auto bad = [&](int line, const std::string& msg) {
+    out.errors.push_back({file, line, kFlowBadAnno, msg});
+  };
+  for (const Comment& c : ts.comments) {
+    const std::size_t at = c.text.find("gclint:");
+    if (at == std::string::npos) continue;
+    std::string rest = trimWs(c.text.substr(at + 7));
+    if (rest.rfind("range", 0) == 0) {
+      rest = trimWs(rest.substr(5));
+      const std::size_t close = rest.find(')');
+      if (rest.empty() || rest[0] != '(' || close == std::string::npos) {
+        bad(c.line, "range needs bounds: range(<lo>, <hi>)");
+        continue;
+      }
+      const std::string body = rest.substr(1, close - 1);
+      const std::size_t comma = body.find(',');
+      bool lo_now = false;
+      bool hi_now = false;
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      if (comma == std::string::npos ||
+          !parseBound(body.substr(0, comma), &lo_now, &lo) ||
+          !parseBound(body.substr(comma + 1), &hi_now, &hi)) {
+        bad(c.line, "unparseable range bounds: range(" + body + ")");
+        continue;
+      }
+      // A bound may be now-relative or a plain integer, but not a mix of
+      // both finite kinds (now+5 vs 7 have no common zero).
+      const bool now_based = lo_now || hi_now;
+      if (now_based && ((!lo_now && lo != Interval::kNegInf) ||
+                        (!hi_now && hi != Interval::kPosInf))) {
+        bad(c.line, "range mixes now-relative and absolute finite bounds");
+        continue;
+      }
+      if (lo > hi) {
+        bad(c.line, "range bounds out of order: range(" + body + ")");
+        continue;
+      }
+      RangeAnno a;
+      a.directive_line = c.line;
+      a.target_line = targetLine(c);
+      a.val = now_based ? nowVal(Interval::range(lo, hi))
+                        : plainVal(Interval::range(lo, hi));
+      a.name = declaredNameOnLine(ts.tokens, a.target_line);
+      if (a.name.empty()) {
+        bad(c.line, "range annotation attaches to no declaration");
+        continue;
+      }
+      out.ranges.push_back(std::move(a));
+      continue;
+    }
+    if (rest == "nonneg") {
+      const int target = targetLine(c);
+      const std::string name = declaredNameOnLine(ts.tokens, target);
+      if (name.empty()) {
+        bad(c.line, "nonneg annotation attaches to no declaration");
+        continue;
+      }
+      out.nonneg_names.push_back(name);
+      continue;
+    }
+    if (rest.rfind("lookahead", 0) == 0) {
+      rest = trimWs(rest.substr(9));
+      const std::size_t close = rest.find(')');
+      if (rest.empty() || rest[0] != '(' || close == std::string::npos) {
+        bad(c.line, "lookahead needs a latency: lookahead(<ns>): <reason>");
+        continue;
+      }
+      std::string digits;
+      for (const char ch : rest.substr(1, close - 1))
+        if (ch != '\'' && ch != ' ') digits += ch;
+      char* end = nullptr;
+      const long long ns = std::strtoll(digits.c_str(), &end, 10);
+      if (end == digits.c_str() || *end != '\0' || ns <= 0) {
+        bad(c.line, "lookahead needs a positive integer nanosecond count");
+        continue;
+      }
+      std::string reason = trimWs(rest.substr(close + 1));
+      if (!reason.empty() && (reason[0] == ':' || reason[0] == '-'))
+        reason = trimWs(reason.substr(1));
+      if (reason.empty()) {
+        bad(c.line, "lookahead(<ns>) needs a reason: why is this the "
+                    "minimum cross-LP latency?");
+        continue;
+      }
+      LookaheadAnno a;
+      a.directive_line = c.line;
+      a.target_line = targetLine(c);
+      a.ns = ns;
+      a.reason = std::move(reason);
+      out.lookaheads.push_back(std::move(a));
+      continue;
+    }
+    if (rest.rfind("edge", 0) == 0) {
+      rest = trimWs(rest.substr(4));
+      const std::size_t close = rest.find(')');
+      if (rest.empty() || rest[0] != '(' || close == std::string::npos) {
+        bad(c.line, "edge needs domains: edge(<from>, <to>)");
+        continue;
+      }
+      const std::string body = rest.substr(1, close - 1);
+      const std::size_t comma = body.find(',');
+      if (comma == std::string::npos) {
+        bad(c.line, "edge needs two domains: edge(<from>, <to>)");
+        continue;
+      }
+      EdgeAnno a;
+      a.from = trimWs(body.substr(0, comma));
+      a.to = trimWs(body.substr(comma + 1));
+      if (parseDomain(a.from) == Domain::kNone ||
+          parseDomain(a.to) == Domain::kNone) {
+        bad(c.line, "edge names unknown domain: edge(" + body + ")");
+        continue;
+      }
+      a.directive_line = c.line;
+      a.target_line = targetLine(c);
+      out.edges.push_back(std::move(a));
+      continue;
+    }
+    if (rest.rfind("allow", 0) != 0) continue;  // lintFile's business
+    rest = trimWs(rest.substr(5));
+    if (rest.empty() || rest[0] != '(') continue;
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) continue;
+    const std::string rule = trimWs(rest.substr(1, close - 1));
+    if (!isGcflowRuleId(rule)) continue;  // other allows, lintFile's business
+    std::string reason = trimWs(rest.substr(close + 1));
+    if (!reason.empty() && (reason[0] == ':' || reason[0] == '-'))
+      reason = trimWs(reason.substr(1));
+    // Shape errors (missing reason) are already reported by lintFile's
+    // parseDirectives as bad-allow; skip silently here.
+    if (reason.empty()) continue;
+    FlowAllow a;
+    a.rule = rule;
+    a.reason = std::move(reason);
+    a.directive_line = c.line;
+    a.target_line = targetLine(c);
+    out.allows.push_back(std::move(a));
+  }
+  return out;
+}
+
+// ---- global scan: types, constants, functions -------------------------------
+
+NumType builtinNumType(const std::string& n) {
+  if (n == "bool") return NumType::kBool;
+  if (n == "uint8_t" || n == "u8") return NumType::kU8;
+  if (n == "uint16_t" || n == "u16") return NumType::kU16;
+  if (n == "uint32_t" || n == "unsigned" || n == "u32") return NumType::kU32;
+  if (n == "uint64_t" || n == "size_t" || n == "uintptr_t" || n == "u64")
+    return NumType::kU64;
+  if (n == "int8_t" || n == "char") return NumType::kI8;
+  if (n == "int16_t" || n == "short") return NumType::kI16;
+  if (n == "int32_t" || n == "int") return NumType::kI32;
+  if (n == "int64_t" || n == "long" || n == "ptrdiff_t" || n == "ssize_t")
+    return NumType::kI64;
+  if (n == "double" || n == "float") return NumType::kFloat;
+  return NumType::kOther;
+}
+
+struct FileCtx {
+  std::string path;
+  TokenStream ts;
+  std::vector<FunctionCfg> cfgs;
+  FlowDirectives dirs;
+};
+
+struct FnDef {
+  const FileCtx* file = nullptr;
+  const FunctionCfg* cfg = nullptr;
+};
+
+struct GlobalIndex {
+  std::map<std::string, NumType> types;       // declared name -> numeric type
+  std::map<std::string, std::int64_t> consts; // constexpr name -> value
+  std::map<std::string, AbsVal> ranges;       // annotated name -> seed value
+  std::set<std::string> nonneg;               // annotated counter names
+  std::map<std::string, std::vector<FnDef>> fns;
+  std::map<std::string, NumType> aliases;     // using A = <numeric>;
+};
+
+/// Resolve a type name through `using` aliases to a builtin numeric type.
+NumType resolveTypeName(const GlobalIndex& gi, const std::string& n) {
+  const auto it = gi.aliases.find(n);
+  if (it != gi.aliases.end()) return it->second;
+  return builtinNumType(n);
+}
+
+void recordDeclType(GlobalIndex* gi, const std::string& name, NumType t) {
+  if (t == NumType::kOther) return;
+  const auto it = gi->types.find(name);
+  if (it == gi->types.end()) {
+    gi->types[name] = t;
+  } else if (it->second != t) {
+    // Conflicting declarations under the same name: give up on the name
+    // (textual keying is project-wide; a conflict means it is ambiguous).
+    it->second = NumType::kOther;
+  }
+}
+
+/// Scan `using A = ...;` aliases (e.g. SimTime = uint64_t) — run to a
+/// fixpoint so chains resolve whatever the file order.
+void scanAliases(const std::vector<FileCtx>& files, GlobalIndex* gi) {
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const FileCtx& f : files) {
+      const Tokens& toks = f.ts.tokens;
+      for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "using") || toks[i + 1].kind != TokKind::kIdent ||
+            !isPunct(toks[i + 2], "="))
+          continue;
+        NumType t = NumType::kOther;
+        for (std::size_t j = i + 3; j < toks.size() && !isPunct(toks[j], ";");
+             ++j) {
+          if (toks[j].kind != TokKind::kIdent) continue;
+          const NumType cand = resolveTypeName(*gi, toks[j].text);
+          if (cand != NumType::kOther) t = cand;
+        }
+        if (t != NumType::kOther) gi->aliases[toks[i + 1].text] = t;
+      }
+    }
+  }
+}
+
+/// Record declared numeric types: `Type name` followed by = ; , ) or {.
+/// Containers of numerics (vector<int> xs) bind the element type, which is
+/// what subscript reads see.
+void scanDeclTypes(const FileCtx& f, GlobalIndex* gi) {
+  const Tokens& toks = f.ts.tokens;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (i + 1 >= toks.size()) break;
+    const Token& nx = toks[i + 1];
+    if (!isPunct(nx, "=") && !isPunct(nx, ";") && !isPunct(nx, ",") &&
+        !isPunct(nx, ")") && !isPunct(nx, "{"))
+      continue;
+    // Walk back over cv/ref/pointer noise to the type token.
+    std::size_t j = i - 1;
+    while (j > 0 && (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
+                     isIdent(toks[j], "const")))
+      --j;
+    NumType t = NumType::kOther;
+    if (isPunct(toks[j], ">")) {
+      // Template close: find the matching '<' and inspect the arguments;
+      // exactly one numeric argument (vector<int>) binds the element type.
+      int depth = 1;
+      std::size_t k = j;
+      while (k > 0 && depth > 0) {
+        --k;
+        if (isPunct(toks[k], ">")) ++depth;
+        if (isPunct(toks[k], "<")) --depth;
+      }
+      int numeric_args = 0;
+      for (std::size_t a = k + 1; a < j; ++a) {
+        if (toks[a].kind != TokKind::kIdent) continue;
+        const NumType cand = resolveTypeName(*gi, toks[a].text);
+        if (cand != NumType::kOther) {
+          ++numeric_args;
+          t = cand;
+        }
+      }
+      if (numeric_args != 1) t = NumType::kOther;
+    } else if (toks[j].kind == TokKind::kIdent) {
+      t = resolveTypeName(*gi, toks[j].text);
+      if ((t == NumType::kI64 || t == NumType::kI32) && j > 0) {
+        // `unsigned long (long)` / `unsigned int`: look one-two back.
+        if (isIdent(toks[j - 1], "unsigned") ||
+            (isIdent(toks[j - 1], "long") && j > 1 &&
+             isIdent(toks[j - 2], "unsigned")))
+          t = NumType::kU64;
+        else if (isIdent(toks[j - 1], "long"))
+          t = NumType::kI64;
+      }
+    }
+    if (t != NumType::kOther) recordDeclType(gi, toks[i].text, t);
+  }
+}
+
+/// Fold `constexpr ... name = <literal arithmetic>;` into the constants
+/// table (kMicrosecond and friends).  Multiple passes resolve chains.
+void scanConstants(const FileCtx& f, GlobalIndex* gi) {
+  const Tokens& toks = f.ts.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!isIdent(toks[i], "constexpr")) continue;
+    std::size_t eq = i + 1;
+    std::string name;
+    while (eq < toks.size() && !isPunct(toks[eq], "=") &&
+           !isPunct(toks[eq], ";") && !isPunct(toks[eq], "{") &&
+           !isPunct(toks[eq], "(")) {
+      if (toks[eq].kind == TokKind::kIdent) name = toks[eq].text;
+      ++eq;
+    }
+    if (eq >= toks.size() || !isPunct(toks[eq], "=") || name.empty()) continue;
+    std::size_t semi = eq + 1;
+    while (semi < toks.size() && !isPunct(toks[semi], ";")) ++semi;
+    // Evaluate the initializer as +-*/() over literals and known constants.
+    struct ConstEval {
+      const Tokens& toks;
+      const GlobalIndex& gi;
+      std::size_t i, end;
+      bool ok = true;
+      std::int64_t expr() {
+        std::int64_t v = term();
+        while (ok && i < end &&
+               (isPunct(toks[i], "+") || isPunct(toks[i], "-"))) {
+          const bool add = toks[i].text == "+";
+          ++i;
+          const std::int64_t r = term();
+          v = add ? v + r : v - r;
+        }
+        return v;
+      }
+      std::int64_t term() {
+        std::int64_t v = prim();
+        while (ok && i < end &&
+               (isPunct(toks[i], "*") || isPunct(toks[i], "/"))) {
+          const bool mul = toks[i].text == "*";
+          ++i;
+          const std::int64_t r = prim();
+          if (!mul && r == 0) {
+            ok = false;
+            return 0;
+          }
+          v = mul ? v * r : v / r;
+        }
+        return v;
+      }
+      std::int64_t prim() {
+        if (i >= end) {
+          ok = false;
+          return 0;
+        }
+        if (isPunct(toks[i], "(")) {
+          ++i;
+          const std::int64_t v = expr();
+          if (i < end && isPunct(toks[i], ")"))
+            ++i;
+          else
+            ok = false;
+          return v;
+        }
+        if (toks[i].kind == TokKind::kNumber) {
+          const Interval iv = literalInterval(toks[i].text);
+          ++i;
+          if (!iv.isConst()) {
+            ok = false;
+            return 0;
+          }
+          return iv.lo;
+        }
+        if (toks[i].kind == TokKind::kIdent) {
+          std::string id = toks[i].text;
+          ++i;
+          while (i + 1 < end && isPunct(toks[i], "::") &&
+                 toks[i + 1].kind == TokKind::kIdent) {
+            id = toks[i + 1].text;
+            i += 2;
+          }
+          const auto it = gi.consts.find(id);
+          if (it == gi.consts.end()) {
+            ok = false;
+            return 0;
+          }
+          return it->second;
+        }
+        ok = false;
+        return 0;
+      }
+    };
+    ConstEval ev{toks, *gi, eq + 1, semi};
+    const std::int64_t v = ev.expr();
+    if (ev.ok && ev.i == semi) gi->consts[name] = v;
+  }
+}
+
+// ---- the pass ---------------------------------------------------------------
+
+using Env = std::map<std::string, AbsVal>;
+
+struct ScheduleSite {
+  const FileCtx* file = nullptr;
+  int line = 0;             // line of the schedule/scheduleAt token
+  bool relative = false;    // schedule(delay) vs scheduleAt(time)
+  bool proven = false;      // time arg provably >= now / delay >= 0
+  long long delta_lo = 0;   // proven lower bound on (event time - now), ns
+  bool delta_finite = false;
+  std::string fn;           // enclosing function name (for site details)
+  bool has_lambda = false;  // a lambda argument was scheduled
+  int lambda_first = 0;     // line span of that lambda's body
+  int lambda_last = 0;
+};
+
+struct DeferredLambda {
+  const FileCtx* file = nullptr;
+  std::size_t tok_begin = 0;  // body token range (inside the braces)
+  std::size_t tok_end = 0;
+  Env env;                    // capture env, now-anchors demoted
+  std::string fn;             // enclosing function name
+};
+
+constexpr int kMaxCallDepth = 4;
+constexpr int kWidenAfterVisits = 3;
+
+/// The shared lexer emits one punctuation character per token (the per-file
+/// rules and gcpart count bare < and > for template depth and detect `+=` as
+/// a `+` `=` pair).  The dataflow interpreter wants real operators, so it
+/// fuses adjacent single-char puncts on its private token copy.  `<<`, `>>`
+/// and their compound assignments stay unfused — collapsing the `>` `>` that
+/// closes a nested template argument list would break every depth counter.
+/// Without column information `a - -b` fuses like `a-- b`; the result is
+/// interval imprecision (the operand evaluates to top), never a false proof.
+void fuseFlowOperators(Tokens& toks) {
+  static const std::set<std::pair<std::string, std::string>> kFuse = {
+      {"+", "+"}, {"-", "-"}, {"+", "="}, {"-", "="}, {"*", "="},
+      {"/", "="}, {"%", "="}, {"&", "="}, {"|", "="}, {"^", "="},
+      {"=", "="}, {"!", "="}, {"<", "="}, {">", "="}, {"&", "&"},
+      {"|", "|"},
+  };
+  Tokens out;
+  out.reserve(toks.size());
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (i + 1 < toks.size() && toks[i].kind == TokKind::kPunct &&
+        toks[i + 1].kind == TokKind::kPunct &&
+        toks[i].line == toks[i + 1].line &&
+        kFuse.count({toks[i].text, toks[i + 1].text}) != 0) {
+      out.push_back(
+          Token{TokKind::kPunct, toks[i].text + toks[i + 1].text,
+                toks[i].line});
+      ++i;
+      continue;
+    }
+    out.push_back(toks[i]);
+  }
+  toks = std::move(out);
+}
+
+class FlowPass {
+ public:
+  explicit FlowPass(const std::vector<PartFile>& files) {
+    std::vector<PartFile> sorted = files;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PartFile& a, const PartFile& b) {
+                return a.path < b.path;
+              });
+    files_.reserve(sorted.size());
+    for (const PartFile& f : sorted) {
+      FileCtx ctx;
+      ctx.path = f.path;
+      ctx.ts = tokenize(f.source);
+      fuseFlowOperators(ctx.ts.tokens);
+      ctx.cfgs = buildFunctionCfgs(ctx.ts.tokens);
+      ctx.dirs = parseFlowDirectives(f.path, ctx.ts);
+      files_.push_back(std::move(ctx));
+    }
+    scanAliases(files_, &gi_);
+    for (const FileCtx& f : files_) scanConstants(f, &gi_);
+    for (const FileCtx& f : files_) scanDeclTypes(f, &gi_);
+    for (const FileCtx& f : files_) {
+      for (const RangeAnno& a : f.dirs.ranges) gi_.ranges[a.name] = a.val;
+      for (const std::string& n : f.dirs.nonneg_names) gi_.nonneg.insert(n);
+      for (const FunctionCfg& cfg : f.cfgs)
+        gi_.fns[cfg.name].push_back(FnDef{&f, &cfg});
+      for (const Diagnostic& d : f.dirs.errors) addDiag(d);
+    }
+  }
+
+  FlowResult run(const std::vector<PartCrossing>& crossings) {
+    for (const FileCtx& f : files_) {
+      cur_file_ = &f;
+      for (const FunctionCfg& cfg : f.cfgs) {
+        ++functions_analyzed_;
+        interpretFunction(f, cfg, nullptr, 0, /*record=*/true);
+      }
+    }
+    assembleLookahead(crossings);
+    matchAllows();
+    return finish();
+  }
+
+ private:
+  // -- diagnostics --
+  void addDiag(const Diagnostic& d) {
+    const std::string key =
+        d.file + "\n" + std::to_string(d.line) + "\n" + d.rule + "\n" +
+        d.message;
+    if (!diag_keys_.insert(key).second) return;
+    diags_.push_back(d);
+  }
+  void diag(int line, const char* rule, const std::string& msg) {
+    addDiag({cur_file_->path, line, rule, msg});
+  }
+
+  // -- seeds --
+  AbsVal seedFor(const std::string& name) const {
+    const auto ra = gi_.ranges.find(name);
+    if (ra != gi_.ranges.end()) return ra->second;
+    const auto c = gi_.consts.find(name);
+    if (c != gi_.consts.end()) return plainVal(Interval::constant(c->second));
+    if (gi_.nonneg.count(name) || local_nonneg_.count(name))
+      return plainVal(Interval::nonneg());
+    const auto t = gi_.types.find(name);
+    if (t != gi_.types.end()) return plainVal(seedForType(t->second));
+    return plainTop();
+  }
+
+  AbsVal lookup(const Env& env, const std::string& name) const {
+    const auto it = env.find(name);
+    if (it != env.end()) return it->second;
+    return seedFor(name);
+  }
+
+  bool isNonnegCounter(const std::string& name) const {
+    return gi_.nonneg.count(name) != 0 || local_nonneg_.count(name) != 0;
+  }
+
+  Env joinEnvs(const Env& a, const Env& b) const {
+    Env r = a;
+    for (const auto& [k, v] : b) {
+      const auto it = r.find(k);
+      if (it == r.end())
+        r[k] = joinVal(v, seedFor(k));
+      else
+        it->second = joinVal(it->second, v);
+    }
+    for (auto& [k, v] : r)
+      if (b.find(k) == b.end()) v = joinVal(v, seedFor(k));
+    return r;
+  }
+
+  bool sameEnv(const Env& a, const Env& b) const {
+    if (a.size() != b.size()) return false;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    for (; ia != a.end(); ++ia, ++ib)
+      if (ia->first != ib->first || !sameVal(ia->second, ib->second))
+        return false;
+    return true;
+  }
+
+  // -- expression evaluation (precedence climbing over a token range) --
+  struct EvalCtx {
+    Env* env = nullptr;
+    bool record = false;
+    int depth = 0;
+    std::string fn;  // enclosing function name
+  };
+
+  /// Root variable name of an lvalue token range: the last plain identifier
+  /// of the member chain before any subscript (`ctx->reserved_send_slots`,
+  /// `s.send_credits[i]`, `credit`).  Empty when the range is not a chain.
+  static std::string rootName(const Tokens& toks, std::size_t b,
+                              std::size_t e) {
+    std::string last;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kIdent) {
+        last = t.text;
+        continue;
+      }
+      if (isPunct(t, ".") || isPunct(t, "->") || isPunct(t, "::") ||
+          isPunct(t, "*") || isPunct(t, "(") || isPunct(t, ")"))
+        continue;
+      if (isPunct(t, "[")) break;  // subscript: root is the container
+      return "";
+    }
+    return last;
+  }
+
+  static bool tokensEqual(const Tokens& toks, std::size_t b1, std::size_t e1,
+                          std::size_t b2, std::size_t e2) {
+    if (e1 - b1 != e2 - b2) return false;
+    for (std::size_t i = 0; i < e1 - b1; ++i)
+      if (toks[b1 + i].text != toks[b2 + i].text) return false;
+    return e1 > b1;
+  }
+
+  /// Evaluate toks[b, e) as an expression.  `ec.env` is read (and never
+  /// written — statement handling owns writes); sinks (schedule sites,
+  /// narrowing casts, overflow) are recorded when ec.record.
+  AbsVal evalExpr(const Tokens& toks, std::size_t b, std::size_t e,
+                  EvalCtx& ec) {
+    std::size_t i = b;
+    return evalTernary(toks, i, e, ec);
+  }
+
+  AbsVal evalTernary(const Tokens& toks, std::size_t& i, std::size_t e,
+                     EvalCtx& ec) {
+    const std::size_t cond_b = i;
+    AbsVal cond = evalBinary(toks, i, e, ec, 0);
+    if (i >= e || !isPunct(toks[i], "?")) return cond;
+    const std::size_t cond_e = i;
+    ++i;
+    const std::size_t then_b = i;
+    AbsVal tv = evalTernary(toks, i, e, ec);
+    const std::size_t then_e = i;
+    if (i < e && isPunct(toks[i], ":")) ++i;
+    const std::size_t else_b = i;
+    AbsVal ev = evalTernary(toks, i, e, ec);
+    const std::size_t else_e = i;
+    // `A > B ? A : B` (and friends) is max/min, which preserves the
+    // now-anchor; anything else joins the branches.
+    std::size_t cmp = cond_b;
+    int depth = 0;
+    for (; cmp < cond_e; ++cmp) {
+      if (isPunct(toks[cmp], "(")) ++depth;
+      if (isPunct(toks[cmp], ")")) --depth;
+      if (depth == 0 && (isPunct(toks[cmp], ">") || isPunct(toks[cmp], "<") ||
+                         isPunct(toks[cmp], ">=") || isPunct(toks[cmp], "<=")))
+        break;
+    }
+    if (cmp < cond_e) {
+      const bool greater = toks[cmp].text == ">" || toks[cmp].text == ">=";
+      const bool then_is_lhs =
+          tokensEqual(toks, cond_b, cmp, then_b, then_e) &&
+          tokensEqual(toks, cmp + 1, cond_e, else_b, else_e);
+      const bool then_is_rhs =
+          tokensEqual(toks, cond_b, cmp, else_b, else_e) &&
+          tokensEqual(toks, cmp + 1, cond_e, then_b, then_e);
+      if (then_is_lhs || then_is_rhs) {
+        const bool is_max = greater == then_is_lhs;
+        return is_max ? maxVal(tv, ev) : minVal(tv, ev);
+      }
+    }
+    return joinVal(tv, ev);
+  }
+
+  /// Precedence-climbing core.  Levels (low to high): || ; && ; | ; ^ ; & ;
+  /// == != ; < <= > >= ; << >> ; + - ; * / %.
+  static int precOf(const Token& t) {
+    if (t.kind != TokKind::kPunct) return -1;
+    const std::string& s = t.text;
+    if (s == "||") return 1;
+    if (s == "&&") return 2;
+    if (s == "|") return 3;
+    if (s == "^") return 4;
+    if (s == "&") return 5;
+    if (s == "==" || s == "!=") return 6;
+    if (s == "<" || s == "<=" || s == ">" || s == ">=") return 7;
+    if (s == "<<" || s == ">>") return 8;
+    if (s == "+" || s == "-") return 9;
+    if (s == "*" || s == "/" || s == "%") return 10;
+    return -1;
+  }
+
+  AbsVal evalBinary(const Tokens& toks, std::size_t& i, std::size_t e,
+                    EvalCtx& ec, int min_prec) {
+    std::size_t lhs_b = i;
+    AbsVal lhs = evalUnary(toks, i, e, ec);
+    std::size_t lhs_e = i;
+    while (i < e) {
+      const int prec = precOf(toks[i]);
+      if (prec < 0 || prec < min_prec) break;
+      // `<` that opens template arguments would have been consumed by the
+      // primary parser (static_cast et al); a stray `>` closing something
+      // ends the expression via prec checks upstream.
+      const Token op = toks[i];
+      const std::size_t op_idx = i;
+      ++i;
+      const std::size_t rhs_b = i;
+      AbsVal rhs = evalBinary(toks, i, e, ec, prec + 1);
+      const std::size_t rhs_e = i;
+      lhs = applyBinary(toks, op, op_idx, lhs, lhs_b, lhs_e, rhs, rhs_b,
+                        rhs_e, ec);
+      lhs_e = i;
+      (void)rhs_e;
+    }
+    return lhs;
+  }
+
+  AbsVal applyBinary(const Tokens& toks, const Token& op, std::size_t op_idx,
+                     const AbsVal& a, std::size_t a_b, std::size_t a_e,
+                     const AbsVal& b, std::size_t b_b, std::size_t b_e,
+                     EvalCtx& ec) {
+    const std::string& s = op.text;
+    if (s == "+" || s == "*") {
+      // Provable u64 wrap: nonnegative operands whose finite upper bounds
+      // exceed 2^64-1.  (The stored domain saturates at i64 max, so use
+      // exact 128-bit math on the bounds here.)
+      if (ec.record && a.iv.lo >= 0 && b.iv.lo >= 0 &&
+          a.iv.hi != Interval::kPosInf && b.iv.hi != Interval::kPosInf) {
+        const __int128 hi = s == "+"
+                                ? static_cast<__int128>(a.iv.hi) + b.iv.hi
+                                : static_cast<__int128>(a.iv.hi) * b.iv.hi;
+        if (hi > static_cast<__int128>(UINT64_MAX))
+          diag(op.line, kFlowIntOverflow,
+               "u64 arithmetic can wrap: bounds " + a.iv.str() + " " + s +
+                   " " + b.iv.str() + " exceed 2^64-1");
+      }
+      AbsVal r;
+      if (s == "+") {
+        // now + d / d + now stays anchored; now + now is nonsense the tree
+        // never writes (joins would demote it anyway).
+        r.base = (a.nowBased() != b.nowBased()) ? AbsVal::kNowBase
+                                                : AbsVal::kPlainBase;
+        if (a.nowBased() && b.nowBased()) r.base = AbsVal::kPlainBase;
+        r.iv = addI(a.iv, b.iv, nullptr);
+      } else {
+        if (a.nowBased() || b.nowBased()) return plainTop();
+        r.iv = mulI(a.iv, b.iv, nullptr);
+      }
+      return r;
+    }
+    if (s == "-") {
+      AbsVal r;
+      if (a.nowBased() && b.nowBased()) {
+        r.iv = subI(a.iv, b.iv, nullptr);  // anchors cancel
+      } else if (a.nowBased()) {
+        r.base = AbsVal::kNowBase;
+        r.iv = subI(a.iv, b.iv, nullptr);
+      } else if (b.nowBased()) {
+        return plainTop();  // "-now": no useful base
+      } else {
+        r.iv = subI(a.iv, b.iv, nullptr);
+      }
+      return r;
+    }
+    if (s == "/") return plainVal(divI(demoteNow(a).iv, demoteNow(b).iv));
+    if (s == "%") {
+      const Interval bi = demoteNow(b).iv;
+      if (bi.lo >= 1)
+        return plainVal(Interval::range(
+            0, bi.hi == Interval::kPosInf ? Interval::kPosInf : bi.hi - 1));
+      return plainTop();
+    }
+    if (s == "&") {
+      AbsVal r = plainVal(andI(demoteNow(a).iv, demoteNow(b).iv));
+      std::set_union(a.gates.begin(), a.gates.end(), b.gates.begin(),
+                     b.gates.end(), std::inserter(r.gates, r.gates.end()));
+      return r;
+    }
+    if (s == "&&") {
+      AbsVal r = plainVal(Interval::boolean());
+      std::set_union(a.gates.begin(), a.gates.end(), b.gates.begin(),
+                     b.gates.end(), std::inserter(r.gates, r.gates.end()));
+      return r;
+    }
+    if (s == "||") return plainVal(Interval::boolean());
+    if (s == "|" || s == "^" || s == "<<" || s == ">>") return plainTop();
+    if (s == "==" || s == "!=" || s == "<" || s == "<=" || s == ">" ||
+        s == ">=") {
+      AbsVal r = plainVal(Interval::boolean());
+      // Guard fact: `c > 0` / `c >= 1` / `c != 0` (for nonneg c) means the
+      // comparison being true implies c >= 1 — the credit gate.
+      const std::string root = rootName(toks, a_b, a_e);
+      if (!root.empty() && b_e - b_b == 1 &&
+          toks[b_b].kind == TokKind::kNumber) {
+        const Interval c = literalInterval(toks[b_b].text);
+        const bool gt0 = (s == ">" && c.isConst() && c.lo == 0) ||
+                         (s == ">=" && c.isConst() && c.lo == 1) ||
+                         (s == "!=" && c.isConst() && c.lo == 0 &&
+                          lookup(*ec.env, root).iv.lo >= 0);
+        if (gt0) r.gates.insert(root);
+      }
+      return r;
+    }
+    (void)op_idx;
+    return plainTop();
+  }
+
+  AbsVal evalUnary(const Tokens& toks, std::size_t& i, std::size_t e,
+                   EvalCtx& ec) {
+    if (i >= e) return plainTop();
+    const Token& t = toks[i];
+    if (isPunct(t, "-")) {
+      ++i;
+      AbsVal v = evalUnary(toks, i, e, ec);
+      return plainVal(negI(demoteNow(v).iv));
+    }
+    if (isPunct(t, "+")) {
+      ++i;
+      return evalUnary(toks, i, e, ec);
+    }
+    if (isPunct(t, "!")) {
+      ++i;
+      evalUnary(toks, i, e, ec);
+      return plainVal(Interval::boolean());
+    }
+    if (isPunct(t, "~") || isPunct(t, "*") || isPunct(t, "&")) {
+      ++i;
+      evalUnary(toks, i, e, ec);
+      return plainTop();
+    }
+    if (isPunct(t, "++") || isPunct(t, "--")) {
+      ++i;
+      return evalUnary(toks, i, e, ec);  // side effect handled by statements
+    }
+    return evalPostfix(toks, i, e, ec);
+  }
+
+  /// Primary + postfix: literals, parens, lambdas, static_cast, identifier
+  /// chains with calls and subscripts.
+  AbsVal evalPostfix(const Tokens& toks, std::size_t& i, std::size_t e,
+                     EvalCtx& ec) {
+    if (i >= e) return plainTop();
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kNumber) {
+      ++i;
+      return plainVal(literalInterval(t.text));
+    }
+    if (t.kind == TokKind::kString || t.kind == TokKind::kChar) {
+      ++i;
+      return plainTop();
+    }
+    if (isPunct(t, "(")) {
+      const std::size_t close = matchParen(toks, i);
+      std::size_t j = i + 1;
+      AbsVal v = evalTernary(toks, j, close, ec);
+      i = close + 1;
+      return evalPostfixOps(toks, i, e, ec, v, "");
+    }
+    if (isPunct(t, "[")) {  // lambda literal in expression position
+      return evalLambda(toks, i, e, ec);
+    }
+    if (isPunct(t, "{")) {  // brace-init: evaluate members, value unknown
+      i = skipBalanced(toks, i);
+      return plainTop();
+    }
+    if (t.kind != TokKind::kIdent) {
+      ++i;
+      return plainTop();
+    }
+    // static_cast<T>(expr) and friends.
+    if ((t.text == "static_cast" || t.text == "reinterpret_cast" ||
+         t.text == "const_cast") &&
+        i + 1 < e && isPunct(toks[i + 1], "<")) {
+      std::size_t j = i + 2;
+      int depth = 1;
+      std::string type_last;
+      bool saw_unsigned = false;
+      while (j < e && depth > 0) {
+        if (isPunct(toks[j], "<")) ++depth;
+        if (isPunct(toks[j], ">")) --depth;
+        if (depth > 0 && toks[j].kind == TokKind::kIdent) {
+          if (toks[j].text == "unsigned") saw_unsigned = true;
+          type_last = toks[j].text;
+        }
+        ++j;
+      }
+      NumType dest = resolveTypeName(gi_, type_last);
+      if (saw_unsigned && type_last == "long") dest = NumType::kU64;
+      if (saw_unsigned && type_last == "unsigned") dest = NumType::kU32;
+      AbsVal v = plainTop();
+      if (j < e && isPunct(toks[j], "(")) {
+        const std::size_t close = matchParen(toks, j);
+        std::size_t k = j + 1;
+        v = evalTernary(toks, k, close, ec);
+        j = close + 1;
+      }
+      if (ec.record && t.text == "static_cast" && !fitsIn(v.iv, dest) &&
+          narrowEvidence(v))
+        diag(t.line, kFlowIntNarrow,
+             "static_cast narrows a value with bounds " + v.iv.str() +
+                 " outside the destination type's range");
+      AbsVal r;
+      // A cast to a 64-bit type cannot change an anchored time; narrower
+      // casts drop the anchor along with the high bits.
+      if (v.nowBased() && (dest == NumType::kU64 || dest == NumType::kI64 ||
+                           dest == NumType::kOther)) {
+        r = v;
+      } else {
+        r = plainVal(clampToType(demoteNow(v).iv, dest));
+        r.gates = v.gates;
+      }
+      i = j;
+      return evalPostfixOps(toks, i, e, ec, r, "");
+    }
+    // Identifier chain: a(::b)* then postfix (. -> call subscript).
+    std::string name = t.text;
+    ++i;
+    while (i + 1 < e && isPunct(toks[i], "::") &&
+           toks[i + 1].kind == TokKind::kIdent) {
+      name = toks[i + 1].text;
+      i += 2;
+    }
+    // Template arguments on a call: foo<Bar>(x) — skip the <...> if it is
+    // directly followed by '(' (heuristic; plain comparisons never are).
+    if (i < e && isPunct(toks[i], "<")) {
+      std::size_t j = i;
+      int depth = 0;
+      while (j < e) {
+        if (isPunct(toks[j], "<")) ++depth;
+        if (isPunct(toks[j], ">")) {
+          if (--depth == 0) break;
+        }
+        if (isPunct(toks[j], ";") || isPunct(toks[j], "{")) break;
+        ++j;
+      }
+      if (j < e && isPunct(toks[j], ">") && j + 1 < e &&
+          isPunct(toks[j + 1], "(") )
+        i = j + 1;
+    }
+    if (i < e && isPunct(toks[i], "(")) {
+      AbsVal v = evalCall(toks, i, e, ec, name, /*receiver=*/"");
+      return evalPostfixOps(toks, i, e, ec, v, name);
+    }
+    AbsVal v = lookup(*ec.env, name);
+    return evalPostfixOps(toks, i, e, ec, v, name);
+  }
+
+  /// Postfix operators after a primary: member access (which re-roots the
+  /// value at the member name), calls, subscripts, ++/--.
+  AbsVal evalPostfixOps(const Tokens& toks, std::size_t& i, std::size_t e,
+                        EvalCtx& ec, AbsVal v, std::string last_name) {
+    while (i < e) {
+      if (isPunct(toks[i], ".") || isPunct(toks[i], "->")) {
+        if (i + 1 >= e || toks[i + 1].kind != TokKind::kIdent) {
+          ++i;
+          return v;
+        }
+        const std::string member = toks[i + 1].text;
+        i += 2;
+        if (i < e && isPunct(toks[i], "(")) {
+          v = evalCall(toks, i, e, ec, member, last_name);
+          last_name = member;
+          continue;
+        }
+        v = lookup(*ec.env, member);
+        last_name = member;
+        continue;
+      }
+      if (isPunct(toks[i], "[")) {
+        const std::size_t close = skipBalanced(toks, i);
+        std::size_t j = i + 1;
+        evalTernary(toks, j, close - 1, ec);  // index side effects/sinks
+        i = close;
+        // v already holds the container's (= element) seed by name.
+        continue;
+      }
+      if (isPunct(toks[i], "++") || isPunct(toks[i], "--")) {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    return v;
+  }
+
+  /// A lambda literal: record its body for deferred interpretation (the
+  /// scheduled-event bodies are where cross-LP writes live) and yield top.
+  AbsVal evalLambda(const Tokens& toks, std::size_t& i, std::size_t e,
+                    EvalCtx& ec) {
+    const std::size_t cap_close = skipBalanced(toks, i);  // past ']'
+    std::size_t j = cap_close;
+    if (j < e && isPunct(toks[j], "(")) j = skipBalanced(toks, j);
+    while (j < e && !isPunct(toks[j], "{") && !isPunct(toks[j], ";")) ++j;
+    if (j >= e || !isPunct(toks[j], "{")) {
+      i = cap_close;
+      return plainTop();
+    }
+    const std::size_t body_close = skipBalanced(toks, j) - 1;
+    if (ec.record) {
+      DeferredLambda d;
+      d.file = cur_file_;
+      d.tok_begin = j + 1;
+      d.tok_end = body_close;
+      for (const auto& [k, val] : *ec.env) d.env[k] = demoteNow(val);
+      d.fn = ec.fn;
+      deferred_.push_back(std::move(d));
+      pending_lambda_ = {toks[j].line, toks[body_close].line};
+      has_pending_lambda_ = true;
+    }
+    i = body_close + 1;
+    return plainTop();
+  }
+
+  /// Split the argument list of the call whose '(' is at `open` into
+  /// top-level comma-separated token ranges.
+  static std::vector<std::pair<std::size_t, std::size_t>> splitArgs(
+      const Tokens& toks, std::size_t open, std::size_t close) {
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    std::size_t b = open + 1;
+    int depth = 0;
+    for (std::size_t i = open + 1; i < close; ++i) {
+      const Token& t = toks[i];
+      if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) ++depth;
+      if (isPunct(t, ")") || isPunct(t, "]") || isPunct(t, "}")) --depth;
+      if (depth == 0 && isPunct(t, ",")) {
+        args.emplace_back(b, i);
+        b = i + 1;
+      }
+    }
+    if (close > b) args.emplace_back(b, close);
+    return args;
+  }
+
+  AbsVal evalCall(const Tokens& toks, std::size_t& i, std::size_t e,
+                  EvalCtx& ec, const std::string& callee,
+                  const std::string& receiver) {
+    const std::size_t open = i;
+    const std::size_t close = matchParen(toks, open);
+    const auto args = splitArgs(toks, open, close);
+    const int call_line = toks[open].line;
+
+    // Evaluate arguments left to right (records their sinks and queues any
+    // lambda bodies).
+    has_pending_lambda_ = false;
+    std::vector<AbsVal> argv;
+    bool lambda_arg = false;
+    int lam_first = 0;
+    int lam_last = 0;
+    for (const auto& [ab, ae] : args) {
+      std::size_t j = ab;
+      argv.push_back(evalTernary(toks, j, ae, ec));
+      if (has_pending_lambda_) {
+        lambda_arg = true;
+        lam_first = pending_lambda_.first;
+        lam_last = pending_lambda_.second;
+        has_pending_lambda_ = false;
+      }
+    }
+    i = close + 1;
+
+    // Schedule sinks: member calls named schedule/scheduleAt.
+    const bool member_call =
+        open >= 2 && (isPunct(toks[open - 2], ".") ||
+                      isPunct(toks[open - 2], "->") ||
+                      !receiver.empty());
+    if (ec.record && member_call && !argv.empty() &&
+        (callee == "schedule" || callee == "scheduleAt")) {
+      ScheduleSite site;
+      site.file = cur_file_;
+      site.line = call_line;
+      site.relative = callee == "schedule";
+      site.fn = ec.fn;
+      const AbsVal& t0 = argv[0];
+      if (site.relative) {
+        site.proven = t0.iv.lo >= 0 && !t0.nowBased();
+        site.delta_lo = t0.iv.lo;
+        site.delta_finite = t0.iv.lo != Interval::kNegInf;
+        if (!site.proven)
+          diag(call_line, kFlowTimeMonotonic,
+               "schedule() delay has bounds " + t0.iv.str() +
+                   ": not provably >= 0 (a negative u64 wraps and "
+                   "schedules into the far future)");
+      } else {
+        site.proven = t0.nowBased() && t0.iv.lo >= 0;
+        site.delta_lo = t0.iv.lo;
+        site.delta_finite = t0.iv.lo != Interval::kNegInf;
+        if (!site.proven)
+          diag(call_line, kFlowTimeMonotonic,
+               std::string("scheduleAt() time is not provably >= now (") +
+                   (t0.nowBased() ? "now+" : "") + t0.iv.str() +
+                   "); a past time silently clamps and reorders events");
+      }
+      site.has_lambda = lambda_arg;
+      site.lambda_first = lam_first;
+      site.lambda_last = lam_last;
+      sites_.push_back(site);
+      ++schedule_sites_;
+      return plainTop();
+    }
+
+    // Intrinsics.
+    if (callee == "max" || callee == "min") {
+      if (argv.size() == 2)
+        return callee == "max" ? maxVal(argv[0], argv[1])
+                               : minVal(argv[0], argv[1]);
+      return plainTop();
+    }
+    if (callee == "move" || callee == "forward")
+      return argv.empty() ? plainTop() : argv[0];
+    if (callee == "size" || callee == "capacity" || callee == "freeSlots" ||
+        callee == "length" || callee == "count")
+      if (gi_.fns.find(callee) == gi_.fns.end())
+        return plainVal(Interval::nonneg());
+
+    // Annotated return range beats a computed summary.
+    const auto ra = gi_.ranges.find(callee);
+    if (ra != gi_.ranges.end()) return ra->second;
+
+    // Bottom-up summary: interpret every definition with these arguments.
+    const auto defs = gi_.fns.find(callee);
+    if (defs == gi_.fns.end() || ec.depth >= kMaxCallDepth) return plainTop();
+    AbsVal ret;
+    ret.iv = Interval::bottom();
+    bool any = false;
+    for (const FnDef& def : defs->second) {
+      if (call_stack_.count(def.cfg)) continue;  // recursion: stay top
+      const AbsVal r =
+          interpretFunction(*def.file, *def.cfg, &argv, ec.depth + 1,
+                            /*record=*/false);
+      ret = any ? joinVal(ret, r) : r;
+      any = true;
+    }
+    return any ? ret : plainTop();
+  }
+
+  // -- statement interpretation ----------------------------------------------
+
+  /// Interpret a token range as a statement sequence: used both for CFG node
+  /// bodies (already statement-granular) and for deferred lambda bodies
+  /// (straight-line approximation: branch bodies all execute, joins happen
+  /// implicitly through weak updates and the final env being per-statement).
+  void interpretRange(const Tokens& toks, std::size_t b, std::size_t e,
+                      EvalCtx& ec) {
+    std::size_t i = b;
+    while (i < e) {
+      const Token& t = toks[i];
+      if (isPunct(t, ";") || isPunct(t, "}") || isPunct(t, ":")) {
+        ++i;
+        continue;
+      }
+      if (isPunct(t, "{")) {
+        const std::size_t past = skipBalanced(toks, i);
+        interpretRange(toks, i + 1, past > i + 1 ? past - 1 : i + 1, ec);
+        i = past;
+        continue;
+      }
+      if (isIdent(t, "if") || isIdent(t, "while") || isIdent(t, "switch")) {
+        ++i;
+        if (i < e && isPunct(toks[i], "(")) {
+          const std::size_t close = matchParen(toks, i);
+          std::size_t j = i + 1;
+          evalTernary(toks, j, close, ec);
+          i = close + 1;
+        }
+        continue;
+      }
+      if (isIdent(t, "for")) {
+        ++i;
+        if (i < e && isPunct(toks[i], "(")) {
+          const std::size_t close = matchParen(toks, i);
+          interpretRange(toks, i + 1, close, ec);
+          i = close + 1;
+        }
+        continue;
+      }
+      if (isIdent(t, "else") || isIdent(t, "do")) {
+        ++i;
+        continue;
+      }
+      if (isIdent(t, "case")) {
+        while (i < e && !isPunct(toks[i], ":")) ++i;
+        continue;
+      }
+      // Statement: runs to the next top-level ';' (balanced groups opaque).
+      std::size_t j = i;
+      while (j < e) {
+        if (isPunct(toks[j], "(") || isPunct(toks[j], "[") ||
+            isPunct(toks[j], "{")) {
+          j = skipBalanced(toks, j);
+          continue;
+        }
+        if (isPunct(toks[j], ";") || isPunct(toks[j], "}")) break;
+        ++j;
+      }
+      interpretStmt(toks, i, j, ec);
+      i = j < e ? j + 1 : e;
+    }
+  }
+
+  void interpretStmt(const Tokens& toks, std::size_t b, std::size_t e,
+                     EvalCtx& ec) {
+    while (e > b && isPunct(toks[e - 1], ";")) --e;
+    if (b >= e) return;
+    Env& env = *ec.env;
+    const Token& t0 = toks[b];
+    if (isIdent(t0, "return")) {
+      if (b + 1 < e) {
+        const AbsVal v = evalExpr(toks, b + 1, e, ec);
+        ret_ = ret_any_ ? joinVal(ret_, v) : v;
+        ret_any_ = true;
+      }
+      return;
+    }
+    if ((isIdent(t0, "GC_CHECK") || isIdent(t0, "GC_CHECK_MSG") ||
+         isIdent(t0, "assert")) &&
+        b + 1 < e && isPunct(toks[b + 1], "(")) {
+      const std::size_t close = matchParen(toks, b + 1);
+      std::size_t arg_end = close;
+      int depth = 0;
+      for (std::size_t i = b + 2; i < close; ++i) {
+        if (isPunct(toks[i], "(") || isPunct(toks[i], "[") ||
+            isPunct(toks[i], "{"))
+          ++depth;
+        if (isPunct(toks[i], ")") || isPunct(toks[i], "]") ||
+            isPunct(toks[i], "}"))
+          --depth;
+        if (depth == 0 && isPunct(toks[i], ",")) {
+          arg_end = i;
+          break;
+        }
+      }
+      std::size_t j = b + 2;
+      evalTernary(toks, j, arg_end, ec);
+      applyAssume(toks, b + 2, arg_end, ec);
+      return;
+    }
+    if (isIdent(t0, "break") || isIdent(t0, "continue") || isIdent(t0, "goto"))
+      return;
+    if (isPunct(t0, "++") || isPunct(t0, "--")) {
+      applyIncDec(toks, t0, b + 1, e, ec);
+      return;
+    }
+    if (e - b >= 2 &&
+        (isPunct(toks[e - 1], "++") || isPunct(toks[e - 1], "--"))) {
+      applyIncDec(toks, toks[e - 1], b, e - 1, ec);
+      return;
+    }
+    // Top-level assignment operator?
+    std::size_t eq = e;
+    std::string op;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks[i];
+      if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) {
+        i = skipBalanced(toks, i) - 1;
+        continue;
+      }
+      if (t.kind != TokKind::kPunct) continue;
+      const std::string& s = t.text;
+      if (s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+          s == "%=" || s == "&=" || s == "|=" || s == "^=" || s == "<<=" ||
+          s == ">>=") {
+        eq = i;
+        op = s;
+        break;
+      }
+      if (s == "?") break;
+    }
+    if (eq == e) {
+      evalExpr(toks, b, e, ec);
+      return;
+    }
+    AbsVal rhs = evalExpr(toks, eq + 1, e, ec);
+    // LHS shape: member access / subscript / declaration?
+    bool has_member = false;
+    bool has_sub = false;
+    bool has_ref = false;
+    int idents = 0;
+    std::string last_ident;
+    for (std::size_t i = b; i < eq; ++i) {
+      const Token& t = toks[i];
+      if (isPunct(t, ".") || isPunct(t, "->")) has_member = true;
+      if (isPunct(t, "[")) {
+        has_sub = true;
+        i = skipBalanced(toks, i) - 1;
+        continue;
+      }
+      if (isPunct(t, "<")) {  // template args in a decl type
+        std::size_t k = i;
+        int d = 0;
+        while (k < eq) {
+          if (isPunct(toks[k], "<")) ++d;
+          if (isPunct(toks[k], ">") && --d == 0) break;
+          ++k;
+        }
+        if (k < eq) {
+          i = k;
+          continue;
+        }
+      }
+      if (isPunct(t, "&")) has_ref = true;
+      if (t.kind == TokKind::kIdent && t.text != "const" &&
+          t.text != "static" && t.text != "constexpr") {
+        last_ident = t.text;
+        ++idents;
+      }
+    }
+    const std::string root = rootName(toks, b, eq);
+    const bool is_decl = idents >= 2 && !has_member && !has_sub;
+    if (op != "=") {
+      applyCompound(toks[eq], op, root.empty() ? last_ident : root, has_sub,
+                    rhs, ec);
+      return;
+    }
+    if (is_decl) {
+      const std::string name = last_ident;
+      const std::string rroot = rootName(toks, eq + 1, e);
+      if (has_ref && !rroot.empty() && isNonnegCounter(rroot))
+        local_nonneg_.insert(name);
+      // Declared type: the last resolvable type identifier before the name.
+      NumType dt = NumType::kOther;
+      bool saw_unsigned = false;
+      for (std::size_t i = b; i < eq; ++i) {
+        if (toks[i].kind != TokKind::kIdent || toks[i].text == name) continue;
+        if (toks[i].text == "unsigned") saw_unsigned = true;
+        const NumType cand = resolveTypeName(gi_, toks[i].text);
+        if (cand != NumType::kOther) dt = cand;
+      }
+      if (saw_unsigned && (dt == NumType::kI64 || dt == NumType::kOther))
+        dt = NumType::kU64;
+      else if (saw_unsigned && dt == NumType::kI32)
+        dt = NumType::kU32;
+      if (dt != NumType::kOther && dt != NumType::kFloat) {
+        if (ec.record && !fitsIn(rhs.iv, dt) && !rhs.nowBased() &&
+            narrowEvidence(rhs))
+          diag(t0.line, kFlowIntNarrow,
+               "initializer with bounds " + rhs.iv.str() +
+                   " narrows into a type that cannot hold it");
+        if (!(rhs.nowBased() &&
+              (dt == NumType::kU64 || dt == NumType::kI64))) {
+          const std::set<std::string> gates = rhs.gates;
+          rhs = plainVal(clampToType(demoteNow(rhs).iv, dt));
+          rhs.gates = gates;
+        }
+      }
+      if (isNonnegCounter(name)) {
+        const Interval m = meet(rhs.iv, Interval::nonneg());
+        rhs.iv = m.empty ? Interval::nonneg() : m;
+      }
+      env[name] = rhs;
+      return;
+    }
+    if (root.empty()) return;
+    if (has_sub) {
+      env[root] = joinVal(lookup(env, root), rhs);
+    } else {
+      if (isNonnegCounter(root)) {
+        const Interval m = meet(rhs.iv, Interval::nonneg());
+        rhs.iv = m.empty ? Interval::nonneg() : m;
+      }
+      env[root] = rhs;
+    }
+  }
+
+  void applyIncDec(const Tokens& toks, const Token& op, std::size_t b,
+                   std::size_t e, EvalCtx& ec) {
+    const std::string root = rootName(toks, b, e);
+    if (root.empty()) return;
+    bool has_sub = false;
+    for (std::size_t i = b; i < e; ++i)
+      if (isPunct(toks[i], "[")) has_sub = true;
+    Env& env = *ec.env;
+    const AbsVal cur = lookup(env, root);
+    const bool dec = op.text == "--";
+    if (dec && ec.record && isNonnegCounter(root) && cur.iv.lo < 1)
+      diag(op.line, kFlowCreditUnderflow,
+           "decrement of nonneg counter '" + root + "' with bounds " +
+               cur.iv.str() + " can underflow below zero");
+    AbsVal nv = cur;
+    nv.iv = dec ? subI(cur.iv, Interval::constant(1), nullptr)
+                : addI(cur.iv, Interval::constant(1), nullptr);
+    nv.gates.clear();
+    if (isNonnegCounter(root)) {
+      const Interval m = meet(nv.iv, Interval::nonneg());
+      nv.iv = m.empty ? Interval::nonneg() : m;
+    }
+    env[root] = has_sub ? joinVal(cur, nv) : nv;
+  }
+
+  void applyCompound(const Token& op_tok, const std::string& op,
+                     const std::string& root, bool has_sub, const AbsVal& rhs,
+                     EvalCtx& ec) {
+    if (root.empty()) return;
+    Env& env = *ec.env;
+    const AbsVal cur = lookup(env, root);
+    AbsVal nv;
+    if (op == "+=") {
+      nv.base = cur.base;
+      nv.iv = addI(cur.iv, demoteNow(rhs).iv, nullptr);
+      if (ec.record && cur.iv.lo >= 0 && rhs.iv.lo >= 0 &&
+          cur.iv.hi != Interval::kPosInf && rhs.iv.hi != Interval::kPosInf &&
+          static_cast<__int128>(cur.iv.hi) + rhs.iv.hi >
+              static_cast<__int128>(UINT64_MAX))
+        diag(op_tok.line, kFlowIntOverflow,
+             "u64 accumulation can wrap: bounds " + cur.iv.str() + " += " +
+                 rhs.iv.str() + " exceed 2^64-1");
+    } else if (op == "-=") {
+      // The credit rule: a -= on a nonneg counter must be provably covered,
+      // either by magnitude (rhs.hi <= counter.lo) or by the branchless gate
+      // (rhs in [0,1] and rhs == 1 implies counter >= 1).
+      const bool gated = rhs.gates.count(root) != 0 && rhs.iv.lo >= 0 &&
+                         rhs.iv.hi <= 1;
+      const bool by_magnitude = rhs.iv.lo >= 0 &&
+                                rhs.iv.hi != Interval::kPosInf &&
+                                rhs.iv.hi <= cur.iv.lo;
+      if (ec.record && isNonnegCounter(root) && !gated && !by_magnitude)
+        diag(op_tok.line, kFlowCreditUnderflow,
+             "subtraction from nonneg counter '" + root + "' (bounds " +
+                 cur.iv.str() + " -= " + rhs.iv.str() +
+                 ") is not provably underflow-free");
+      nv.base = cur.base;
+      nv.iv = subI(cur.iv, demoteNow(rhs).iv, nullptr);
+    } else if (op == "*=") {
+      nv.iv = mulI(demoteNow(cur).iv, demoteNow(rhs).iv, nullptr);
+    } else if (op == "/=") {
+      nv.iv = divI(demoteNow(cur).iv, demoteNow(rhs).iv);
+    } else {
+      nv = plainTop();
+    }
+    if (isNonnegCounter(root)) {
+      const Interval m = meet(nv.iv, Interval::nonneg());
+      nv.iv = m.empty ? Interval::nonneg() : m;
+    }
+    env[root] = has_sub ? joinVal(cur, nv) : nv;
+  }
+
+  // -- assumptions (GC_CHECK / assert) ---------------------------------------
+
+  void applyAssume(const Tokens& toks, std::size_t b, std::size_t e,
+                   EvalCtx& ec) {
+    std::size_t start = b;
+    int depth = 0;
+    for (std::size_t i = b; i <= e; ++i) {
+      bool split = i == e;
+      if (!split) {
+        const Token& t = toks[i];
+        if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) ++depth;
+        if (isPunct(t, ")") || isPunct(t, "]") || isPunct(t, "}")) --depth;
+        split = depth == 0 && isPunct(t, "&&");
+      }
+      if (split) {
+        if (i > start) assumeOne(toks, start, i, ec);
+        start = i + 1;
+      }
+    }
+  }
+
+  void assumeOne(const Tokens& toks, std::size_t b, std::size_t e,
+                 EvalCtx& ec) {
+    int depth = 0;
+    std::size_t cmp = e;
+    for (std::size_t i = b; i < e; ++i) {
+      const Token& t = toks[i];
+      if (isPunct(t, "(") || isPunct(t, "[") || isPunct(t, "{")) ++depth;
+      if (isPunct(t, ")") || isPunct(t, "]") || isPunct(t, "}")) --depth;
+      if (depth == 0 && t.kind == TokKind::kPunct &&
+          (t.text == "==" || t.text == "!=" || t.text == "<" ||
+           t.text == "<=" || t.text == ">" || t.text == ">=")) {
+        cmp = i;
+        break;
+      }
+    }
+    Env& env = *ec.env;
+    if (cmp == e) {
+      // Bare truthiness of a nonneg chain: value >= 1.
+      const std::string root = rootName(toks, b, e);
+      if (root.empty()) return;
+      AbsVal v = lookup(env, root);
+      if (v.nowBased() || v.iv.lo < 0) return;
+      const Interval m = meet(v.iv, Interval::range(1, Interval::kPosInf));
+      if (!m.empty) {
+        v.iv = m;
+        env[root] = v;
+      }
+      return;
+    }
+    EvalCtx quiet = ec;
+    quiet.record = false;
+    std::string op = toks[cmp].text;
+    std::string root = rootName(toks, b, cmp);
+    std::size_t vb = cmp + 1;
+    std::size_t ve = e;
+    if (root.empty()) {
+      // Flipped form: literal < chain.
+      root = rootName(toks, cmp + 1, e);
+      if (root.empty()) return;
+      vb = b;
+      ve = cmp;
+      if (op == "<")
+        op = ">";
+      else if (op == "<=")
+        op = ">=";
+      else if (op == ">")
+        op = "<";
+      else if (op == ">=")
+        op = "<=";
+    }
+    const AbsVal rv = evalExpr(toks, vb, ve, quiet);
+    if (rv.nowBased()) return;
+    AbsVal v = lookup(env, root);
+    if (v.nowBased()) return;
+    Interval bound = Interval::top();
+    if (op == "==") {
+      bound = rv.iv;
+    } else if (op == "!=") {
+      if (rv.iv.isConst() && rv.iv.lo == 0 && v.iv.lo >= 0)
+        bound = Interval::range(1, Interval::kPosInf);
+    } else if (op == ">") {
+      if (rv.iv.lo != Interval::kNegInf && rv.iv.lo != Interval::kPosInf)
+        bound = Interval::range(rv.iv.lo + 1, Interval::kPosInf);
+    } else if (op == ">=") {
+      if (rv.iv.lo != Interval::kNegInf)
+        bound = Interval::range(rv.iv.lo, Interval::kPosInf);
+    } else if (op == "<") {
+      if (rv.iv.hi != Interval::kPosInf && rv.iv.hi != Interval::kNegInf)
+        bound = Interval::range(Interval::kNegInf, rv.iv.hi - 1);
+    } else if (op == "<=") {
+      if (rv.iv.hi != Interval::kPosInf)
+        bound = Interval::range(Interval::kNegInf, rv.iv.hi);
+    }
+    const Interval m = meet(v.iv, bound);
+    if (!m.empty) {
+      v.iv = m;
+      env[root] = v;
+    }
+  }
+
+  // -- the solver -------------------------------------------------------------
+
+  Env widenEnvs(const Env& prev, const Env& next) const {
+    Env r = prev;
+    for (const auto& [k, v] : next) {
+      const auto it = r.find(k);
+      if (it == r.end())
+        r[k] = widenVal(seedFor(k), v);
+      else
+        it->second = widenVal(it->second, v);
+    }
+    for (auto& [k, v] : r)
+      if (next.find(k) == next.end()) v = widenVal(v, seedFor(k));
+    return r;
+  }
+
+  Env narrowEnvs(const Env& prev, const Env& next) const {
+    Env r = prev;
+    for (auto& [k, v] : r) {
+      const auto it = next.find(k);
+      if (it == next.end()) continue;
+      if (v.base == it->second.base) v.iv = narrow(v.iv, it->second.iv);
+    }
+    return r;
+  }
+
+  void transferNode(const CfgNode& node, Env* env, int depth, bool record,
+                    const std::string& fn) {
+    EvalCtx ec;
+    ec.env = env;
+    ec.record = record;
+    ec.depth = depth;
+    ec.fn = fn;
+    interpretRange(cur_file_->ts.tokens, node.tok_begin, node.tok_end, ec);
+  }
+
+  AbsVal interpretFunction(const FileCtx& fc, const FunctionCfg& cfg,
+                           const std::vector<AbsVal>* args, int depth,
+                           bool record) {
+    if (call_stack_.count(&cfg)) return plainTop();
+    call_stack_.insert(&cfg);
+    const FileCtx* saved_file = cur_file_;
+    std::set<std::string> saved_nonneg = std::move(local_nonneg_);
+    local_nonneg_.clear();
+    const AbsVal saved_ret = ret_;
+    const bool saved_any = ret_any_;
+    cur_file_ = &fc;
+    ret_ = AbsVal{};
+    ret_.iv = Interval::bottom();
+    ret_any_ = false;
+
+    const Tokens& toks = fc.ts.tokens;
+    Env entry;
+    if (cfg.params_open < toks.size() && isPunct(toks[cfg.params_open], "(")) {
+      const std::size_t close = matchParen(toks, cfg.params_open);
+      const auto params = splitArgs(toks, cfg.params_open, close);
+      for (std::size_t pi = 0; pi < params.size(); ++pi) {
+        auto [pb, pe] = params[pi];
+        std::size_t stop = pe;
+        int d = 0;
+        for (std::size_t i = pb; i < pe; ++i) {
+          if (isPunct(toks[i], "(") || isPunct(toks[i], "[") ||
+              isPunct(toks[i], "{") || isPunct(toks[i], "<"))
+            ++d;
+          if (isPunct(toks[i], ")") || isPunct(toks[i], "]") ||
+              isPunct(toks[i], "}") || isPunct(toks[i], ">"))
+            --d;
+          if (d == 0 && isPunct(toks[i], "=")) {
+            stop = i;
+            break;
+          }
+        }
+        std::string name;
+        NumType dt = NumType::kOther;
+        bool saw_unsigned = false;
+        for (std::size_t i = pb; i < stop; ++i) {
+          if (toks[i].kind != TokKind::kIdent) continue;
+          if (!name.empty()) {
+            if (name == "unsigned") saw_unsigned = true;
+            const NumType cand = resolveTypeName(gi_, name);
+            if (cand != NumType::kOther) dt = cand;
+          }
+          name = toks[i].text;
+        }
+        if (saw_unsigned && (dt == NumType::kI64 || dt == NumType::kOther))
+          dt = NumType::kU64;
+        if (name.empty()) continue;
+        AbsVal v;
+        if (args && pi < args->size()) {
+          v = (*args)[pi];
+          if (dt != NumType::kOther && dt != NumType::kFloat &&
+              !(v.nowBased() &&
+                (dt == NumType::kU64 || dt == NumType::kI64))) {
+            const std::set<std::string> gates = v.gates;
+            v = plainVal(clampToType(demoteNow(v).iv, dt));
+            v.gates = gates;
+          }
+        } else {
+          v = seedFor(name);
+          if (v.iv.isTop() && !v.nowBased() && dt != NumType::kOther)
+            v = plainVal(seedForType(dt));
+        }
+        entry[name] = v;
+      }
+    }
+
+    const auto& nodes = cfg.nodes;
+    std::vector<Env> in(nodes.size());
+    std::vector<char> has_in(nodes.size(), 0);
+    std::vector<int> visits(nodes.size(), 0);
+    if (cfg.entry >= 0 && static_cast<std::size_t>(cfg.entry) < nodes.size()) {
+      in[cfg.entry] = std::move(entry);
+      has_in[cfg.entry] = 1;
+      std::set<int> wl;
+      wl.insert(cfg.entry);
+      int guard = 0;
+      while (!wl.empty() && guard++ < 20000) {
+        const int n = *wl.begin();
+        wl.erase(wl.begin());
+        Env out = in[n];
+        transferNode(nodes[n], &out, depth, /*record=*/false, cfg.name);
+        for (const int s : nodes[n].succs) {
+          if (s < 0 || static_cast<std::size_t>(s) >= nodes.size()) continue;
+          Env merged = has_in[s] ? joinEnvs(in[s], out) : out;
+          if (has_in[s] && sameEnv(merged, in[s])) continue;
+          ++visits[s];
+          if (visits[s] > kWidenAfterVisits) {
+            merged = widenEnvs(in[s], merged);
+            if (has_in[s] && sameEnv(merged, in[s])) continue;
+          }
+          in[s] = std::move(merged);
+          has_in[s] = 1;
+          wl.insert(s);
+        }
+      }
+      // One narrowing sweep: recompute each node's in from its predecessors'
+      // outs and let sentinel bounds tighten back (loop exits mostly).
+      std::vector<Env> outs(nodes.size());
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (!has_in[n]) continue;
+        outs[n] = in[n];
+        transferNode(nodes[n], &outs[n], depth, /*record=*/false, cfg.name);
+      }
+      std::vector<std::vector<int>> preds(nodes.size());
+      for (std::size_t n = 0; n < nodes.size(); ++n)
+        for (const int s : nodes[n].succs)
+          if (s >= 0 && static_cast<std::size_t>(s) < nodes.size())
+            preds[s].push_back(static_cast<int>(n));
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (!has_in[n] || static_cast<int>(n) == cfg.entry) continue;
+        Env cand;
+        bool any = false;
+        for (const int p : preds[n]) {
+          if (!has_in[p]) continue;
+          cand = any ? joinEnvs(cand, outs[p]) : outs[p];
+          any = true;
+        }
+        if (any) in[n] = narrowEnvs(in[n], cand);
+      }
+      if (record) {
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+          if (!has_in[n]) continue;
+          Env env = in[n];
+          transferNode(nodes[n], &env, depth, /*record=*/true, cfg.name);
+        }
+        // Deferred lambda bodies: the event handlers.  Nested schedules queue
+        // further lambdas; bound rounds as a safety net.
+        int rounds = 0;
+        while (!deferred_.empty() && rounds++ < 8) {
+          std::vector<DeferredLambda> batch;
+          batch.swap(deferred_);
+          for (DeferredLambda& d : batch) {
+            cur_file_ = d.file;
+            Env env = std::move(d.env);
+            EvalCtx ec;
+            ec.env = &env;
+            ec.record = true;
+            ec.depth = depth;
+            ec.fn = d.fn;
+            interpretRange(d.file->ts.tokens, d.tok_begin, d.tok_end, ec);
+          }
+        }
+        cur_file_ = &fc;
+      }
+    }
+
+    const AbsVal ret = ret_any_ ? ret_ : plainTop();
+    ret_ = saved_ret;
+    ret_any_ = saved_any;
+    local_nonneg_ = std::move(saved_nonneg);
+    cur_file_ = saved_file;
+    call_stack_.erase(&cfg);
+    return ret;
+  }
+
+  // -- lookahead map ----------------------------------------------------------
+
+  FileCtx* findFile(const std::string& path) {
+    for (FileCtx& f : files_)
+      if (f.path == path) return &f;
+    return nullptr;
+  }
+
+  /// Turn gcpart's waived cross-LP write crossings plus edge() annotations
+  /// into the per-directed-link minimum static latency map, red-flagging any
+  /// edge whose latency cannot be proven strictly positive.
+  void assembleLookahead(const std::vector<PartCrossing>& crossings) {
+    std::map<std::pair<std::string, std::string>, LookaheadEdge> edges;
+    const auto addSite = [&](const std::string& from, const std::string& to,
+                             const LookaheadSite& s) {
+      LookaheadEdge& e = edges[{from, to}];
+      e.from = from;
+      e.to = to;
+      e.sites.push_back(s);
+    };
+
+    std::vector<const PartCrossing*> xs;
+    for (const PartCrossing& c : crossings)
+      if (c.rule == "part-cross-write" && c.waived) xs.push_back(&c);
+    std::sort(xs.begin(), xs.end(),
+              [](const PartCrossing* a, const PartCrossing* b) {
+                if (a->file != b->file) return a->file < b->file;
+                return a->line < b->line;
+              });
+
+    for (const PartCrossing* c : xs) {
+      FileCtx* fc = findFile(c->file);
+      const std::string from = domainName(c->from);
+      const std::string to = domainName(c->to);
+      LookaheadSite site;
+      site.file = c->file;
+      site.line = c->line;
+      bool found = false;
+      if (fc) {
+        for (LookaheadAnno& a : fc->dirs.lookaheads) {
+          if (a.target_line != c->line) continue;
+          a.used = true;
+          site.lookahead_ns = a.ns;
+          site.via = "annotated";
+          site.detail = a.reason;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        // Innermost schedule site whose scheduled-lambda body contains the
+        // crossing line (or the crossing is the schedule call itself).
+        const ScheduleSite* best = nullptr;
+        for (const ScheduleSite& s : sites_) {
+          if (s.file == nullptr || s.file->path != c->file) continue;
+          const bool in_lambda = s.has_lambda && s.lambda_first <= c->line &&
+                                 c->line <= s.lambda_last;
+          if (!in_lambda && s.line != c->line) continue;
+          if (best == nullptr) {
+            best = &s;
+            continue;
+          }
+          const bool best_in_lambda = best->has_lambda &&
+                                      best->lambda_first <= c->line &&
+                                      c->line <= best->lambda_last;
+          if (in_lambda && (!best_in_lambda ||
+                            s.lambda_first >= best->lambda_first))
+            best = &s;
+        }
+        if (best != nullptr) {
+          site.via = "scheduled";
+          if (best->proven && best->delta_finite && best->delta_lo > 0) {
+            site.lookahead_ns = best->delta_lo;
+            site.detail =
+                (best->relative ? "schedule(+" : "scheduleAt(now+") +
+                std::to_string(best->delta_lo) + " ns) in " + best->fn;
+            found = true;
+          } else {
+            site.lookahead_ns = 0;
+            site.detail = "schedule site in " + best->fn +
+                          " has no provable positive delay";
+            addDiag({c->file, c->line, kFlowTimeMonotonic,
+                     "cross-LP edge " + from + " -> " + to +
+                         " has zero provable lookahead (" + site.detail +
+                         "): PDES gate red"});
+            found = true;
+          }
+        }
+      }
+      if (!found) {
+        site.lookahead_ns = 0;
+        site.via = "scheduled";
+        site.detail = "no covering schedule site or lookahead() annotation";
+        addDiag({c->file, c->line, kFlowTimeMonotonic,
+                 "cross-LP edge " + from + " -> " + to +
+                     " has no covering schedule site or lookahead() "
+                     "annotation: PDES gate red"});
+      }
+      addSite(from, to, site);
+    }
+
+    // edge(from, to) annotations bind a schedule call on their target line
+    // to an extra directed link (wire delivery sites).
+    for (FileCtx& fc : files_) {
+      for (EdgeAnno& a : fc.dirs.edges) {
+        const ScheduleSite* match = nullptr;
+        for (const ScheduleSite& s : sites_) {
+          if (s.file == &fc && s.line == a.target_line) {
+            match = &s;
+            break;
+          }
+        }
+        if (match == nullptr) {
+          addDiag({fc.path, a.directive_line, kFlowBadAnno,
+                   "edge(" + a.from + ", " + a.to +
+                       ") annotation matches no schedule call on line " +
+                       std::to_string(a.target_line)});
+          continue;
+        }
+        a.used = true;
+        LookaheadSite site;
+        site.file = fc.path;
+        site.line = a.target_line;
+        site.via = "scheduled";
+        if (match->proven && match->delta_finite && match->delta_lo > 0) {
+          site.lookahead_ns = match->delta_lo;
+          site.detail =
+              (match->relative ? "schedule(+" : "scheduleAt(now+") +
+              std::to_string(match->delta_lo) + " ns) in " + match->fn;
+        } else {
+          site.lookahead_ns = 0;
+          site.detail = "schedule site in " + match->fn +
+                        " has no provable positive delay";
+          addDiag({fc.path, a.target_line, kFlowTimeMonotonic,
+                   "cross-LP edge " + a.from + " -> " + a.to +
+                       " has zero provable lookahead (" + site.detail +
+                       "): PDES gate red"});
+        }
+        addSite(a.from, a.to, site);
+      }
+    }
+
+    // Unused lookahead annotations are stale documentation: flag them.
+    for (const FileCtx& fc : files_)
+      for (const LookaheadAnno& a : fc.dirs.lookaheads)
+        if (!a.used)
+          addDiag({fc.path, a.directive_line, kFlowBadAnno,
+                   "lookahead(" + std::to_string(a.ns) +
+                       ") annotation covers no waived cross-LP crossing"});
+
+    for (auto& [key, e] : edges) {
+      std::sort(e.sites.begin(), e.sites.end(),
+                [](const LookaheadSite& a, const LookaheadSite& b) {
+                  if (a.file != b.file) return a.file < b.file;
+                  if (a.line != b.line) return a.line < b.line;
+                  return a.detail < b.detail;
+                });
+      e.min_lookahead_ns = e.sites.empty() ? 0 : e.sites[0].lookahead_ns;
+      for (const LookaheadSite& s : e.sites)
+        e.min_lookahead_ns = std::min(e.min_lookahead_ns, s.lookahead_ns);
+      result_.edges.push_back(std::move(e));
+    }
+  }
+
+  // -- waivers ----------------------------------------------------------------
+
+  void matchAllows() {
+    std::vector<Diagnostic> kept;
+    for (const Diagnostic& d : diags_) {
+      FlowAllow* m = nullptr;
+      if (d.rule != kUnusedAllow) {
+        for (FileCtx& fc : files_) {
+          if (fc.path != d.file) continue;
+          for (FlowAllow& a : fc.dirs.allows) {
+            if (a.rule == d.rule &&
+                (a.target_line == d.line || a.directive_line == d.line)) {
+              m = &a;
+              break;
+            }
+          }
+          break;
+        }
+      }
+      if (m != nullptr) {
+        m->used = true;
+        result_.suppressions.push_back({d.file, d.line, d.rule, m->reason});
+      } else {
+        kept.push_back(d);
+      }
+    }
+    diags_ = std::move(kept);
+    for (const FileCtx& fc : files_)
+      for (const FlowAllow& a : fc.dirs.allows)
+        if (!a.used)
+          diags_.push_back({fc.path, a.directive_line, kUnusedAllow,
+                            "allow(" + a.rule + ") suppresses nothing"});
+  }
+
+  FlowResult finish() {
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                if (a.rule != b.rule) return a.rule < b.rule;
+                return a.message < b.message;
+              });
+    result_.diagnostics = std::move(diags_);
+    std::sort(result_.suppressions.begin(), result_.suppressions.end(),
+              [](const SuppressionUse& a, const SuppressionUse& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+    std::sort(result_.edges.begin(), result_.edges.end(),
+              [](const LookaheadEdge& a, const LookaheadEdge& b) {
+                if (a.from != b.from) return a.from < b.from;
+                return a.to < b.to;
+              });
+    result_.functions_analyzed = functions_analyzed_;
+    result_.schedule_sites = schedule_sites_;
+    return std::move(result_);
+  }
+
+  // -- state ------------------------------------------------------------------
+  std::vector<FileCtx> files_;
+  GlobalIndex gi_;
+  const FileCtx* cur_file_ = nullptr;
+  std::set<std::string> local_nonneg_;
+  std::set<std::string> diag_keys_;
+  std::vector<Diagnostic> diags_;
+  std::vector<ScheduleSite> sites_;
+  std::vector<DeferredLambda> deferred_;
+  std::set<const FunctionCfg*> call_stack_;
+  AbsVal ret_;
+  bool ret_any_ = false;
+  std::pair<int, int> pending_lambda_{0, 0};
+  bool has_pending_lambda_ = false;
+  int functions_analyzed_ = 0;
+  int schedule_sites_ = 0;
+  FlowResult result_;
+};
+
+}  // namespace
+
+FlowResult analyzeFlow(const std::vector<PartFile>& files,
+                       const std::vector<PartCrossing>& crossings) {
+  FlowPass pass(files);
+  return pass.run(crossings);
+}
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string flowLookaheadJson(const FlowResult& result) {
+  std::string out = "{\n  \"version\": \"gcflow-v1\",\n  \"edges\": [";
+  bool first_e = true;
+  for (const LookaheadEdge& e : result.edges) {
+    out += first_e ? "\n" : ",\n";
+    first_e = false;
+    out += "    {\n      \"from\": \"" + jsonEscape(e.from) + "\",\n";
+    out += "      \"to\": \"" + jsonEscape(e.to) + "\",\n";
+    out += "      \"min_lookahead_ns\": " +
+           std::to_string(e.min_lookahead_ns) + ",\n";
+    out += "      \"sites\": [";
+    bool first_s = true;
+    for (const LookaheadSite& s : e.sites) {
+      out += first_s ? "\n" : ",\n";
+      first_s = false;
+      out += "        {\"file\": \"" + jsonEscape(s.file) +
+             "\", \"line\": " + std::to_string(s.line) +
+             ", \"lookahead_ns\": " + std::to_string(s.lookahead_ns) +
+             ", \"via\": \"" + jsonEscape(s.via) + "\", \"detail\": \"" +
+             jsonEscape(s.detail) + "\"}";
+    }
+    out += first_s ? "]\n" : "\n      ]\n";
+    out += "    }";
+  }
+  out += first_e ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gclint

@@ -1,0 +1,72 @@
+// gcflow: the interval dataflow pass over gclint's per-function CFGs.
+//
+// analyzeFlow() runs a worklist solver with the tools/gclint/intervals.hpp
+// domain over every function in the analyzed file set, made interprocedural
+// by bottom-up, depth-bounded summaries (see DESIGN.md §15).  It owns four
+// rule families:
+//
+//   flow-time-monotonic   delay/time arguments reaching Simulator::schedule /
+//                         scheduleAt are provably >= 0 / >= now, and every
+//                         cross-LP edge from the gcpart pass has a provable
+//                         positive minimum latency (the PDES lookahead map).
+//   flow-int-narrow       a static_cast whose operand provably exceeds the
+//                         destination type's value range.
+//   flow-int-overflow     arithmetic whose finite interval bounds provably
+//                         leave the u64/i64 value range.
+//   flow-credit-underflow a decrement that can drive a `// gclint: nonneg`
+//                         counter below zero (the branchless credit path is
+//                         proven via guard facts: `go` in [0,1] gated on the
+//                         counter being positive).
+//
+// plus flow-bad-anno for malformed range()/nonneg/lookahead()/edge()
+// annotation comments.  Waivers use the standard allow(<rule>): <reason>
+// syntax; unused ones surface as unused-allow like everywhere else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/gclint/callgraph.hpp"
+#include "tools/gclint/rules.hpp"
+
+namespace gclint {
+
+/// One schedule site (or lookahead() annotation) contributing to a cross-LP
+/// edge's minimum latency.
+struct LookaheadSite {
+  std::string file;
+  int line = 0;                 // line of the crossing (or annotation)
+  long long lookahead_ns = 0;   // proven lower bound; 0 = unproven
+  std::string via;              // "scheduled" | "annotated"
+  std::string detail;
+};
+
+/// A directed cross-LP edge with its static minimum latency: the min over
+/// all sites that put events onto it.
+struct LookaheadEdge {
+  std::string from;             // LP domain names (gcpart's)
+  std::string to;
+  long long min_lookahead_ns = 0;
+  std::vector<LookaheadSite> sites;
+};
+
+struct FlowResult {
+  std::vector<Diagnostic> diagnostics;      // sorted (file, line, rule)
+  std::vector<SuppressionUse> suppressions; // used allow(flow-*) waivers
+  std::vector<LookaheadEdge> edges;         // sorted (from, to)
+  int functions_analyzed = 0;
+  int schedule_sites = 0;
+};
+
+/// Run the flow pass over `files`.  `crossings` are gcpart's results for the
+/// same file set; the waived part-cross-write entries define the cross-LP
+/// edges the lookahead map must cover.  Deterministic in the face of any
+/// input ordering: files are processed in sorted-path order internally.
+FlowResult analyzeFlow(const std::vector<PartFile>& files,
+                       const std::vector<PartCrossing>& crossings);
+
+/// The machine-readable lookahead map ("gcflow-v1") the future PDES
+/// scheduler consumes; byte-stable for CI pinning.
+std::string flowLookaheadJson(const FlowResult& result);
+
+}  // namespace gclint

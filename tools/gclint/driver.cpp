@@ -1,11 +1,14 @@
 #include "tools/gclint/driver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -130,19 +133,52 @@ FileResult lintPath(const LintOptions& opts, const std::string& rel_path) {
   return lintFile(input);
 }
 
+/// Resolved worker count: explicit option, else GANGCOMM_JOBS, else the
+/// hardware concurrency (same resolution order as bench/sweep_runner).
+int resolveJobs(const LintOptions& opts) {
+  int jobs = opts.jobs;
+  if (jobs <= 0) {
+    if (const char* env = std::getenv("GANGCOMM_JOBS")) jobs = std::atoi(env);
+  }
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  return jobs > 0 ? jobs : 1;
+}
+
 TreeResult lintTree(const LintOptions& opts,
                     const std::vector<std::string>& rel_paths) {
   TreeResult out;
-  for (const std::string& rel : rel_paths) {
-    FileResult r = lintPath(opts, rel);
+  // The per-file phase is embarrassingly parallel (lintPath touches only its
+  // own file + paired header).  Results land in per-index slots and merge in
+  // input order, so the report is byte-identical at any job count.
+  std::vector<FileResult> slots(rel_paths.size());
+  const int jobs = std::min<int>(resolveJobs(opts),
+                                 static_cast<int>(rel_paths.size()));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < rel_paths.size(); ++i)
+      slots[i] = lintPath(opts, rel_paths[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      workers.emplace_back([&]() {
+        for (std::size_t i = next.fetch_add(1); i < rel_paths.size();
+             i = next.fetch_add(1))
+          slots[i] = lintPath(opts, rel_paths[i]);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  for (std::size_t i = 0; i < rel_paths.size(); ++i) {
+    FileResult& r = slots[i];
     ++out.files_scanned;
-    if (r.hot) out.hot_files.push_back(rel);
+    if (r.hot) out.hot_files.push_back(rel_paths[i]);
     for (Diagnostic& d : r.diagnostics)
       out.diagnostics.push_back(std::move(d));
     for (SuppressionUse& s : r.suppressions)
       out.suppressions.push_back(std::move(s));
   }
-  if (opts.part) {
+  if (opts.part || opts.flow) {
     std::vector<PartFile> part_files;
     for (const std::string& rel : rel_paths) {
       if (!opts.part_prefixes.empty() &&
@@ -154,11 +190,23 @@ TreeResult lintTree(const LintOptions& opts,
       part_files.push_back(std::move(pf));
     }
     out.part = analyzeParts(part_files);
-    out.part_ran = true;
-    for (const Diagnostic& d : out.part.diagnostics)
-      out.diagnostics.push_back(d);
-    for (const SuppressionUse& s : out.part.suppressions)
-      out.suppressions.push_back(s);
+    // gcpart diagnostics surface only when --part was asked for; a bare
+    // --flow run uses gcpart purely as the cross-LP edge oracle.
+    if (opts.part) {
+      out.part_ran = true;
+      for (const Diagnostic& d : out.part.diagnostics)
+        out.diagnostics.push_back(d);
+      for (const SuppressionUse& s : out.part.suppressions)
+        out.suppressions.push_back(s);
+    }
+    if (opts.flow) {
+      out.flow = analyzeFlow(part_files, out.part.crossings);
+      out.flow_ran = true;
+      for (const Diagnostic& d : out.flow.diagnostics)
+        out.diagnostics.push_back(d);
+      for (const SuppressionUse& s : out.flow.suppressions)
+        out.suppressions.push_back(s);
+    }
   }
   return out;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tools/gclint/callgraph.hpp"
+#include "tools/gclint/dataflow.hpp"
 #include "tools/gclint/rules.hpp"
 
 namespace gclint {
@@ -23,6 +24,15 @@ struct LintOptions {
   /// what the single-file fixtures use).
   bool part = false;
   std::vector<std::string> part_prefixes = {"src/"};
+  /// Run the gcflow interval dataflow pass (flow-* rules + the PDES
+  /// lookahead map) over the same file set as gcpart; gcpart runs first to
+  /// supply the cross-LP crossings even when `part` itself is off.
+  bool flow = false;
+  /// Worker threads for the per-file tokenize/analyze phase.  0 = take
+  /// GANGCOMM_JOBS from the environment, falling back to the hardware
+  /// concurrency (the sweep_runner convention).  Output is byte-identical
+  /// at any job count.
+  int jobs = 0;
 };
 
 struct TreeResult {
@@ -32,6 +42,8 @@ struct TreeResult {
   std::vector<std::string> hot_files;  // root-relative, sorted
   bool part_ran = false;
   PartResult part;  // populated when LintOptions.part is set
+  bool flow_ran = false;
+  FlowResult flow;  // populated when LintOptions.flow is set
 };
 
 /// Recursively collect .hpp/.h/.hh/.cpp/.cc files under each path (a path

@@ -1,0 +1,248 @@
+#include "tools/gclint/intervals.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace gclint {
+namespace {
+
+using I128 = __int128;
+
+constexpr I128 kU64Max = (static_cast<I128>(1) << 64) - 1;
+constexpr I128 kI64Max = Interval::kPosInf;
+constexpr I128 kI64Min = Interval::kNegInf;
+
+bool isInf(std::int64_t b) {
+  return b == Interval::kNegInf || b == Interval::kPosInf;
+}
+
+/// Saturate an exact __int128 bound into the sentinel range, noting (in
+/// `flags`, when given) which machine ranges the exact value escaped.
+std::int64_t saturate(I128 v, ArithFlags* flags) {
+  if (flags) {
+    if (v < 0 || v > kU64Max) flags->overflow_u64 = true;
+    if (v < kI64Min || v > kI64Max) flags->overflow_i64 = true;
+  }
+  if (v <= kI64Min) return Interval::kNegInf;
+  if (v >= kI64Max) return Interval::kPosInf;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+std::string Interval::str() const {
+  if (empty) return "[]";
+  std::string s = "[";
+  s += lo == kNegInf ? "-inf" : std::to_string(lo);
+  s += ", ";
+  s += hi == kPosInf ? "inf" : std::to_string(hi);
+  s += "]";
+  return s;
+}
+
+Interval join(const Interval& a, const Interval& b) {
+  if (a.empty) return b;
+  if (b.empty) return a;
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi), false};
+}
+
+Interval meet(const Interval& a, const Interval& b) {
+  if (a.empty || b.empty) return Interval::bottom();
+  return Interval::range(std::max(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+
+Interval widen(const Interval& prev, const Interval& next) {
+  if (prev.empty) return next;
+  if (next.empty) return prev;
+  Interval w;
+  w.empty = false;
+  if (next.lo >= prev.lo) {
+    w.lo = prev.lo;
+  } else {
+    w.lo = next.lo >= 0 ? 0 : Interval::kNegInf;
+  }
+  w.hi = next.hi <= prev.hi ? prev.hi : Interval::kPosInf;
+  return w;
+}
+
+Interval narrow(const Interval& prev, const Interval& next) {
+  if (prev.empty || next.empty) return Interval::bottom();
+  Interval n;
+  n.empty = false;
+  n.lo = prev.lo == Interval::kNegInf ? next.lo : prev.lo;
+  n.hi = prev.hi == Interval::kPosInf ? next.hi : prev.hi;
+  if (n.lo > n.hi) return prev;  // incomparable update; keep the fixpoint
+  return n;
+}
+
+Interval addI(const Interval& a, const Interval& b, ArithFlags* flags) {
+  if (a.empty || b.empty) return Interval::bottom();
+  Interval r;
+  r.empty = false;
+  if (a.lo == Interval::kNegInf || b.lo == Interval::kNegInf)
+    r.lo = Interval::kNegInf;
+  else
+    r.lo = saturate(static_cast<I128>(a.lo) + b.lo, flags);
+  if (a.hi == Interval::kPosInf || b.hi == Interval::kPosInf)
+    r.hi = Interval::kPosInf;
+  else
+    r.hi = saturate(static_cast<I128>(a.hi) + b.hi, flags);
+  return r;
+}
+
+Interval subI(const Interval& a, const Interval& b, ArithFlags* flags) {
+  if (a.empty || b.empty) return Interval::bottom();
+  Interval r;
+  r.empty = false;
+  if (a.lo == Interval::kNegInf || b.hi == Interval::kPosInf)
+    r.lo = Interval::kNegInf;
+  else
+    r.lo = saturate(static_cast<I128>(a.lo) - b.hi, flags);
+  if (a.hi == Interval::kPosInf || b.lo == Interval::kNegInf)
+    r.hi = Interval::kPosInf;
+  else
+    r.hi = saturate(static_cast<I128>(a.hi) - b.lo, flags);
+  return r;
+}
+
+Interval mulI(const Interval& a, const Interval& b, ArithFlags* flags) {
+  if (a.empty || b.empty) return Interval::bottom();
+  // With any infinite end the sign analysis stops paying for itself; the
+  // only shape gcflow needs precise is nonneg * nonneg (durations scaled by
+  // counts), which stays nonneg even when unbounded.
+  if (isInf(a.lo) || isInf(a.hi) || isInf(b.lo) || isInf(b.hi)) {
+    if (a.lo >= 0 && b.lo >= 0)
+      return Interval{saturate(static_cast<I128>(a.lo) * b.lo, nullptr),
+                      Interval::kPosInf, false};
+    return Interval::top();
+  }
+  const I128 p[4] = {
+      static_cast<I128>(a.lo) * b.lo, static_cast<I128>(a.lo) * b.hi,
+      static_cast<I128>(a.hi) * b.lo, static_cast<I128>(a.hi) * b.hi};
+  I128 lo = p[0];
+  I128 hi = p[0];
+  for (int i = 1; i < 4; ++i) {
+    lo = std::min(lo, p[i]);
+    hi = std::max(hi, p[i]);
+  }
+  Interval r;
+  r.empty = false;
+  r.lo = saturate(lo, flags);
+  r.hi = saturate(hi, flags);
+  return r;
+}
+
+Interval divI(const Interval& a, const Interval& b) {
+  if (a.empty || b.empty) return Interval::bottom();
+  if (b.contains(0)) return Interval::top();
+  if (isInf(a.lo) || isInf(a.hi) || isInf(b.lo) || isInf(b.hi)) {
+    if (a.lo >= 0 && b.lo >= 1) return Interval::nonneg();
+    return Interval::top();
+  }
+  const I128 q[4] = {
+      static_cast<I128>(a.lo) / b.lo, static_cast<I128>(a.lo) / b.hi,
+      static_cast<I128>(a.hi) / b.lo, static_cast<I128>(a.hi) / b.hi};
+  I128 lo = q[0];
+  I128 hi = q[0];
+  for (int i = 1; i < 4; ++i) {
+    lo = std::min(lo, q[i]);
+    hi = std::max(hi, q[i]);
+  }
+  return Interval{saturate(lo, nullptr), saturate(hi, nullptr), false};
+}
+
+Interval negI(const Interval& a) {
+  if (a.empty) return Interval::bottom();
+  Interval r;
+  r.empty = false;
+  r.lo = a.hi == Interval::kPosInf ? Interval::kNegInf : -a.hi;
+  r.hi = a.lo == Interval::kNegInf ? Interval::kPosInf : -a.lo;
+  return r;
+}
+
+Interval andI(const Interval& a, const Interval& b) {
+  if (a.empty || b.empty) return Interval::bottom();
+  if (a.lo >= 0 && b.lo >= 0) {
+    // x & y <= min(x, y) for nonnegative operands.
+    const std::int64_t hi = std::min(a.hi, b.hi);
+    return Interval{0, hi, false};
+  }
+  return Interval::top();
+}
+
+bool isUnsigned(NumType t) {
+  switch (t) {
+    case NumType::kBool:
+    case NumType::kU8:
+    case NumType::kU16:
+    case NumType::kU32:
+    case NumType::kU64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t typeMin(NumType t) {
+  switch (t) {
+    case NumType::kI8:
+      return -128;
+    case NumType::kI16:
+      return -32768;
+    case NumType::kI32:
+      return INT32_MIN;
+    case NumType::kI64:
+      return Interval::kNegInf;  // i64 min == the sentinel; close enough
+    default:
+      return 0;
+  }
+}
+
+std::int64_t typeMax(NumType t) {
+  switch (t) {
+    case NumType::kBool:
+      return 1;
+    case NumType::kU8:
+      return 255;
+    case NumType::kU16:
+      return 65535;
+    case NumType::kU32:
+      return UINT32_MAX;
+    case NumType::kI8:
+      return 127;
+    case NumType::kI16:
+      return 32767;
+    case NumType::kI32:
+      return INT32_MAX;
+    default:
+      return Interval::kPosInf;  // u64/i64: saturated
+  }
+}
+
+bool fitsIn(const Interval& v, NumType t) {
+  if (v.empty || t == NumType::kOther || t == NumType::kFloat) return true;
+  if (v.lo != Interval::kNegInf && v.lo < typeMin(t)) return false;
+  if (v.hi != Interval::kPosInf && v.hi > typeMax(t)) return false;
+  return true;
+}
+
+Interval clampToType(const Interval& v, NumType t) {
+  if (v.empty || t == NumType::kOther || t == NumType::kFloat) return v;
+  const Interval m = meet(v, Interval::range(typeMin(t), typeMax(t)));
+  // A cast whose source provably misses the destination range entirely
+  // would meet to bottom; keep the full type range instead (the runtime
+  // value wraps to *something* in it).
+  return m.empty ? Interval::range(typeMin(t), typeMax(t)) : m;
+}
+
+Interval seedForType(NumType t) {
+  switch (t) {
+    case NumType::kOther:
+    case NumType::kFloat:
+      return Interval::top();
+    default:
+      return Interval::range(typeMin(t), typeMax(t));
+  }
+}
+
+}  // namespace gclint

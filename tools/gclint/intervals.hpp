@@ -1,0 +1,128 @@
+// Interval abstract domain for the gcflow dataflow pass.
+//
+// A value is a closed integer interval [lo, hi] over mathematical integers,
+// with kNegInf/kPosInf sentinels standing in for unbounded ends.  All
+// arithmetic is exact over __int128 and saturates into the sentinel range;
+// an ArithFlags out-parameter reports when a *finite* bound crossed the
+// u64 or i64 value range, which is how flow-int-overflow distinguishes a
+// provable wrap from mere loss of precision.
+//
+// The domain is deliberately value-only: relations between variables live in
+// the gcflow interpreter (guard facts), not here, so this file stays a pure,
+// independently unit-testable lattice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gclint {
+
+struct Interval {
+  // Sentinels, not numbers: arithmetic treats them as +-infinity and
+  // saturates toward them rather than wrapping.
+  static constexpr std::int64_t kNegInf = INT64_MIN;
+  static constexpr std::int64_t kPosInf = INT64_MAX;
+
+  std::int64_t lo = kNegInf;
+  std::int64_t hi = kPosInf;
+  bool empty = false;  // bottom: no concrete value (unreached code)
+
+  static Interval top() { return Interval{}; }
+  static Interval bottom() {
+    Interval v;
+    v.empty = true;
+    return v;
+  }
+  static Interval constant(std::int64_t c) { return Interval{c, c, false}; }
+  static Interval range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) return bottom();
+    return Interval{lo, hi, false};
+  }
+  static Interval nonneg() { return Interval{0, kPosInf, false}; }
+  static Interval boolean() { return Interval{0, 1, false}; }
+
+  bool isTop() const { return !empty && lo == kNegInf && hi == kPosInf; }
+  bool isConst() const { return !empty && lo == hi; }
+  bool contains(std::int64_t c) const { return !empty && lo <= c && c <= hi; }
+
+  /// Human-readable "[lo, hi]" with "-inf"/"inf" for the sentinels.
+  std::string str() const;
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    if (a.empty || b.empty) return a.empty == b.empty;
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
+};
+
+/// Least upper bound / greatest lower bound.
+Interval join(const Interval& a, const Interval& b);
+Interval meet(const Interval& a, const Interval& b);
+
+/// Classic widening with {0} as the one threshold: an unstable lower bound
+/// drops to 0 before -inf (nearly every quantity in this tree is a count or
+/// a duration, so 0 is where loops actually stabilise), an unstable upper
+/// bound goes straight to +inf.
+Interval widen(const Interval& prev, const Interval& next);
+
+/// One-shot narrowing: a sentinel bound in `prev` may be refined to the
+/// corresponding bound of `next`; finite bounds are kept.
+Interval narrow(const Interval& prev, const Interval& next);
+
+struct ArithFlags {
+  bool overflow_u64 = false;  // a finite bound left [0, 2^64-1]
+  bool overflow_i64 = false;  // a finite bound left [-2^63, 2^63-1]
+};
+
+/// Exact interval arithmetic with saturation.  `flags` (optional) accumulates
+/// provable range departures; sentinels never set flags (unknown, not wrap).
+Interval addI(const Interval& a, const Interval& b, ArithFlags* flags);
+Interval subI(const Interval& a, const Interval& b, ArithFlags* flags);
+Interval mulI(const Interval& a, const Interval& b, ArithFlags* flags);
+/// Division is only used for config ratios; division by an interval
+/// containing 0 yields top.
+Interval divI(const Interval& a, const Interval& b);
+Interval negI(const Interval& a);
+/// Bitwise AND as used by the branchless credit path: for operands within
+/// [0,1] the result is exact; otherwise [0, min(hi)] for nonnegative
+/// operands, top for possibly-negative ones.
+Interval andI(const Interval& a, const Interval& b);
+
+/// Numeric destination types for narrowing/cast checks.
+enum class NumType {
+  kBool,
+  kU8,
+  kU16,
+  kU32,
+  kU64,
+  kI8,
+  kI16,
+  kI32,
+  kI64,
+  kFloat,  // no narrowing checks; value tracking only
+  kOther,  // unknown: no type-based seeding or checks
+};
+
+bool isUnsigned(NumType t);
+/// Value range of `t`; u64's max saturates to kPosInf (values beyond i64max
+/// are representable but indistinguishable from "huge" in this domain —
+/// documented approximation).
+std::int64_t typeMin(NumType t);
+std::int64_t typeMax(NumType t);
+
+/// True when every value of `v` provably fits in `t` — or when nothing is
+/// provable (sentinel bounds): gcflow only flags *provable* violations, so
+/// an unknown value "fits".
+bool fitsIn(const Interval& v, NumType t);
+
+/// Interval after a cast/store into `t`, assuming the program keeps the
+/// value in range (in-range assumption is the documented approximation that
+/// keeps unknown u64 expressions at [0, +inf] instead of top).
+Interval clampToType(const Interval& v, NumType t);
+
+/// The default interval for a value known only by its declared type.
+Interval seedForType(NumType t);
+
+}  // namespace gclint

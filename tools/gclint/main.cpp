@@ -2,7 +2,8 @@
 //
 //   gclint [--root DIR] [--json FILE] [--sarif FILE] [--hot PREFIX]...
 //          [--no-default-hot] [--part] [--part-prefix PREFIX]...
-//          [--part-report FILE] [--part-dot FILE] [--list-rules] PATH...
+//          [--part-report FILE] [--part-dot FILE] [--flow]
+//          [--lookahead-report FILE] [--jobs N] [--list-rules] PATH...
 //
 // PATHs (files or directories, relative to --root) are scanned for
 // violations of the determinism (det-*), hot-path allocation (hot-*), and
@@ -12,8 +13,13 @@
 // files matching --part-prefix (default src/; pass an empty prefix to
 // analyze everything, which is what the fixtures do) and can emit the
 // ownership map as JSON (--part-report) and Graphviz (--part-dot).
+// --flow runs the gcflow interval dataflow pass (flow-* rules) over the
+// same file set and --lookahead-report writes the PDES per-link lookahead
+// map (gcflow_lookahead.json).  --jobs (or GANGCOMM_JOBS) sets the worker
+// count for the per-file phase; output is byte-identical at any job count.
 // Exit status: 0 clean, 1 diagnostics emitted, 2 usage error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -28,7 +34,8 @@ int usage() {
       "usage: gclint [--root DIR] [--json FILE] [--sarif FILE]\n"
       "              [--hot PREFIX]... [--no-default-hot]\n"
       "              [--part] [--part-prefix PREFIX]... [--part-report FILE]\n"
-      "              [--part-dot FILE] [--list-rules] PATH...\n");
+      "              [--part-dot FILE] [--flow] [--lookahead-report FILE]\n"
+      "              [--jobs N] [--list-rules] PATH...\n");
   return 2;
 }
 
@@ -40,6 +47,7 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string part_report_path;
   std::string part_dot_path;
+  std::string lookahead_report_path;
   std::vector<std::string> paths;
   std::vector<std::string> extra_hot;
   std::vector<std::string> part_prefixes;
@@ -81,6 +89,15 @@ int main(int argc, char** argv) {
       if (++i >= argc) return usage();
       opts.part = true;
       part_dot_path = argv[i];
+    } else if (arg == "--flow") {
+      opts.flow = true;
+    } else if (arg == "--lookahead-report") {
+      if (++i >= argc) return usage();
+      opts.flow = true;
+      lookahead_report_path = argv[i];
+    } else if (arg == "--jobs") {
+      if (++i >= argc) return usage();
+      opts.jobs = std::atoi(argv[i]);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "gclint: unknown option '%s'\n", arg.c_str());
       return usage();
@@ -126,6 +143,13 @@ int main(int argc, char** argv) {
                  part_dot_path.c_str());
     return 2;
   }
+  if (!lookahead_report_path.empty() &&
+      !gclint::writeTextFile(gclint::flowLookaheadJson(result.flow),
+                             lookahead_report_path)) {
+    std::fprintf(stderr, "gclint: cannot write lookahead map to %s\n",
+                 lookahead_report_path.c_str());
+    return 2;
+  }
 
   std::fprintf(stderr,
                "gclint: %d files scanned (%zu hot), %zu diagnostics, "
@@ -142,6 +166,13 @@ int main(int argc, char** argv) {
                  result.part.domains.size(), result.part.roots.size(),
                  result.part.crossings.size(), waived,
                  result.part.ambiguous.size());
+  }
+  if (result.flow_ran) {
+    std::fprintf(stderr,
+                 "gcflow: %d functions analyzed, %d schedule sites, "
+                 "%zu cross-LP edges in the lookahead map\n",
+                 result.flow.functions_analyzed, result.flow.schedule_sites,
+                 result.flow.edges.size());
   }
   return result.diagnostics.empty() ? 0 : 1;
 }

@@ -40,6 +40,14 @@ constexpr const char* kPartGlobalMut = "part-global-mut";
 constexpr const char* kPartAmbiguous = "part-ambiguous-callback";
 constexpr const char* kPartBadDomain = "part-bad-domain";
 constexpr const char* kPartUnusedCrossing = "part-unused-crossing";
+// The flow-* interval rules are emitted by the gcflow dataflow pass (see
+// tools/gclint/dataflow.cpp); registered here for allow() validation and
+// fixture coverage, like the part-* family above.
+constexpr const char* kFlowTimeMonotonic = "flow-time-monotonic";
+constexpr const char* kFlowIntNarrow = "flow-int-narrow";
+constexpr const char* kFlowIntOverflow = "flow-int-overflow";
+constexpr const char* kFlowCreditUnderflow = "flow-credit-underflow";
+constexpr const char* kFlowBadAnno = "flow-bad-anno";
 
 bool isHeaderPath(const std::string& path) {
   auto ends = [&](const char* suf) {
@@ -104,6 +112,11 @@ Directives parseDirectives(const std::string& file,
     // validated) by parseDomainDirectives in tools/gclint/domains.cpp.
     if (rest.rfind("domain", 0) == 0 || rest.rfind("crossing", 0) == 0)
       continue;
+    // range/nonneg/lookahead/edge are gcflow annotation seeds; parsed (and
+    // validated) by the dataflow pass in tools/gclint/dataflow.cpp.
+    if (rest.rfind("range", 0) == 0 || rest == "nonneg" ||
+        rest.rfind("lookahead", 0) == 0 || rest.rfind("edge", 0) == 0)
+      continue;
     if (rest.rfind("allow", 0) != 0) {
       out.errors.push_back({file, c.line, kBadAllow,
                             "unrecognized gclint directive: '" + rest + "'"});
@@ -137,10 +150,15 @@ Directives parseDirectives(const std::string& file,
                                 "): <why this site is exempt>"});
       continue;
     }
-    // part-* diagnostics come from the interprocedural gcpart pass, which
-    // does its own allow matching (see tools/gclint/domains.cpp); skipping
-    // them here keeps lintFile from flagging those allows as unused.
+    // part-* diagnostics come from the interprocedural gcpart pass and
+    // flow-* ones from the gcflow dataflow pass; both do their own allow
+    // matching, so skipping them here keeps lintFile from flagging those
+    // allows as unused.
     if (rule.rfind("part-", 0) == 0) continue;
+    if (rule == kFlowTimeMonotonic || rule == kFlowIntNarrow ||
+        rule == kFlowIntOverflow || rule == kFlowCreditUnderflow ||
+        rule == kFlowBadAnno)
+      continue;
     Allow a;
     a.rule = rule;
     a.reason = std::move(reason);
@@ -313,6 +331,21 @@ void ruleDetPdesHazard(const std::string& file, const Tokens& toks,
                      "raw std::atomic invites cross-partition sharing; "
                      "ownership must be explicit before the event core is "
                      "sharded (wrap it behind a domain-owned API)"});
+      continue;
+    }
+    // Host threading primitives: only the explicitly std::-qualified forms
+    // match, so project types reusing these names stay exempt.
+    if ((t.text == "mutex" || t.text == "recursive_mutex" ||
+         t.text == "shared_mutex" || t.text == "timed_mutex" ||
+         t.text == "condition_variable" ||
+         t.text == "condition_variable_any" || t.text == "thread" ||
+         t.text == "jthread") &&
+        qualifier(toks, i) == "std") {
+      out.push_back({file, t.line, kDetPdesHazard,
+                     "std::" + t.text +
+                         " brings host-thread scheduling into simulation "
+                         "code; the gang-scheduled event core must own all "
+                         "concurrency (partition state by logical process)"});
     }
   }
 }
@@ -1096,6 +1129,8 @@ const std::vector<std::string>& allRuleIds() {
       kFlowStatusIgnored, kFlowSwitchOrder, kBadAllow,
       kUnusedAllow,    kPartCrossWrite,    kPartGlobalMut,
       kPartAmbiguous,  kPartBadDomain,     kPartUnusedCrossing,
+      kFlowTimeMonotonic, kFlowIntNarrow,  kFlowIntOverflow,
+      kFlowCreditUnderflow, kFlowBadAnno,
   };
   return kIds;
 }

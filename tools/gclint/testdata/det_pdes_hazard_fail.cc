@@ -1,13 +1,26 @@
 // gclint: pdes
 // Wall-clock threading constructs that a parallel-DES core cannot keep
-// deterministic: per-OS-thread state, compiler-invisible loads, raw atomics.
+// deterministic: per-OS-thread state, compiler-invisible loads, raw atomics,
+// and host-thread scheduling primitives (mutexes, condition variables,
+// spawned threads).
 #include <atomic>
+#include <mutex>
+#include <thread>
 
 thread_local int tls_counter = 0;
 volatile int spin_flag = 0;
+
+std::mutex pool_lock;
+std::condition_variable pool_cv;
 
 void hazard() {
   std::atomic<int> seq{0};
   seq.store(1);
   std::this_thread::yield();
+}
+
+void spawn() {
+  std::lock_guard<std::mutex> hold(pool_lock);
+  std::thread worker(hazard);
+  worker.join();
 }

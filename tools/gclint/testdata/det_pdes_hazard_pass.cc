@@ -1,8 +1,19 @@
 // gclint: pdes
 // Simulated time and plain members stay deterministic under PDES; accessing
-// a member that merely *sounds* atomic (s.atomic_hits) is not a hazard.
+// a member that merely *sounds* atomic (s.atomic_hits) is not a hazard, and
+// project types that reuse host-threading names (an event-core `mutex`
+// token, a gang::thread worker record) are not std:: primitives.
 struct Clock {
   long now_ns = 0;
   void advance(long d) { now_ns = now_ns + d; }
 };
 int read(const Clock& c, int base) { return base + c.atomic_hits; }
+
+struct mutex {};  // a partition-local token, not std::mutex
+namespace gang {
+struct thread {
+  int lp = 0;  // a modeled gang member, not a host thread
+};
+}  // namespace gang
+
+int claim(mutex&, const gang::thread& t) { return t.lp; }

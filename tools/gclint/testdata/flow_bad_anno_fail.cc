@@ -1,0 +1,11 @@
+// Malformed gcflow annotation seeds: out-of-order bounds, a zero lookahead
+// (zero is exactly what the PDES gate exists to refuse), and an edge naming
+// a domain the partition map does not know.
+// gclint: range(9, 1)
+int backwards = 0;
+
+// gclint: lookahead(0): zero is not a lookahead
+int zero_ns = 0;
+
+// gclint: edge(nic, warehouse)
+int unknown_domain = 0;

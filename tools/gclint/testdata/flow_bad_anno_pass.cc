@@ -1,0 +1,10 @@
+// Well-formed gcflow annotation seeds parse without complaint: ordered
+// finite bounds, a now-relative range, and a nonneg counter marker.
+// gclint: range(100, 1000000)
+long per_packet_ns = 100;
+
+// gclint: range(now, inf)
+long wakeup_at = 0;
+
+// gclint: nonneg
+int tokens = 0;

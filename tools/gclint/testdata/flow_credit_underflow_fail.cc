@@ -1,0 +1,7 @@
+// An unguarded decrement of a nonneg credit counter: nothing proves the
+// counter is positive at the decrement, so it can underflow (and, as an
+// unsigned in the real NIC, wrap to 2^32-1 credits).
+// gclint: nonneg
+int send_credits = 0;
+
+void consume() { --send_credits; }

@@ -1,0 +1,16 @@
+// The two provable decrement shapes from the branchless credit path:
+// a mask gated on the counter itself (go == 1 implies credits >= 1), and a
+// subtraction whose magnitude is covered by the counter's annotated floor.
+// gclint: nonneg
+int credits = 0;
+// gclint: nonneg
+// gclint: range(8, 64)
+int ring_slots = 8;
+
+int takeOne(int want) {
+  const int go = (want != 0) & (credits != 0);
+  credits -= go;
+  return go;
+}
+
+void drainBatch() { ring_slots -= 8; }

@@ -1,0 +1,8 @@
+// The boot clock is u64 nanoseconds; clipping it into u32 provably
+// truncates once the run passes ~4.3 seconds.  The annotated bounds are
+// informative (finite, narrower than the u32 span), so this is a proven
+// violation, not absence-of-proof noise.
+// gclint: range(4000000000, 5000000000)
+unsigned long long ns_since_boot = 4000000000ull;
+
+unsigned int sample() { return static_cast<unsigned>(ns_since_boot); }

@@ -1,0 +1,10 @@
+// A bounded stamp fits the destination, and a full-width unknown is never
+// diagnosed: the narrow rule needs positive evidence of a too-wide value.
+// gclint: range(0, 4000000)
+unsigned long long stamp = 0;
+
+unsigned int low_bits() { return static_cast<unsigned>(stamp); }
+
+unsigned int opaque(unsigned long long raw) {
+  return static_cast<unsigned>(raw);  // unknown value: no proof, no finding
+}

@@ -1,0 +1,8 @@
+// Both factors carry finite nonnegative bounds whose product provably
+// leaves the u64 value range: 5e9 * 5e9 = 2.5e19 > 2^64-1.
+// gclint: range(4000000000, 5000000000)
+unsigned long long rate_per_s = 4000000000ull;
+// gclint: range(4000000000, 5000000000)
+unsigned long long window_ns = 4000000000ull;
+
+unsigned long long budget() { return rate_per_s * window_ns; }

@@ -1,0 +1,8 @@
+// The same multiply shape with bounds whose product stays inside u64:
+// 1e6 * 1e3 = 1e9, nowhere near 2^64-1.
+// gclint: range(0, 1000000)
+unsigned long long hop_latency_ns = 0;
+// gclint: range(1, 1000)
+unsigned long long hops = 1;
+
+unsigned long long route_ns() { return hop_latency_ns * hops; }

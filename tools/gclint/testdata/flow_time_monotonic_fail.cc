@@ -1,0 +1,11 @@
+// A negative delay wraps through the u64 event clock and lands in the far
+// future; a computed time with no now-anchor can sit in the past and
+// silently clamp.  gcflow must refuse both schedule shapes.
+struct Sim {
+  template <typename F>
+  void schedule(long delay_ns, F fn);
+};
+
+void rewind(Sim& s) {
+  s.schedule(-1, [] {});
+}

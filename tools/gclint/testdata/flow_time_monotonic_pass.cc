@@ -1,0 +1,16 @@
+// The annotated now-anchor flows through the accessor summary, so both the
+// constant-delay and the now-plus-offset forms are provably monotonic.
+struct Sim {
+  // gclint: range(now, now)
+  long now_ = 0;
+  long now() const { return now_; }
+  template <typename F>
+  void schedule(long delay_ns, F fn);
+  template <typename F>
+  void scheduleAt(long at_ns, F fn);
+};
+
+void forward(Sim& s) {
+  s.schedule(100, [] {});
+  s.scheduleAt(s.now() + 5, [] {});
+}

@@ -1,0 +1,18 @@
+// Loops whose bounds grow every iteration: the solver must widen to a
+// fixpoint and terminate rather than chasing the climbing interval.  The
+// body is clean, so the only observable is that analysis finishes.
+long accumulate(int k) {
+  long acc = 0;
+  for (int i = 0; i < k; ++i) acc += 3;
+  return acc;
+}
+
+long nested(int rows, int cols) {
+  long cells = 0;
+  for (int r = 0; r < rows; ++r) {
+    long row_sum = 0;
+    while (row_sum < cols) row_sum += 1;
+    cells += row_sum;
+  }
+  return cells;
+}
