@@ -1,0 +1,170 @@
+// PDES speedup forecast — run a 256-node cluster under the gcprof causality
+// hook, dump the event DAG, and forecast how well the simulation itself
+// would parallelize as a conservative PDES (the question gcpart/gcflow set
+// up statically, answered here from a real event trace).
+//
+// Outputs:
+//   gcprof_dump_pdes.json   the raw causality dump (gcprof-v1)
+//   pdes_forecast.csv       per-LP event counts / load shares
+//   pdes_forecast_dag.json  the deterministic DAG summary (CI-pinned)
+//   BENCH_pdes_forecast.json  wall-clock perf fields + the same "dag" object
+//
+// Determinism contract (DESIGN.md §16): the dump, the CSV, and the "dag"
+// object depend only on the simulated run — byte-identical across reruns
+// and GANGCOMM_JOBS settings.  Only wall_s/events_per_sec vary.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze.hpp"
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace gangcomm;
+
+/// Neighbour-pair bandwidth job: even ranks blast at rank+1.
+core::Cluster::ProcessFactory pairFactory(std::uint32_t msg_bytes,
+                                          std::uint64_t count) {
+  return [msg_bytes,
+          count](app::Process::Env env) -> std::unique_ptr<app::Process> {
+    const int peer = env.rank % 2 == 0 ? env.rank + 1 : env.rank - 1;
+    if (env.rank % 2 == 0)
+      return std::make_unique<app::BandwidthSender>(std::move(env), peer,
+                                                    msg_bytes, count);
+    return std::make_unique<app::BandwidthReceiver>(std::move(env), peer,
+                                                    count);
+  };
+}
+
+/// Load an optional input (checked-in report); empty result when absent.
+std::string readIfPresent(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+std::string envOr(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? v : fallback;
+}
+
+bool writeForecastBenchJson(const std::string& dag) {
+  const double wall = bench::perf().wallSeconds();
+  const std::uint64_t events = bench::perf().events();
+  const std::string path = bench::outPath("BENCH_pdes_forecast.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+#ifdef NDEBUG
+  const char* build = "Release (-DNDEBUG)";
+#else
+  const char* build = "Debug";
+#endif
+  std::fprintf(f,
+               "{\n"
+               "  \"name\": \"pdes_forecast\",\n"
+               "  \"compiler\": \"%s\",\n"
+               "  \"build\": \"%s\",\n"
+               "  \"caveat\": \"wall_s/events_per_sec are machine-dependent;"
+               " the dag object is deterministic and CI-pinned\",\n"
+               "  \"wall_s\": %.6f,\n"
+               "  \"events_fired\": %llu,\n"
+               "  \"events_per_sec\": %.1f,\n"
+               "  \"jobs\": %d,\n"
+               "  \"dag\": %s\n"
+               "}\n",
+               __VERSION__, build, wall,
+               static_cast<unsigned long long>(events),
+               wall > 0 ? static_cast<double>(events) / wall : 0.0,
+               bench::jobCount(), dag.c_str());
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::perf();
+
+  // The forecast question only makes sense at scale: 256 nodes, two ganged
+  // jobs so the dump covers compute, wire, DMA, and gang-switch control.
+  const int nodes = 256;
+  const std::uint64_t msgs = bench::fullScale() ? 200 : 40;
+
+  std::printf(
+      "PDES forecast: %d-node cluster, 2 ganged pair-bandwidth jobs "
+      "(%llu msgs/pair), causality hook on\n\n",
+      nodes, static_cast<unsigned long long>(msgs));
+
+  core::ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.max_contexts = 2;
+  cfg.quantum = 20 * sim::kMillisecond;
+  cfg.causality_trace = true;
+  cfg.causality_dump_path = bench::outPath("gcprof_dump_pdes.json");
+  core::Cluster cluster(cfg);
+  cluster.submit(nodes, pairFactory(4096, msgs));
+  cluster.submit(nodes, pairFactory(1024, msgs));
+  cluster.run();
+  bench::perf().addEvents(cluster.sim().firedEvents());
+  if (!cluster.finishCausality()) {
+    std::fprintf(stderr, "pdes_forecast: causality dump failed\n");
+    return 1;
+  }
+
+  const gcprof_tool::Dump dump =
+      gcprof_tool::loadDump(cfg.causality_dump_path);
+
+  // The checked-in static analyses: gcflow's proven lookahead map feeds the
+  // null-message forecast, gcpart's taxonomy fills the report header.
+  std::vector<gcprof_tool::LookaheadEdge> lookahead;
+  const std::string la_path =
+      envOr("GANGCOMM_LOOKAHEAD", "gcflow_lookahead.json");
+  const std::string la_text = readIfPresent(la_path);
+  if (la_text.empty()) {
+    std::printf("(no lookahead map at %s; null forecast skipped)\n",
+                la_path.c_str());
+  } else {
+    lookahead = gcprof_tool::parseLookahead(la_text);
+  }
+  gcprof_tool::PartSummary part;
+  const std::string part_text =
+      readIfPresent(envOr("GANGCOMM_PART", "gcpart_report.json"));
+  if (!part_text.empty()) part = gcprof_tool::parsePart(part_text);
+
+  const gcprof_tool::Analysis a = gcprof_tool::analyze(dump, lookahead);
+  std::fputs(gcprof_tool::renderReport(a, part).c_str(), stdout);
+
+  const std::string csv = bench::outPath("pdes_forecast.csv");
+  if (!gcprof_tool::writeCsv(a, csv)) {
+    std::fprintf(stderr, "pdes_forecast: cannot write %s\n", csv.c_str());
+    return 1;
+  }
+  std::printf("\n(csv written to %s)\n", csv.c_str());
+
+  std::string dag = gcprof_tool::dagSummaryJson(a);
+  while (!dag.empty() && dag.back() == '\n') dag.pop_back();
+  if (!gcprof_tool::writeTextFile(
+          dag + "\n", bench::outPath("pdes_forecast_dag.json"))) {
+    std::fprintf(stderr, "pdes_forecast: cannot write dag json\n");
+    return 1;
+  }
+  if (!writeForecastBenchJson(dag)) {
+    std::fprintf(stderr, "pdes_forecast: cannot write bench json\n");
+    return 1;
+  }
+
+  std::printf(
+      "\nForecast check: ideal speedup >> per-node speedup > 1; <1x "
+      "lookahead bucket empty (no provable-lookahead violations).\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "app/process.hpp"
 
+#include <cstdint>
 #include <utility>
 
 #include "util/check.hpp"
@@ -39,6 +40,9 @@ void Process::scheduleStep() {
   }
   step_scheduled_ = true;
   const sim::SimTime at = cpu().availableAt(sim().now());
+  sim::LpScope lp(sim(), sim::lpTag(sim::LpDomain::kNode,
+                                    static_cast<std::uint32_t>(
+                                        env_.fm->node())));
   // gclint: crossing(process step is an event on this node LP's queue)
   sim().scheduleAt(at, [this] { runStep(); });
 }

@@ -34,6 +34,21 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
       ptracer_->enableFlightRecorder(cfg_.flight_recorder_depth);
   }
 
+  // gcprof: install the causality sink before anything schedules so every
+  // workload event is known to the recorder.
+  if (cfg_.causality_trace) {
+    obs::CausalityConfig ccfg;
+    ccfg.dump_path = cfg_.causality_dump_path;
+    ccfg.buffer_records = cfg_.causality_buffer_records;
+    ccfg.wall_cost = cfg_.causality_wall_cost;
+    causality_ = std::make_unique<obs::CausalityRecorder>(std::move(ccfg));
+    sim_.setCausalitySink(causality_.get());
+    // Batched delivery hands data packets to the NIC synchronously (zero
+    // events), which would hide the link->nic edges of the DAG; profile the
+    // unbatched event shape a PDES execution would actually replay.
+    cfg_.fabric.batch_delivery = false;
+  }
+
   if (cfg_.verify) {
     verifier_ = std::make_unique<verify::InvariantEngine>(sim_);
     sim_.setObserver(verifier_.get());
@@ -156,6 +171,12 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg), mem_(cfg.mem) {
 
 Cluster::~Cluster() {
   if (!cfg_.trace_path.empty()) trace_.writeChromeTrace(cfg_.trace_path);
+  if (causality_) causality_->finish();
+}
+
+bool Cluster::finishCausality() {
+  if (!causality_) return false;
+  return causality_->finish();
 }
 
 void Cluster::collectMetrics(obs::MetricsRegistry& reg) const {
@@ -163,6 +184,9 @@ void Cluster::collectMetrics(obs::MetricsRegistry& reg) const {
   reg.setCounter("sim.events_fired", sim_.firedEvents());
   reg.setCounter("sim.events_pending", sim_.pendingEvents());
   reg.setCounter("sim.past_schedule_clamps", sim_.pastScheduleClamps());
+  reg.setCounter("sim.events_cancelled", sim_.cancelledEvents());
+  reg.setCounter("sim.ladder_heap_transfers", sim_.ladderHeapTransfers());
+  reg.setCounter("sim.queue_depth_high_water", sim_.queueDepthHighWater());
   reg.setCounter("cluster.switch_records",
                  static_cast<std::uint64_t>(switches_.size()));
   reg.setCounter("cluster.jobs_done", static_cast<std::uint64_t>(jobs_done_));
@@ -175,6 +199,7 @@ void Cluster::collectMetrics(obs::MetricsRegistry& reg) const {
     if (const obs::FlightRecorder* fr = ptracer_->flight())
       reg.setCounter("gctrace.flight_recorded", fr->recorded());
   }
+  if (causality_) causality_->publish(reg);
   fabric_->publishMetrics(reg);
   for (const Node& node : nodes_) {
     node.nic->publishMetrics(reg);

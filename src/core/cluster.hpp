@@ -39,6 +39,7 @@
 #include "host/memory_model.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
+#include "obs/gcprof.hpp"
 #include "obs/gctrace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -114,6 +115,22 @@ struct ClusterConfig {
   /// Where the flight ring is dumped on a gcverify abort (and by
   /// dumpFlightRecorder()).  Default: "gctrace_flight.json".
   std::string flight_dump_path = "gctrace_flight.json";
+  /// gcprof: record the event-causality DAG (obs::CausalityRecorder behind
+  /// sim::CausalitySink).  Every fired event yields (id, parent id, sched
+  /// time, fire time, LP tag); tools/gcprof turns the dump into a PDES
+  /// speedup forecast.  Sim-time records never perturb simulation results,
+  /// but enabling the hook disables delivery batching (batched handoffs are
+  /// synchronous and would hide the link->nic DAG edges), so event counts
+  /// differ from a batched run — compare like with like.
+  bool causality_trace = false;
+  /// Where the causality dump spills (see obs::CausalityConfig).  Empty
+  /// keeps all records in memory for causalityRecorder()->records().
+  std::string causality_dump_path = "gcprof_dump.json";
+  /// Records buffered before spilling to the dump file.
+  std::size_t causality_buffer_records = 1 << 16;
+  /// gcprof wall-cost mode: sample the host clock around every event action.
+  /// NONDETERMINISTIC — dumps vary run to run and are labeled "mode":"wall".
+  bool causality_wall_cost = false;
   /// Dynamic verification (gcverify): run an InvariantEngine as the
   /// simulator's event observer, checking credit conservation, buffer
   /// ownership, packet conservation, and switch-protocol order after every
@@ -197,6 +214,17 @@ class Cluster {
   obs::PacketTracer* packetTracer() { return ptracer_.get(); }
   const obs::PacketTracer* packetTracer() const { return ptracer_.get(); }
 
+  /// The gcprof causality recorder (null unless causality_trace).  Call
+  /// finishCausality() — or let the destructor do it — to flush the dump.
+  obs::CausalityRecorder* causalityRecorder() { return causality_.get(); }
+  const obs::CausalityRecorder* causalityRecorder() const {
+    return causality_.get();
+  }
+
+  /// Flush the causality dump (idempotent).  Returns false when no recorder
+  /// is active or a file write failed.
+  bool finishCausality();
+
   /// Write the flight ring to cfg.flight_dump_path (or `path` if given).
   /// Returns false when no flight recorder is active or the write failed.
   /// Installed as the invariant engine's abort hook, so gcverify aborts
@@ -234,6 +262,7 @@ class Cluster {
   sim::Simulator sim_;
   obs::TraceRecorder trace_;
   std::unique_ptr<obs::PacketTracer> ptracer_;
+  std::unique_ptr<obs::CausalityRecorder> causality_;
   std::unique_ptr<verify::InvariantEngine> verifier_;
   host::MemoryModel mem_;
   std::unique_ptr<net::Fabric> fabric_;

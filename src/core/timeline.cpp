@@ -11,6 +11,7 @@ namespace gangcomm::core {
 ThroughputTimeline::ThroughputTimeline(Cluster& cluster, sim::Duration bucket)
     : cluster_(cluster), bucket_(bucket) {
   GC_CHECK_MSG(bucket > 0, "timeline bucket must be positive");
+  sim::LpScope lp(cluster_.sim(), sim::lpTag(sim::LpDomain::kGlobal));
   cluster_.sim().schedule(bucket_, [this] { tick(); });
 }
 
@@ -27,6 +28,7 @@ void ThroughputTimeline::tick() {
   samples_.push_back(s);
   // Self-terminate once the machine is idle so Cluster::run() can drain.
   if (stopped_ || cluster_.master().jobCount() == 0) return;
+  sim::LpScope lp(cluster_.sim(), sim::lpTag(sim::LpDomain::kGlobal));
   // gclint: crossing(observer tick runs in the serialized PDES phase)
   cluster_.sim().schedule(bucket_, [this] { tick(); });
 }

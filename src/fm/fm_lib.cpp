@@ -239,6 +239,7 @@ void FmLib::pushPacketToNic(const net::Packet& p) {
   const sim::SimTime done = cpu_.acquire(sim_.now(), cost);
   const net::ContextId ctx = params_.ctx;
   net::Nic* nic = &nic_;
+  sim::LpScope lp(sim_, lpNic());
   // gclint: crossing(host PIO completion event on the node LP's queue)
   sim_.scheduleAt(done, [nic, ctx, p] {
     // The context can be freed between PIO start and completion (job torn
@@ -336,6 +337,7 @@ void FmLib::maybeSendRefill(int src_rank) {
 
   const sim::SimTime done = cpu_.acquire(sim_.now(), cfg_.refill_send_ns);
   net::Nic* nic = &nic_;
+  sim::LpScope lp(sim_, lpNic());
   // gclint: crossing(PIO refill write into NIC SRAM: cross-LP message)
   sim_.scheduleAt(done, [nic, r] { nic->hostEnqueueControl(r); });
   ++stats_.refills_sent;
@@ -400,6 +402,7 @@ bool FmLib::sendWindowsDrained() const {
 void FmLib::onDrained(util::SboFunction<void()> cb) {
   GC_CHECK_MSG(on_drained_ == nullptr, "one drain waiter at a time");
   if (sendWindowsDrained()) {
+    sim::LpScope lp(sim_, lpNode());
     sim_.schedule(0, std::move(cb));
     return;
   }
@@ -414,6 +417,7 @@ void FmLib::armRtxTimer(int peer) {
   const sim::Duration delay =
       cfg_.retransmit_timeout_ns *
       static_cast<sim::Duration>(rtx_backoff_[idx]);
+  sim::LpScope lp(sim_, lpNode());
   rtx_timer_[idx] =
       // gclint: crossing(rtx timer lives on the node LP's own queue)
       sim_.schedule(delay, [this, peer] { onRtxTimeout(peer); });
@@ -509,6 +513,7 @@ void FmLib::sweepResend(int peer, std::uint64_t next_seq,
     // burst's PIOs, so the noded and the extract loop interleave instead of
     // queueing behind one giant booking.
     const sim::Duration gap = cpu_.availableAt(sim_.now()) - sim_.now();
+    sim::LpScope lp(sim_, lpNode());
     // gclint: crossing(resend sweep timer on the node LP's own queue)
     rtx_sweep_[idx] = sim_.schedule(
         gap, [this, peer, last, end_seq] { sweepResend(peer, last + 1, end_seq); });
@@ -536,6 +541,7 @@ void FmLib::setSuspended(bool suspended) {
         rtx_sweep_[peer].valid())
       continue;
     const int p = static_cast<int>(peer);
+    sim::LpScope lp(sim_, lpNode());
     rtx_timer_[peer] = sim_.schedule(0, [this, p] { onRtxTimeout(p); });
   }
 }

@@ -127,6 +127,7 @@ class FmLib {
   int credits(int dst_rank) const;
   int creditsC0() const { return params_.credits_c0; }
   int rank() const { return params_.rank; }
+  net::NodeId node() const { return nic_.node(); }
   int jobSize() const { return static_cast<int>(params_.rank_to_node.size()); }
   net::JobId job() const { return params_.job; }
   const FmStats& stats() const { return stats_; }
@@ -153,6 +154,17 @@ class FmLib {
  private:
   net::ContextSlot& slot();
   const net::ContextSlot& slot() const;
+  // gcprof LP tags: host-side events (timers, sweeps) live on the node LP;
+  // PIO completions land in NIC SRAM and are accounted to the NIC LP
+  // (gcflow's node->nic edge).
+  std::uint32_t lpNode() const {
+    return sim::lpTag(sim::LpDomain::kNode,
+                      static_cast<std::uint32_t>(nic_.node()));
+  }
+  std::uint32_t lpNic() const {
+    return sim::lpTag(sim::LpDomain::kNic,
+                      static_cast<std::uint32_t>(nic_.node()));
+  }
   void queueFragment(int dst_rank, std::uint16_t handler,
                      std::uint32_t payload, bool last);
   void maybeSendRefill(int src_rank);

@@ -152,6 +152,8 @@ void CommNode::COMM_halt_network(util::SboFunction<void()> done) {
   // Setting the halt bit is a PIO flag write by the noded; the flush then
   // runs autonomously between the LANais.
   const sim::SimTime t = cpu_.acquire(sim_.now(), cfg_.pio_flag_ns);
+  sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kNic,
+                                   static_cast<std::uint32_t>(nic_.node())));
   sim_.scheduleAt(t, [this, done = std::move(done)]() mutable {
     switch (cfg_.flush) {
       case FlushProtocol::kBroadcast:
@@ -254,6 +256,8 @@ void CommNode::COMM_context_switch(
       ptrace_->protocolEvent(nic_.node(), "copy_in", t,
                              static_cast<std::int64_t>(r.bytes_copied_in));
   }
+  sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kNode,
+                                   static_cast<std::uint32_t>(nic_.node())));
   sim_.scheduleAt(t, [r, done = std::move(done)]() mutable { done(r); });
 }
 
@@ -261,6 +265,8 @@ void CommNode::COMM_release_network(util::SboFunction<void()> done) {
   GC_CHECK_MSG(isSwitched(cfg_.policy),
                "release protocol is unnecessary under partitioning");
   const sim::SimTime t = cpu_.acquire(sim_.now(), cfg_.pio_flag_ns);
+  sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kNic,
+                                   static_cast<std::uint32_t>(nic_.node())));
   sim_.scheduleAt(t, [this, done = std::move(done)]() mutable {
     switch (cfg_.flush) {
       case FlushProtocol::kBroadcast:

@@ -286,6 +286,8 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
       if (!ring.drain_scheduled) {
         ring.drain_scheduled = true;
         const NodeId d = pkt.dst_node;
+        sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kNic,
+                                         static_cast<std::uint32_t>(d)));
         // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
         // gclint: edge(link, nic)
         sim_.scheduleAt(rx_done, [this, d] { drainRing(d); });
@@ -294,6 +296,9 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
   } else if (corrupted) {
     Packet poisoned = pkt;
     poisoned.tag ^= poison;
+    sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kNic,
+                                     static_cast<std::uint32_t>(
+                                         poisoned.dst_node)));
     // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
     // gclint: edge(link, nic)
     sim_.scheduleAt(rx_done, [this, poisoned, rx_done] {
@@ -301,6 +306,9 @@ sim::SimTime Fabric::inject(const Packet& pkt) {
       deliver_[static_cast<std::size_t>(poisoned.dst_node)](poisoned, rx_done);
     });
   } else {
+    sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kNic,
+                                     static_cast<std::uint32_t>(
+                                         pkt.dst_node)));
     // gclint: crossing(wire delivery on the link LP; arrival = lookahead)
     // gclint: edge(link, nic)
     sim_.scheduleAt(rx_done, [this, pkt, rx_done] {
@@ -320,6 +328,8 @@ void Fabric::drainRing(NodeId dst) {
       // The next arrival-time-sensitive packet is still on the wire; come
       // back exactly then.  Everything behind it stays queued.
       const sim::SimTime at = e.at;
+      sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kNic,
+                                       static_cast<std::uint32_t>(dst)));
       // gclint: crossing(ladder drain reschedules on the link LP's queue)
       // gclint: allow(flow-time-monotonic): the guard two lines up proves
       // e.at > now; gcflow does not refine intervals through if-branches

@@ -192,6 +192,7 @@ Packet Nic::hostDequeueRecv(ContextId id) {
 void Nic::scheduleSendScan() {
   if (send_busy_ || scan_scheduled_) return;
   scan_scheduled_ = true;
+  sim::LpScope lp(sim_, lpSelf());
   // gclint: crossing(send scan is an event on the NIC LP's own queue)
   sim_.schedule(0, [this] {
     scan_scheduled_ = false;
@@ -224,10 +225,14 @@ bool Nic::trySendControlPacket() {
   Packet pkt = control_queue_.front();
   control_queue_.pop_front();
   send_busy_ = true;
+  // gcprof: the +lanai_send_ns event is the head hitting the wire — it is
+  // accounted to the link LP, matching the gcflow nic->link edge.
+  sim::LpScope wire_lp(sim_, sim::lpTag(sim::LpDomain::kLink));
   // gclint: crossing(LANai send occupancy on the NIC LP's own queue)
   sim_.schedule(cfg_.lanai_send_ns, [this, pkt] {
     // gclint: crossing(inject is the cross-LP send; latency = lookahead)
     const sim::SimTime done = fabric_.inject(pkt);
+    sim::LpScope lp(sim_, lpSelf());
     // gclint: crossing(send completion event on the NIC LP's own queue)
     sim_.scheduleAt(done, [this, pkt] {
       send_busy_ = false;
@@ -268,10 +273,14 @@ bool Nic::trySendDataPacket() {
       ptrace_->onNicDequeued(pkt.trace_id, node_, sim_.now());
     const ContextId cid = ctx.id;
     send_busy_ = true;
+    // gcprof: the +lanai_send_ns event is the head hitting the wire — it is
+    // accounted to the link LP, matching the gcflow nic->link edge.
+    sim::LpScope wire_lp(sim_, sim::lpTag(sim::LpDomain::kLink));
     // gclint: crossing(LANai send occupancy on the NIC LP's own queue)
     sim_.schedule(cfg_.lanai_send_ns, [this, pkt, cid] {
       // gclint: crossing(inject is the cross-LP send; latency = lookahead)
       const sim::SimTime done = fabric_.inject(pkt);
+      sim::LpScope lp(sim_, lpSelf());
       // gclint: crossing(send completion event on the NIC LP's own queue)
       sim_.scheduleAt(done, [this, cid] {
         send_busy_ = false;
@@ -679,6 +688,7 @@ void Nic::dmaDeliver(const Packet& pkt, ContextSlot& ctx, sim::SimTime at) {
                   {"bytes", pkt.wireBytes()},
                   {"seq", static_cast<std::int64_t>(pkt.seq)}});
   const ContextId cid = ctx.id;
+  sim::LpScope lp(sim_, lpSelf());
   // gclint: crossing(DMA completion event on the NIC LP's own queue)
   // gclint: allow(flow-time-monotonic): every input derives from the wire
   // arrival argument `at`, which the fabric computed as now-or-later when

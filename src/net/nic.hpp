@@ -264,6 +264,10 @@ class Nic {
   void maybeCompleteAckQuiesce();
   bool allTrafficAcked() const;
   bool hostPioIdle() const { return reserved_total_ == 0; }
+  // This NIC's gcprof LP tag (events on the NIC LP's own queue).
+  std::uint32_t lpSelf() const {
+    return sim::lpTag(sim::LpDomain::kNic, static_cast<std::uint32_t>(node_));
+  }
   void emitNicAck(const Packet& data_pkt);
   void deliverData(const Packet& pkt, sim::SimTime at);
   void dmaDeliver(const Packet& pkt, ContextSlot& ctx, sim::SimTime at);

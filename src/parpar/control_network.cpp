@@ -45,6 +45,7 @@ void ControlNetwork::send(int from, int to, CtrlMsg msg) {
   if (deliver <= last) deliver = last + 1;
   last = deliver;
 
+  sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kGlobal));
   // gclint: crossing(control delivery runs in the serialized PDES phase)
   // gclint: allow(flow-time-monotonic): deliver = tx_done + base latency +
   // jitter, then clamped forward by the per-pair FIFO branch above; gcflow

@@ -128,6 +128,7 @@ void MasterDaemon::handleJobExited(const CtrlMsg& msg) {
 void MasterDaemon::armQuantumTimer() {
   if (timer_armed_) return;
   timer_armed_ = true;
+  sim::LpScope lp(sim_, sim::lpTag(sim::LpDomain::kGlobal));
   // gclint: crossing(gang quantum timer: serialized control)
   timer_ = sim_.schedule(cfg_.quantum, [this] {
     timer_armed_ = false;

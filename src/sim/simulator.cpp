@@ -54,6 +54,10 @@ EventHandle Simulator::scheduleAt(SimTime t, Action fn) {
     heap_.push_back(HeapEntry{t, slot});
     siftUp(heap_.size() - 1);
   }
+  const std::uint64_t depth = pendingEvents();
+  if (depth > depth_hwm_) depth_hwm_ = depth;
+  if (causality_ != nullptr)
+    causality_->onSchedule(seq, firing_seq_, now_, t, cur_lp_);
   return EventHandle{seq, slot};
 }
 
@@ -73,6 +77,8 @@ bool Simulator::cancel(EventHandle h) {
     removeAt(link);
   }
   freeSlot(h.slot);
+  ++cancels_;
+  if (causality_ != nullptr) causality_->onCancel(h.id);
   return true;
 }
 
@@ -137,6 +143,7 @@ void Simulator::refillBottom() {
       links_[e.slot] = static_cast<std::uint32_t>(heap_.size());
       heap_.push_back(HeapEntry{e.time, e.slot});
       --ladder_live_;
+      ++ladder_transfers_;
     }
   }
   // The span arrived unsorted and the heap held nothing else, so a bottom-up
@@ -158,6 +165,8 @@ SimTime Simulator::nextEventTime() {
 void Simulator::fireNext() {
   if (heap_.empty()) refillBottom();
   const HeapEntry top = heap_[0];
+  // The slot's seq is gone after freeSlot(); latch it only when profiling.
+  const std::uint64_t seq = causality_ != nullptr ? seqs_[top.slot] : 0;
   now_ = top.time;
   // Move the action out and recycle the slot before invoking: the callback
   // may schedule (growing the slab) or cancel, and must observe its own
@@ -166,7 +175,16 @@ void Simulator::fireNext() {
   removeAt(0);
   freeSlot(top.slot);
   ++fired_;
-  fn();
+  if (causality_ != nullptr) {
+    // Stamp this event as the parent of everything its action schedules.
+    firing_seq_ = seq;
+    causality_->onFireBegin(seq, now_);
+    fn();
+    causality_->onFireEnd(seq);
+    firing_seq_ = 0;
+  } else {
+    fn();
+  }
   // Event boundary: the action (and everything it ran synchronously) is
   // done, the next event has not started.  Observers are read-only.
   if (observer_ != nullptr) observer_->onEventBoundary(now_, fired_);

@@ -66,6 +66,59 @@ class EventObserver {
 /// for bursty arrival distributions.
 enum class QueueKind : std::uint8_t { kHeap, kLadder };
 
+/// Logical-process domains for causality profiling (gcprof).  The taxonomy
+/// mirrors the gcpart ownership map (gcpart_report.json): node, nic, and
+/// link are the partitionable domains; sim is the engine itself (and the
+/// default tag for unscoped events); global covers the serialized control
+/// plane (parpar daemons, control network, timeline observers).
+enum class LpDomain : std::uint8_t {
+  kSim = 0,
+  kNode = 1,
+  kNic = 2,
+  kLink = 3,
+  kGlobal = 4,
+};
+
+/// Pack an LP identity into the 32-bit tag carried per event: domain in the
+/// top byte, instance index (node id, nic id, ...) in the low 24 bits.
+constexpr std::uint32_t lpTag(LpDomain d, std::uint32_t index = 0) {
+  return (static_cast<std::uint32_t>(d) << 24) | (index & 0xffffffu);
+}
+
+constexpr LpDomain lpTagDomain(std::uint32_t tag) {
+  return static_cast<LpDomain>(tag >> 24);
+}
+
+constexpr std::uint32_t lpTagIndex(std::uint32_t tag) {
+  return tag & 0xffffffu;
+}
+
+/// Tag of events scheduled outside any LpScope (setup code, the engine).
+inline constexpr std::uint32_t kLpUnscoped = lpTag(LpDomain::kSim, 0);
+
+/// Causality hook: installed with Simulator::setCausalitySink(), it sees
+/// every schedule/cancel/fire transition plus the LP scope active at each
+/// scheduleAt() call site (via LpScope).  All calls are behind the same
+/// single-pointer-test guard as EventObserver, so the hook costs one
+/// predictable branch per transition when disabled.  Sinks must never
+/// schedule or cancel events: they are read-only instrumentation.
+class CausalitySink {
+ public:
+  virtual ~CausalitySink() = default;
+  /// A new event `id` was scheduled while event `parent` was firing
+  /// (parent 0 = scheduled outside any event, e.g. during setup), under the
+  /// LP tag `lp` active at the scheduleAt() call site (see LpScope).
+  virtual void onSchedule(std::uint64_t id, std::uint64_t parent,
+                          SimTime sched_at, SimTime fire_at,
+                          std::uint32_t lp) = 0;
+  /// Event `id` was cancelled while still pending.
+  virtual void onCancel(std::uint64_t id) = 0;
+  /// Event `id` is about to run at simulated time `t`.
+  virtual void onFireBegin(std::uint64_t id, SimTime t) = 0;
+  /// Event `id`'s action returned.
+  virtual void onFireEnd(std::uint64_t id) = 0;
+};
+
 // gclint: domain(sim)
 class Simulator {
  public:
@@ -118,6 +171,16 @@ class Simulator {
   /// Times scheduleAt() was called with a time in the past.
   std::uint64_t pastScheduleClamps() const { return past_clamps_; }
 
+  /// Pending events successfully cancelled since construction.
+  std::uint64_t cancelledEvents() const { return cancels_; }
+
+  /// Ladder residents transferred into the heap as their bucket became
+  /// imminent (lazily-cancelled entries are filtered before the count).
+  std::uint64_t ladderHeapTransfers() const { return ladder_transfers_; }
+
+  /// High-water mark of pendingEvents() observed at schedule time.
+  std::uint64_t queueDepthHighWater() const { return depth_hwm_; }
+
   /// Abort a run() in progress from within an event callback; the queue is
   /// left intact so the caller can inspect or resume.
   void requestStop() { stop_requested_ = true; }
@@ -125,6 +188,18 @@ class Simulator {
   /// Install (or clear, with nullptr) the event-boundary observer.  The
   /// pointer is not owned and must outlive any run with it installed.
   void setObserver(EventObserver* obs) { observer_ = obs; }
+
+  /// Install (or clear, with nullptr) the causality sink.  The pointer is
+  /// not owned and must outlive any run with it installed.  Install before
+  /// scheduling workload events: events already pending are unknown to the
+  /// sink and fire unrecorded.
+  void setCausalitySink(CausalitySink* sink) { causality_ = sink; }
+
+  /// The active causality sink (nullptr when profiling is off).
+  CausalitySink* causalitySink() const { return causality_; }
+
+  /// The LP tag events scheduled right now would carry (see LpScope).
+  std::uint32_t currentLp() const { return cur_lp_; }
 
   /// The same-timestamp tiebreak key is the scheduling sequence number:
   /// events at equal times fire in the order they were scheduled.  A
@@ -222,9 +297,42 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t past_clamps_ = 0;
+  std::uint64_t cancels_ = 0;
+  std::uint64_t ladder_transfers_ = 0;
+  std::uint64_t depth_hwm_ = 0;
   std::uint64_t tie_salt_ = 0;
+  // Sequence number of the event whose action is currently running; 0
+  // between events.  Only read when causality_ is installed: it is the
+  // parent id stamped on events scheduled from inside the running action.
+  std::uint64_t firing_seq_ = 0;
+  // LP tag stamped on events scheduled right now; LpScope saves/restores it
+  // unconditionally (two stores beat a branch at two dozen hot call sites).
+  std::uint32_t cur_lp_ = kLpUnscoped;
   bool stop_requested_ = false;
   EventObserver* observer_ = nullptr;  // not owned; null-checked per event
+  CausalitySink* causality_ = nullptr;  // not owned; null-checked per call
+
+  friend class LpScope;
+};
+
+/// RAII LP scope for causality profiling.  Construction marks every event
+/// scheduled until destruction as belonging to logical process `lp`
+/// (see lpTag()); scopes nest and restore the enclosing tag on exit.  The
+/// tag is a plain save/restore of one engine word — branch-free whether or
+/// not a sink is installed — so scopes stay on hot paths permanently; the
+/// tag is only *read* behind scheduleAt()'s sink null-check.
+class LpScope {
+ public:
+  LpScope(Simulator& sim, std::uint32_t lp) : sim_(sim), prev_(sim.cur_lp_) {
+    sim.cur_lp_ = lp;
+  }
+  ~LpScope() { sim_.cur_lp_ = prev_; }
+  LpScope(const LpScope&) = delete;
+  LpScope& operator=(const LpScope&) = delete;
+
+ private:
+  Simulator& sim_;
+  const std::uint32_t prev_;
 };
 
 }  // namespace gangcomm::sim

@@ -64,14 +64,16 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 void Histogram::add(double x) {
   ++total_;
   sum_ += x;
+  max_ = std::max(max_, x);
   if (x < lo_) {
     ++under_;
     ++counts_.front();
     return;
   }
   if (x >= hi_) {
+    // Overflow bucket: long-tail samples must not masquerade as the last
+    // linear bucket, or p100-adjacent percentiles silently cap at hi.
     ++over_;
-    ++counts_.back();
     return;
   }
   auto idx = static_cast<std::size_t>((x - lo_) / width_);
@@ -89,6 +91,7 @@ void Histogram::merge(const Histogram& other) {
   under_ += other.under_;
   over_ += other.over_;
   sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
 }
 
 double Histogram::bucketLow(std::size_t i) const {
@@ -107,7 +110,27 @@ double Histogram::percentile(double p) const {
     if (static_cast<double>(seen) >= target)
       return bucketLow(i) + width_ / 2.0;
   }
-  return hi_;
+  // The rank lands in the overflow bucket: report the recorded maximum —
+  // the honest tail bound — rather than a value clamped to the edge.
+  return over_ > 0 ? max_ : hi_;
+}
+
+bool Histogram::percentileIsOverflow(double p) const {
+  if (total_ == 0 || over_ == 0) return false;
+  const double target =
+      std::max(1.0, p / 100.0 * static_cast<double>(total_));
+  return static_cast<double>(total_ - over_) < target;
+}
+
+std::string Histogram::percentileStr(double p, int decimals) const {
+  char buf[96];
+  if (percentileIsOverflow(p)) {
+    std::snprintf(buf, sizeof(buf), ">%.*f (max=%.*f)", decimals, hi_,
+                  decimals, maxSample());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, percentile(p));
+  }
+  return buf;
 }
 
 }  // namespace gangcomm::util

@@ -34,8 +34,11 @@ class Stats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp to
-/// the edge buckets and are counted separately.
+/// Fixed-width linear histogram over [lo, hi).  Samples below lo clamp into
+/// the first bucket (and are counted in underflow()); samples at or above hi
+/// land in an explicit overflow bucket — NOT the last linear bucket — and
+/// the largest sample ever added is recorded, so tail percentiles report
+/// the true maximum instead of silently saturating at the bucket edge.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -50,13 +53,27 @@ class Histogram {
   std::uint64_t bucketCount(std::size_t i) const { return counts_.at(i); }
   std::size_t buckets() const { return counts_.size(); }
   double bucketLow(std::size_t i) const;
-  double percentile(double p) const;  // p in [0,100]
+  /// Percentile estimate (bucket midpoint), p in [0,100].  When the rank
+  /// falls in the overflow bucket this returns maxSample() — the honest
+  /// upper bound; check percentileIsOverflow() to render it as ">hi".
+  double percentile(double p) const;
+  /// True when percentile(p)'s rank lands past the last linear bucket, i.e.
+  /// the value came from overflow samples and should render as
+  /// ">hi (max=maxSample())".
+  bool percentileIsOverflow(double p) const;
+  /// Render percentile(p) with `decimals` places; overflow ranks render as
+  /// ">4096.000 (max=5210.417)"-style labels instead of a silently wrong
+  /// in-range value.
+  std::string percentileStr(double p, int decimals = 3) const;
+  /// Largest sample ever added (0 when empty).
+  double maxSample() const { return total_ ? max_ : 0.0; }
   std::uint64_t underflow() const { return under_; }
   std::uint64_t overflow() const { return over_; }
 
   /// Combine another histogram of identical geometry (same lo/hi/buckets)
-  /// into this one.  Bucket counts are integers, so merging per-job partial
-  /// histograms in a fixed order reproduces the single-job result exactly.
+  /// into this one.  Bucket counts are integers and the recorded max
+  /// combines by std::max, so merging per-job partial histograms in a fixed
+  /// order reproduces the single-job result exactly.
   void merge(const Histogram& other);
 
  private:
@@ -66,6 +83,7 @@ class Histogram {
   std::uint64_t under_ = 0;
   std::uint64_t over_ = 0;
   double sum_ = 0.0;
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace gangcomm::util

@@ -1,0 +1,158 @@
+// CausalityRecorder tests: in-memory recording, cancelled-event dropping,
+// the gcprof-v1 dump format (spill + trailer, round-tripped through the
+// tools/gcprof reader), LP naming, and the Cluster metrics surface
+// (gcprof.* + the sim.* engine counters).
+#include "obs/gcprof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "analyze.hpp"
+#include "app/workloads.hpp"
+#include "core/cluster.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace gangcomm::obs {
+namespace {
+
+TEST(CausalityRecorder, RecordsFiredEventsInOrderWithParents) {
+  sim::Simulator s;
+  CausalityConfig cfg;
+  cfg.dump_path = "";  // in-memory only
+  CausalityRecorder rec(std::move(cfg));
+  s.setCausalitySink(&rec);
+
+  {
+    sim::LpScope lp(s, sim::lpTag(sim::LpDomain::kNode, 2));
+    s.schedule(10, [&s] {
+      sim::LpScope inner(s, sim::lpTag(sim::LpDomain::kNic, 2));
+      s.schedule(5, [] {});
+    });
+  }
+  s.run();
+  rec.finish();
+
+  ASSERT_EQ(rec.records().size(), 2u);
+  EXPECT_EQ(rec.recorded(), 2u);
+  const CausalityRecord& root = rec.records()[0];
+  const CausalityRecord& child = rec.records()[1];
+  EXPECT_EQ(root.parent, 0u);
+  EXPECT_EQ(root.lp, sim::lpTag(sim::LpDomain::kNode, 2));
+  EXPECT_EQ(root.fire, 10);
+  EXPECT_EQ(child.parent, root.id);
+  EXPECT_EQ(child.lp, sim::lpTag(sim::LpDomain::kNic, 2));
+  EXPECT_EQ(child.sched, 10);
+  EXPECT_EQ(child.fire, 15);
+}
+
+TEST(CausalityRecorder, CancelledEventsAreDroppedNotEmitted) {
+  sim::Simulator s;
+  CausalityConfig cfg;
+  cfg.dump_path = "";
+  CausalityRecorder rec(std::move(cfg));
+  s.setCausalitySink(&rec);
+
+  const sim::EventHandle doomed = s.schedule(10, [] {});
+  s.schedule(5, [] {});
+  EXPECT_TRUE(s.cancel(doomed));
+  s.run();
+  rec.finish();
+
+  EXPECT_EQ(rec.cancelledDropped(), 1u);
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_NE(rec.records()[0].id, doomed.id);
+  EXPECT_EQ(rec.openPending(), 0u);
+}
+
+TEST(CausalityRecorder, DumpSpillsAndRoundTripsThroughReader) {
+  const std::string path = testing::TempDir() + "gcprof_dump_test.json";
+  sim::Simulator s;
+  CausalityConfig cfg;
+  cfg.dump_path = path;
+  cfg.buffer_records = 2;  // force multiple spills
+  CausalityRecorder rec(std::move(cfg));
+  s.setCausalitySink(&rec);
+
+  {
+    sim::LpScope lp(s, sim::lpTag(sim::LpDomain::kLink));
+    for (int i = 1; i <= 7; ++i)
+      s.schedule(static_cast<sim::Duration>(i), [] {});
+  }
+  const sim::EventHandle doomed = s.schedule(100, [] {});
+  s.cancel(doomed);
+  s.run();
+  EXPECT_TRUE(rec.finish());
+  EXPECT_TRUE(rec.finish());  // idempotent
+  EXPECT_GE(rec.spilled(), 7u);
+
+  const gcprof_tool::Dump dump = gcprof_tool::loadDump(path);
+  EXPECT_FALSE(dump.wall);
+  ASSERT_EQ(dump.records.size(), 7u);
+  EXPECT_EQ(dump.total, 7u);
+  EXPECT_EQ(dump.cancelled, 1u);
+  EXPECT_EQ(dump.pending, 0u);
+  for (const gcprof_tool::DumpRecord& r : dump.records)
+    EXPECT_EQ(r.lp, sim::lpTag(sim::LpDomain::kLink));
+  EXPECT_EQ(dump.records.front().fire, 1);
+  EXPECT_EQ(dump.records.back().fire, 7);
+}
+
+TEST(CausalityRecorder, LpNamesFollowTheGcpartTaxonomy) {
+  EXPECT_EQ(CausalityRecorder::lpName(sim::kLpUnscoped), "sim");
+  EXPECT_EQ(CausalityRecorder::lpName(sim::lpTag(sim::LpDomain::kNode, 3)),
+            "node.3");
+  EXPECT_EQ(CausalityRecorder::lpName(sim::lpTag(sim::LpDomain::kNic, 0)),
+            "nic.0");
+  EXPECT_EQ(CausalityRecorder::lpName(sim::lpTag(sim::LpDomain::kLink)),
+            "link");
+  EXPECT_EQ(CausalityRecorder::lpName(sim::lpTag(sim::LpDomain::kGlobal)),
+            "global");
+  // Non-instanced domains still disambiguate a nonzero index.
+  EXPECT_EQ(CausalityRecorder::lpName(sim::lpTag(sim::LpDomain::kLink, 2)),
+            "link.2");
+}
+
+TEST(CausalityRecorder, ClusterPublishesGcprofAndSimCounters) {
+  const std::string path = testing::TempDir() + "gcprof_cluster_test.json";
+  core::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.causality_trace = true;
+  cfg.causality_dump_path = path;
+  core::Cluster cluster(cfg);
+  cluster.submit(2, [](app::Process::Env env)
+                        -> std::unique_ptr<app::Process> {
+    if (env.rank == 0)
+      return std::make_unique<app::BandwidthSender>(std::move(env), 1, 1024,
+                                                    16);
+    return std::make_unique<app::BandwidthReceiver>(std::move(env), 0, 16);
+  });
+  cluster.run();
+  EXPECT_TRUE(cluster.finishCausality());
+
+  MetricsRegistry reg;
+  cluster.collectMetrics(reg);
+  EXPECT_GT(reg.counter("gcprof.records"), 0u);
+  EXPECT_GT(reg.gauge("gcprof.lps"), 1.0);
+  EXPECT_GT(reg.counter("sim.events_fired"), 0u);
+  EXPECT_GT(reg.counter("sim.queue_depth_high_water"), 0u);
+  EXPECT_EQ(reg.counter("sim.past_schedule_clamps"), 0u);
+  ASSERT_TRUE(reg.has("sim.events_cancelled"));
+  ASSERT_TRUE(reg.has("sim.ladder_heap_transfers"));
+  // The default queue is the ladder; a real run parks far-future timers.
+  EXPECT_GT(reg.counter("sim.ladder_heap_transfers"), 0u);
+  // Recorder totals and engine totals agree on what fired while hooked.
+  EXPECT_EQ(reg.counter("gcprof.records"),
+            cluster.causalityRecorder()->recorded());
+
+  const gcprof_tool::Dump dump = gcprof_tool::loadDump(path);
+  EXPECT_EQ(dump.total, cluster.causalityRecorder()->recorded());
+  EXPECT_GT(dump.records.size(), 100u);
+}
+
+}  // namespace
+}  // namespace gangcomm::obs

@@ -87,14 +87,17 @@ TEST(Histogram, BucketsAndTotal) {
   for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(h.bucketCount(i), 1u);
 }
 
-TEST(Histogram, OutOfRangeClampsToEdges) {
+TEST(Histogram, OutOfRangeUnderflowClampsOverflowStaysSeparate) {
   Histogram h(0.0, 10.0, 5);
   h.add(-5.0);
   h.add(15.0);
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.bucketCount(0), 1u);
-  EXPECT_EQ(h.bucketCount(4), 1u);
+  // The overflow sample lives in its own bucket, NOT the last linear one —
+  // the last bucket keeps meaning [8, 10).
+  EXPECT_EQ(h.bucketCount(4), 0u);
+  EXPECT_DOUBLE_EQ(h.maxSample(), 15.0);
 }
 
 TEST(Histogram, PercentileMonotone) {
@@ -131,12 +134,15 @@ TEST(Histogram, PercentileAllUnderflowClampsToFirstBucket) {
   EXPECT_DOUBLE_EQ(h.percentile(100), 10.5);
 }
 
-TEST(Histogram, PercentileAllOverflowClampsToLastBucket) {
+TEST(Histogram, PercentileAllOverflowReportsTrueMax) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 5; ++i) h.add(99.0);
   EXPECT_EQ(h.overflow(), 5u);
-  EXPECT_DOUBLE_EQ(h.percentile(0), 9.5);
-  EXPECT_DOUBLE_EQ(h.percentile(100), 9.5);
+  // Every rank is an overflow rank: report the recorded maximum, not the
+  // last linear bucket's midpoint.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 99.0);
+  EXPECT_TRUE(h.percentileIsOverflow(50));
 }
 
 TEST(Histogram, PercentileBoundsBracketTheData) {
@@ -195,6 +201,76 @@ TEST(Histogram, MergeWithEmptySides) {
   EXPECT_EQ(empty.count(), 1u);
   EXPECT_DOUBLE_EQ(empty.sum(), 5.0);
   EXPECT_EQ(empty.bucketCount(5), 1u);
+}
+
+// ---- Tail-saturation regression suite -------------------------------------
+// The bug: a p99 past the range used to saturate silently at the last linear
+// bucket's midpoint ("4.095ms" for a [0, 4.096ms) histogram), hiding real
+// multi-millisecond tails.  Overflow samples now occupy an explicit bucket
+// and the true maximum is recorded.
+
+TEST(Histogram, TailPercentileReportsMaxNotLastBucketMidpoint) {
+  Histogram h(0.0, 4096.0, 256);  // a latency histogram in microseconds
+  for (int i = 0; i < 99; ++i) h.add(100.0);
+  h.add(5210.417);  // one 5.2 ms straggler past the range
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.maxSample(), 5210.417);
+  // p50 is unaffected; p100 lands on the straggler itself.
+  EXPECT_FALSE(h.percentileIsOverflow(50));
+  EXPECT_NEAR(h.percentile(50), 100.0, 16.0);
+  EXPECT_TRUE(h.percentileIsOverflow(100));
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5210.417);
+}
+
+TEST(Histogram, PercentileStrRendersOverflowAsGreaterThanWithMax) {
+  Histogram h(0.0, 4096.0, 256);
+  h.add(100.0);
+  h.add(5210.417);
+  EXPECT_EQ(h.percentileStr(100), ">4096.000 (max=5210.417)");
+  EXPECT_EQ(h.percentileStr(100, 1), ">4096.0 (max=5210.4)");
+  // In-range ranks render the plain midpoint value.
+  EXPECT_EQ(h.percentileStr(0), "104.000");
+}
+
+TEST(Histogram, MergePreservesOverflowBucketAndMaxExactly) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  Histogram combined(0.0, 10.0, 10);
+  for (int i = 0; i < 20; ++i) {
+    const double v = static_cast<double>(i);  // 10..19 overflow
+    ((i % 2) != 0 ? a : b).add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.overflow(), combined.overflow());
+  EXPECT_DOUBLE_EQ(a.maxSample(), combined.maxSample());
+  EXPECT_DOUBLE_EQ(a.maxSample(), 19.0);
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p)) << p;
+    EXPECT_EQ(a.percentileIsOverflow(p), combined.percentileIsOverflow(p))
+        << p;
+  }
+  EXPECT_EQ(a.percentileStr(100), combined.percentileStr(100));
+}
+
+TEST(Histogram, UnderflowStillClampsIntoFirstBucket) {
+  // The underflow side keeps the old clamp semantics: negative latencies are
+  // measurement noise, not a tail worth preserving.
+  Histogram h(10.0, 20.0, 10);
+  h.add(-3.0);
+  h.add(12.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bucketCount(0), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 10.5);
+}
+
+TEST(Histogram, MaxSampleTracksInRangeSamplesToo) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.maxSample(), 0.0);  // empty
+  h.add(7.2);
+  EXPECT_DOUBLE_EQ(h.maxSample(), 7.2);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.maxSample(), 7.2);
 }
 
 TEST(HistogramDeath, BadRangeAborts) {
